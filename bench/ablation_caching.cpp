@@ -1,0 +1,90 @@
+// ABL-CACHE — the paper's second future-work item: "evaluate benefits
+// of caching."
+//
+// Two client-side caches, each attacking one metadata hot path:
+//  - stat cache (reads): GekkoFS stats the file per read to bound at
+//    EOF; a warm cache removes that RPC from the read path.
+//  - size-update cache (writes, §IV.B): buffers size updates; sweep
+//    the flush interval to show the ceiling lifting gradually.
+// 8 KiB transfers — metadata overhead is proportionally largest there.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/data_sim.h"
+
+using namespace gekko;
+using namespace gekko::bench;
+using namespace gekko::sim;
+
+namespace {
+
+SimResult read_point(std::uint32_t nodes, bool stat_cache) {
+  Calibration cal;
+  DataSimConfig d;
+  d.nodes = nodes;
+  d.transfer_size = 8 << 10;
+  d.write = false;
+  d.stat_cache = stat_cache;
+  d.transfers_per_proc =
+      scaled_ops(nodes, cal.procs_per_node, 8.0, 1.0e6, 20, 300);
+  return run_gekkofs_data(d);
+}
+
+SimResult shared_write_point(std::uint32_t nodes, std::uint32_t interval) {
+  Calibration cal;
+  DataSimConfig d;
+  d.nodes = nodes;
+  d.transfer_size = 8 << 10;
+  d.write = true;
+  d.shared_file = true;
+  d.size_cache_interval = interval;
+  d.transfers_per_proc =
+      scaled_ops(nodes, cal.procs_per_node, 8.0, 1.0e6, 20, 300);
+  return run_gekkofs_data(d);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "ABLATION — caching (paper future work item #2), 8 KiB transfers");
+
+  std::printf("\n-- stat cache: file-per-process READS --\n");
+  std::printf("%6s  %14s  %14s  %16s\n", "nodes", "ops/s (off)",
+              "ops/s (on)", "md-RPC traffic");
+  for (const std::uint32_t nodes : {4u, 16u, 64u, 256u}) {
+    const SimResult off = read_point(nodes, false);
+    const SimResult on = read_point(nodes, true);
+    std::printf("%6u  %14s  %14s  %+14.0f%%\n", nodes,
+                human_rate(off.ops_per_sec).c_str(),
+                human_rate(on.ops_per_sec).c_str(),
+                100.0 * (static_cast<double>(on.events) -
+                         static_cast<double>(off.events)) /
+                    static_cast<double>(off.events));
+  }
+  std::printf(
+      "\nA negative result worth keeping: with reads SSD-bound and a\n"
+      "fixed closed loop, removing the per-read stat RPC changes neither\n"
+      "throughput nor latency (Little's law — the saved round trip turns\n"
+      "into SSD queue wait). What the cache buys is the ~1/3 drop in\n"
+      "simulated network/metadata events above: daemon headroom that\n"
+      "matters when metadata phases run concurrently (mdtest-style\n"
+      "storms + reads), at the usual freshness cost. This quantifies the\n"
+      "paper's future-work question rather than assuming caching wins.\n");
+
+  std::printf("\n-- size-update cache: SHARED-FILE writes, interval sweep "
+              "(ops/s, 64 nodes) --\n");
+  std::printf("%10s  %14s\n", "interval", "throughput");
+  for (const std::uint32_t interval : {0u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    const double t = shared_write_point(64, interval).ops_per_sec;
+    std::printf("%10u  %14s%s\n", interval, human_rate(t).c_str(),
+                interval == 0 ? "   <- paper's synchronous ceiling" : "");
+  }
+  std::printf(
+      "\nThe ceiling lifts in proportion to the flush interval until the\n"
+      "SSDs (not the metadata daemon) become the bottleneck — consistent\n"
+      "with the paper's observation that the rudimentary cache restored\n"
+      "file-per-process rates. The cost in both cases is metadata\n"
+      "freshness across clients (bounded by interval / TTL).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// ABL-CHUNK — the paper's first future-work item: "Investigate GekkoFS
+// with various chunk sizes."
+//
+// Sweep the chunk size at fixed transfer sizes (64 nodes). Expected
+// trade-off: small chunks spread a single transfer over more daemons
+// (better parallelism for large transfers, more per-slice overhead);
+// large chunks reduce RPC fan-out but concentrate load.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/data_sim.h"
+
+using namespace gekko;
+using namespace gekko::bench;
+using namespace gekko::sim;
+
+int main() {
+  print_header(
+      "ABLATION — chunk size sweep (64 nodes, sequential write,\n"
+      "file-per-process); paper future work item #1");
+
+  const std::uint64_t transfers[] = {64ull << 10, 1ull << 20, 64ull << 20};
+  const std::uint32_t chunk_sizes[] = {64u << 10, 256u << 10, 512u << 10,
+                                       1u << 20, 4u << 20};
+
+  std::printf("%9s", "chunk");
+  for (const auto t : transfers) {
+    std::printf("   xfer=%-13llu",
+                static_cast<unsigned long long>(t >> 10));
+  }
+  std::printf(" (KiB; cells: MiB/s / mean transfer latency)\n");
+
+  Calibration cal;
+  for (const std::uint32_t cs : chunk_sizes) {
+    std::printf("%6uKiB", cs >> 10);
+    for (const std::uint64_t t : transfers) {
+      DataSimConfig d;
+      d.nodes = 64;
+      d.chunk_size = cs;
+      d.transfer_size = t;
+      d.write = true;
+      const double chunks = static_cast<double>(t + cs - 1) / cs;
+      const double touched = chunks < 64 ? chunks : 64.0;
+      d.transfers_per_proc = scaled_ops(64, cal.procs_per_node,
+                                        4.0 * touched + 4.0, 1.0e6, 2, 200);
+      const SimResult r = run_gekkofs_data(d);
+      char lat[24];
+      if (r.mean_latency_s >= 0.5e-3) {
+        std::snprintf(lat, sizeof(lat), "%.1fms", r.mean_latency_s * 1e3);
+      } else {
+        std::snprintf(lat, sizeof(lat), "%.0fus", r.mean_latency_s * 1e6);
+      }
+      std::printf("  %8.0f/%-9s", r.mib_per_sec, lat);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nSteady-state throughput is SSD-bound and insensitive to chunk\n"
+      "size in this calibration; the trade-off shows in LATENCY: small\n"
+      "chunks fan a large transfer over more daemons (parallel drain),\n"
+      "large chunks serialize it on fewer SSDs. 512 KiB (the paper's\n"
+      "default) keeps large-transfer latency near-minimal without the\n"
+      "per-slice overhead of very small chunks.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the reproduction bench binaries: the node grid
+// used across Fig. 2 / Fig. 3 and aligned table printing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gekko::bench {
+
+/// The paper's x-axis: 1..512 nodes, powers of two (16 procs/node).
+inline std::vector<std::uint32_t> paper_node_grid() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+
+/// Smaller grid for slower configurations.
+inline std::vector<std::uint32_t> short_node_grid() {
+  return {1, 4, 16, 64, 256, 512};
+}
+
+/// Pick ops-per-proc so one simulated point costs roughly
+/// `event_budget` events (throughput is steady-state; more ops only
+/// burn wall-clock).
+inline std::uint32_t scaled_ops(std::uint32_t nodes,
+                                std::uint32_t procs_per_node,
+                                double events_per_op,
+                                double event_budget = 1.5e6,
+                                std::uint32_t lo = 20,
+                                std::uint32_t hi = 400) {
+  const double procs = static_cast<double>(nodes) * procs_per_node;
+  const double ops = event_budget / (procs * events_per_op);
+  if (ops < lo) return lo;
+  if (ops > hi) return hi;
+  return static_cast<std::uint32_t>(ops);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline std::string human_rate(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%8.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%8.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%9.1f", v);
+  }
+  return buf;
+}
+
+}  // namespace gekko::bench

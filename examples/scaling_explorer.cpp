@@ -1,0 +1,100 @@
+// Scaling explorer: poke the cluster models from the command line.
+//
+//   ./scaling_explorer meta  <nodes> [create|stat|remove]
+//   ./scaling_explorer data  <nodes> <transfer_bytes> [write|read]
+//                            [seq|random] [fpp|shared] [cache_interval]
+//   ./scaling_explorer lustre <nodes> [create|stat|remove] [single|unique]
+//
+// Useful for what-if questions the paper's figures don't cover
+// directly, e.g. "where does the shared-file ceiling bite at 48 nodes
+// with a cache interval of 8?"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/data_sim.h"
+#include "sim/metadata_sim.h"
+
+using namespace gekko::sim;
+
+namespace {
+
+MetaPhase parse_phase(const char* s) {
+  if (std::strcmp(s, "stat") == 0) return MetaPhase::stat;
+  if (std::strcmp(s, "remove") == 0) return MetaPhase::remove;
+  return MetaPhase::create;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  scaling_explorer meta   <nodes> [create|stat|remove]\n"
+      "  scaling_explorer data   <nodes> <transfer_bytes> [write|read]\n"
+      "                          [seq|random] [fpp|shared] [cache_interval]\n"
+      "  scaling_explorer lustre <nodes> [create|stat|remove] "
+      "[single|unique]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::uint32_t nodes =
+      static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  if (nodes == 0) return usage();
+
+  if (std::strcmp(argv[1], "meta") == 0) {
+    MetadataSimConfig cfg;
+    cfg.nodes = nodes;
+    cfg.phase = argc > 3 ? parse_phase(argv[3]) : MetaPhase::create;
+    cfg.ops_per_proc = 200;
+    const SimResult r = run_gekkofs_metadata(cfg);
+    std::printf("gekkofs metadata: %u nodes -> %.3g ops/s "
+                "(mean latency %.1f us, %llu sim events)\n",
+                nodes, r.ops_per_sec, r.mean_latency_s * 1e6,
+                static_cast<unsigned long long>(r.events));
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "lustre") == 0) {
+    LustreSimConfig cfg;
+    cfg.nodes = nodes;
+    cfg.phase = argc > 3 ? parse_phase(argv[3]) : MetaPhase::create;
+    cfg.single_dir = !(argc > 4 && std::strcmp(argv[4], "unique") == 0);
+    cfg.ops_per_proc = 100;
+    const SimResult r = run_lustre_metadata(cfg);
+    std::printf("lustre (%s dir): %u nodes -> %.3g ops/s "
+                "(mean latency %.1f us)\n",
+                cfg.single_dir ? "single" : "unique", nodes, r.ops_per_sec,
+                r.mean_latency_s * 1e6);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "data") == 0) {
+    if (argc < 4) return usage();
+    DataSimConfig cfg;
+    cfg.nodes = nodes;
+    cfg.transfer_size = std::strtoull(argv[3], nullptr, 10);
+    cfg.write = !(argc > 4 && std::strcmp(argv[4], "read") == 0);
+    cfg.random_offsets = argc > 5 && std::strcmp(argv[5], "random") == 0;
+    cfg.shared_file = argc > 6 && std::strcmp(argv[6], "shared") == 0;
+    cfg.size_cache_interval =
+        argc > 7 ? static_cast<std::uint32_t>(std::atoi(argv[7])) : 0;
+    cfg.transfers_per_proc = 40;
+    const SimResult r = run_gekkofs_data(cfg);
+    std::printf("gekkofs data: %u nodes, %llu B %s %s %s -> %.0f MiB/s, "
+                "%.3g ops/s (mean latency %.0f us)\n",
+                nodes,
+                static_cast<unsigned long long>(cfg.transfer_size),
+                cfg.write ? "write" : "read",
+                cfg.random_offsets ? "random" : "seq",
+                cfg.shared_file ? "shared" : "fpp", r.mib_per_sec,
+                r.ops_per_sec, r.mean_latency_s * 1e6);
+    std::printf("aggregated SSD peak at this scale: %.0f MiB/s\n",
+                ssd_peak_mib_s(cfg.cal, nodes, cfg.write));
+    return 0;
+  }
+  return usage();
+}

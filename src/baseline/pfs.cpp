@@ -1,0 +1,267 @@
+#include "baseline/pfs.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/path.h"
+
+namespace gekko::baseline {
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ParallelFileSystem::ParallelFileSystem(PfsOptions options)
+    : options_(options) {
+  Inode root;
+  root.md.type = proto::FileType::directory;
+  root.md.mode = 0755;
+  root.md.ctime_ns = root.md.mtime_ns = wall_ns();
+  namespace_.emplace("/", std::move(root));
+}
+
+Result<ParallelFileSystem::Inode*> ParallelFileSystem::lookup_locked_(
+    std::string_view path) {
+  auto it = namespace_.find(path);
+  if (it == namespace_.end()) return Errc::not_found;
+  return &it->second;
+}
+
+Status ParallelFileSystem::check_parent_locked_(std::string_view path) {
+  const std::string_view parent = path::parent(path);
+  auto it = namespace_.find(parent);
+  if (it == namespace_.end()) return Errc::not_found;
+  if (!it->second.md.is_directory()) return Errc::not_directory;
+  return Status::ok();
+}
+
+Status ParallelFileSystem::create(std::string_view raw, proto::FileType type,
+                                  std::uint32_t mode) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  if (namespace_.contains(*p)) return Errc::exists;
+  // POSIX: the parent must exist, and the new entry is inserted into
+  // the parent's directory (the per-directory contention point).
+  GEKKO_RETURN_IF_ERROR(check_parent_locked_(*p));
+  ++stats_.dir_lock_waits;
+
+  Inode inode;
+  inode.md.type = type;
+  inode.md.mode = mode;
+  inode.md.ctime_ns = inode.md.mtime_ns = wall_ns();
+  namespace_.emplace(*p, std::move(inode));
+
+  auto& parent = namespace_.find(path::parent(*p))->second;
+  parent.children.insert(std::string(path::basename(*p)));
+  parent.md.mtime_ns = wall_ns();
+  return Status::ok();
+}
+
+Result<proto::Metadata> ParallelFileSystem::stat(std::string_view raw) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  return inode->md;
+}
+
+Status ParallelFileSystem::unlink(std::string_view raw) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (inode->md.is_directory()) return Errc::is_directory;
+  namespace_.erase(std::string(*p));
+  auto parent_it = namespace_.find(path::parent(*p));
+  if (parent_it != namespace_.end()) {
+    parent_it->second.children.erase(std::string(path::basename(*p)));
+    parent_it->second.md.mtime_ns = wall_ns();
+    ++stats_.dir_lock_waits;
+  }
+  return Status::ok();
+}
+
+Status ParallelFileSystem::mkdir(std::string_view raw, std::uint32_t mode) {
+  return create(raw, proto::FileType::directory, mode);
+}
+
+Status ParallelFileSystem::rmdir(std::string_view raw) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  if (*p == "/") return Errc::busy;
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (!inode->md.is_directory()) return Errc::not_directory;
+  if (!inode->children.empty()) return Errc::not_empty;
+  namespace_.erase(std::string(*p));
+  auto parent_it = namespace_.find(path::parent(*p));
+  if (parent_it != namespace_.end()) {
+    parent_it->second.children.erase(std::string(path::basename(*p)));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<proto::Dirent>> ParallelFileSystem::readdir(
+    std::string_view raw) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (!inode->md.is_directory()) return Errc::not_directory;
+  std::vector<proto::Dirent> out;
+  out.reserve(inode->children.size());
+  for (const auto& name : inode->children) {
+    const std::string child = path::join(*p, name);
+    auto it = namespace_.find(child);
+    out.push_back(proto::Dirent{
+        name, it != namespace_.end() ? it->second.md.type
+                                     : proto::FileType::regular});
+  }
+  return out;
+}
+
+Status ParallelFileSystem::truncate(std::string_view raw,
+                                    std::uint64_t new_size) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (inode->md.is_directory()) return Errc::is_directory;
+  inode->md.size = new_size;
+  inode->md.mtime_ns = wall_ns();
+  const std::uint64_t stripes_needed =
+      (new_size + options_.stripe_size - 1) / options_.stripe_size;
+  inode->stripes.resize(stripes_needed);
+  if (new_size % options_.stripe_size != 0 && !inode->stripes.empty()) {
+    auto& last = inode->stripes.back();
+    const auto keep =
+        static_cast<std::size_t>(new_size % options_.stripe_size);
+    if (last.size() > keep) last.resize(keep);
+  }
+  return Status::ok();
+}
+
+Status ParallelFileSystem::rename(std::string_view from_raw,
+                                  std::string_view to_raw) {
+  auto from = path::normalize(from_raw);
+  if (!from) return from.status();
+  auto to = path::normalize(to_raw);
+  if (!to) return to.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  auto it = namespace_.find(*from);
+  if (it == namespace_.end()) return Errc::not_found;
+  if (it->second.md.is_directory()) {
+    // Directory rename requires rewriting descendant keys; supported
+    // only for empty directories here.
+    if (!it->second.children.empty()) {
+      return Status{Errc::not_supported,
+                    "rename of non-empty directory not implemented"};
+    }
+  }
+  if (namespace_.contains(*to)) return Errc::exists;
+  GEKKO_RETURN_IF_ERROR(check_parent_locked_(*to));
+
+  Inode moved = std::move(it->second);
+  namespace_.erase(it);
+  namespace_.emplace(*to, std::move(moved));
+
+  auto old_parent = namespace_.find(path::parent(*from));
+  if (old_parent != namespace_.end()) {
+    old_parent->second.children.erase(std::string(path::basename(*from)));
+  }
+  auto new_parent = namespace_.find(path::parent(*to));
+  if (new_parent != namespace_.end()) {
+    new_parent->second.children.insert(std::string(path::basename(*to)));
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> ParallelFileSystem::write(
+    std::string_view raw, std::uint64_t offset,
+    std::span<const std::uint8_t> data) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (inode->md.is_directory()) return Errc::is_directory;
+
+  const std::uint32_t ss = options_.stripe_size;
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t stripe = pos / ss;
+    const auto in_stripe = static_cast<std::uint32_t>(pos % ss);
+    const std::size_t n = std::min<std::size_t>(
+        data.size() - consumed, ss - in_stripe);
+    if (inode->stripes.size() <= stripe) inode->stripes.resize(stripe + 1);
+    auto& buf = inode->stripes[stripe];
+    if (buf.size() < in_stripe + n) buf.resize(in_stripe + n);
+    std::copy_n(data.data() + consumed, n, buf.begin() + in_stripe);
+    pos += n;
+    consumed += n;
+  }
+  if (pos > inode->md.size) inode->md.size = pos;
+  inode->md.mtime_ns = wall_ns();
+  stats_.bytes_written += data.size();
+  return data.size();
+}
+
+Result<std::size_t> ParallelFileSystem::read(std::string_view raw,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out) {
+  auto p = path::normalize(raw);
+  if (!p) return p.status();
+  std::lock_guard lock(mds_mutex_);
+  ++stats_.mds_ops;
+  GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
+  if (inode->md.is_directory()) return Errc::is_directory;
+
+  if (offset >= inode->md.size) return std::size_t{0};
+  const std::size_t readable = static_cast<std::size_t>(
+      std::min<std::uint64_t>(out.size(), inode->md.size - offset));
+  std::fill(out.begin(), out.begin() + readable, 0);
+
+  const std::uint32_t ss = options_.stripe_size;
+  std::uint64_t pos = offset;
+  std::size_t produced = 0;
+  while (produced < readable) {
+    const std::uint64_t stripe = pos / ss;
+    const auto in_stripe = static_cast<std::uint32_t>(pos % ss);
+    const std::size_t n =
+        std::min<std::size_t>(readable - produced, ss - in_stripe);
+    if (stripe < inode->stripes.size()) {
+      const auto& buf = inode->stripes[stripe];
+      if (in_stripe < buf.size()) {
+        const std::size_t have = std::min<std::size_t>(n, buf.size() -
+                                                              in_stripe);
+        std::copy_n(buf.begin() + in_stripe, have,
+                    out.begin() + produced);
+      }
+    }
+    pos += n;
+    produced += n;
+  }
+  stats_.bytes_read += readable;
+  return readable;
+}
+
+PfsStats ParallelFileSystem::stats() const {
+  std::lock_guard lock(mds_mutex_);
+  return stats_;
+}
+
+}  // namespace gekko::baseline

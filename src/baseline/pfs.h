@@ -1,0 +1,95 @@
+// Baseline: a general-purpose parallel file system in the Lustre mold,
+// used as the comparison target (paper §IV.A compares GekkoFS against
+// Lustre on mdtest workloads).
+//
+// Architectural contrast with GekkoFS, faithfully reproduced:
+//  - ONE metadata server (MDS) owns the whole namespace. Every
+//    metadata operation serializes through it, and operations within
+//    one directory additionally contend on that directory's lock —
+//    the single-dir-create pathology of Fig. 2.
+//  - POSIX compliance: create() requires an existing parent directory,
+//    maintains link counts and directory entry lists, updates parent
+//    mtime — work GekkoFS simply does not do.
+//  - Data is striped round-robin over object storage targets (OSTs)
+//    with a fixed stripe size.
+//
+// This is a functional in-process implementation used by tests and the
+// small-scale real-engine benches; the 512-node Lustre *curves* come
+// from the queueing model in src/sim (same structure, calibrated
+// service times).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "proto/metadata.h"
+
+namespace gekko::baseline {
+
+struct PfsOptions {
+  std::uint32_t ost_count = 4;
+  std::uint32_t stripe_size = 1024 * 1024;  // Lustre default 1 MiB
+};
+
+struct PfsStats {
+  std::uint64_t mds_ops = 0;       // ops that took the MDS lock
+  std::uint64_t dir_lock_waits = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class ParallelFileSystem {
+ public:
+  explicit ParallelFileSystem(PfsOptions options = {});
+
+  // -- metadata (all serialize through the MDS) ---------------------------
+  Status create(std::string_view path, proto::FileType type,
+                std::uint32_t mode = 0644);
+  Result<proto::Metadata> stat(std::string_view path);
+  Status unlink(std::string_view path);
+  Status mkdir(std::string_view path, std::uint32_t mode = 0755);
+  Status rmdir(std::string_view path);
+  Result<std::vector<proto::Dirent>> readdir(std::string_view dir);
+  Status truncate(std::string_view path, std::uint64_t new_size);
+  /// POSIX rename — supported here, unlike GekkoFS.
+  Status rename(std::string_view from, std::string_view to);
+
+  // -- data ---------------------------------------------------------------
+  Result<std::size_t> write(std::string_view path, std::uint64_t offset,
+                            std::span<const std::uint8_t> data);
+  Result<std::size_t> read(std::string_view path, std::uint64_t offset,
+                           std::span<std::uint8_t> out);
+
+  [[nodiscard]] PfsStats stats() const;
+  [[nodiscard]] std::uint32_t ost_count() const noexcept {
+    return options_.ost_count;
+  }
+
+ private:
+  struct Inode {
+    proto::Metadata md;
+    std::uint32_t nlink = 1;
+    // Striped data: stripe i lives on OST (i % ost_count). Stored as
+    // per-stripe byte vectors (in-memory OSTs).
+    std::vector<std::vector<std::uint8_t>> stripes;
+    std::set<std::string> children;  // directories only, basenames
+  };
+
+  Result<Inode*> lookup_locked_(std::string_view path);
+  Status check_parent_locked_(std::string_view path);
+
+  PfsOptions options_;
+  mutable std::mutex mds_mutex_;  // the MDS: one lock, whole namespace
+  std::map<std::string, Inode, std::less<>> namespace_;
+  mutable PfsStats stats_;
+};
+
+}  // namespace gekko::baseline

@@ -1,0 +1,395 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/logging.h"
+#include "proto/chunking.h"
+
+namespace gekko::client {
+
+using proto::RpcId;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
+               ClientOptions options)
+    : fabric_(fabric),
+      daemons_(std::move(daemons)),
+      options_(std::move(options)),
+      distributor_(proto::make_distributor(
+          options_.distribution,
+          static_cast<std::uint32_t>(daemons_.size()))),
+      size_cache_(options_.size_cache_interval),
+      stat_cache_(options_.stat_cache_ttl) {
+  rpc::EngineOptions rpc_opts = options_.rpc_options;
+  if (rpc_opts.name == "engine") rpc_opts.name = "gkfs-client";
+  // The client engine only *sends*; one handler thread suffices for the
+  // (none) incoming requests, and the progress thread completes
+  // responses.
+  rpc_opts.handler_threads = 1;
+  engine_ = std::make_unique<rpc::Engine>(fabric_, rpc_opts);
+}
+
+// ---------- metadata ----------
+
+Status Client::create(std::string_view path, proto::FileType type,
+                      std::uint32_t mode) {
+  proto::CreateRequest req;
+  req.path = std::string(path);
+  req.type = static_cast<std::uint8_t>(type);
+  req.mode = mode;
+  req.ctime_ns = now_ns();
+  const std::uint32_t target = distributor_->metadata_target(path);
+  auto resp = engine_->forward(endpoint_of_(target),
+                               proto::to_wire(RpcId::create), req.encode());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+  }
+  return resp.status();
+}
+
+Result<proto::Metadata> Client::stat(std::string_view path) {
+  const std::string key{path};
+  if (auto cached = stat_cache_.lookup(key)) {
+    return *cached;
+  }
+  proto::PathRequest req{std::string(path)};
+  const std::uint32_t target = distributor_->metadata_target(path);
+  auto resp = engine_->forward(endpoint_of_(target),
+                               proto::to_wire(RpcId::stat), req.encode());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+  }
+  if (!resp) return resp.status();
+  auto decoded = proto::StatResponse::decode(
+      std::string_view(reinterpret_cast<const char*>(resp->data()),
+                       resp->size()));
+  if (!decoded) return decoded.status();
+  stat_cache_.store(key, decoded->metadata);
+  return decoded->metadata;
+}
+
+Status Client::remove(std::string_view path) {
+  size_cache_.forget(std::string(path));
+  stat_cache_.invalidate(std::string(path));
+  proto::PathRequest req{std::string(path)};
+  const std::uint32_t target = distributor_->metadata_target(path);
+  auto resp =
+      engine_->forward(endpoint_of_(target),
+                       proto::to_wire(RpcId::remove_metadata), req.encode());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+  }
+  if (!resp) return resp.status();
+  auto decoded = proto::StatResponse::decode(
+      std::string_view(reinterpret_cast<const char*>(resp->data()),
+                       resp->size()));
+  if (!decoded) return decoded.status();
+
+  // Zero-byte files (the dominant mdtest case) need no data cleanup:
+  // one RPC per remove, which is what makes Fig. 2c scale.
+  if (decoded->metadata.size == 0 ||
+      decoded->metadata.is_directory()) {
+    return Status::ok();
+  }
+  return remove_data_everywhere_(path);
+}
+
+Status Client::remove_data_everywhere_(std::string_view path) {
+  proto::PathRequest req{std::string(path)};
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::remove_data), req.encode()));
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rpcs_sent += daemons_.size();
+  }
+  Status first_error = Status::ok();
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r && first_error.is_ok()) first_error = r.status();
+  }
+  return first_error;
+}
+
+Status Client::truncate(std::string_view path, std::uint64_t new_size) {
+  stat_cache_.invalidate(std::string(path));
+  proto::TruncateRequest req;
+  req.path = std::string(path);
+  req.new_size = new_size;
+
+  const std::uint32_t target = distributor_->metadata_target(path);
+  auto resp = engine_->forward(endpoint_of_(target),
+                               proto::to_wire(RpcId::truncate_metadata),
+                               req.encode());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+  }
+  GEKKO_RETURN_IF_ERROR(resp.status());
+
+  // Chunk cleanup on every daemon that may hold chunks past the cut.
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::truncate_data), req.encode()));
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rpcs_sent += daemons_.size();
+  }
+  Status first_error = Status::ok();
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r && first_error.is_ok()) first_error = r.status();
+  }
+  return first_error;
+}
+
+Status Client::send_size_update_(const std::string& path,
+                                 std::uint64_t size) {
+  proto::UpdateSizeRequest req;
+  req.path = path;
+  req.observed_size = size;
+  req.mtime_ns = now_ns();
+  const std::uint32_t target = distributor_->metadata_target(path);
+  auto resp =
+      engine_->forward(endpoint_of_(target),
+                       proto::to_wire(RpcId::update_size), req.encode());
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+    ++stats_.size_updates_sent;
+  }
+  return resp.status();
+}
+
+Status Client::flush_size(std::string_view path) {
+  const std::string key{path};
+  if (auto pending = size_cache_.flush(key)) {
+    return send_size_update_(key, *pending);
+  }
+  return Status::ok();
+}
+
+// ---------- data ----------
+
+Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
+                                  std::span<const std::uint8_t> data) {
+  if (data.empty()) return std::size_t{0};
+
+  // Split into chunk slices, then group per target daemon.
+  const auto extents =
+      proto::split_extent(offset, data.size(), options_.chunk_size);
+  std::map<std::uint32_t, proto::ChunkIoRequest> per_daemon;
+  for (const auto& e : extents) {
+    const std::uint32_t target = distributor_->chunk_target(path, e.chunk_id);
+    auto& req = per_daemon[target];
+    if (req.path.empty()) req.path = std::string(path);
+    req.slices.push_back(proto::ChunkSlice{e.chunk_id, e.offset_in_chunk,
+                                           e.length, e.buffer_offset});
+  }
+
+  // Expose the write buffer once; every daemon pulls its slices.
+  const net::BulkRegion bulk = net::BulkRegion::expose_read(data);
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(per_daemon.size());
+  for (const auto& [daemon_id, req] : per_daemon) {
+    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+                                           proto::to_wire(RpcId::write_chunks),
+                                           req.encode(), bulk));
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rpcs_sent += per_daemon.size();
+  }
+
+  std::uint64_t written = 0;
+  Status first_error = Status::ok();
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) {
+      if (first_error.is_ok()) first_error = r.status();
+      continue;
+    }
+    auto decoded = proto::ChunkIoResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) {
+      if (first_error.is_ok()) first_error = decoded.status();
+      continue;
+    }
+    written += decoded->bytes;
+  }
+  GEKKO_RETURN_IF_ERROR(first_error);
+
+  // Size update to the metadata owner — synchronous by default, or
+  // absorbed by the write-back cache (paper §IV.B).
+  const std::string key{path};
+  const std::uint64_t observed = offset + data.size();
+  stat_cache_.on_local_write(key, observed);
+  if (auto to_send = size_cache_.observe(key, observed)) {
+    GEKKO_RETURN_IF_ERROR(send_size_update_(key, *to_send));
+  } else {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.size_updates_absorbed;
+  }
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.bytes_written += written;
+  }
+  return static_cast<std::size_t>(written);
+}
+
+Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
+                                 std::span<std::uint8_t> out) {
+  if (out.empty()) return std::size_t{0};
+
+  // The file size bounds the read (EOF). One stat to the metadata owner.
+  auto md = stat(path);
+  if (!md) return md.status();
+  if (offset >= md->size) return std::size_t{0};
+  const std::uint64_t readable =
+      std::min<std::uint64_t>(out.size(), md->size - offset);
+
+  const auto extents =
+      proto::split_extent(offset, readable, options_.chunk_size);
+  std::map<std::uint32_t, proto::ChunkIoRequest> per_daemon;
+  for (const auto& e : extents) {
+    const std::uint32_t target = distributor_->chunk_target(path, e.chunk_id);
+    auto& req = per_daemon[target];
+    if (req.path.empty()) req.path = std::string(path);
+    req.slices.push_back(proto::ChunkSlice{e.chunk_id, e.offset_in_chunk,
+                                           e.length, e.buffer_offset});
+  }
+
+  const net::BulkRegion bulk =
+      net::BulkRegion::expose_write(out.subspan(0, readable));
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(per_daemon.size());
+  for (const auto& [daemon_id, req] : per_daemon) {
+    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+                                           proto::to_wire(RpcId::read_chunks),
+                                           req.encode(), bulk));
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rpcs_sent += per_daemon.size();
+  }
+
+  std::uint64_t transferred = 0;
+  Status first_error = Status::ok();
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) {
+      if (first_error.is_ok()) first_error = r.status();
+      continue;
+    }
+    auto decoded = proto::ChunkIoResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) {
+      if (first_error.is_ok()) first_error = decoded.status();
+      continue;
+    }
+    transferred += decoded->bytes;
+  }
+  GEKKO_RETURN_IF_ERROR(first_error);
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.bytes_read += transferred;
+  }
+  return static_cast<std::size_t>(readable);
+}
+
+// ---------- directories ----------
+
+Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
+  proto::DirentsRequest req{std::string(dir)};
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::get_dirents), req.encode()));
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rpcs_sent += daemons_.size();
+  }
+
+  std::vector<proto::Dirent> merged;
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) return r.status();
+    auto decoded = proto::DirentsResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) return decoded.status();
+    merged.insert(merged.end(), decoded->entries.begin(),
+                  decoded->entries.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const proto::Dirent& a, const proto::Dirent& b) {
+              return a.name < b.name;
+            });
+  return merged;
+}
+
+Status Client::rmdir(std::string_view path) {
+  auto md = stat(path);
+  if (!md) return md.status();
+  if (!md->is_directory()) return Errc::not_directory;
+  auto entries = readdir(path);
+  if (!entries) return entries.status();
+  if (!entries->empty()) return Errc::not_empty;
+  return remove(path);
+}
+
+// ---------- cluster ----------
+
+Result<std::vector<proto::DaemonStatResponse>> Client::daemon_stats() {
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::daemon_stat), {}));
+  }
+  std::vector<proto::DaemonStatResponse> out;
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) return r.status();
+    auto decoded = proto::DaemonStatResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) return decoded.status();
+    out.push_back(*decoded);
+  }
+  return out;
+}
+
+ClientStats Client::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  ClientStats s = stats_;
+  s.stat_cache_hits = stat_cache_.hits();
+  s.stat_cache_misses = stat_cache_.misses();
+  return s;
+}
+
+}  // namespace gekko::client

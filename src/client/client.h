@@ -1,0 +1,120 @@
+// GekkoFS client forwarding layer (paper §III.B.a).
+//
+// The client resolves the responsible daemon for every operation
+// locally (Distributor — no directory service), splits data requests
+// into chunk-sized slices, exposes its buffers as bulk regions for
+// one-sided transfer, and issues one RPC per involved daemon,
+// concurrently. All operations are synchronous and uncached except the
+// optional shared-file size-update cache (§IV.B).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/size_cache.h"
+#include "client/stat_cache.h"
+#include "common/result.h"
+#include "net/fabric.h"
+#include "proto/distributor.h"
+#include "proto/messages.h"
+#include "rpc/engine.h"
+
+namespace gekko::client {
+
+struct ClientOptions {
+  std::uint32_t chunk_size = 512 * 1024;  // must match the daemons
+  proto::DistributionPolicy distribution = proto::DistributionPolicy::hash;
+  /// Size-update write-back interval; 0 = synchronous (paper default).
+  std::uint32_t size_cache_interval = 0;
+  /// Metadata (stat) cache TTL; 0 = disabled (paper default). Paper
+  /// future-work item #2; see client/stat_cache.h for the trade.
+  std::chrono::milliseconds stat_cache_ttl{0};
+  rpc::EngineOptions rpc_options;
+};
+
+struct ClientStats {
+  std::uint64_t rpcs_sent = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t size_updates_sent = 0;
+  std::uint64_t size_updates_absorbed = 0;
+  std::uint64_t stat_cache_hits = 0;
+  std::uint64_t stat_cache_misses = 0;
+};
+
+class Client {
+ public:
+  /// `daemons` lists the endpoint of every GekkoFS daemon, in daemon-id
+  /// order; all clients must agree on this order (it seeds the hash
+  /// distribution, like the hosts file a real GekkoFS deployment
+  /// shares).
+  Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
+         ClientOptions options = {});
+
+  // -- metadata ------------------------------------------------------------
+  Status create(std::string_view path, proto::FileType type,
+                std::uint32_t mode = 0644);
+  Result<proto::Metadata> stat(std::string_view path);
+  /// Unlink: removes metadata, then chunk data if the file had any.
+  Status remove(std::string_view path);
+  Status truncate(std::string_view path, std::uint64_t new_size);
+  /// Flush any cached size updates for `path` (close/fsync barrier).
+  Status flush_size(std::string_view path);
+
+  // -- data ----------------------------------------------------------------
+  /// Returns bytes written (always all of `data` on success).
+  Result<std::size_t> write(std::string_view path, std::uint64_t offset,
+                            std::span<const std::uint8_t> data);
+  /// Returns bytes read (trimmed at EOF).
+  Result<std::size_t> read(std::string_view path, std::uint64_t offset,
+                           std::span<std::uint8_t> out);
+
+  // -- directories ----------------------------------------------------------
+  /// Readdir broadcast: merged shards from every daemon. Eventually
+  /// consistent: concurrent creates/removes may or may not appear.
+  Result<std::vector<proto::Dirent>> readdir(std::string_view dir);
+  /// Remove a directory; Errc::not_empty if any daemon reports children.
+  Status rmdir(std::string_view path);
+
+  // -- cluster -------------------------------------------------------------
+  Result<std::vector<proto::DaemonStatResponse>> daemon_stats();
+
+  [[nodiscard]] std::uint32_t daemon_count() const noexcept {
+    return static_cast<std::uint32_t>(daemons_.size());
+  }
+  [[nodiscard]] std::uint32_t chunk_size() const noexcept {
+    return options_.chunk_size;
+  }
+  [[nodiscard]] const proto::Distributor& distributor() const noexcept {
+    return *distributor_;
+  }
+  [[nodiscard]] ClientStats stats() const;
+  [[nodiscard]] rpc::Engine& engine() noexcept { return *engine_; }
+
+ private:
+  [[nodiscard]] net::EndpointId endpoint_of_(std::uint32_t daemon_id) const {
+    return daemons_[daemon_id];
+  }
+  Status send_size_update_(const std::string& path, std::uint64_t size);
+  Status remove_data_everywhere_(std::string_view path);
+
+  net::Fabric& fabric_;
+  std::vector<net::EndpointId> daemons_;
+  ClientOptions options_;
+  std::unique_ptr<proto::Distributor> distributor_;
+  std::unique_ptr<rpc::Engine> engine_;
+  SizeCache size_cache_;
+  StatCache stat_cache_;
+  mutable std::mutex stats_mutex_;
+  ClientStats stats_;
+};
+
+/// Wall-clock nanoseconds (client-stamped ctimes/mtimes).
+std::int64_t now_ns();
+
+}  // namespace gekko::client

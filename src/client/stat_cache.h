@@ -1,0 +1,98 @@
+// Client-side metadata (stat) cache — the paper's second future-work
+// item ("evaluate benefits of caching").
+//
+// GekkoFS's synchronous design issues one stat RPC per read (the file
+// size bounds the read at EOF). For read-mostly phases this doubles
+// metadata traffic for no benefit. The cache keeps Metadata per path
+// for a bounded time; local mutations (write/truncate/remove) update
+// or invalidate the entry immediately, so a single client always reads
+// its own writes. Cross-client freshness degrades to the TTL — the
+// same consistency trade the paper makes for the size-update cache.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "proto/metadata.h"
+
+namespace gekko::client {
+
+class StatCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// ttl == 0 disables the cache (paper-default synchronous mode).
+  explicit StatCache(std::chrono::milliseconds ttl) : ttl_(ttl) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return ttl_.count() > 0; }
+
+  std::optional<proto::Metadata> lookup(const std::string& path) {
+    if (!enabled()) return std::nullopt;
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    if (Clock::now() >= it->second.expires) {
+      entries_.erase(it);
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second.md;
+  }
+
+  void store(const std::string& path, const proto::Metadata& md) {
+    if (!enabled()) return;
+    std::lock_guard lock(mutex_);
+    entries_[path] = Entry{md, Clock::now() + ttl_};
+  }
+
+  /// Local write at [.., end): grow the cached size (read-your-writes).
+  void on_local_write(const std::string& path, std::uint64_t end) {
+    if (!enabled()) return;
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(path);
+    if (it != entries_.end() && end > it->second.md.size) {
+      it->second.md.size = end;
+    }
+  }
+
+  void invalidate(const std::string& path) {
+    if (!enabled()) return;
+    std::lock_guard lock(mutex_);
+    entries_.erase(path);
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    proto::Metadata md;
+    Clock::time_point expires;
+  };
+
+  std::chrono::milliseconds ttl_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gekko::client

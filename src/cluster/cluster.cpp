@@ -1,0 +1,78 @@
+#include "cluster/cluster.h"
+
+#include "common/fileio.h"
+#include "common/logging.h"
+
+namespace gekko::cluster {
+
+Result<std::unique_ptr<Cluster>> Cluster::start(ClusterOptions options) {
+  if (options.nodes == 0) {
+    return Status{Errc::invalid_argument, "cluster needs at least one node"};
+  }
+  if (options.root.empty()) {
+    return Status{Errc::invalid_argument, "cluster root directory required"};
+  }
+  std::unique_ptr<Cluster> c(new Cluster(std::move(options)));
+  GEKKO_RETURN_IF_ERROR(io::ensure_dir(c->options_.root));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  c->daemons_.resize(c->options_.nodes);
+  for (std::uint32_t i = 0; i < c->options_.nodes; ++i) {
+    const auto node_root =
+        c->options_.root / ("node" + std::to_string(i));
+    auto daemon = daemon::GekkoDaemon::start(c->fabric_, node_root,
+                                             c->options_.daemon_options);
+    if (!daemon) return daemon.status();
+    c->daemons_[i] = std::move(*daemon);
+  }
+  c->bootstrap_time_ = std::chrono::steady_clock::now() - t0;
+  GEKKO_INFO("cluster") << c->options_.nodes << " daemons up in "
+                        << c->bootstrap_time_.count() / 1e6 << " ms";
+  return c;
+}
+
+Cluster::~Cluster() {
+  for (auto& d : daemons_) {
+    if (d) d->shutdown();
+  }
+}
+
+std::vector<net::EndpointId> Cluster::daemon_endpoints() const {
+  std::vector<net::EndpointId> out;
+  out.reserve(daemons_.size());
+  for (const auto& d : daemons_) {
+    out.push_back(d ? d->endpoint() : net::kInvalidEndpoint);
+  }
+  return out;
+}
+
+std::unique_ptr<fs::Mount> Cluster::mount(
+    client::ClientOptions client_options) {
+  client_options.chunk_size = options_.daemon_options.chunk_size;
+  return std::make_unique<fs::Mount>(fabric_, daemon_endpoints(),
+                                     std::move(client_options));
+}
+
+void Cluster::stop_daemon(std::uint32_t daemon_id) {
+  if (daemon_id < daemons_.size() && daemons_[daemon_id]) {
+    daemons_[daemon_id]->shutdown();
+    daemons_[daemon_id].reset();
+  }
+}
+
+Status Cluster::restart_daemon(std::uint32_t daemon_id) {
+  if (daemon_id >= daemons_.size()) return Errc::invalid_argument;
+  if (daemons_[daemon_id]) {
+    daemons_[daemon_id]->shutdown();
+    daemons_[daemon_id].reset();
+  }
+  const auto node_root =
+      options_.root / ("node" + std::to_string(daemon_id));
+  auto daemon = daemon::GekkoDaemon::start(fabric_, node_root,
+                                           options_.daemon_options);
+  if (!daemon) return daemon.status();
+  daemons_[daemon_id] = std::move(*daemon);
+  return Status::ok();
+}
+
+}  // namespace gekko::cluster

@@ -1,0 +1,151 @@
+// Binary wire codec shared by the RPC layer, the FS protocol, the KV
+// store's record formats, and on-disk metadata.
+//
+// Little-endian fixed-width integers, LEB128 varints, and
+// length-prefixed strings over a growable byte buffer. Decoding is
+// bounds-checked and never throws: failures surface as Errc::corruption.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gekko {
+
+/// Append-only encoder.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+
+  void u16(std::uint16_t v) { fixed_(v); }
+  void u32(std::uint32_t v) { fixed_(v); }
+  void u64(std::uint64_t v) { fixed_(v); }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// LEB128 varint (unsigned).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_->push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_->insert(out_->end(), p, p + len);
+  }
+
+  /// varint length prefix + raw bytes.
+  void str(std::string_view s) {
+    varint(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
+
+ private:
+  template <typename T>
+  void fixed_(T v) {
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));  // little-endian host assumed
+    bytes(buf, sizeof(T));
+  }
+
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked decoder over a fixed byte range.
+class Decoder {
+ public:
+  Decoder(const void* data, std::size_t len)
+      : p_(static_cast<const std::uint8_t*>(data)), end_(p_ + len) {}
+  explicit Decoder(std::string_view s) : Decoder(s.data(), s.size()) {}
+  explicit Decoder(const std::vector<std::uint8_t>& v)
+      : Decoder(v.data(), v.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool done() const { return p_ == end_; }
+
+  Result<std::uint8_t> u8() {
+    if (remaining() < 1) return Errc::corruption;
+    return *p_++;
+  }
+  Result<std::uint16_t> u16() { return fixed_<std::uint16_t>(); }
+  Result<std::uint32_t> u32() { return fixed_<std::uint32_t>(); }
+  Result<std::uint64_t> u64() { return fixed_<std::uint64_t>(); }
+
+  Result<std::int64_t> i64() {
+    auto r = u64();
+    if (!r) return r.status();
+    return static_cast<std::int64_t>(*r);
+  }
+
+  Result<double> f64() {
+    auto r = u64();
+    if (!r) return r.status();
+    double v;
+    std::uint64_t bits = *r;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (p_ < end_) {
+      const std::uint8_t b = *p_++;
+      if (shift >= 63 && (b >> (70 - shift)) != 0) return Errc::corruption;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) return Errc::corruption;
+    }
+    return Errc::corruption;  // truncated
+  }
+
+  /// Read `len` raw bytes as a view into the buffer.
+  Result<std::string_view> bytes(std::size_t len) {
+    if (remaining() < len) return Errc::corruption;
+    std::string_view v(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return v;
+  }
+
+  /// varint length prefix + raw bytes (view).
+  Result<std::string_view> str() {
+    auto len = varint();
+    if (!len) return len.status();
+    return bytes(static_cast<std::size_t>(*len));
+  }
+
+ private:
+  template <typename T>
+  Result<T> fixed_() {
+    if (remaining() < sizeof(T)) return Errc::corruption;
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace gekko

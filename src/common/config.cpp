@@ -1,0 +1,125 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace gekko {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status{Errc::invalid_argument,
+                    "config line " + std::to_string(lineno) + ": missing '='"};
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status{Errc::invalid_argument,
+                    "config line " + std::to_string(lineno) + ": empty key"};
+    }
+    cfg.set(std::string{key}, std::string{value});
+  }
+  return cfg;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string fallback) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() ? it->second : std::move(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(it->second.data(),
+                                 it->second.data() + it->second.size(), v);
+  return ec == std::errc{} && p == it->second.data() + it->second.size()
+             ? v
+             : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    double v = std::stod(it->second, &consumed);
+    return consumed == it->second.size() ? v : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::uint64_t Config::get_size(const std::string& key,
+                               std::uint64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  auto r = parse_size(it->second);
+  return r ? *r : fallback;
+}
+
+Result<std::uint64_t> Config::parse_size(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return Errc::invalid_argument;
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{}) return Errc::invalid_argument;
+  std::string_view suffix = trim(text.substr(
+      static_cast<std::size_t>(p - text.data())));
+  if (suffix.empty()) return v;
+
+  std::string s{suffix};
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "k" || s == "kb" || s == "kib") return v << 10;
+  if (s == "m" || s == "mb" || s == "mib") return v << 20;
+  if (s == "g" || s == "gb" || s == "gib") return v << 30;
+  if (s == "t" || s == "tb" || s == "tib") return v << 40;
+  if (s == "b") return v;
+  return Errc::invalid_argument;
+}
+
+}  // namespace gekko

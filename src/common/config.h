@@ -1,0 +1,54 @@
+// Flat key-value configuration with typed getters.
+//
+// Used for daemon/cluster settings ("chunk_size=512KiB",
+// "net.latency_us=1.3"). Values parse sizes with binary suffixes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gekko {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" lines; '#' starts a comment; blank lines skipped.
+  static Result<Config> parse(std::string_view text);
+
+  void set(std::string key, std::string value) {
+    entries_[std::move(key)] = std::move(value);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.contains(key);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback = {}) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+  /// Parses "512KiB", "4MiB", "1GiB", "64k", plain numbers.
+  [[nodiscard]] std::uint64_t get_size(const std::string& key,
+                                       std::uint64_t fallback = 0) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// Parse a size literal: digits with optional k/m/g | KiB/MiB/GiB | KB...
+  static Result<std::uint64_t> parse_size(std::string_view text);
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace gekko

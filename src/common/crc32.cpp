@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace gekko {
+namespace {
+
+// Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t init) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~init;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace gekko

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) for WAL record and SST block checksums.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gekko {
+
+/// CRC32C over a byte range; `init` chains partial computations.
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t init = 0) noexcept;
+
+inline std::uint32_t crc32c(std::string_view s,
+                            std::uint32_t init = 0) noexcept {
+  return crc32c(s.data(), s.size(), init);
+}
+
+/// Masked CRC (RocksDB-style) so that CRCs of CRC-bearing data don't
+/// collide with CRCs of raw payloads.
+constexpr std::uint32_t mask_crc(std::uint32_t crc) noexcept {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8U;
+}
+constexpr std::uint32_t unmask_crc(std::uint32_t masked) noexcept {
+  const std::uint32_t rot = masked - 0xa282ead8U;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace gekko

@@ -1,0 +1,233 @@
+#include "common/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace gekko::io {
+namespace {
+
+constexpr std::size_t kWriteBufferSize = 64 * 1024;
+
+Status errno_status(const char* what, const std::filesystem::path& p) {
+  Errc code = Errc::io_error;
+  switch (errno) {
+    case ENOENT: code = Errc::not_found; break;
+    case EEXIST: code = Errc::exists; break;
+    case EACCES: code = Errc::permission; break;
+    case ENOSPC: code = Errc::no_space; break;
+    case EISDIR: code = Errc::is_directory; break;
+    default: break;
+  }
+  return Status{code, std::string(what) + " " + p.string() + ": " +
+                          std::strerror(errno)};
+}
+
+}  // namespace
+
+// ---------- WritableFile ----------
+
+WritableFile::~WritableFile() { (void)close(); }
+
+WritableFile::WritableFile(WritableFile&& other) noexcept
+    : fd_(other.fd_), offset_(other.offset_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+  other.offset_ = 0;
+}
+
+WritableFile& WritableFile::operator=(WritableFile&& other) noexcept {
+  if (this != &other) {
+    (void)close();
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+Result<WritableFile> WritableFile::create(const std::filesystem::path& p) {
+  const int fd = ::open(p.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("create", p);
+  WritableFile f;
+  f.fd_ = fd;
+  f.buffer_.reserve(kWriteBufferSize);
+  return f;
+}
+
+Result<WritableFile> WritableFile::open_append(
+    const std::filesystem::path& p) {
+  const int fd = ::open(p.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_status("open_append", p);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  WritableFile f;
+  f.fd_ = fd;
+  f.offset_ = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+  f.buffer_.reserve(kWriteBufferSize);
+  return f;
+}
+
+Status WritableFile::append(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) return Status{Errc::bad_fd, "append on closed file"};
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  offset_ += data.size();
+  if (buffer_.size() >= kWriteBufferSize) return flush();
+  return Status::ok();
+}
+
+Status WritableFile::flush() {
+  if (fd_ < 0) return Status{Errc::bad_fd, "flush on closed file"};
+  std::size_t written = 0;
+  while (written < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write", "<open fd>");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  return Status::ok();
+}
+
+Status WritableFile::sync() {
+  GEKKO_RETURN_IF_ERROR(flush());
+  if (::fdatasync(fd_) != 0) return errno_status("fdatasync", "<open fd>");
+  return Status::ok();
+}
+
+Status WritableFile::close() {
+  if (fd_ < 0) return Status::ok();
+  Status st = flush();
+  if (::close(fd_) != 0 && st.is_ok()) {
+    st = errno_status("close", "<open fd>");
+  }
+  fd_ = -1;
+  return st;
+}
+
+// ---------- RandomAccessFile ----------
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+RandomAccessFile& RandomAccessFile::operator=(
+    RandomAccessFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<RandomAccessFile> RandomAccessFile::open(
+    const std::filesystem::path& p) {
+  const int fd = ::open(p.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open", p);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  RandomAccessFile f;
+  f.fd_ = fd;
+  f.size_ = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+  return f;
+}
+
+Status RandomAccessFile::read_exact(std::uint64_t offset,
+                                    std::span<std::uint8_t> out) const {
+  auto r = read(offset, out);
+  if (!r) return r.status();
+  if (*r != out.size()) {
+    return Status{Errc::io_error, "short read"};
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> RandomAccessFile::read(
+    std::uint64_t offset, std::span<std::uint8_t> out) const {
+  if (fd_ < 0) return Status{Errc::bad_fd, "read on closed file"};
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("pread", "<open fd>");
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+// ---------- helpers ----------
+
+Result<std::string> read_file(const std::filesystem::path& p) {
+  auto file = RandomAccessFile::open(p);
+  if (!file) return file.status();
+  std::string out(file->size(), '\0');
+  if (!out.empty()) {
+    GEKKO_RETURN_IF_ERROR(file->read_exact(
+        0, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(out.data()),
+                                   out.size())));
+  }
+  return out;
+}
+
+Status write_file_atomic(const std::filesystem::path& p,
+                         std::string_view content) {
+  const std::filesystem::path tmp = p.string() + ".tmp";
+  {
+    auto f = WritableFile::create(tmp);
+    if (!f) return f.status();
+    GEKKO_RETURN_IF_ERROR(f->append(content));
+    GEKKO_RETURN_IF_ERROR(f->sync());
+    GEKKO_RETURN_IF_ERROR(f->close());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) return Status{Errc::io_error, "rename: " + ec.message()};
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> list_dir(const std::filesystem::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  if (ec) return Status{Errc::io_error, "list_dir: " + ec.message()};
+  return names;
+}
+
+Status remove_file(const std::filesystem::path& p) {
+  std::error_code ec;
+  if (!std::filesystem::remove(p, ec) || ec) {
+    if (ec) return Status{Errc::io_error, "remove: " + ec.message()};
+    return Errc::not_found;
+  }
+  return Status::ok();
+}
+
+Status ensure_dir(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status{Errc::io_error, "create_directories: " + ec.message()};
+  return Status::ok();
+}
+
+}  // namespace gekko::io

@@ -1,0 +1,85 @@
+// Thin RAII wrappers over POSIX file I/O used by the WAL, SSTables,
+// and the chunk store. Buffered appends, positional reads, atomic
+// replace-by-rename, and directory listing.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gekko::io {
+
+/// Append-only buffered writer. flush() pushes the user buffer to the
+/// OS; sync() additionally fdatasync()s (durability point for the WAL).
+class WritableFile {
+ public:
+  WritableFile() = default;
+  ~WritableFile();
+  WritableFile(WritableFile&& other) noexcept;
+  WritableFile& operator=(WritableFile&& other) noexcept;
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Create (truncate) or open for append.
+  static Result<WritableFile> create(const std::filesystem::path& p);
+  static Result<WritableFile> open_append(const std::filesystem::path& p);
+
+  Status append(std::span<const std::uint8_t> data);
+  Status append(std::string_view data) {
+    return append(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+  Status flush();
+  Status sync();
+  Status close();
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return offset_; }
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Positional (pread) reader; safe for concurrent readers.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+  RandomAccessFile(RandomAccessFile&& other) noexcept;
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept;
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  static Result<RandomAccessFile> open(const std::filesystem::path& p);
+
+  /// Read exactly out.size() bytes at `offset`; short read => io_error.
+  Status read_exact(std::uint64_t offset, std::span<std::uint8_t> out) const;
+  /// Read up to out.size() bytes; returns bytes read (0 at/after EOF).
+  Result<std::size_t> read(std::uint64_t offset,
+                           std::span<std::uint8_t> out) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+/// Whole-file helpers.
+Result<std::string> read_file(const std::filesystem::path& p);
+/// Write via temp file + rename for atomic replacement (MANIFEST etc.).
+Status write_file_atomic(const std::filesystem::path& p,
+                         std::string_view content);
+/// Names (not paths) of regular files directly inside `dir`.
+Result<std::vector<std::string>> list_dir(const std::filesystem::path& dir);
+Status remove_file(const std::filesystem::path& p);
+Status ensure_dir(const std::filesystem::path& dir);
+
+}  // namespace gekko::io

@@ -1,0 +1,45 @@
+// Hash functions used for wide-striping (path -> daemon, chunk -> daemon).
+//
+// GekkoFS distributes metadata and data with a pseudo-random hash of the
+// file path (paper §III.B.a). We implement xxHash64 from scratch (the
+// production GekkoFS choice) plus FNV-1a as a cheap fallback and for
+// bloom-filter double hashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gekko {
+
+/// xxHash64 over an arbitrary byte range. Deterministic across platforms.
+/// Named distinctly from the string_view overload: with a shared name,
+/// a string literal converts to const void* BEFORE std::string_view and
+/// silently reinterprets the seed as a length.
+std::uint64_t xxhash64_bytes(const void* data, std::size_t len,
+                             std::uint64_t seed = 0) noexcept;
+
+inline std::uint64_t xxhash64(std::string_view s,
+                              std::uint64_t seed = 0) noexcept {
+  return xxhash64_bytes(s.data(), s.size(), seed);
+}
+
+/// FNV-1a 64-bit.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Finalizer for integer keys (splitmix64-style avalanche).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gekko

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <mutex>
+
+namespace gekko::log {
+namespace {
+std::mutex g_mutex;
+
+const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+std::atomic<Level>& threshold() noexcept {
+  static std::atomic<Level> g_threshold{Level::warn};
+  return g_threshold;
+}
+
+void set_level(Level lvl) noexcept {
+  threshold().store(lvl, std::memory_order_relaxed);
+}
+
+Level level() noexcept { return threshold().load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace gekko::log

@@ -1,0 +1,57 @@
+// Minimal thread-safe leveled logger.
+//
+// Daemons and clients are hot paths; logging must be cheap when disabled.
+// The macro guards evaluate the level before formatting anything.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gekko::log {
+
+enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global minimum level (default: warn, so tests/benches stay quiet).
+std::atomic<Level>& threshold() noexcept;
+
+void set_level(Level lvl) noexcept;
+Level level() noexcept;
+
+/// Emit one line: "[lvl] component: message\n" to stderr, atomically.
+void write(Level lvl, std::string_view component, std::string_view message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  LineBuilder(Level lvl, std::string_view component)
+      : lvl_(lvl), component_(component) {}
+  ~LineBuilder() { write(lvl_, component_, os_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gekko::log
+
+#define GEKKO_LOG(lvl, component)                                      \
+  if (static_cast<int>(lvl) < static_cast<int>(::gekko::log::level())) \
+    ;                                                                  \
+  else                                                                 \
+    ::gekko::log::detail::LineBuilder(lvl, component)
+
+#define GEKKO_TRACE(component) GEKKO_LOG(::gekko::log::Level::trace, component)
+#define GEKKO_DEBUG(component) GEKKO_LOG(::gekko::log::Level::debug, component)
+#define GEKKO_INFO(component) GEKKO_LOG(::gekko::log::Level::info, component)
+#define GEKKO_WARN(component) GEKKO_LOG(::gekko::log::Level::warn, component)
+#define GEKKO_ERROR(component) GEKKO_LOG(::gekko::log::Level::error, component)

@@ -1,0 +1,109 @@
+#include "common/path.h"
+
+#include <algorithm>
+
+namespace gekko::path {
+
+Result<std::string> normalize(std::string_view raw) {
+  if (raw.empty()) return Status{Errc::invalid_argument, "empty path"};
+  if (raw.front() != '/')
+    return Status{Errc::invalid_argument, "path must be absolute"};
+  if (raw.size() > kMaxPath) return Errc::name_too_long;
+  if (raw.find('\0') != std::string_view::npos)
+    return Status{Errc::invalid_argument, "embedded NUL in path"};
+
+  std::vector<std::string_view> stack;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && raw[i] == '/') ++i;
+    std::size_t start = i;
+    while (i < raw.size() && raw[i] != '/') ++i;
+    std::string_view comp = raw.substr(start, i - start);
+    if (comp.empty() || comp == ".") continue;
+    if (comp == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (comp.size() > kMaxName) return Errc::name_too_long;
+    stack.push_back(comp);
+  }
+
+  std::string out;
+  out.reserve(raw.size());
+  if (stack.empty()) return std::string{"/"};
+  for (auto comp : stack) {
+    out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+bool is_normalized(std::string_view p) noexcept {
+  if (p.empty() || p.front() != '/') return false;
+  if (p == "/") return true;
+  if (p.back() == '/') return false;
+  // No empty, ".", ".." components.
+  std::size_t i = 1;
+  while (i <= p.size()) {
+    std::size_t next = p.find('/', i);
+    if (next == std::string_view::npos) next = p.size();
+    std::string_view comp = p.substr(i, next - i);
+    if (comp.empty() || comp == "." || comp == "..") return false;
+    if (comp.size() > kMaxName) return false;
+    i = next + 1;
+  }
+  return p.size() <= kMaxPath;
+}
+
+std::string_view parent(std::string_view normalized) noexcept {
+  if (normalized == "/") return normalized;
+  auto pos = normalized.rfind('/');
+  if (pos == 0) return normalized.substr(0, 1);
+  return normalized.substr(0, pos);
+}
+
+std::string_view basename(std::string_view normalized) noexcept {
+  if (normalized == "/") return {};
+  auto pos = normalized.rfind('/');
+  return normalized.substr(pos + 1);
+}
+
+std::vector<std::string_view> components(std::string_view normalized) {
+  std::vector<std::string_view> out;
+  if (normalized == "/") return out;
+  std::size_t i = 1;
+  while (i <= normalized.size()) {
+    std::size_t next = normalized.find('/', i);
+    if (next == std::string_view::npos) next = normalized.size();
+    out.push_back(normalized.substr(i, next - i));
+    i = next + 1;
+  }
+  return out;
+}
+
+std::size_t depth(std::string_view normalized) noexcept {
+  if (normalized == "/") return 0;
+  return static_cast<std::size_t>(
+      std::count(normalized.begin(), normalized.end(), '/'));
+}
+
+bool is_inside(std::string_view p, std::string_view dir) noexcept {
+  if (dir == "/") return p != "/";
+  return p.size() > dir.size() + 1 && p.starts_with(dir) &&
+         p[dir.size()] == '/';
+}
+
+bool is_direct_child(std::string_view p, std::string_view dir) noexcept {
+  if (!is_inside(p, dir)) return false;
+  std::size_t start = (dir == "/") ? 1 : dir.size() + 1;
+  return p.find('/', start) == std::string_view::npos;
+}
+
+std::string join(std::string_view dir, std::string_view name) {
+  std::string out{dir};
+  if (out.back() != '/') out += '/';
+  out += name;
+  return out;
+}
+
+}  // namespace gekko::path

@@ -1,0 +1,53 @@
+// Path handling for the GekkoFS flat namespace.
+//
+// GekkoFS keeps a *flat* keyspace: the normalized absolute path is the
+// metadata key (paper §II, "replaces directory entries by objects").
+// Normalization must be strictly canonical so that the same file always
+// hashes to the same daemon from every client.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gekko::path {
+
+/// Maximum path length accepted by the client (mirrors PATH_MAX spirit).
+inline constexpr std::size_t kMaxPath = 4096;
+/// Maximum single component length (NAME_MAX spirit).
+inline constexpr std::size_t kMaxName = 255;
+
+/// Normalize an absolute path: collapse "//" and "/./", resolve "..",
+/// strip trailing slash (except root). Fails on relative paths, empty
+/// input, over-long paths/components, or embedded NUL.
+Result<std::string> normalize(std::string_view raw);
+
+/// True if `p` is already in normalized form.
+bool is_normalized(std::string_view p) noexcept;
+
+/// Parent directory of a normalized path ("/a/b" -> "/a", "/a" -> "/").
+/// Root's parent is root.
+std::string_view parent(std::string_view normalized) noexcept;
+
+/// Final component ("/a/b" -> "b"). Root yields "".
+std::string_view basename(std::string_view normalized) noexcept;
+
+/// Split into components ("/a/b" -> {"a","b"}). Root yields {}.
+std::vector<std::string_view> components(std::string_view normalized);
+
+/// Number of components; root is depth 0.
+std::size_t depth(std::string_view normalized) noexcept;
+
+/// True if `p` lies strictly inside directory `dir` (both normalized).
+/// is_inside("/a/b", "/a") == true; is_inside("/ab", "/a") == false.
+bool is_inside(std::string_view p, std::string_view dir) noexcept;
+
+/// True if `p` is a *direct* child of `dir`.
+bool is_direct_child(std::string_view p, std::string_view dir) noexcept;
+
+/// Join a normalized directory and a single component.
+std::string join(std::string_view dir, std::string_view name);
+
+}  // namespace gekko::path

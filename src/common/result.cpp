@@ -1,0 +1,59 @@
+#include "common/result.h"
+
+#include <cerrno>
+
+namespace gekko {
+
+std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::is_directory: return "is_directory";
+    case Errc::not_directory: return "not_directory";
+    case Errc::not_empty: return "not_empty";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::no_space: return "no_space";
+    case Errc::io_error: return "io_error";
+    case Errc::not_supported: return "not_supported";
+    case Errc::bad_fd: return "bad_fd";
+    case Errc::busy: return "busy";
+    case Errc::timed_out: return "timed_out";
+    case Errc::disconnected: return "disconnected";
+    case Errc::corruption: return "corruption";
+    case Errc::permission: return "permission";
+    case Errc::overflow: return "overflow";
+    case Errc::again: return "again";
+    case Errc::name_too_long: return "name_too_long";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+int errc_to_errno(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return 0;
+    case Errc::not_found: return ENOENT;
+    case Errc::exists: return EEXIST;
+    case Errc::is_directory: return EISDIR;
+    case Errc::not_directory: return ENOTDIR;
+    case Errc::not_empty: return ENOTEMPTY;
+    case Errc::invalid_argument: return EINVAL;
+    case Errc::no_space: return ENOSPC;
+    case Errc::io_error: return EIO;
+    case Errc::not_supported: return ENOTSUP;
+    case Errc::bad_fd: return EBADF;
+    case Errc::busy: return EBUSY;
+    case Errc::timed_out: return ETIMEDOUT;
+    case Errc::disconnected: return ECONNRESET;
+    case Errc::corruption: return EIO;
+    case Errc::permission: return EACCES;
+    case Errc::overflow: return EOVERFLOW;
+    case Errc::again: return EAGAIN;
+    case Errc::name_too_long: return ENAMETOOLONG;
+    case Errc::internal: return EIO;
+  }
+  return EIO;
+}
+
+}  // namespace gekko

@@ -1,0 +1,161 @@
+// Result/Status types used across all gekko modules.
+//
+// GekkoFS forwards POSIX-style error codes end-to-end (client -> RPC ->
+// daemon -> KV/storage and back), so the error domain is a compact
+// errno-like enum that serializes to a single byte on the wire.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gekko {
+
+/// Error codes. Values are stable (serialized on the wire).
+enum class Errc : std::uint8_t {
+  ok = 0,
+  not_found = 1,         // ENOENT
+  exists = 2,            // EEXIST
+  is_directory = 3,      // EISDIR
+  not_directory = 4,     // ENOTDIR
+  not_empty = 5,         // ENOTEMPTY
+  invalid_argument = 6,  // EINVAL
+  no_space = 7,          // ENOSPC
+  io_error = 8,          // EIO
+  not_supported = 9,     // ENOTSUP (rename/link/... in GekkoFS)
+  bad_fd = 10,           // EBADF
+  busy = 11,             // EBUSY
+  timed_out = 12,        // ETIMEDOUT
+  disconnected = 13,     // endpoint gone / daemon down
+  corruption = 14,       // checksum mismatch in WAL/SST/chunk
+  permission = 15,       // EACCES (only from the node-local FS)
+  overflow = 16,         // EOVERFLOW
+  again = 17,            // EAGAIN / retryable
+  name_too_long = 18,    // ENAMETOOLONG
+  internal = 19,         // invariant violation
+};
+
+/// Human-readable name for an error code.
+std::string_view errc_name(Errc e) noexcept;
+
+/// Map to the closest POSIX errno value (for the gkfs_* C-like API).
+int errc_to_errno(Errc e) noexcept;
+
+/// A status: either ok or an error code with optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(Errc::ok) {}
+  /*implicit*/ Status(Errc code) noexcept : code_(code) {}
+  Status(Errc code, std::string context)
+      : code_(code), context_(std::move(context)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{errc_name(code_)};
+    if (!context_.empty()) {
+      s += ": ";
+      s += context_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+  friend bool operator==(const Status& a, Errc e) noexcept {
+    return a.code_ == e;
+  }
+
+ private:
+  Errc code_;
+  std::string context_;
+};
+
+/// Result<T>: value or Status. A minimal `expected`-alike (gcc 12 has no
+/// <expected>). Error construction goes through Status/Errc implicitly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /*implicit*/ Result(T value) : repr_(std::move(value)) {}
+  /*implicit*/ Result(Errc code) : repr_(Status{code}) {
+    assert(code != Errc::ok && "use a value for success");
+  }
+  /*implicit*/ Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).is_ok() && "use a value for success");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(repr_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(repr_));
+  }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(repr_);
+  }
+  [[nodiscard]] Errc code() const noexcept {
+    return is_ok() ? Errc::ok : std::get<Status>(repr_).code();
+  }
+
+  const T* operator->() const {
+    assert(is_ok());
+    return &std::get<T>(repr_);
+  }
+  T* operator->() {
+    assert(is_ok());
+    return &std::get<T>(repr_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::get<T>(std::move(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagate an error Status from an expression returning Status.
+#define GEKKO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::gekko::Status _gekko_st = (expr);              \
+    if (!_gekko_st.is_ok()) return _gekko_st;        \
+  } while (0)
+
+/// Evaluate an expression returning Result<T>; assign value or propagate.
+#define GEKKO_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto GEKKO_CONCAT_(_gekko_res, __LINE__) = (expr); \
+  if (!GEKKO_CONCAT_(_gekko_res, __LINE__).is_ok())  \
+    return GEKKO_CONCAT_(_gekko_res, __LINE__).status(); \
+  lhs = std::move(GEKKO_CONCAT_(_gekko_res, __LINE__)).take()
+
+#define GEKKO_CONCAT_(a, b) GEKKO_CONCAT_IMPL_(a, b)
+#define GEKKO_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gekko

@@ -1,0 +1,75 @@
+// Deterministic PRNGs for workloads, tests, and the simulator.
+//
+// Reproducibility matters more than statistical extremes here: every
+// benchmark run must be replayable from a seed printed in its header.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace gekko {
+
+/// SplitMix64 — used for seeding.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_ - 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — main generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift; bias negligible for our n << 2^64.
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(operator()()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gekko

@@ -1,0 +1,107 @@
+// Online statistics and latency histograms for benchmark reporting.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gekko {
+
+/// Welford online mean/variance. Single-threaded; merge() combines shards.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  void merge(const OnlineStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             o.mean_ * static_cast<double>(o.n_)) /
+            total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Relative stddev in percent of mean (the paper reports "<3.5%").
+  [[nodiscard]] double rel_stddev_pct() const noexcept {
+    return mean_ != 0.0 ? 100.0 * stddev() / mean_ : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-scaled latency histogram: 64 buckets of power-of-two boundaries
+/// with 16 linear sub-buckets each; values in arbitrary units (we use ns).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSub = 16;
+  static constexpr std::size_t kBuckets = 64 * kSub;
+
+  void add(std::uint64_t v) noexcept {
+    ++count_;
+    sum_ += v;
+    buckets_[index_of(v)] += 1;
+  }
+
+  void merge(const LatencyHistogram& o) noexcept {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Approximate quantile (q in [0,1]); returns bucket upper bound.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  static std::size_t index_of(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const auto bucket = static_cast<std::size_t>(msb - 3);
+    const std::size_t sub = (v >> (msb - 4)) & (kSub - 1);
+    std::size_t idx = bucket * kSub + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+  static std::uint64_t upper_bound_of(std::size_t idx) noexcept;
+
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace gekko

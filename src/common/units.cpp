@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace gekko {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 6> kUnits = {"B",   "KiB", "MiB",
+                                                        "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_count(double v) {
+  char buf[48];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f G", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f M", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f k", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+}  // namespace gekko

@@ -1,0 +1,27 @@
+// Byte-size literals and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gekko {
+
+inline namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ULL;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL * 1024ULL;
+}
+}  // namespace literals
+
+/// "512 KiB", "1.5 MiB", "17 B" — for logs and benchmark tables.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.23 M", "456.7 k" — for ops/s style numbers.
+std::string format_count(double v);
+
+}  // namespace gekko

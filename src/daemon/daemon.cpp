@@ -1,0 +1,216 @@
+#include "daemon/daemon.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "proto/messages.h"
+
+namespace gekko::daemon {
+
+using proto::RpcId;
+
+Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
+    net::Fabric& fabric, const std::filesystem::path& root,
+    DaemonOptions options) {
+  std::unique_ptr<GekkoDaemon> d(new GekkoDaemon(std::move(options)));
+  d->fabric_ = &fabric;
+
+  auto metadata = MetadataBackend::open(root / "metadata",
+                                        d->options_.kv_options);
+  if (!metadata) return metadata.status();
+  d->metadata_ = std::move(*metadata);
+
+  auto data = storage::ChunkStorage::open(root / "chunks",
+                                          d->options_.chunk_size);
+  if (!data) return data.status();
+  d->data_ = std::make_unique<storage::ChunkStorage>(std::move(*data));
+
+  rpc::EngineOptions rpc_opts = d->options_.rpc_options;
+  rpc_opts.handler_threads = d->options_.handler_threads;
+  if (rpc_opts.name == "engine") rpc_opts.name = "gkfs-daemon";
+  d->engine_ = std::make_unique<rpc::Engine>(fabric, rpc_opts);
+  d->register_handlers_();
+  GEKKO_INFO("daemon") << "daemon up at endpoint " << d->engine_->endpoint()
+                       << " root=" << root.string();
+  return d;
+}
+
+GekkoDaemon::~GekkoDaemon() { shutdown(); }
+
+void GekkoDaemon::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  if (engine_) engine_->shutdown();
+}
+
+void GekkoDaemon::register_handlers_() {
+  auto bind = [this](RpcId id, const char* name,
+                     Result<std::vector<std::uint8_t>> (GekkoDaemon::*fn)(
+                         const net::Message&)) {
+    engine_->register_rpc(proto::to_wire(id), name,
+                          [this, fn](const net::Message& msg) {
+                            return (this->*fn)(msg);
+                          });
+  };
+  bind(RpcId::create, "create", &GekkoDaemon::on_create_);
+  bind(RpcId::stat, "stat", &GekkoDaemon::on_stat_);
+  bind(RpcId::remove_metadata, "remove_metadata",
+       &GekkoDaemon::on_remove_metadata_);
+  bind(RpcId::remove_data, "remove_data", &GekkoDaemon::on_remove_data_);
+  bind(RpcId::update_size, "update_size", &GekkoDaemon::on_update_size_);
+  bind(RpcId::truncate_metadata, "truncate_metadata",
+       &GekkoDaemon::on_truncate_metadata_);
+  bind(RpcId::truncate_data, "truncate_data",
+       &GekkoDaemon::on_truncate_data_);
+  bind(RpcId::write_chunks, "write_chunks", &GekkoDaemon::on_write_chunks_);
+  bind(RpcId::read_chunks, "read_chunks", &GekkoDaemon::on_read_chunks_);
+  bind(RpcId::get_dirents, "get_dirents", &GekkoDaemon::on_get_dirents_);
+  bind(RpcId::daemon_stat, "daemon_stat", &GekkoDaemon::on_daemon_stat_);
+}
+
+namespace {
+std::string_view payload_view(const net::Message& msg) {
+  return std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
+                          msg.payload.size());
+}
+}  // namespace
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_create_(
+    const net::Message& msg) {
+  auto req = proto::CreateRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  proto::Metadata md;
+  md.type = static_cast<proto::FileType>(req->type);
+  md.mode = req->mode;
+  md.ctime_ns = md.mtime_ns = req->ctime_ns;
+  GEKKO_RETURN_IF_ERROR(metadata_->create(req->path, md));
+  return std::vector<std::uint8_t>{};
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_stat_(
+    const net::Message& msg) {
+  auto req = proto::PathRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  auto md = metadata_->get(req->path);
+  if (!md) return md.status();
+  return proto::StatResponse{*md}.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_remove_metadata_(
+    const net::Message& msg) {
+  auto req = proto::PathRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  auto md = metadata_->remove(req->path);
+  if (!md) return md.status();
+  return proto::StatResponse{*md}.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_remove_data_(
+    const net::Message& msg) {
+  auto req = proto::PathRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  GEKKO_RETURN_IF_ERROR(data_->remove_all(req->path));
+  return std::vector<std::uint8_t>{};
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_update_size_(
+    const net::Message& msg) {
+  auto req = proto::UpdateSizeRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  GEKKO_RETURN_IF_ERROR(
+      metadata_->update_size(req->path, req->observed_size, req->mtime_ns));
+  return std::vector<std::uint8_t>{};
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_truncate_metadata_(
+    const net::Message& msg) {
+  auto req = proto::TruncateRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  // Verify existence first: truncate of a missing file must ENOENT,
+  // and a size-set merge would otherwise resurrect it.
+  auto md = metadata_->get(req->path);
+  if (!md) return md.status();
+  if (md->is_directory()) return Errc::is_directory;
+  GEKKO_RETURN_IF_ERROR(metadata_->set_size(req->path, req->new_size));
+  return std::vector<std::uint8_t>{};
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_truncate_data_(
+    const net::Message& msg) {
+  auto req = proto::TruncateRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  const std::uint32_t cs = options_.chunk_size;
+  const std::uint64_t last_chunk = req->new_size / cs;
+  const auto last_bytes = static_cast<std::uint32_t>(req->new_size % cs);
+  GEKKO_RETURN_IF_ERROR(data_->truncate(req->path, last_chunk, last_bytes));
+  return std::vector<std::uint8_t>{};
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_write_chunks_(
+    const net::Message& msg) {
+  auto req = proto::ChunkIoRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+
+  std::vector<std::uint8_t> buf;
+  std::uint64_t total = 0;
+  for (const auto& slice : req->slices) {
+    buf.resize(slice.length);
+    // One-sided pull from the client's exposed region (RDMA read).
+    GEKKO_RETURN_IF_ERROR(fabric_->bulk_pull(
+        msg.bulk, slice.bulk_offset, std::span<std::uint8_t>(buf)));
+    GEKKO_RETURN_IF_ERROR(data_->write_chunk(
+        req->path, slice.chunk_id, slice.offset_in_chunk,
+        std::span<const std::uint8_t>(buf)));
+    total += slice.length;
+  }
+  return proto::ChunkIoResponse{total}.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_read_chunks_(
+    const net::Message& msg) {
+  auto req = proto::ChunkIoRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+
+  std::vector<std::uint8_t> buf;
+  std::uint64_t total = 0;
+  for (const auto& slice : req->slices) {
+    buf.resize(slice.length);
+    GEKKO_RETURN_IF_ERROR(data_->read_chunk(req->path, slice.chunk_id,
+                                            slice.offset_in_chunk,
+                                            std::span<std::uint8_t>(buf))
+                              .status());
+    // One-sided push into the client's buffer (RDMA write).
+    GEKKO_RETURN_IF_ERROR(fabric_->bulk_push(
+        msg.bulk, slice.bulk_offset, std::span<const std::uint8_t>(buf)));
+    total += slice.length;
+  }
+  return proto::ChunkIoResponse{total}.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_get_dirents_(
+    const net::Message& msg) {
+  auto req = proto::DirentsRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  auto entries = metadata_->dirents(req->dir_path);
+  if (!entries) return entries.status();
+  proto::DirentsResponse resp;
+  resp.entries = std::move(*entries);
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_daemon_stat_(
+    const net::Message& msg) {
+  (void)msg;
+  proto::DaemonStatResponse resp;
+  auto count = metadata_->entry_count();
+  if (!count) return count.status();
+  resp.metadata_entries = *count;
+  const auto cs = data_->stats();
+  resp.chunks_written = cs.chunks_written;
+  resp.chunks_read = cs.chunks_read;
+  resp.bytes_written = cs.bytes_written;
+  resp.bytes_read = cs.bytes_read;
+  return resp.encode();
+}
+
+}  // namespace gekko::daemon

@@ -1,0 +1,78 @@
+#include "daemon/metadata_backend.h"
+
+#include "common/path.h"
+#include "daemon/metadata_merge.h"
+
+namespace gekko::daemon {
+
+Result<std::unique_ptr<MetadataBackend>> MetadataBackend::open(
+    const std::filesystem::path& dir, kv::Options options) {
+  if (!options.merge_operator) {
+    options.merge_operator = std::make_shared<MetadataMergeOperator>();
+  }
+  auto db = kv::DB::open(dir, std::move(options));
+  if (!db) return db.status();
+  return std::unique_ptr<MetadataBackend>(
+      new MetadataBackend(std::move(*db)));
+}
+
+Status MetadataBackend::create(std::string_view path,
+                               const proto::Metadata& md) {
+  return db_->insert(path, md.encode());
+}
+
+Result<proto::Metadata> MetadataBackend::get(std::string_view path) {
+  auto value = db_->get(path);
+  if (!value) return value.status();
+  return proto::Metadata::decode(*value);
+}
+
+Result<proto::Metadata> MetadataBackend::remove(std::string_view path) {
+  auto value = db_->get(path);
+  if (!value) return value.status();
+  auto md = proto::Metadata::decode(*value);
+  if (!md) return md.status();
+  GEKKO_RETURN_IF_ERROR(db_->remove_existing(path));
+  return md;
+}
+
+Status MetadataBackend::update_size(std::string_view path,
+                                    std::uint64_t observed_size,
+                                    std::int64_t mtime_ns) {
+  return db_->merge(
+      path, encode_size_operand(SizeOp::grow_to, observed_size, mtime_ns));
+}
+
+Status MetadataBackend::set_size(std::string_view path,
+                                 std::uint64_t new_size) {
+  return db_->merge(path, encode_size_operand(SizeOp::set_to, new_size, 0));
+}
+
+Result<std::vector<proto::Dirent>> MetadataBackend::dirents(
+    std::string_view dir) {
+  std::string prefix{dir};
+  if (prefix.back() != '/') prefix += '/';
+
+  std::vector<proto::Dirent> out;
+  Status scan_error = Status::ok();
+  GEKKO_RETURN_IF_ERROR(db_->scan_prefix(
+      prefix, [&](std::string_view key, std::string_view value) {
+        if (!path::is_direct_child(key, dir)) return true;  // grandchild
+        auto md = proto::Metadata::decode(value);
+        if (!md) {
+          scan_error = md.status();
+          return false;
+        }
+        out.push_back(proto::Dirent{std::string(path::basename(key)),
+                                    md->type});
+        return true;
+      }));
+  GEKKO_RETURN_IF_ERROR(scan_error);
+  return out;
+}
+
+Result<std::uint64_t> MetadataBackend::entry_count() {
+  return db_->count_range("", "");
+}
+
+}  // namespace gekko::daemon

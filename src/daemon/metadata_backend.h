@@ -1,0 +1,58 @@
+// Daemon-side metadata service over the local KV store.
+//
+// Keys are normalized absolute paths; values are packed Metadata
+// records. The flat keyspace *is* the namespace: creating a million
+// files in one directory touches a million independent keys spread
+// over all daemons — no directory inode, no lock (paper §II).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "kv/db.h"
+#include "proto/metadata.h"
+
+namespace gekko::daemon {
+
+class MetadataBackend {
+ public:
+  static Result<std::unique_ptr<MetadataBackend>> open(
+      const std::filesystem::path& dir, kv::Options options = {});
+
+  /// Create a metadata record; Errc::exists if the path already exists.
+  Status create(std::string_view path, const proto::Metadata& md);
+
+  Result<proto::Metadata> get(std::string_view path);
+
+  /// Remove and return the old record (the client uses its size to
+  /// decide whether chunk cleanup RPCs are needed). Errc::not_found if
+  /// absent.
+  Result<proto::Metadata> remove(std::string_view path);
+
+  /// Contention-free size fold (merge operand, see metadata_merge.h).
+  Status update_size(std::string_view path, std::uint64_t observed_size,
+                     std::int64_t mtime_ns);
+
+  /// Set exact size (truncate). Read-modify-write is acceptable here;
+  /// truncate is rare in HPC workloads.
+  Status set_size(std::string_view path, std::uint64_t new_size);
+
+  /// Direct children of `dir` stored on THIS daemon (one shard of the
+  /// eventual-consistency readdir broadcast).
+  Result<std::vector<proto::Dirent>> dirents(std::string_view dir);
+
+  Result<std::uint64_t> entry_count();
+
+  [[nodiscard]] kv::DB& db() noexcept { return *db_; }
+
+ private:
+  explicit MetadataBackend(std::unique_ptr<kv::DB> db)
+      : db_(std::move(db)) {}
+
+  std::unique_ptr<kv::DB> db_;
+};
+
+}  // namespace gekko::daemon

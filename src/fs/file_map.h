@@ -1,0 +1,108 @@
+// The client File Map (paper §III.B.a, client component 2):
+// "a file map that manages the file descriptors of open files and
+//  directories, independently of the kernel".
+//
+// Descriptors live in their own number space starting far above any
+// kernel fd (like the interposition library's separation of GekkoFS
+// fds from node-local fds).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/metadata.h"
+
+namespace gekko::fs {
+
+/// Open flags (subset of POSIX; rename/link don't exist in GekkoFS).
+enum OpenFlag : std::uint32_t {
+  rd_only = 1u << 0,
+  wr_only = 1u << 1,
+  rd_wr = 1u << 2,
+  create = 1u << 3,
+  excl = 1u << 4,
+  trunc = 1u << 5,
+  append = 1u << 6,
+};
+
+inline constexpr int kFdBase = 100000;
+
+struct OpenFile {
+  std::string path;  // normalized
+  std::uint32_t flags = 0;
+  proto::FileType type = proto::FileType::regular;
+  std::atomic<std::uint64_t> position{0};
+
+  [[nodiscard]] bool readable() const noexcept {
+    return (flags & (rd_only | rd_wr)) != 0;
+  }
+  [[nodiscard]] bool writable() const noexcept {
+    return (flags & (wr_only | rd_wr)) != 0;
+  }
+  [[nodiscard]] bool appending() const noexcept {
+    return (flags & append) != 0;
+  }
+};
+
+struct OpenDir {
+  std::string path;
+  std::vector<proto::Dirent> entries;  // snapshot at opendir()
+  std::size_t cursor = 0;
+};
+
+class FileMap {
+ public:
+  int insert_file(std::shared_ptr<OpenFile> file) {
+    std::lock_guard lock(mutex_);
+    const int fd = next_fd_++;
+    files_[fd] = std::move(file);
+    return fd;
+  }
+
+  int insert_dir(std::shared_ptr<OpenDir> dir) {
+    std::lock_guard lock(mutex_);
+    const int fd = next_fd_++;
+    dirs_[fd] = std::move(dir);
+    return fd;
+  }
+
+  [[nodiscard]] std::shared_ptr<OpenFile> file(int fd) const {
+    std::lock_guard lock(mutex_);
+    auto it = files_.find(fd);
+    return it != files_.end() ? it->second : nullptr;
+  }
+
+  [[nodiscard]] std::shared_ptr<OpenDir> dir(int fd) const {
+    std::lock_guard lock(mutex_);
+    auto it = dirs_.find(fd);
+    return it != dirs_.end() ? it->second : nullptr;
+  }
+
+  bool erase(int fd) {
+    std::lock_guard lock(mutex_);
+    return files_.erase(fd) > 0 || dirs_.erase(fd) > 0;
+  }
+
+  /// True if `fd` belongs to this map (vs. the kernel's space) — the
+  /// dispatch test the interposition shim performs on every call.
+  [[nodiscard]] static bool owns(int fd) noexcept { return fd >= kFdBase; }
+
+  [[nodiscard]] std::size_t open_count() const {
+    std::lock_guard lock(mutex_);
+    return files_.size() + dirs_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  int next_fd_ = kFdBase;
+  std::unordered_map<int, std::shared_ptr<OpenFile>> files_;
+  std::unordered_map<int, std::shared_ptr<OpenDir>> dirs_;
+};
+
+}  // namespace gekko::fs

@@ -1,0 +1,87 @@
+// The public GekkoFS file-system API.
+//
+// A Mount binds one application process to a GekkoFS deployment: it
+// owns the forwarding Client and the File Map and exposes the
+// POSIX-like calls the interposition library would intercept. POSIX
+// relaxations (paper §III.A) are enforced here:
+//   - no rename/link (Errc::not_supported),
+//   - no permission checks,
+//   - readdir is eventually consistent,
+//   - every data/metadata operation is synchronous (no caches), except
+//     the opt-in size-update write-back cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "client/client.h"
+#include "common/result.h"
+#include "fs/file_map.h"
+
+namespace gekko::fs {
+
+class Mount {
+ public:
+  Mount(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
+        client::ClientOptions options = {});
+
+  // -- file lifecycle ------------------------------------------------------
+  /// POSIX-like open. Returns a GekkoFS fd (>= kFdBase).
+  Result<int> open(std::string_view path, std::uint32_t flags,
+                   std::uint32_t mode = 0644);
+  Status close(int fd);
+
+  // -- I/O -------------------------------------------------------------
+  Result<std::size_t> pwrite(int fd, std::span<const std::uint8_t> data,
+                             std::uint64_t offset);
+  Result<std::size_t> pread(int fd, std::span<std::uint8_t> out,
+                            std::uint64_t offset);
+  /// Positioned variants advance the fd offset (append honors O_APPEND).
+  Result<std::size_t> write(int fd, std::span<const std::uint8_t> data);
+  Result<std::size_t> read(int fd, std::span<std::uint8_t> out);
+
+  enum class Whence { set, cur, end };
+  Result<std::uint64_t> lseek(int fd, std::int64_t offset, Whence whence);
+
+  Status fsync(int fd);  // flushes cached size updates (data is sync)
+
+  // -- metadata --------------------------------------------------------
+  Result<proto::Metadata> stat(std::string_view path);
+  Result<proto::Metadata> fstat(int fd);
+  Status unlink(std::string_view path);
+  Status truncate(std::string_view path, std::uint64_t size);
+
+  // -- directories -------------------------------------------------------
+  Status mkdir(std::string_view path, std::uint32_t mode = 0755);
+  Status rmdir(std::string_view path);
+  Result<int> opendir(std::string_view path);
+  /// nullopt at end of stream.
+  Result<std::optional<proto::Dirent>> readdir(int dirfd);
+  Status closedir(int dirfd);
+
+  // -- unsupported by design (paper §III.A) -------------------------------
+  Status rename(std::string_view, std::string_view) {
+    return Status{Errc::not_supported, "GekkoFS does not support rename"};
+  }
+  Status link(std::string_view, std::string_view) {
+    return Status{Errc::not_supported, "GekkoFS does not support links"};
+  }
+  Status symlink(std::string_view, std::string_view) {
+    return Status{Errc::not_supported, "GekkoFS does not support links"};
+  }
+
+  // -- introspection -----------------------------------------------------
+  [[nodiscard]] client::Client& client() noexcept { return client_; }
+  [[nodiscard]] const FileMap& file_map() const noexcept { return files_; }
+
+ private:
+  Result<std::shared_ptr<OpenFile>> checked_file_(int fd) const;
+
+  client::Client client_;
+  FileMap files_;
+};
+
+}  // namespace gekko::fs

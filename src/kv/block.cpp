@@ -1,0 +1,189 @@
+#include "kv/block.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "kv/internal_key.h"
+
+namespace gekko::kv {
+namespace {
+
+void put_varint32(std::string* dst, std::uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Returns bytes consumed, 0 on failure.
+std::size_t get_varint32(std::string_view in, std::uint32_t* v) {
+  std::uint32_t result = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < in.size() && shift <= 28; ++i, shift += 7) {
+    const auto b = static_cast<std::uint8_t>(in[i]);
+    result |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = result;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------- BlockBuilder ----------
+
+void BlockBuilder::add(std::string_view key, std::string_view value) {
+  std::size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    const std::size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<std::uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const std::size_t non_shared = key.size() - shared;
+
+  put_varint32(&buffer_, static_cast<std::uint32_t>(shared));
+  put_varint32(&buffer_, static_cast<std::uint32_t>(non_shared));
+  put_varint32(&buffer_, static_cast<std::uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.assign(key.data(), key.size());
+  ++counter_;
+  ++counter_total_;
+}
+
+std::string BlockBuilder::finish() {
+  for (const std::uint32_t r : restarts_) {
+    char buf[4];
+    std::memcpy(buf, &r, 4);
+    buffer_.append(buf, 4);
+  }
+  const auto n = static_cast<std::uint32_t>(restarts_.size());
+  char buf[4];
+  std::memcpy(buf, &n, 4);
+  buffer_.append(buf, 4);
+  return std::move(buffer_);
+}
+
+void BlockBuilder::reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  counter_total_ = 0;
+  last_key_.clear();
+}
+
+// ---------- BlockIterator ----------
+
+BlockIterator::BlockIterator(std::string_view block) : raw_(block) {
+  if (block.size() < 4) {
+    corrupt_("block too small");
+    return;
+  }
+  std::memcpy(&num_restarts_, block.data() + block.size() - 4, 4);
+  const std::uint64_t restart_bytes =
+      4ULL * num_restarts_ + 4;
+  if (restart_bytes > block.size()) {
+    corrupt_("restart array overruns block");
+    return;
+  }
+  data_ = block.substr(0, block.size() - restart_bytes);
+}
+
+void BlockIterator::corrupt_(const char* why) {
+  valid_ = false;
+  status_ = Status{Errc::corruption, why};
+}
+
+std::uint32_t BlockIterator::restart_point_(std::uint32_t index) const {
+  std::uint32_t offset;
+  std::memcpy(&offset, raw_.data() + data_.size() + 4ULL * index, 4);
+  return offset;
+}
+
+std::uint32_t BlockIterator::parse_entry_(std::uint32_t offset) {
+  std::string_view in = data_.substr(offset);
+  std::uint32_t shared, non_shared, value_len;
+  std::size_t n1 = get_varint32(in, &shared);
+  if (n1 == 0) return 0;
+  std::size_t n2 = get_varint32(in.substr(n1), &non_shared);
+  if (n2 == 0) return 0;
+  std::size_t n3 = get_varint32(in.substr(n1 + n2), &value_len);
+  if (n3 == 0) return 0;
+  const std::size_t header = n1 + n2 + n3;
+  if (in.size() < header + non_shared + value_len) return 0;
+  if (shared > key_.size()) return 0;
+
+  key_.resize(shared);
+  key_.append(in.data() + header, non_shared);
+  value_ = in.substr(header + non_shared, value_len);
+  return offset + static_cast<std::uint32_t>(header + non_shared + value_len);
+}
+
+void BlockIterator::seek_to_restart_(std::uint32_t index) {
+  key_.clear();
+  current_ = restart_point_(index);
+  next_offset_ = current_;
+}
+
+void BlockIterator::seek_to_first() {
+  if (!status_.is_ok() || num_restarts_ == 0 || data_.empty()) {
+    valid_ = false;
+    return;
+  }
+  seek_to_restart_(0);
+  next();
+}
+
+void BlockIterator::next() {
+  if (!status_.is_ok()) return;
+  if (next_offset_ >= data_.size()) {
+    valid_ = false;
+    return;
+  }
+  current_ = next_offset_;
+  const std::uint32_t after = parse_entry_(current_);
+  if (after == 0) {
+    corrupt_("bad entry encoding");
+    return;
+  }
+  next_offset_ = after;
+  valid_ = true;
+}
+
+void BlockIterator::seek(std::string_view target) {
+  if (!status_.is_ok() || num_restarts_ == 0 || data_.empty()) {
+    valid_ = false;
+    return;
+  }
+  // Binary search restart points for the last restart with key < target.
+  std::uint32_t left = 0;
+  std::uint32_t right = num_restarts_ - 1;
+  while (left < right) {
+    const std::uint32_t mid = (left + right + 1) / 2;
+    seek_to_restart_(mid);
+    next();
+    if (!valid_) {
+      corrupt_("bad restart point");
+      return;
+    }
+    if (compare_internal(key_, target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+  seek_to_restart_(left);
+  next();
+  while (valid_ && compare_internal(key_, target) < 0) {
+    next();
+  }
+}
+
+}  // namespace gekko::kv

@@ -1,0 +1,86 @@
+// SSTable data/index block format (LevelDB-style).
+//
+// Entry: [shared varint][non_shared varint][value_len varint]
+//        [key_delta bytes][value bytes]
+// Keys are prefix-compressed against the previous entry; every
+// `restart_interval` entries a full key is stored and its offset is
+// recorded in the restart array, enabling binary search:
+// Block trailer: [restart offsets u32 x N][restart count u32]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gekko::kv {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval)
+      : restart_interval_(restart_interval) {
+    restarts_.push_back(0);
+  }
+
+  /// Keys must be added in strictly increasing internal-key order.
+  void add(std::string_view key, std::string_view value);
+
+  /// Append the restart array and return the serialized block.
+  /// The builder must be reset() before reuse.
+  std::string finish();
+
+  void reset();
+
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    return buffer_.size() + restarts_.size() * 4 + 4;
+  }
+  [[nodiscard]] bool empty() const noexcept { return counter_total_ == 0; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<std::uint32_t> restarts_;
+  int counter_ = 0;         // entries since last restart
+  int counter_total_ = 0;   // all entries
+  std::string last_key_;
+};
+
+/// Iterator over a serialized block. The block bytes must outlive the
+/// iterator (the reader pins the block in memory).
+class BlockIterator {
+ public:
+  explicit BlockIterator(std::string_view block);
+
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  /// Block parse error, if any (invalidates the iterator).
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] std::string_view key() const noexcept { return key_; }
+  [[nodiscard]] std::string_view value() const noexcept { return value_; }
+
+  void seek_to_first();
+  /// Position at first entry with internal key >= target.
+  void seek(std::string_view target);
+  void next();
+
+ private:
+  void corrupt_(const char* why);
+  /// Parse entry at offset; returns offset past it, or 0 on corruption.
+  std::uint32_t parse_entry_(std::uint32_t offset);
+  [[nodiscard]] std::uint32_t restart_point_(std::uint32_t index) const;
+  void seek_to_restart_(std::uint32_t index);
+
+  std::string_view data_;        // entries region (excludes restart array)
+  std::string_view raw_;         // whole block
+  std::uint32_t num_restarts_ = 0;
+  std::uint32_t current_ = 0;    // offset of current entry
+  std::uint32_t next_offset_ = 0;
+  std::string key_;
+  std::string_view value_;
+  bool valid_ = false;
+  Status status_ = Status::ok();
+};
+
+}  // namespace gekko::kv

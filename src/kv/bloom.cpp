@@ -1,0 +1,61 @@
+#include "kv/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace gekko::kv {
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(std::max(1, bits_per_key)) {
+  // k = bits_per_key * ln(2), clamped to [1, 30].
+  k_ = std::clamp(static_cast<int>(bits_per_key_ * 0.69), 1, 30);
+}
+
+std::uint64_t BloomFilterBuilder::hash_(std::string_view key) noexcept {
+  return xxhash64(key, /*seed=*/0xb100f11e7ULL);
+}
+
+std::string BloomFilterBuilder::finish() {
+  if (hashes_.empty()) return {};
+  std::size_t bits = hashes_.size() * static_cast<std::size_t>(bits_per_key_);
+  bits = std::max<std::size_t>(bits, 64);
+  const std::size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (const std::uint64_t h : hashes_) {
+    const std::uint64_t h1 = h;
+    const std::uint64_t h2 = (h >> 17) | (h << 47);  // rotated second hash
+    for (int i = 0; i < k_; ++i) {
+      const std::uint64_t bit =
+          (h1 + static_cast<std::uint64_t>(i) * h2) % bits;
+      filter[bit / 8] |= static_cast<char>(1u << (bit % 8));
+    }
+  }
+  filter.push_back(static_cast<char>(k_));
+  return filter;
+}
+
+bool bloom_may_contain(std::string_view filter, std::string_view user_key) {
+  if (filter.size() < 2) return true;  // absent/degenerate filter
+  const std::size_t bytes = filter.size() - 1;
+  const std::size_t bits = bytes * 8;
+  const int k = static_cast<std::uint8_t>(filter.back());
+  if (k <= 0 || k > 30) return true;
+
+  const std::uint64_t h = BloomFilterBuilder::hash_(user_key);
+  const std::uint64_t h1 = h;
+  const std::uint64_t h2 = (h >> 17) | (h << 47);
+  for (int i = 0; i < k; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bits;
+    if ((static_cast<std::uint8_t>(filter[bit / 8]) & (1u << (bit % 8))) ==
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gekko::kv

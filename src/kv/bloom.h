@@ -1,0 +1,39 @@
+// Bloom filter over user keys, double-hashing scheme (Kirsch &
+// Mitzenmacher) with xxhash64 as the base hash — matches the
+// RocksDB-style "may contain" fast path GekkoFS relies on for
+// negative stat() lookups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gekko::kv {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void add(std::string_view user_key) { hashes_.push_back(hash_(user_key)); }
+
+  /// Serialize: bit array + [k u8]. Empty if no keys were added.
+  std::string finish();
+
+  [[nodiscard]] std::size_t key_count() const noexcept {
+    return hashes_.size();
+  }
+
+  static std::uint64_t hash_(std::string_view key) noexcept;
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+  std::vector<std::uint64_t> hashes_;
+};
+
+/// Query over a serialized filter. Empty filter => may_contain == true
+/// (no filter means no exclusion).
+bool bloom_may_contain(std::string_view filter, std::string_view user_key);
+
+}  // namespace gekko::kv

@@ -1,0 +1,126 @@
+// Sharded LRU block cache for SSTable data blocks (RocksDB-style).
+//
+// GekkoFS metadata reads (stat storms) repeatedly touch a small hot
+// set of SST blocks; the cache turns those into memory hits. Keyed by
+// (table file number, block offset). Capacity is bytes of cached block
+// payload. Thread-safe via per-shard mutexes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gekko::kv {
+
+class BlockCache {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  explicit BlockCache(std::size_t capacity_bytes)
+      : capacity_per_shard_(capacity_bytes / kShards + 1) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the cached block or nullptr. Shared ownership: the block
+  /// may be evicted while a reader still holds it.
+  std::shared_ptr<const std::string> lookup(std::uint64_t file_number,
+                                            std::uint64_t offset) {
+    Shard& shard = shard_for_(file_number, offset);
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.index.find(key_(file_number, offset));
+    if (it == shard.index.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    // Move to MRU position.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->block;
+  }
+
+  /// Insert (replaces an existing entry for the same key).
+  std::shared_ptr<const std::string> insert(std::uint64_t file_number,
+                                            std::uint64_t offset,
+                                            std::string block) {
+    auto shared = std::make_shared<const std::string>(std::move(block));
+    Shard& shard = shard_for_(file_number, offset);
+    const std::uint64_t key = key_(file_number, offset);
+    std::lock_guard lock(shard.mutex);
+    if (auto it = shard.index.find(key); it != shard.index.end()) {
+      shard.bytes -= it->second->block->size();
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(Entry{key, shared});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += shared->size();
+    while (shard.bytes > capacity_per_shard_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.block->size();
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+    }
+    return shared;
+  }
+
+  /// Drop all blocks of one table (after compaction deletes it).
+  void erase_table(std::uint64_t file_number) {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if ((it->key >> 24) == file_number) {
+          shard.bytes -= it->block->size();
+          shard.index.erase(it->key);
+          it = shard.lru.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      total += shard.bytes;
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const std::string> block;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = MRU
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  // Key packs (file_number, offset): offsets are < 16 MiB-scale for our
+  // SST sizes, 24 bits of offset is plenty.
+  static std::uint64_t key_(std::uint64_t file_number,
+                            std::uint64_t offset) {
+    return (file_number << 24) | (offset & 0xffffff);
+  }
+  Shard& shard_for_(std::uint64_t file_number, std::uint64_t offset) {
+    return shards_[key_(file_number, offset) % kShards];
+  }
+
+  std::size_t capacity_per_shard_;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace gekko::kv

@@ -1,0 +1,856 @@
+#include "kv/db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <charconv>
+
+#include "common/fileio.h"
+#include "kv/cache.h"
+#include "common/logging.h"
+
+namespace gekko::kv {
+namespace {
+
+std::string wal_file_name(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08" PRIu64 ".log", number);
+  return buf;
+}
+
+/// Extract N from "wal-N.log"; nullopt for other files.
+std::optional<std::uint64_t> parse_wal_number(std::string_view name) {
+  if (!name.starts_with("wal-") || !name.ends_with(".log")) {
+    return std::nullopt;
+  }
+  std::string_view digits = name.substr(4, name.size() - 8);
+  std::uint64_t n = 0;
+  auto [p, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                 n);
+  if (ec != std::errc{} || p != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---------- Snapshot ----------
+
+Snapshot::~Snapshot() { db_->release_snapshot_(seq_); }
+
+// ---------- open / lifecycle ----------
+
+DB::DB(std::filesystem::path dir, Options options)
+    : dir_(std::move(dir)),
+      options_(std::move(options)),
+      mem_(std::make_shared<MemTable>()),
+      versions_(dir_, options_) {}
+
+Result<std::unique_ptr<DB>> DB::open(const std::filesystem::path& dir,
+                                     Options options) {
+  GEKKO_RETURN_IF_ERROR(io::ensure_dir(dir));
+  std::unique_ptr<DB> db(new DB(dir, std::move(options)));
+  GEKKO_RETURN_IF_ERROR(db->recover_());
+  if (db->options_.background_compaction) {
+    db->background_ = std::thread([raw = db.get()] { raw->background_loop_(); });
+  }
+  return db;
+}
+
+DB::~DB() {
+  {
+    std::unique_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+  // Final flush so close/reopen round-trips losslessly even without WAL
+  // sync. Errors here are logged, not thrown.
+  std::unique_lock lock(mutex_);
+  if (imm_) {
+    if (Status st = flush_imm_locked_(lock); !st.is_ok()) {
+      GEKKO_ERROR("kv.db") << "final imm flush failed: " << st.to_string();
+      if (wal_) (void)wal_->close();
+      return;  // keep all WALs for replay on the next open
+    }
+  }
+  if (!mem_->empty()) {
+    imm_ = std::move(mem_);
+    mem_ = std::make_shared<MemTable>();
+    if (Status st = flush_imm_locked_(lock); !st.is_ok()) {
+      GEKKO_ERROR("kv.db") << "final mem flush failed: " << st.to_string();
+      if (wal_) (void)wal_->close();
+      return;  // keep the WAL: its ops did not make it into an SST
+    }
+  }
+  // Everything is in SSTs now; a leftover WAL would replay (and, for
+  // merge operands, double-apply) on reopen.
+  if (wal_) {
+    (void)wal_->close();
+    (void)io::remove_file(dir_ / wal_file_name(versions_.wal_number()));
+  }
+}
+
+Status DB::recover_() {
+  std::unique_lock lock(mutex_);
+  GEKKO_RETURN_IF_ERROR(versions_.recover());
+
+  // Replay every WAL on disk in ascending file-number order. WALs whose
+  // memtables were flushed get deleted after the flush, so anything
+  // still present holds unflushed ops.
+  auto names = io::list_dir(dir_);
+  if (!names) return names.status();
+  std::vector<std::uint64_t> wal_numbers;
+  for (const auto& name : *names) {
+    if (auto n = parse_wal_number(name)) wal_numbers.push_back(*n);
+  }
+  std::sort(wal_numbers.begin(), wal_numbers.end());
+
+  std::uint64_t max_seq = versions_.last_sequence();
+  for (const std::uint64_t n : wal_numbers) {
+    auto stats = wal_recover(
+        dir_ / wal_file_name(n),
+        [&](SequenceNumber first_seq, std::string_view bytes) -> Status {
+          auto batch = WriteBatch::from_bytes(bytes);
+          if (!batch) return batch.status();
+          SequenceNumber seq = first_seq;
+          GEKKO_RETURN_IF_ERROR(batch->for_each(
+              [&](ValueType t, std::string_view k, std::string_view v) {
+                mem_->add(seq++, t, k, v);
+              }));
+          if (seq > 0 && seq - 1 > max_seq) max_seq = seq - 1;
+          return Status::ok();
+        });
+    if (!stats) return stats.status();
+  }
+  versions_.set_last_sequence(max_seq);
+
+  // Persist replayed data as an L0 table, then discard the old WALs.
+  if (!mem_->empty()) {
+    imm_ = std::move(mem_);
+    mem_ = std::make_shared<MemTable>();
+    GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+  }
+  for (const std::uint64_t n : wal_numbers) {
+    (void)io::remove_file(dir_ / wal_file_name(n));
+  }
+
+  const std::uint64_t wal_no = versions_.next_file_number();
+  auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
+  if (!wal) return wal.status();
+  wal_ = std::move(*wal);
+  versions_.set_wal_number(wal_no);
+  return versions_.save_manifest();
+}
+
+// ---------- writes ----------
+
+Status DB::put(std::string_view key, std::string_view value,
+               const WriteOptions& wo) {
+  WriteBatch batch;
+  batch.put(key, value);
+  Status st = write(batch, wo);
+  if (st.is_ok()) ++stats_.puts;
+  return st;
+}
+
+Status DB::erase(std::string_view key, const WriteOptions& wo) {
+  WriteBatch batch;
+  batch.erase(key);
+  Status st = write(batch, wo);
+  if (st.is_ok()) ++stats_.deletes;
+  return st;
+}
+
+Status DB::merge(std::string_view key, std::string_view operand,
+                 const WriteOptions& wo) {
+  if (!options_.merge_operator) {
+    return Status{Errc::not_supported, "no merge operator configured"};
+  }
+  WriteBatch batch;
+  batch.merge(key, operand);
+  Status st = write(batch, wo);
+  if (st.is_ok()) ++stats_.merges;
+  return st;
+}
+
+Status DB::write(const WriteBatch& batch, const WriteOptions& wo) {
+  if (batch.empty()) return Status::ok();
+  std::unique_lock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  return write_locked_(batch, wo.sync || options_.wal_sync, lock);
+}
+
+Status DB::insert(std::string_view key, std::string_view value,
+                  const WriteOptions& wo) {
+  std::unique_lock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  // Existence check under the write lock makes this linearizable; the
+  // read path below never blocks on I/O beyond table reads.
+  LookupResult lr;
+  const std::uint64_t snap = versions_.last_sequence();
+  mem_->get(key, snap, &lr);
+  if (lr.state == LookupState::not_present && imm_) {
+    imm_->get(key, snap, &lr);
+  }
+  if (lr.state == LookupState::not_present) {
+    auto version = versions_.current();
+    for (const FileEntry* f : version->files_for_key(key)) {
+      GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, &lr));
+      if (lr.state != LookupState::not_present) break;
+    }
+  }
+  const bool exists = lr.state == LookupState::found ||
+                      (lr.state == LookupState::not_present &&
+                       !lr.pending_merges.empty());
+  if (exists) return Errc::exists;
+
+  WriteBatch batch;
+  batch.put(key, value);
+  Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
+  if (st.is_ok()) ++stats_.puts;
+  return st;
+}
+
+Status DB::remove_existing(std::string_view key, const WriteOptions& wo) {
+  std::unique_lock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  LookupResult lr;
+  const std::uint64_t snap = versions_.last_sequence();
+  mem_->get(key, snap, &lr);
+  if (lr.state == LookupState::not_present && imm_) {
+    imm_->get(key, snap, &lr);
+  }
+  if (lr.state == LookupState::not_present) {
+    auto version = versions_.current();
+    for (const FileEntry* f : version->files_for_key(key)) {
+      GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, &lr));
+      if (lr.state != LookupState::not_present) break;
+    }
+  }
+  const bool exists = lr.state == LookupState::found ||
+                      (lr.state == LookupState::not_present &&
+                       !lr.pending_merges.empty());
+  if (!exists) return Errc::not_found;
+
+  WriteBatch batch;
+  batch.erase(key);
+  Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
+  if (st.is_ok()) ++stats_.deletes;
+  return st;
+}
+
+Status DB::write_locked_(const WriteBatch& batch, bool sync,
+                         std::unique_lock<std::mutex>& lock) {
+  const SequenceNumber first_seq = versions_.last_sequence() + 1;
+  GEKKO_RETURN_IF_ERROR(wal_->append(
+      first_seq,
+      std::string_view(reinterpret_cast<const char*>(batch.data().data()),
+                       batch.data().size()),
+      sync));
+
+  SequenceNumber seq = first_seq;
+  GEKKO_RETURN_IF_ERROR(batch.for_each(
+      [&](ValueType t, std::string_view k, std::string_view v) {
+        mem_->add(seq++, t, k, v);
+      }));
+  versions_.set_last_sequence(seq - 1);
+  return maybe_switch_memtable_(lock);
+}
+
+Status DB::maybe_switch_memtable_(std::unique_lock<std::mutex>& lock) {
+  if (mem_->approximate_bytes() < options_.memtable_budget) {
+    return Status::ok();
+  }
+  // Backpressure: one immutable memtable at a time.
+  while (imm_ != nullptr) {
+    if (!options_.background_compaction) {
+      GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+      break;
+    }
+    done_cv_.wait(lock);
+    if (background_error_set_) return background_error_;
+  }
+
+  const std::uint64_t wal_no = versions_.next_file_number();
+  auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
+  if (!wal) return wal.status();
+  (void)wal_->close();
+  wal_ = std::move(*wal);
+  versions_.set_wal_number(wal_no);
+
+  imm_ = std::move(mem_);
+  mem_ = std::make_shared<MemTable>();
+
+  if (options_.background_compaction) {
+    work_cv_.notify_one();
+    return Status::ok();
+  }
+  GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+  return maybe_compact_locked_(lock);
+}
+
+Status DB::flush_imm_locked_(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held for the duration (documented simplification)
+  if (!imm_) return Status::ok();
+
+  // The WAL files older than the current one cover exactly imm_ (and
+  // earlier, already-flushed data); they can go after a durable flush.
+  auto names = io::list_dir(dir_);
+  std::vector<std::uint64_t> old_wals;
+  if (names) {
+    for (const auto& name : *names) {
+      if (auto n = parse_wal_number(name)) {
+        if (*n != versions_.wal_number()) old_wals.push_back(*n);
+      }
+    }
+  }
+
+  const std::uint64_t file_no = versions_.next_file_number();
+  auto file = io::WritableFile::create(dir_ / table_file_name(file_no));
+  if (!file) return file.status();
+  TableBuilder builder(options_, std::move(*file));
+
+  SkipList::Iterator it = imm_->iterator();
+  for (it.seek_to_first(); it.valid(); it.next()) {
+    GEKKO_RETURN_IF_ERROR(builder.add(it.key(), it.value()));
+  }
+  auto meta = builder.finish();
+  if (!meta) return meta.status();
+  meta->file_number = file_no;
+
+  auto table = Table::open(dir_ / table_file_name(file_no), options_,
+                           file_no);
+  if (!table) return table.status();
+
+  FileEntry entry;
+  entry.meta = std::move(*meta);
+  entry.table = std::move(*table);
+  GEKKO_RETURN_IF_ERROR(versions_.apply(0, {std::move(entry)}, {}));
+
+  imm_.reset();
+  ++stats_.flushes;
+  for (const std::uint64_t n : old_wals) {
+    (void)io::remove_file(dir_ / wal_file_name(n));
+  }
+  done_cv_.notify_all();
+  return Status::ok();
+}
+
+// ---------- compaction ----------
+
+namespace {
+std::uint64_t max_bytes_for_level(const Options& opts, int level) {
+  std::uint64_t bytes = opts.l1_max_bytes;
+  for (int i = 1; i < level; ++i) bytes *= 10;
+  return bytes;
+}
+}  // namespace
+
+Status DB::maybe_compact_locked_(std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    auto version = versions_.current();
+    int target = -1;
+    if (version->levels[0].size() >=
+        static_cast<std::size_t>(options_.l0_compaction_trigger)) {
+      target = 0;
+    } else {
+      for (int level = 1; level < kNumLevels - 1; ++level) {
+        if (version->level_bytes(level) >
+            max_bytes_for_level(options_, level)) {
+          target = level;
+          break;
+        }
+      }
+    }
+    if (target < 0) return Status::ok();
+    GEKKO_RETURN_IF_ERROR(compact_level_locked_(target, lock));
+  }
+}
+
+Status DB::compact_level_locked_(int level,
+                                 std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  auto version = versions_.current();
+  const int out_level = level + 1;
+
+  // Pick inputs.
+  std::vector<const FileEntry*> inputs;
+  if (level == 0) {
+    for (const auto& f : version->levels[0]) inputs.push_back(&f);
+  } else {
+    if (version->levels[level].empty()) return Status::ok();
+    // Oldest-first rotation: take the file with the smallest key.
+    inputs.push_back(&version->levels[level].front());
+  }
+  if (inputs.empty()) return Status::ok();
+
+  std::string begin_ukey{extract_user_key(inputs[0]->meta.smallest)};
+  std::string end_ukey{extract_user_key(inputs[0]->meta.largest)};
+  for (const auto* f : inputs) {
+    std::string_view lo = extract_user_key(f->meta.smallest);
+    std::string_view hi = extract_user_key(f->meta.largest);
+    if (lo < begin_ukey) begin_ukey.assign(lo);
+    if (hi > end_ukey) end_ukey.assign(hi);
+  }
+  for (const FileEntry* f : version->overlapping(out_level, begin_ukey,
+                                                 end_ukey)) {
+    inputs.push_back(f);
+  }
+
+  // Is the output the bottommost data for this key range? If so,
+  // tombstones can be dropped.
+  bool bottommost = true;
+  for (int l = out_level + 1; l < kNumLevels; ++l) {
+    if (!version->overlapping(l, begin_ukey, end_ukey).empty()) {
+      bottommost = false;
+      break;
+    }
+  }
+
+  const std::uint64_t oldest_snap = oldest_snapshot_locked_();
+  const bool can_fold = active_snapshots_.empty();
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.reserve(inputs.size());
+  std::vector<std::uint64_t> removed;
+  for (const FileEntry* f : inputs) {
+    children.push_back(std::make_unique<TableIterator>(f->table));
+    removed.push_back(f->meta.file_number);
+  }
+  MergingIterator merged(std::move(children));
+  merged.seek_to_first();
+
+  std::vector<FileEntry> added;
+  std::optional<TableBuilder> builder;
+  std::uint64_t out_file_no = 0;
+
+  auto open_builder = [&]() -> Status {
+    out_file_no = versions_.next_file_number();
+    auto file = io::WritableFile::create(dir_ / table_file_name(out_file_no));
+    if (!file) return file.status();
+    builder.emplace(options_, std::move(*file));
+    return Status::ok();
+  };
+  auto close_builder = [&]() -> Status {
+    if (!builder) return Status::ok();
+    if (builder->entry_count() == 0) {
+      builder.reset();
+      (void)io::remove_file(dir_ / table_file_name(out_file_no));
+      return Status::ok();
+    }
+    auto meta = builder->finish();
+    builder.reset();
+    if (!meta) return meta.status();
+    meta->file_number = out_file_no;
+    auto table = Table::open(dir_ / table_file_name(out_file_no), options_,
+                             out_file_no);
+    if (!table) return table.status();
+    FileEntry e;
+    e.meta = std::move(*meta);
+    e.table = std::move(*table);
+    added.push_back(std::move(e));
+    return Status::ok();
+  };
+  auto emit = [&](std::string_view ikey, std::string_view value) -> Status {
+    if (!builder) GEKKO_RETURN_IF_ERROR(open_builder());
+    GEKKO_RETURN_IF_ERROR(builder->add(ikey, value));
+    if (builder->bytes_written() >= options_.target_sst_size) {
+      GEKKO_RETURN_IF_ERROR(close_builder());
+    }
+    return Status::ok();
+  };
+
+  // Walk runs of identical user keys (newest version first).
+  while (merged.valid()) {
+    const std::string user_key{extract_user_key(merged.key())};
+
+    // Collect the whole version run for this user key.
+    struct Ver {
+      std::uint64_t trailer;
+      std::string value;
+    };
+    std::vector<Ver> run;
+    while (merged.valid() && extract_user_key(merged.key()) == user_key) {
+      run.push_back(Ver{extract_trailer(merged.key()),
+                        std::string(merged.value())});
+      merged.next();
+    }
+
+    if (!can_fold) {
+      // Conservative: keep all versions that any snapshot might need,
+      // i.e. the newest version at/below each snapshot boundary plus
+      // everything newer than the oldest snapshot. Simplest safe rule:
+      // keep everything.
+      for (const auto& v : run) {
+        const ValueType t = trailer_type(v.trailer);
+        if (bottommost && t == ValueType::deletion && &v == &run.front() &&
+            run.size() == 1 &&
+            trailer_sequence(v.trailer) <= oldest_snap) {
+          continue;  // lone tombstone at the bottom, invisible history
+        }
+        GEKKO_RETURN_IF_ERROR(
+            emit(make_internal_key(user_key, trailer_sequence(v.trailer),
+                                   t),
+                 v.value));
+      }
+      continue;
+    }
+
+    // Fold the run to the single visible version. Newest-first order:
+    // merges pile up until a base value/deletion.
+    std::vector<const Ver*> merges;  // newest first
+    const Ver* base = nullptr;
+    for (const auto& v : run) {
+      const ValueType t = trailer_type(v.trailer);
+      if (t == ValueType::merge) {
+        merges.push_back(&v);
+        continue;
+      }
+      base = &v;
+      break;
+    }
+
+    const std::uint64_t newest_seq = trailer_sequence(run.front().trailer);
+    if (merges.empty()) {
+      if (base == nullptr) continue;  // empty run (can't happen)
+      const ValueType t = trailer_type(base->trailer);
+      if (t == ValueType::deletion) {
+        if (!bottommost) {
+          GEKKO_RETURN_IF_ERROR(emit(
+              make_internal_key(user_key, newest_seq, ValueType::deletion),
+              ""));
+        }
+        continue;
+      }
+      GEKKO_RETURN_IF_ERROR(emit(
+          make_internal_key(user_key, newest_seq, ValueType::value),
+          base->value));
+      continue;
+    }
+
+    // Merge folding. If this range isn't bottommost and we found no base
+    // here, an older base may live deeper: keep operands unfolded.
+    const bool has_base =
+        base != nullptr && trailer_type(base->trailer) == ValueType::value;
+    const bool base_is_tombstone =
+        base != nullptr && trailer_type(base->trailer) == ValueType::deletion;
+    if (!has_base && !base_is_tombstone && !bottommost) {
+      for (const Ver* m : merges) {
+        GEKKO_RETURN_IF_ERROR(
+            emit(make_internal_key(user_key, trailer_sequence(m->trailer),
+                                   ValueType::merge),
+                 m->value));
+      }
+      continue;
+    }
+    if (!options_.merge_operator) {
+      return Status{Errc::internal, "merge records without merge operator"};
+    }
+    std::string folded;
+    const std::string* existing = has_base ? &base->value : nullptr;
+    std::string acc;
+    if (existing) acc = *existing;
+    bool have_acc = existing != nullptr;
+    for (auto it = merges.rbegin(); it != merges.rend(); ++it) {
+      acc = options_.merge_operator->merge(
+          user_key, have_acc ? &acc : nullptr, (*it)->value);
+      have_acc = true;
+    }
+    folded = std::move(acc);
+    GEKKO_RETURN_IF_ERROR(emit(
+        make_internal_key(user_key, newest_seq, ValueType::value), folded));
+  }
+  GEKKO_RETURN_IF_ERROR(close_builder());
+
+  GEKKO_RETURN_IF_ERROR(versions_.apply(out_level, std::move(added), removed));
+  for (const std::uint64_t n : removed) {
+    (void)io::remove_file(dir_ / table_file_name(n));
+    if (options_.block_cache) options_.block_cache->erase_table(n);
+  }
+  ++stats_.compactions;
+  return Status::ok();
+}
+
+void DB::background_loop_() {
+  std::unique_lock lock(mutex_);
+  while (!shutting_down_) {
+    if (imm_ == nullptr) {
+      // Also check compaction debt before sleeping.
+      auto version = versions_.current();
+      bool debt = version->levels[0].size() >=
+                  static_cast<std::size_t>(options_.l0_compaction_trigger);
+      for (int level = 1; !debt && level < kNumLevels - 1; ++level) {
+        debt = version->level_bytes(level) >
+               max_bytes_for_level(options_, level);
+      }
+      if (!debt) {
+        work_cv_.wait(lock);
+        continue;
+      }
+    }
+    Status st = Status::ok();
+    if (imm_ != nullptr) st = flush_imm_locked_(lock);
+    if (st.is_ok()) st = maybe_compact_locked_(lock);
+    if (!st.is_ok()) {
+      background_error_set_ = true;
+      background_error_ = st;
+      GEKKO_ERROR("kv.db") << "background work failed: " << st.to_string();
+      done_cv_.notify_all();
+      return;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+// ---------- reads ----------
+
+Status DB::get_internal_(std::string_view key, std::uint64_t snap,
+                         LookupResult* lr) {
+  std::shared_ptr<MemTable> mem, imm;
+  std::shared_ptr<const Version> version;
+  {
+    std::unique_lock lock(mutex_);
+    mem = mem_;
+    imm = imm_;
+    version = versions_.current();
+  }
+  mem->get(key, snap, lr);
+  if (lr->state != LookupState::not_present) return Status::ok();
+  if (imm) {
+    imm->get(key, snap, lr);
+    if (lr->state != LookupState::not_present) return Status::ok();
+  }
+  for (const FileEntry* f : version->files_for_key(key)) {
+    GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, lr));
+    if (lr->state != LookupState::not_present) return Status::ok();
+  }
+  return Status::ok();
+}
+
+Result<std::string> DB::fold_merges_(std::string_view key,
+                                     const LookupResult& lr) const {
+  if (!options_.merge_operator) {
+    return Status{Errc::internal, "merge records without merge operator"};
+  }
+  const std::string* existing =
+      lr.state == LookupState::found ? &lr.value : nullptr;
+  std::string acc;
+  bool have_acc = false;
+  if (existing) {
+    acc = *existing;
+    have_acc = true;
+  }
+  for (auto it = lr.pending_merges.rbegin(); it != lr.pending_merges.rend();
+       ++it) {
+    acc = options_.merge_operator->merge(key, have_acc ? &acc : nullptr, *it);
+    have_acc = true;
+  }
+  return acc;
+}
+
+Result<std::string> DB::get(std::string_view key, const ReadOptions& ro) {
+  ++stats_.gets;
+  std::uint64_t snap = ro.snapshot_seq;
+  if (snap == 0) {
+    std::unique_lock lock(mutex_);
+    snap = versions_.last_sequence();
+  }
+  LookupResult lr;
+  GEKKO_RETURN_IF_ERROR(get_internal_(key, snap, &lr));
+
+  if (!lr.pending_merges.empty()) {
+    return fold_merges_(key, lr);
+  }
+  switch (lr.state) {
+    case LookupState::found:
+      return std::move(lr.value);
+    case LookupState::deleted:
+    case LookupState::not_present:
+      return Errc::not_found;
+  }
+  return Errc::internal;
+}
+
+Result<bool> DB::contains(std::string_view key, const ReadOptions& ro) {
+  auto r = get(key, ro);
+  if (r.is_ok()) return true;
+  if (r.code() == Errc::not_found) return false;
+  return r.status();
+}
+
+Status DB::scan(std::string_view start, std::string_view end,
+                const std::function<bool(std::string_view,
+                                         std::string_view)>& fn,
+                const ReadOptions& ro) {
+  std::shared_ptr<MemTable> mem, imm;
+  std::shared_ptr<const Version> version;
+  std::uint64_t snap = ro.snapshot_seq;
+  {
+    std::unique_lock lock(mutex_);
+    mem = mem_;
+    imm = imm_;
+    version = versions_.current();
+    if (snap == 0) snap = versions_.last_sequence();
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(std::make_unique<MemTableIterator>(mem));
+  if (imm) children.push_back(std::make_unique<MemTableIterator>(imm));
+  for (const auto& level : version->levels) {
+    for (const auto& f : level) {
+      children.push_back(std::make_unique<TableIterator>(f.table));
+    }
+  }
+  MergingIterator it(std::move(children));
+  if (start.empty()) {
+    it.seek_to_first();
+  } else {
+    it.seek(make_lookup_key(start, kMaxSequence));
+  }
+
+  while (it.valid()) {
+    const std::string user_key{extract_user_key(it.key())};
+    if (!end.empty() && user_key >= end) break;
+
+    // Resolve visibility for this user key at `snap`.
+    LookupResult lr;
+    while (it.valid() && extract_user_key(it.key()) == user_key &&
+           lr.state == LookupState::not_present) {
+      const std::uint64_t trailer = extract_trailer(it.key());
+      if (trailer_sequence(trailer) <= snap) {
+        switch (trailer_type(trailer)) {
+          case ValueType::value:
+            lr.state = LookupState::found;
+            lr.value = std::string(it.value());
+            break;
+          case ValueType::deletion:
+            lr.state = LookupState::deleted;
+            break;
+          case ValueType::merge:
+            lr.pending_merges.emplace_back(it.value());
+            break;
+        }
+      }
+      it.next();
+    }
+    // Skip any remaining versions of this key.
+    while (it.valid() && extract_user_key(it.key()) == user_key) {
+      it.next();
+    }
+
+    std::optional<std::string> emit_value;
+    if (!lr.pending_merges.empty()) {
+      auto folded = fold_merges_(user_key, lr);
+      if (!folded) return folded.status();
+      emit_value = std::move(*folded);
+    } else if (lr.state == LookupState::found) {
+      emit_value = std::move(lr.value);
+    }
+    if (emit_value) {
+      if (!fn(user_key, *emit_value)) return Status::ok();
+    }
+  }
+  return Status::ok();
+}
+
+Status DB::scan_prefix(std::string_view prefix,
+                       const std::function<bool(std::string_view,
+                                                std::string_view)>& fn,
+                       const ReadOptions& ro) {
+  // Upper bound: prefix with last byte incremented (prefix of all 0xff
+  // bytes degrades to an unbounded scan).
+  std::string end{prefix};
+  while (!end.empty()) {
+    if (static_cast<unsigned char>(end.back()) != 0xff) {
+      end.back() = static_cast<char>(end.back() + 1);
+      break;
+    }
+    end.pop_back();
+  }
+  return scan(prefix, end, fn, ro);
+}
+
+Result<std::uint64_t> DB::count_range(std::string_view start,
+                                      std::string_view end) {
+  std::uint64_t n = 0;
+  GEKKO_RETURN_IF_ERROR(scan(start, end, [&](auto, auto) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+// ---------- management ----------
+
+std::shared_ptr<Snapshot> DB::snapshot() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t seq = versions_.last_sequence();
+  active_snapshots_.insert(seq);
+  return std::shared_ptr<Snapshot>(new Snapshot(this, seq));
+}
+
+void DB::release_snapshot_(std::uint64_t seq) {
+  std::unique_lock lock(mutex_);
+  auto it = active_snapshots_.find(seq);
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+}
+
+std::uint64_t DB::oldest_snapshot_locked_() const {
+  return active_snapshots_.empty() ? versions_.last_sequence()
+                                   : *active_snapshots_.begin();
+}
+
+Status DB::flush() {
+  std::unique_lock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  if (mem_->empty() && imm_ == nullptr) return Status::ok();
+  if (!mem_->empty()) {
+    while (imm_ != nullptr) {
+      if (!options_.background_compaction) {
+        GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+        break;
+      }
+      done_cv_.wait(lock);
+      if (background_error_set_) return background_error_;
+    }
+    const std::uint64_t wal_no = versions_.next_file_number();
+    auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
+    if (!wal) return wal.status();
+    (void)wal_->close();
+    wal_ = std::move(*wal);
+    versions_.set_wal_number(wal_no);
+    imm_ = std::move(mem_);
+    mem_ = std::make_shared<MemTable>();
+  }
+  GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+  return Status::ok();
+}
+
+Status DB::compact_all() {
+  GEKKO_RETURN_IF_ERROR(flush());
+  std::unique_lock lock(mutex_);
+  // Compact every populated level downward once, then settle thresholds.
+  for (int level = 0; level < kNumLevels - 1; ++level) {
+    if (!versions_.current()->levels[level].empty()) {
+      while (!versions_.current()->levels[level].empty()) {
+        GEKKO_RETURN_IF_ERROR(compact_level_locked_(level, lock));
+      }
+    }
+  }
+  return maybe_compact_locked_(lock);
+}
+
+DbStats DB::stats() const {
+  std::unique_lock lock(mutex_);
+  DbStats s = stats_;
+  auto version = versions_.current();
+  for (int level = 0; level < kNumLevels; ++level) {
+    s.level_files[level] = version->levels[level].size();
+    s.level_bytes[level] = version->level_bytes(level);
+  }
+  s.memtable_bytes = mem_->approximate_bytes();
+  return s;
+}
+
+}  // namespace gekko::kv

@@ -1,0 +1,161 @@
+// The LSM key-value store facade (RocksDB stand-in).
+//
+// One DB instance backs one GekkoFS daemon's metadata. Guarantees:
+//  - atomic WriteBatch commits through a WAL,
+//  - strongly consistent point reads (read-your-writes),
+//  - snapshot-isolated scans,
+//  - merge operators for contention-free size updates,
+//  - leveled background compaction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "kv/iterator.h"
+#include "kv/memtable.h"
+#include "kv/options.h"
+#include "kv/version.h"
+#include "kv/wal.h"
+#include "kv/write_batch.h"
+
+namespace gekko::kv {
+
+struct DbStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t level_files[kNumLevels] = {};
+  std::uint64_t level_bytes[kNumLevels] = {};
+  std::size_t memtable_bytes = 0;
+};
+
+class DB;
+
+/// RAII snapshot handle: pins a sequence number against compaction GC.
+class Snapshot {
+ public:
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  [[nodiscard]] std::uint64_t sequence() const noexcept { return seq_; }
+
+ private:
+  friend class DB;
+  Snapshot(DB* db, std::uint64_t seq) : db_(db), seq_(seq) {}
+  DB* db_;
+  std::uint64_t seq_;
+};
+
+class DB {
+ public:
+  static Result<std::unique_ptr<DB>> open(const std::filesystem::path& dir,
+                                          Options options);
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  // -- writes ------------------------------------------------------------
+  Status put(std::string_view key, std::string_view value,
+             const WriteOptions& wo = {});
+  Status erase(std::string_view key, const WriteOptions& wo = {});
+  Status merge(std::string_view key, std::string_view operand,
+               const WriteOptions& wo = {});
+  Status write(const WriteBatch& batch, const WriteOptions& wo = {});
+
+  /// put-if-absent, atomic w.r.t. other writers. Errc::exists if present.
+  /// This is the GekkoFS create(): a single KV insert replaces directory
+  /// entry + inode allocation of a traditional FS.
+  Status insert(std::string_view key, std::string_view value,
+                const WriteOptions& wo = {});
+
+  /// delete-if-present. Errc::not_found if absent.
+  Status remove_existing(std::string_view key, const WriteOptions& wo = {});
+
+  // -- reads -------------------------------------------------------------
+  Result<std::string> get(std::string_view key, const ReadOptions& ro = {});
+  /// true/false without copying the value (stat-style existence check).
+  Result<bool> contains(std::string_view key, const ReadOptions& ro = {});
+
+  /// Ordered scan of user keys in [start, end) (end empty = unbounded),
+  /// at a consistent snapshot. fn returns false to stop early.
+  Status scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view key,
+                                       std::string_view value)>& fn,
+              const ReadOptions& ro = {});
+
+  /// Prefix scan convenience (GekkoFS readdir: scan "/dir/").
+  Status scan_prefix(std::string_view prefix,
+                     const std::function<bool(std::string_view,
+                                              std::string_view)>& fn,
+                     const ReadOptions& ro = {});
+
+  /// Count keys in [start, end) — used by tests and df-style stats.
+  Result<std::uint64_t> count_range(std::string_view start,
+                                    std::string_view end);
+
+  // -- management ---------------------------------------------------------
+  std::shared_ptr<Snapshot> snapshot();
+  /// Force memtable flush (and wait for it).
+  Status flush();
+  /// Run compactions until no level is over threshold.
+  Status compact_all();
+  [[nodiscard]] DbStats stats() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  friend class Snapshot;
+
+  DB(std::filesystem::path dir, Options options);
+
+  Status recover_();
+  Status write_locked_(const WriteBatch& batch, bool sync,
+                       std::unique_lock<std::mutex>& lock);
+  Status maybe_switch_memtable_(std::unique_lock<std::mutex>& lock);
+  Status flush_imm_locked_(std::unique_lock<std::mutex>& lock);
+  Status maybe_compact_locked_(std::unique_lock<std::mutex>& lock);
+  Status compact_level_locked_(int level,
+                               std::unique_lock<std::mutex>& lock);
+  void background_loop_();
+  void release_snapshot_(std::uint64_t seq);
+  [[nodiscard]] std::uint64_t oldest_snapshot_locked_() const;
+  Result<std::string> fold_merges_(std::string_view key,
+                                   const LookupResult& lr) const;
+  Status get_internal_(std::string_view key, std::uint64_t snap,
+                       LookupResult* lr);
+
+  std::filesystem::path dir_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     // wakes the background thread
+  std::condition_variable done_cv_;     // signals flush/compaction done
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;       // being flushed (may be null)
+  std::optional<WalWriter> wal_;
+  VersionSet versions_;
+  std::multiset<std::uint64_t> active_snapshots_;
+
+  std::thread background_;
+  bool shutting_down_ = false;
+  bool background_error_set_ = false;
+  Status background_error_ = Status::ok();
+
+  mutable DbStats stats_;
+};
+
+}  // namespace gekko::kv

@@ -1,0 +1,111 @@
+// Internal iterator interface + k-way merging iterator over LSM
+// components (memtables and tables), in internal-key order.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "kv/internal_key.h"
+#include "kv/memtable.h"
+#include "kv/sstable.h"
+
+namespace gekko::kv {
+
+class InternalIterator {
+ public:
+  virtual ~InternalIterator() = default;
+  [[nodiscard]] virtual bool valid() const = 0;
+  [[nodiscard]] virtual std::string_view key() const = 0;
+  [[nodiscard]] virtual std::string_view value() const = 0;
+  virtual void seek_to_first() = 0;
+  virtual void seek(std::string_view internal_target) = 0;
+  virtual void next() = 0;
+};
+
+class MemTableIterator final : public InternalIterator {
+ public:
+  explicit MemTableIterator(std::shared_ptr<const MemTable> mem)
+      : mem_(std::move(mem)), it_(mem_->iterator()) {}
+
+  [[nodiscard]] bool valid() const override { return it_.valid(); }
+  [[nodiscard]] std::string_view key() const override { return it_.key(); }
+  [[nodiscard]] std::string_view value() const override {
+    return it_.value();
+  }
+  void seek_to_first() override { it_.seek_to_first(); }
+  void seek(std::string_view target) override { it_.seek(target); }
+  void next() override { it_.next(); }
+
+ private:
+  std::shared_ptr<const MemTable> mem_;  // keeps skiplist alive
+  SkipList::Iterator it_;
+};
+
+class TableIterator final : public InternalIterator {
+ public:
+  explicit TableIterator(std::shared_ptr<const Table> table)
+      : it_(std::move(table)) {}
+
+  [[nodiscard]] bool valid() const override { return it_.valid(); }
+  [[nodiscard]] std::string_view key() const override { return it_.key(); }
+  [[nodiscard]] std::string_view value() const override {
+    return it_.value();
+  }
+  void seek_to_first() override { it_.seek_to_first(); }
+  void seek(std::string_view target) override { it_.seek(target); }
+  void next() override { it_.next(); }
+
+ private:
+  Table::Iterator it_;
+};
+
+/// Linear k-way merge (k is small: one memtable, one immutable, a few
+/// dozen tables). Ties on identical internal keys cannot happen —
+/// sequence numbers are unique per op.
+class MergingIterator final : public InternalIterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<InternalIterator>> children)
+      : children_(std::move(children)) {}
+
+  [[nodiscard]] bool valid() const override { return current_ != nullptr; }
+  [[nodiscard]] std::string_view key() const override {
+    return current_->key();
+  }
+  [[nodiscard]] std::string_view value() const override {
+    return current_->value();
+  }
+
+  void seek_to_first() override {
+    for (auto& c : children_) c->seek_to_first();
+    find_smallest_();
+  }
+
+  void seek(std::string_view target) override {
+    for (auto& c : children_) c->seek(target);
+    find_smallest_();
+  }
+
+  void next() override {
+    current_->next();
+    find_smallest_();
+  }
+
+ private:
+  void find_smallest_() {
+    current_ = nullptr;
+    for (auto& c : children_) {
+      if (!c->valid()) continue;
+      if (current_ == nullptr ||
+          compare_internal(c->key(), current_->key()) < 0) {
+        current_ = c.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children_;
+  InternalIterator* current_ = nullptr;
+};
+
+}  // namespace gekko::kv

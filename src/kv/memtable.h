@@ -1,0 +1,92 @@
+// Memtable: skiplist of internal keys with visibility-aware point reads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/internal_key.h"
+#include "kv/skiplist.h"
+
+namespace gekko::kv {
+
+/// Outcome of a point lookup in one LSM component.
+enum class LookupState {
+  not_present,  // keep searching older components
+  found,        // value is final
+  deleted,      // tombstone: stop searching, key absent
+};
+
+struct LookupResult {
+  LookupState state = LookupState::not_present;
+  std::string value;  // valid when state == found
+  /// Merge operands collected newest-first while descending components.
+  /// Lookup continues past merges until a base value/deletion/bottom.
+  std::vector<std::string> pending_merges;
+};
+
+class MemTable {
+ public:
+  MemTable() = default;
+
+  /// Insert one op. Called with the DB write mutex held.
+  void add(SequenceNumber seq, ValueType type, std::string_view user_key,
+           std::string_view value) {
+    list_.insert(make_internal_key(user_key, seq, type), value);
+    approx_bytes_.fetch_add(user_key.size() + value.size() + 16,
+                            std::memory_order_relaxed);
+  }
+
+  /// Point lookup visible at `snapshot_seq`. Appends any merge operands
+  /// (newest first) to `result.pending_merges` and sets state if a base
+  /// value or tombstone is found.
+  void get(std::string_view user_key, SequenceNumber snapshot_seq,
+           LookupResult* result) const {
+    SkipList::Iterator it(&list_);
+    it.seek(make_lookup_key(user_key, snapshot_seq));
+    while (it.valid()) {
+      const std::string_view ikey = it.key();
+      if (extract_user_key(ikey) != user_key) break;
+      const std::uint64_t trailer = extract_trailer(ikey);
+      if (trailer_sequence(trailer) > snapshot_seq) {
+        it.next();  // newer than our snapshot; skip
+        continue;
+      }
+      switch (trailer_type(trailer)) {
+        case ValueType::value:
+          result->state = LookupState::found;
+          result->value = it.value();
+          return;
+        case ValueType::deletion:
+          result->state = LookupState::deleted;
+          return;
+        case ValueType::merge:
+          result->pending_merges.emplace_back(it.value());
+          it.next();
+          continue;
+      }
+    }
+    // state stays not_present; merges (if any) continue in older parts.
+  }
+
+  [[nodiscard]] std::size_t approximate_bytes() const noexcept {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return list_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return list_.size() == 0; }
+
+  [[nodiscard]] SkipList::Iterator iterator() const {
+    return SkipList::Iterator(&list_);
+  }
+
+ private:
+  SkipList list_;
+  std::atomic<std::size_t> approx_bytes_{0};
+};
+
+}  // namespace gekko::kv

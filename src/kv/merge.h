@@ -1,0 +1,65 @@
+// Merge operators used by GekkoFS metadata.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "kv/options.h"
+
+namespace gekko::kv {
+
+/// Operand and value are 8-byte little-endian u64; merge keeps the max.
+/// GekkoFS daemons use this to fold concurrent file-size updates
+/// (size = max(size, offset + count)) without read-modify-write races.
+class U64MaxMergeOperator final : public MergeOperator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "u64_max"; }
+
+  [[nodiscard]] std::string merge(std::string_view /*key*/,
+                                  const std::string* existing,
+                                  std::string_view operand) const override {
+    const std::uint64_t op = decode(operand);
+    const std::uint64_t base =
+        existing != nullptr ? decode(*existing) : 0;
+    return encode(op > base ? op : base);
+  }
+
+  static std::uint64_t decode(std::string_view v) noexcept {
+    if (v.size() != 8) return 0;
+    std::uint64_t x;
+    std::memcpy(&x, v.data(), 8);
+    return x;
+  }
+
+  static std::string encode(std::uint64_t v) {
+    std::string s(8, '\0');
+    std::memcpy(s.data(), &v, 8);
+    return s;
+  }
+};
+
+/// Simple append-with-separator operator (used in tests).
+class AppendMergeOperator final : public MergeOperator {
+ public:
+  explicit AppendMergeOperator(char sep = ',') : sep_(sep) {}
+
+  [[nodiscard]] std::string_view name() const override { return "append"; }
+
+  [[nodiscard]] std::string merge(std::string_view /*key*/,
+                                  const std::string* existing,
+                                  std::string_view operand) const override {
+    if (existing == nullptr || existing->empty()) {
+      return std::string(operand);
+    }
+    std::string out = *existing;
+    out.push_back(sep_);
+    out.append(operand);
+    return out;
+  }
+
+ private:
+  char sep_;
+};
+
+}  // namespace gekko::kv

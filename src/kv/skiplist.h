@@ -1,0 +1,168 @@
+// Lock-free-read skiplist, after LevelDB's memtable structure.
+//
+// Concurrency contract: one writer at a time (the DB write path is
+// serialized by a mutex, as in LevelDB), any number of concurrent
+// readers without locks. Nodes are never unlinked while the list lives;
+// memory is reclaimed when the whole skiplist is destroyed (memtables
+// are immutable-after-flush and dropped wholesale).
+//
+// Keys are self-contained strings (internal keys with trailer); the
+// value is stored alongside the key in the node.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "kv/internal_key.h"
+
+namespace gekko::kv {
+
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0x6e6b6b0f5ULL), head_(make_node_("", "", kMaxHeight)) {
+    max_height_.store(1, std::memory_order_relaxed);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Insert an internal key (must not already be present — sequence
+  /// numbers make every internal key unique). Single writer only.
+  void insert(std::string_view key, std::string_view value) {
+    Node* prev[kMaxHeight];
+    Node* x = find_greater_or_equal_(key, prev);
+    assert(x == nullptr || compare_internal(x->key, key) != 0);
+    (void)x;
+
+    const int height = random_height_();
+    if (height > max_height_.load(std::memory_order_relaxed)) {
+      for (int i = max_height_.load(std::memory_order_relaxed); i < height;
+           ++i) {
+        prev[i] = head_;
+      }
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+
+    Node* node = make_node_(key, value, height);
+    for (int i = 0; i < height; ++i) {
+      node->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      prev[i]->next[i].store(node, std::memory_order_release);
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node;  // defined below; forward-declared for Iterator
+
+ public:
+  /// Forward iterator over internal-key order. Readers may iterate
+  /// concurrently with one writer.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return node_->key;
+    }
+    [[nodiscard]] std::string_view value() const noexcept {
+      return node_->value;
+    }
+
+    void next() {
+      assert(valid());
+      node_ = node_->next[0].load(std::memory_order_acquire);
+    }
+
+    /// Position at the first node with key >= target.
+    void seek(std::string_view target) {
+      node_ = list_->find_greater_or_equal_(target, nullptr);
+    }
+
+    void seek_to_first() {
+      node_ = list_->head_->next[0].load(std::memory_order_acquire);
+    }
+
+   private:
+    const SkipList* list_;
+    const Node* node_;
+  };
+
+ private:
+  struct Node {
+    std::string key;
+    std::string value;
+    int height;
+    // Flexible "array" of atomic next pointers, sized by height.
+    std::atomic<Node*> next[1];
+
+    static void* operator new(std::size_t base, int h) {
+      return ::operator new(base + sizeof(std::atomic<Node*>) *
+                                       static_cast<std::size_t>(h - 1));
+    }
+    static void operator delete(void* p) { ::operator delete(p); }
+    static void operator delete(void* p, int) { ::operator delete(p); }
+  };
+
+  static Node* make_node_(std::string_view key, std::string_view value,
+                          int height) {
+    Node* n = new (height) Node{std::string(key), std::string(value), height,
+                                {}};
+    for (int i = 0; i < height; ++i) {
+      n->next[i].store(nullptr, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  int random_height_() {
+    // P(level up) = 1/4, as in LevelDB.
+    int h = 1;
+    while (h < kMaxHeight && (rng_() & 3) == 0) ++h;
+    return h;
+  }
+
+  /// First node with key >= target; fills prev[] when non-null.
+  Node* find_greater_or_equal_(std::string_view target,
+                               Node* prev[]) const {
+    Node* x = head_;
+    int level = max_height_.load(std::memory_order_relaxed) - 1;
+    while (true) {
+      Node* next = x->next[level].load(std::memory_order_acquire);
+      if (next != nullptr && compare_internal(next->key, target) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Xoshiro256 rng_;
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace gekko::kv

@@ -1,0 +1,184 @@
+#include "kv/version.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/fileio.h"
+#include "common/logging.h"
+
+namespace gekko::kv {
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x6d66736bU;  // "ksfm"
+
+}  // namespace
+
+std::vector<const FileEntry*> Version::files_for_key(
+    std::string_view user_key) const {
+  std::vector<const FileEntry*> out;
+  // L0: newest file first (file numbers increase over time).
+  std::vector<const FileEntry*> l0;
+  for (const auto& f : levels[0]) {
+    const std::string_view lo = extract_user_key(f.meta.smallest);
+    const std::string_view hi = extract_user_key(f.meta.largest);
+    if (user_key >= lo && user_key <= hi) l0.push_back(&f);
+  }
+  std::sort(l0.begin(), l0.end(), [](const FileEntry* a, const FileEntry* b) {
+    return a->meta.file_number > b->meta.file_number;
+  });
+  out.insert(out.end(), l0.begin(), l0.end());
+
+  for (int level = 1; level < kNumLevels; ++level) {
+    const auto& files = levels[level];
+    // Binary search: files are sorted by smallest user key, disjoint.
+    auto it = std::partition_point(
+        files.begin(), files.end(), [&](const FileEntry& f) {
+          return extract_user_key(f.meta.largest) < user_key;
+        });
+    if (it != files.end() &&
+        user_key >= extract_user_key(it->meta.smallest)) {
+      out.push_back(&*it);
+    }
+  }
+  return out;
+}
+
+std::vector<const FileEntry*> Version::overlapping(
+    int level, std::string_view begin_ukey, std::string_view end_ukey) const {
+  std::vector<const FileEntry*> out;
+  for (const auto& f : levels[level]) {
+    const std::string_view lo = extract_user_key(f.meta.smallest);
+    const std::string_view hi = extract_user_key(f.meta.largest);
+    const bool before = !end_ukey.empty() && lo > end_ukey;
+    const bool after = !begin_ukey.empty() && hi < begin_ukey;
+    if (!before && !after) out.push_back(&f);
+  }
+  return out;
+}
+
+std::uint64_t Version::level_bytes(int level) const {
+  std::uint64_t total = 0;
+  for (const auto& f : levels[level]) total += f.meta.file_size;
+  return total;
+}
+
+std::size_t Version::file_count() const {
+  std::size_t n = 0;
+  for (const auto& level : levels) n += level.size();
+  return n;
+}
+
+// ---------- VersionSet ----------
+
+VersionSet::VersionSet(std::filesystem::path dir, const Options& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      current_(std::make_shared<Version>()) {}
+
+Status VersionSet::recover() {
+  const auto manifest_path = dir_ / "MANIFEST";
+  auto content = io::read_file(manifest_path);
+  if (!content) {
+    if (content.code() == Errc::not_found) return Status::ok();  // fresh DB
+    return content.status();
+  }
+
+  Decoder dec(*content);
+  auto magic = dec.u32();
+  if (!magic || *magic != kManifestMagic) {
+    return Status{Errc::corruption, "bad MANIFEST magic"};
+  }
+  auto next_file = dec.u64();
+  auto last_seq = dec.u64();
+  auto wal_no = dec.u64();
+  if (!next_file || !last_seq || !wal_no) {
+    return Status{Errc::corruption, "truncated MANIFEST header"};
+  }
+  next_file_number_ = *next_file;
+  last_sequence_ = *last_seq;
+  wal_number_ = *wal_no;
+
+  auto version = std::make_shared<Version>();
+  for (int level = 0; level < kNumLevels; ++level) {
+    auto count = dec.varint();
+    if (!count) return Status{Errc::corruption, "truncated MANIFEST"};
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      FileEntry entry;
+      auto num = dec.u64();
+      auto size = dec.u64();
+      auto entries = dec.u64();
+      auto smallest = dec.str();
+      auto largest = dec.str();
+      if (!num || !size || !entries || !smallest || !largest) {
+        return Status{Errc::corruption, "truncated MANIFEST file entry"};
+      }
+      entry.meta.file_number = *num;
+      entry.meta.file_size = *size;
+      entry.meta.entry_count = *entries;
+      entry.meta.smallest = std::string(*smallest);
+      entry.meta.largest = std::string(*largest);
+      auto table =
+          Table::open(dir_ / table_file_name(entry.meta.file_number),
+                      options_, entry.meta.file_number);
+      if (!table) return table.status();
+      entry.table = std::move(*table);
+      version->levels[level].push_back(std::move(entry));
+    }
+  }
+  current_ = std::move(version);
+  return Status::ok();
+}
+
+Status VersionSet::apply(int level, std::vector<FileEntry> added,
+                         const std::vector<std::uint64_t>& removed) {
+  auto next = std::make_shared<Version>();
+  for (int l = 0; l < kNumLevels; ++l) {
+    for (const auto& f : current_->levels[l]) {
+      if (std::find(removed.begin(), removed.end(), f.meta.file_number) ==
+          removed.end()) {
+        next->levels[l].push_back(f);
+      }
+    }
+  }
+  for (auto& f : added) {
+    next->levels[level].push_back(std::move(f));
+  }
+  // Keep L1+ sorted by smallest key for binary search; L0 by file number.
+  for (int l = 1; l < kNumLevels; ++l) {
+    std::sort(next->levels[l].begin(), next->levels[l].end(),
+              [](const FileEntry& a, const FileEntry& b) {
+                return compare_internal(a.meta.smallest, b.meta.smallest) < 0;
+              });
+  }
+  std::sort(next->levels[0].begin(), next->levels[0].end(),
+            [](const FileEntry& a, const FileEntry& b) {
+              return a.meta.file_number < b.meta.file_number;
+            });
+
+  current_ = std::move(next);
+  return save_manifest();
+}
+
+Status VersionSet::save_manifest() {
+  std::vector<std::uint8_t> buf;
+  Encoder enc(&buf);
+  enc.u32(kManifestMagic);
+  enc.u64(next_file_number_);
+  enc.u64(last_sequence_);
+  enc.u64(wal_number_);
+  for (int level = 0; level < kNumLevels; ++level) {
+    enc.varint(current_->levels[level].size());
+    for (const auto& f : current_->levels[level]) {
+      enc.u64(f.meta.file_number);
+      enc.u64(f.meta.file_size);
+      enc.u64(f.meta.entry_count);
+      enc.str(f.meta.smallest);
+      enc.str(f.meta.largest);
+    }
+  }
+  return io::write_file_atomic(
+      dir_ / "MANIFEST",
+      std::string_view(reinterpret_cast<const char*>(buf.data()), buf.size()));
+}
+
+}  // namespace gekko::kv

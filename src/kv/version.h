@@ -1,0 +1,87 @@
+// Level manifest: which SST files are live, at which level.
+//
+// A Version is an immutable snapshot of the file layout; the VersionSet
+// installs new versions after flushes/compactions and persists the full
+// layout to MANIFEST (binary, atomic-rename). L0 files may overlap and
+// are searched newest-first; L1+ files are disjoint in user-key ranges
+// and binary-searched.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kv/options.h"
+#include "kv/sstable.h"
+
+namespace gekko::kv {
+
+inline constexpr int kNumLevels = 5;
+
+struct FileEntry {
+  TableMeta meta;
+  std::shared_ptr<Table> table;  // opened lazily at version install
+};
+
+/// Immutable file layout. Shared by readers while compactions install
+/// successors.
+struct Version {
+  std::vector<FileEntry> levels[kNumLevels];
+
+  /// Files possibly containing `user_key`, ordered newest-to-oldest for
+  /// L0 and by level for the rest.
+  [[nodiscard]] std::vector<const FileEntry*> files_for_key(
+      std::string_view user_key) const;
+
+  /// All files at a level whose user-key range intersects
+  /// [begin, end] (inclusive); empty strings mean unbounded.
+  [[nodiscard]] std::vector<const FileEntry*> overlapping(
+      int level, std::string_view begin_ukey,
+      std::string_view end_ukey) const;
+
+  [[nodiscard]] std::uint64_t level_bytes(int level) const;
+  [[nodiscard]] std::size_t file_count() const;
+};
+
+class VersionSet {
+ public:
+  VersionSet(std::filesystem::path dir, const Options& options);
+
+  /// Load MANIFEST and open all referenced tables; starts empty when no
+  /// MANIFEST exists.
+  Status recover();
+
+  /// Install a new version: add `added` at `level`, drop `removed`
+  /// (by file number, any level), persist MANIFEST.
+  Status apply(int level, std::vector<FileEntry> added,
+               const std::vector<std::uint64_t>& removed);
+
+  [[nodiscard]] std::shared_ptr<const Version> current() const {
+    return current_;
+  }
+
+  std::uint64_t next_file_number() { return next_file_number_++; }
+  [[nodiscard]] std::uint64_t last_sequence() const { return last_sequence_; }
+  void set_last_sequence(std::uint64_t seq) { last_sequence_ = seq; }
+  [[nodiscard]] std::uint64_t wal_number() const { return wal_number_; }
+  void set_wal_number(std::uint64_t n) { wal_number_ = n; }
+
+  /// Persist the manifest with current counters (used when wal number
+  /// changes without a file-layout change).
+  Status save_manifest();
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  const Options& options_;
+  std::shared_ptr<const Version> current_;
+  std::uint64_t next_file_number_ = 1;
+  std::uint64_t last_sequence_ = 0;
+  std::uint64_t wal_number_ = 0;
+};
+
+}  // namespace gekko::kv

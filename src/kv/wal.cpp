@@ -1,0 +1,99 @@
+#include "kv/wal.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace gekko::kv {
+
+namespace {
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;  // crc, len, seq
+}
+
+Result<WalWriter> WalWriter::create(const std::filesystem::path& path) {
+  auto file = io::WritableFile::create(path);
+  if (!file) return file.status();
+  WalWriter w;
+  w.file_ = std::move(*file);
+  return w;
+}
+
+Status WalWriter::append(SequenceNumber first_seq,
+                         std::string_view batch_bytes, bool sync) {
+  std::vector<std::uint8_t> header(kHeaderSize);
+  const auto len = static_cast<std::uint32_t>(batch_bytes.size());
+
+  // CRC covers length, seq, and payload.
+  std::uint32_t crc = crc32c(&len, sizeof(len));
+  crc = crc32c(&first_seq, sizeof(first_seq), crc);
+  crc = crc32c(batch_bytes, crc);
+  const std::uint32_t masked = mask_crc(crc);
+
+  std::memcpy(header.data(), &masked, 4);
+  std::memcpy(header.data() + 4, &len, 4);
+  std::memcpy(header.data() + 8, &first_seq, 8);
+
+  GEKKO_RETURN_IF_ERROR(file_.append(header));
+  GEKKO_RETURN_IF_ERROR(file_.append(batch_bytes));
+  if (sync) return file_.sync();
+  return file_.flush();
+}
+
+Result<WalRecoveryStats> wal_recover(
+    const std::filesystem::path& path,
+    const std::function<Status(SequenceNumber, std::string_view)>& fn) {
+  WalRecoveryStats stats;
+  auto file = io::RandomAccessFile::open(path);
+  if (!file) {
+    if (file.code() == Errc::not_found) return stats;  // fresh DB
+    return file.status();
+  }
+
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> header(kHeaderSize);
+  std::vector<std::uint8_t> payload;
+
+  while (offset + kHeaderSize <= file->size()) {
+    GEKKO_RETURN_IF_ERROR(file->read_exact(offset, header));
+    std::uint32_t masked, len;
+    SequenceNumber seq;
+    std::memcpy(&masked, header.data(), 4);
+    std::memcpy(&len, header.data() + 4, 4);
+    std::memcpy(&seq, header.data() + 8, 8);
+
+    if (offset + kHeaderSize + len > file->size()) {
+      stats.tail_corruption = true;  // torn write at the tail
+      break;
+    }
+    payload.resize(len);
+    if (len > 0) {
+      GEKKO_RETURN_IF_ERROR(file->read_exact(offset + kHeaderSize, payload));
+    }
+
+    std::uint32_t crc = crc32c(&len, sizeof(len));
+    crc = crc32c(&seq, sizeof(seq), crc);
+    crc = crc32c(payload.data(), payload.size(), crc);
+    if (mask_crc(crc) != masked) {
+      stats.tail_corruption = true;
+      GEKKO_WARN("kv.wal") << "crc mismatch at offset " << offset
+                           << "; discarding tail";
+      break;
+    }
+
+    GEKKO_RETURN_IF_ERROR(
+        fn(seq, std::string_view(reinterpret_cast<const char*>(payload.data()),
+                                 payload.size())));
+    ++stats.records_applied;
+    stats.bytes_applied += kHeaderSize + len;
+    offset += kHeaderSize + len;
+  }
+  if (offset < file->size() && !stats.tail_corruption) {
+    stats.tail_corruption = true;  // trailing partial header
+  }
+  return stats;
+}
+
+}  // namespace gekko::kv

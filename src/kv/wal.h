@@ -1,0 +1,48 @@
+// Write-ahead log.
+//
+// Record framing: [masked crc32c u32][length u32][seq u64][payload]
+// where payload is a serialized WriteBatch and seq is the sequence
+// number assigned to the batch's first op. Recovery replays records in
+// order and stops cleanly at the first truncated or corrupt record
+// (torn tail after a crash) — everything before it is durable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string_view>
+
+#include "common/fileio.h"
+#include "common/result.h"
+#include "kv/internal_key.h"
+
+namespace gekko::kv {
+
+class WalWriter {
+ public:
+  static Result<WalWriter> create(const std::filesystem::path& path);
+
+  /// Append one batch record. When `sync`, fdatasync before returning.
+  Status append(SequenceNumber first_seq, std::string_view batch_bytes,
+                bool sync);
+
+  Status close() { return file_.close(); }
+  [[nodiscard]] std::uint64_t size() const noexcept { return file_.size(); }
+
+ private:
+  io::WritableFile file_;
+};
+
+struct WalRecoveryStats {
+  std::uint64_t records_applied = 0;
+  std::uint64_t bytes_applied = 0;
+  bool tail_corruption = false;  // stopped early at a bad record
+};
+
+/// Replay all intact records: fn(first_seq, batch_bytes).
+/// A missing WAL file is not an error (fresh DB): zero records applied.
+Result<WalRecoveryStats> wal_recover(
+    const std::filesystem::path& path,
+    const std::function<Status(SequenceNumber, std::string_view)>& fn);
+
+}  // namespace gekko::kv

@@ -1,0 +1,20 @@
+// Endpoint addressing for the in-process fabric.
+//
+// Mercury addresses are opaque strings resolved per transport; here an
+// address is a dense integer id handed out by the Fabric at registration
+// time. Daemons occupy the low ids [0, n_daemons) so the client-side
+// distributor can compute `hash % n_daemons` directly, exactly like
+// GekkoFS resolves responsible daemons without a directory service.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gekko::net {
+
+using EndpointId = std::uint32_t;
+
+inline constexpr EndpointId kInvalidEndpoint =
+    std::numeric_limits<EndpointId>::max();
+
+}  // namespace gekko::net

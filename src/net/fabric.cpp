@@ -1,0 +1,105 @@
+#include "net/fabric.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gekko::net {
+
+std::pair<EndpointId, std::shared_ptr<Inbox>>
+LoopbackFabric::register_endpoint() {
+  std::lock_guard lock(mutex_);
+  auto inbox = std::make_shared<Inbox>();
+  inboxes_.push_back(inbox);
+  return {static_cast<EndpointId>(inboxes_.size() - 1), inbox};
+}
+
+Status LoopbackFabric::send(EndpointId dest, Message msg) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    std::lock_guard lock(mutex_);
+    ++send_counter_;
+    if (dest >= inboxes_.size() || !inboxes_[dest]) {
+      return Status{Errc::disconnected, "unknown endpoint"};
+    }
+    const bool blackholed = fault_plan_.blackhole == dest;
+    const bool dropped =
+        fault_plan_.drop_one_in != 0 &&
+        (send_counter_ % fault_plan_.drop_one_in) == 0;
+    if (blackholed || dropped) {
+      ++stats_.messages_dropped;
+      return Status::ok();  // silent loss, sender can't observe it
+    }
+    ++stats_.messages_sent;
+    stats_.payload_bytes += msg.payload.size();
+    inbox = inboxes_[dest];
+  }
+  if (!inbox->push(std::move(msg))) {
+    return Status{Errc::disconnected, "endpoint shutting down"};
+  }
+  return Status::ok();
+}
+
+void LoopbackFabric::deregister(EndpointId id) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    std::lock_guard lock(mutex_);
+    if (id >= inboxes_.size()) return;
+    inbox = std::move(inboxes_[id]);
+    inboxes_[id] = nullptr;
+  }
+  if (inbox) inbox->close();
+}
+
+void LoopbackFabric::set_fault_plan(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  fault_plan_ = plan;
+}
+
+FaultPlan LoopbackFabric::fault_plan() const {
+  std::lock_guard lock(mutex_);
+  return fault_plan_;
+}
+
+Status LoopbackFabric::bulk_pull(const BulkRegion& region, std::size_t offset,
+                         std::span<std::uint8_t> out) {
+  if (!region.valid()) return Status{Errc::invalid_argument, "invalid bulk"};
+  if (offset + out.size() > region.size()) {
+    return Status{Errc::overflow, "bulk pull out of range"};
+  }
+  std::memcpy(out.data(), region.read_ptr() + offset, out.size());
+  bulk_pulled_.fetch_add(out.size(), std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status LoopbackFabric::bulk_push(const BulkRegion& region, std::size_t offset,
+                         std::span<const std::uint8_t> data) {
+  if (!region.valid() || !region.writable()) {
+    return Status{Errc::invalid_argument, "bulk region not writable"};
+  }
+  if (offset + data.size() > region.size()) {
+    return Status{Errc::overflow, "bulk push out of range"};
+  }
+  std::memcpy(region.write_ptr() + offset, data.data(), data.size());
+  bulk_pushed_.fetch_add(data.size(), std::memory_order_relaxed);
+  return Status::ok();
+}
+
+TrafficStats LoopbackFabric::stats() const {
+  std::lock_guard lock(mutex_);
+  TrafficStats s = stats_;
+  s.bulk_bytes_pulled = bulk_pulled_.load(std::memory_order_relaxed);
+  s.bulk_bytes_pushed = bulk_pushed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t LoopbackFabric::endpoint_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& p : inboxes_) {
+    if (p) ++n;
+  }
+  return n;
+}
+
+}  // namespace gekko::net

@@ -1,0 +1,122 @@
+// Fabric interface + the in-process loopback implementation.
+//
+// A Fabric is what Mercury's transport layer is to GekkoFS: endpoints
+// register, messages are delivered reliably to inboxes, and bulk
+// regions support one-sided-style transfers. Two implementations:
+//  - LoopbackFabric (here): all endpoints in one process; bulk ops are
+//    memcpys. Used by tests, benches, and the in-process cluster.
+//  - SocketFabric (socket_fabric.h): endpoints across PROCESSES over
+//    Unix-domain sockets with a hostfile, for real `gkfsd` daemons.
+//    Bulk data is inlined into frames (Mercury's send/recv fallback
+//    path when RDMA is unavailable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/result.h"
+#include "net/message.h"
+
+namespace gekko::net {
+
+/// Traffic counters, per endpoint and global.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t bulk_bytes_pulled = 0;
+  std::uint64_t bulk_bytes_pushed = 0;
+};
+
+/// Fault plan evaluated on every send. Used by tests and failure-injection
+/// benches. All fields default to "healthy network".
+struct FaultPlan {
+  /// Drop every message towards this endpoint (daemon crash).
+  EndpointId blackhole = kInvalidEndpoint;
+  /// Drop 1 in `drop_one_in` messages (0 = never).
+  std::uint64_t drop_one_in = 0;
+};
+
+class Inbox;
+
+/// Abstract transport. All methods are thread-safe.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Register a new endpoint; returns its id and inbox.
+  virtual std::pair<EndpointId, std::shared_ptr<Inbox>>
+  register_endpoint() = 0;
+
+  /// Deliver a message to `dest`'s inbox.
+  virtual Status send(EndpointId dest, Message msg) = 0;
+
+  /// Remove an endpoint; its inbox closes.
+  virtual void deregister(EndpointId id) = 0;
+
+  /// One-sided-style transfer out of an exposed region.
+  virtual Status bulk_pull(const BulkRegion& region, std::size_t offset,
+                           std::span<std::uint8_t> out) = 0;
+
+  /// One-sided-style transfer into an exposed writable region.
+  virtual Status bulk_push(const BulkRegion& region, std::size_t offset,
+                           std::span<const std::uint8_t> data) = 0;
+
+  [[nodiscard]] virtual TrafficStats stats() const = 0;
+};
+
+/// An endpoint's receive queue.
+class Inbox {
+ public:
+  std::optional<Message> receive() { return queue_.pop(); }
+  std::optional<Message> try_receive() { return queue_.try_pop(); }
+  void close() { queue_.close(); }
+  bool push(Message msg) { return queue_.push(std::move(msg)); }
+
+ private:
+  BlockingQueue<Message> queue_;
+};
+
+/// All endpoints in one process; delivery is a queue push.
+class LoopbackFabric final : public Fabric {
+ public:
+  LoopbackFabric() = default;
+  LoopbackFabric(const LoopbackFabric&) = delete;
+  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
+
+  std::pair<EndpointId, std::shared_ptr<Inbox>> register_endpoint() override;
+
+  /// Dropped-by-fault messages report success (like a real lossy
+  /// fabric — the sender can't tell).
+  Status send(EndpointId dest, Message msg) override;
+
+  void deregister(EndpointId id) override;
+
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] FaultPlan fault_plan() const;
+
+  Status bulk_pull(const BulkRegion& region, std::size_t offset,
+                   std::span<std::uint8_t> out) override;
+  Status bulk_push(const BulkRegion& region, std::size_t offset,
+                   std::span<const std::uint8_t> data) override;
+
+  [[nodiscard]] TrafficStats stats() const override;
+  [[nodiscard]] std::size_t endpoint_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Inbox>> inboxes_;  // index == EndpointId
+  FaultPlan fault_plan_{};
+  std::uint64_t send_counter_ = 0;
+  TrafficStats stats_{};
+  std::atomic<std::uint64_t> bulk_pulled_{0};
+  std::atomic<std::uint64_t> bulk_pushed_{0};
+};
+
+}  // namespace gekko::net

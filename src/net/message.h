@@ -1,0 +1,107 @@
+// Fabric message and RDMA-like bulk-region descriptors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+
+namespace gekko::net {
+
+/// An exposed memory region for one-sided transfer. The client registers
+/// a span of its buffer; the daemon pulls (for writes) or pushes (for
+/// reads) directly, without the payload travelling inside the message —
+/// mirroring Mercury bulk handles over RDMA (paper §III.B.a).
+///
+/// Lifetime: the region aliases caller memory. The caller must keep the
+/// buffer alive until the RPC completes (same contract as real RDMA
+/// registration).
+class BulkRegion {
+ public:
+  BulkRegion() = default;
+
+  static BulkRegion expose_read(std::span<const std::uint8_t> data) {
+    BulkRegion r;
+    r.read_ptr_ = data.data();
+    r.size_ = data.size();
+    return r;
+  }
+
+  static BulkRegion expose_write(std::span<std::uint8_t> data) {
+    BulkRegion r;
+    r.read_ptr_ = data.data();
+    r.write_ptr_ = data.data();
+    r.size_ = data.size();
+    return r;
+  }
+
+  /// An owned region: the bytes travel WITH the message (the socket
+  /// transport's inline-bulk mode — Mercury's send/recv fallback).
+  /// `writable` regions start zeroed at `size` and carry pushes back
+  /// to the requester with the response.
+  static BulkRegion adopt(std::vector<std::uint8_t> data, bool writable) {
+    BulkRegion r;
+    r.owned_ = std::make_shared<std::vector<std::uint8_t>>(std::move(data));
+    r.read_ptr_ = r.owned_->data();
+    if (writable) {
+      r.write_ptr_ = r.owned_->data();
+      // Writable owned regions track which byte ranges were pushed so
+      // the transport ships back only written data — several daemons
+      // may fill DISJOINT parts of one client buffer concurrently.
+      r.dirty_ = std::make_shared<std::vector<std::pair<std::uint64_t,
+                                                        std::uint64_t>>>();
+    }
+    r.size_ = r.owned_->size();
+    return r;
+  }
+
+  void record_push(std::uint64_t offset, std::uint64_t len) const {
+    if (dirty_) dirty_->emplace_back(offset, len);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>*
+  dirty_ranges() const noexcept {
+    return dirty_.get();
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return read_ptr_ != nullptr; }
+  [[nodiscard]] bool writable() const noexcept { return write_ptr_ != nullptr; }
+  [[nodiscard]] bool owned() const noexcept { return owned_ != nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] const std::uint8_t* read_ptr() const noexcept {
+    return read_ptr_;
+  }
+  [[nodiscard]] std::uint8_t* write_ptr() const noexcept { return write_ptr_; }
+  [[nodiscard]] const std::vector<std::uint8_t>* owned_bytes() const noexcept {
+    return owned_.get();
+  }
+  /// Shared ownership handle (socket transport keeps the buffer alive
+  /// until the response carries it back).
+  [[nodiscard]] std::shared_ptr<std::vector<std::uint8_t>> owned_handle()
+      const noexcept {
+    return owned_;
+  }
+
+ private:
+  const std::uint8_t* read_ptr_ = nullptr;
+  std::uint8_t* write_ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::shared_ptr<std::vector<std::uint8_t>> owned_;
+  std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      dirty_;
+};
+
+enum class MessageKind : std::uint8_t { request = 0, response = 1 };
+
+struct Message {
+  MessageKind kind = MessageKind::request;
+  std::uint16_t rpc_id = 0;    // registered RPC id (requests only)
+  std::uint64_t seq = 0;       // correlates response to request
+  EndpointId source = kInvalidEndpoint;
+  std::vector<std::uint8_t> payload;  // serialized header/args
+  BulkRegion bulk;             // optional one-sided region (requests)
+};
+
+}  // namespace gekko::net

@@ -1,0 +1,449 @@
+#include "net/socket_fabric.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/fileio.h"
+#include "common/logging.h"
+
+namespace gekko::net {
+namespace {
+
+constexpr std::uint8_t kBulkNone = 0;
+constexpr std::uint8_t kBulkReadData = 1;
+constexpr std::uint8_t kBulkWritableSize = 2;
+constexpr std::uint8_t kBulkResponseData = 3;
+
+/// Client endpoint ids live far above any hostfile daemon id.
+EndpointId client_endpoint_id() {
+  return 0x40000000u | (static_cast<EndpointId>(::getpid()) & 0xFFFFFF);
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status{Errc::disconnected,
+                    std::string("send: ") + std::strerror(errno)};
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd, data + done, len - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status{Errc::disconnected,
+                    std::string("recv: ") + std::strerror(errno)};
+    }
+    if (n == 0) return Errc::disconnected;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketFabric>> SocketFabric::create(
+    const std::filesystem::path& hostfile, SocketFabricOptions options) {
+  auto content = io::read_file(hostfile);
+  if (!content) return content.status();
+
+  std::unique_ptr<SocketFabric> fabric(new SocketFabric(options));
+  std::size_t pos = 0;
+  while (pos < content->size()) {
+    std::size_t eol = content->find('\n', pos);
+    if (eol == std::string::npos) eol = content->size();
+    const std::string line = content->substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status{Errc::invalid_argument, "bad hostfile line: " + line};
+    }
+    const auto id =
+        static_cast<EndpointId>(std::stoul(line.substr(0, space)));
+    fabric->hosts_[id] = line.substr(space + 1);
+  }
+  if (fabric->hosts_.empty()) {
+    return Status{Errc::invalid_argument, "empty hostfile"};
+  }
+  if (options.self_id != kInvalidEndpoint &&
+      !fabric->hosts_.contains(options.self_id)) {
+    return Status{Errc::invalid_argument, "self_id not in hostfile"};
+  }
+  return fabric;
+}
+
+Result<std::filesystem::path> SocketFabric::write_hostfile(
+    const std::filesystem::path& dir, std::uint32_t n) {
+  GEKKO_RETURN_IF_ERROR(io::ensure_dir(dir));
+  std::string content;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    content += std::to_string(i) + " " +
+               (dir / ("gkfsd." + std::to_string(i) + ".sock")).string() +
+               "\n";
+  }
+  const auto path = dir / "hosts.txt";
+  GEKKO_RETURN_IF_ERROR(io::write_file_atomic(path, content));
+  return path;
+}
+
+SocketFabric::~SocketFabric() { shutdown_(); }
+
+std::pair<EndpointId, std::shared_ptr<Inbox>>
+SocketFabric::register_endpoint() {
+  // One endpoint per process; repeat registration is a programming
+  // error in this transport.
+  if (inbox_ != nullptr) {
+    GEKKO_ERROR("net.socket") << "second endpoint on a socket fabric";
+    return {kInvalidEndpoint, nullptr};
+  }
+  inbox_ = std::make_shared<Inbox>();
+  if (options_.self_id != kInvalidEndpoint) {
+    self_ = options_.self_id;
+    if (Status st = start_listener_(); !st.is_ok()) {
+      GEKKO_ERROR("net.socket") << "listener failed: " << st.to_string();
+      return {kInvalidEndpoint, nullptr};
+    }
+  } else {
+    self_ = client_endpoint_id();
+  }
+  return {self_, inbox_};
+}
+
+Status SocketFabric::start_listener_() {
+  const std::string& path = hosts_.at(self_);
+  (void)::unlink(path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status{Errc::io_error, "socket()"};
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status{Errc::invalid_argument, "socket path too long: " + path};
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status{Errc::io_error,
+                  "bind " + path + ": " + std::strerror(errno)};
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status{Errc::io_error, "listen()"};
+  }
+  acceptor_ = std::thread([this] { accept_loop_(); });
+  return Status::ok();
+}
+
+void SocketFabric::accept_loop_() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard lock(conn_mutex_);
+      incoming_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop_(conn); });
+  }
+}
+
+void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::uint8_t len_buf[4];
+    if (!read_all(conn->fd, len_buf, 4).is_ok()) break;
+    std::uint32_t frame_len;
+    std::memcpy(&frame_len, len_buf, 4);
+    if (frame_len < 17 || frame_len > (1u << 30)) break;  // min: empty payload, no bulk
+
+    std::vector<std::uint8_t> frame(frame_len);
+    if (!read_all(conn->fd, frame.data(), frame.size()).is_ok()) break;
+
+    Decoder dec(frame);
+    auto kind = dec.u8();
+    auto rpc_id = dec.u16();
+    auto seq = dec.u64();
+    auto source = dec.u32();
+    auto payload = dec.str();
+    auto bulk_mode = dec.u8();
+    if (!kind || !rpc_id || !seq || !source || !payload || !bulk_mode) break;
+
+    Message msg;
+    msg.kind = static_cast<MessageKind>(*kind);
+    msg.rpc_id = *rpc_id;
+    msg.seq = *seq;
+    msg.source = *source;
+    msg.payload.assign(payload->begin(), payload->end());
+
+    BulkRegion writable_bulk;
+    switch (*bulk_mode) {
+      case kBulkNone:
+        break;
+      case kBulkReadData: {
+        auto bytes = dec.str();
+        if (!bytes) goto done;
+        msg.bulk = BulkRegion::adopt(
+            std::vector<std::uint8_t>(bytes->begin(), bytes->end()),
+            /*writable=*/false);
+        break;
+      }
+      case kBulkWritableSize: {
+        auto size = dec.u64();
+        if (!size || *size > (1u << 30)) goto done;
+        msg.bulk = BulkRegion::adopt(
+            std::vector<std::uint8_t>(static_cast<std::size_t>(*size), 0),
+            /*writable=*/true);
+        writable_bulk = msg.bulk;
+        break;
+      }
+      case kBulkResponseData: {
+        // Response carrying dirty ranges for one of OUR pending
+        // writable regions: apply them before delivery. Fan-out reads
+        // have SEVERAL responses filling disjoint parts of one region,
+        // so only written ranges travel.
+        auto count = dec.varint();
+        if (!count) goto done;
+        std::lock_guard lock(bulk_mutex_);
+        auto it = pending_writable_.find(msg.seq);
+        for (std::uint64_t r = 0; r < *count; ++r) {
+          auto off = dec.u64();
+          auto bytes = dec.str();
+          if (!off || !bytes) goto done;
+          if (it != pending_writable_.end() &&
+              *off + bytes->size() <= it->second.size()) {
+            std::memcpy(it->second.write_ptr() + *off, bytes->data(),
+                        bytes->size());
+          }
+        }
+        if (it != pending_writable_.end()) pending_writable_.erase(it);
+        break;
+      }
+      default:
+        goto done;
+    }
+
+    if (msg.kind == MessageKind::request) {
+      // Stash the reply route (and the adopted writable buffer, whose
+      // contents must travel back).
+      PendingReply reply;
+      reply.conn = conn;
+      reply.writable_bulk = std::move(writable_bulk);
+      std::lock_guard lock(reply_mutex_);
+      pending_replies_[msg.seq] = std::move(reply);
+    } else {
+      // Clean any stale pending-writable entry (response w/o bulk).
+      std::lock_guard lock(bulk_mutex_);
+      pending_writable_.erase(msg.seq);
+    }
+
+    if (!inbox_ || !inbox_->push(std::move(msg))) break;
+  }
+done:
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
+                                  const BulkRegion* bulk_out) {
+  std::vector<std::uint8_t> frame;
+  Encoder enc(&frame);
+  enc.u8(static_cast<std::uint8_t>(msg.kind));
+  enc.u16(msg.rpc_id);
+  enc.u64(msg.seq);
+  enc.u32(self_);
+  enc.str(std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
+                           msg.payload.size()));
+
+  if (bulk_out != nullptr && bulk_out->valid()) {
+    enc.u8(kBulkResponseData);
+    const auto* ranges = bulk_out->dirty_ranges();
+    enc.varint(ranges != nullptr ? ranges->size() : 0);
+    if (ranges != nullptr) {
+      for (const auto& [off, len] : *ranges) {
+        enc.u64(off);
+        enc.str(std::string_view(
+            reinterpret_cast<const char*>(bulk_out->read_ptr() + off),
+            static_cast<std::size_t>(len)));
+      }
+    }
+  } else if (msg.bulk.valid() && msg.bulk.writable()) {
+    enc.u8(kBulkWritableSize);
+    enc.u64(msg.bulk.size());
+  } else if (msg.bulk.valid()) {
+    enc.u8(kBulkReadData);
+    enc.str(std::string_view(
+        reinterpret_cast<const char*>(msg.bulk.read_ptr()),
+        msg.bulk.size()));
+  } else {
+    enc.u8(kBulkNone);
+  }
+
+  std::uint8_t len_buf[4];
+  const auto frame_len = static_cast<std::uint32_t>(frame.size());
+  std::memcpy(len_buf, &frame_len, 4);
+
+  std::lock_guard lock(conn.write_mutex);
+  GEKKO_RETURN_IF_ERROR(write_all(conn.fd, len_buf, 4));
+  return write_all(conn.fd, frame.data(), frame.size());
+}
+
+Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
+    EndpointId dest) {
+  {
+    std::lock_guard lock(conn_mutex_);
+    auto it = outgoing_.find(dest);
+    if (it != outgoing_.end()) return it->second;
+  }
+  auto host = hosts_.find(dest);
+  if (host == hosts_.end()) {
+    return Status{Errc::disconnected, "unknown endpoint id"};
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status{Errc::io_error, "socket()"};
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, host->second.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status{Errc::disconnected,
+                  "connect " + host->second + ": " + std::strerror(errno)};
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conn->reader = std::thread([this, conn] { reader_loop_(conn); });
+  std::lock_guard lock(conn_mutex_);
+  outgoing_[dest] = conn;
+  return conn;
+}
+
+Status SocketFabric::send(EndpointId dest, Message msg) {
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.messages_sent;
+    stats_.payload_bytes += msg.payload.size();
+  }
+  if (msg.kind == MessageKind::response) {
+    // Route back over the originating connection with any written bulk.
+    PendingReply reply;
+    {
+      std::lock_guard lock(reply_mutex_);
+      auto it = pending_replies_.find(msg.seq);
+      if (it == pending_replies_.end()) {
+        return Status{Errc::disconnected, "no reply route for seq"};
+      }
+      reply = std::move(it->second);
+      pending_replies_.erase(it);
+    }
+    return write_frame_(*reply.conn, msg,
+                        reply.writable_bulk.valid() ? &reply.writable_bulk
+                                                    : nullptr);
+  }
+
+  // Request: register writable regions so the response can fill them.
+  if (msg.bulk.valid() && msg.bulk.writable() && !msg.bulk.owned()) {
+    std::lock_guard lock(bulk_mutex_);
+    pending_writable_[msg.seq] = msg.bulk;
+  }
+  auto conn = connect_to_(dest);
+  if (!conn) {
+    std::lock_guard lock(bulk_mutex_);
+    pending_writable_.erase(msg.seq);
+    return conn.status();
+  }
+  Status st = write_frame_(**conn, msg, nullptr);
+  if (!st.is_ok()) {
+    std::lock_guard lock(bulk_mutex_);
+    pending_writable_.erase(msg.seq);
+  }
+  return st;
+}
+
+void SocketFabric::deregister(EndpointId id) {
+  (void)id;
+  shutdown_();
+}
+
+void SocketFabric::shutdown_() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (auto& [id, c] : outgoing_) conns.push_back(c);
+    conns.insert(conns.end(), incoming_.begin(), incoming_.end());
+    outgoing_.clear();
+    incoming_.clear();
+  }
+  for (auto& c : conns) {
+    ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+  if (inbox_) inbox_->close();
+  if (self_ != kInvalidEndpoint && hosts_.contains(self_)) {
+    (void)::unlink(hosts_.at(self_).c_str());
+  }
+}
+
+Status SocketFabric::bulk_pull(const BulkRegion& region, std::size_t offset,
+                               std::span<std::uint8_t> out) {
+  if (!region.valid()) return Status{Errc::invalid_argument, "invalid bulk"};
+  if (offset + out.size() > region.size()) {
+    return Status{Errc::overflow, "bulk pull out of range"};
+  }
+  std::memcpy(out.data(), region.read_ptr() + offset, out.size());
+  std::lock_guard lock(stats_mutex_);
+  stats_.bulk_bytes_pulled += out.size();
+  return Status::ok();
+}
+
+Status SocketFabric::bulk_push(const BulkRegion& region, std::size_t offset,
+                               std::span<const std::uint8_t> data) {
+  if (!region.valid() || !region.writable()) {
+    return Status{Errc::invalid_argument, "bulk region not writable"};
+  }
+  if (offset + data.size() > region.size()) {
+    return Status{Errc::overflow, "bulk push out of range"};
+  }
+  std::memcpy(region.write_ptr() + offset, data.data(), data.size());
+  region.record_push(offset, data.size());
+  std::lock_guard lock(stats_mutex_);
+  stats_.bulk_bytes_pushed += data.size();
+  return Status::ok();
+}
+
+TrafficStats SocketFabric::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace gekko::net

@@ -1,0 +1,122 @@
+// Multi-process fabric over Unix-domain sockets.
+//
+// This is the transport that turns the in-process system into a REAL
+// deployment: `gkfsd` daemon processes listen on sockets enumerated in
+// a hostfile (the role the shared hosts file plays for real GekkoFS),
+// and client processes connect on demand. The Engine/daemon/client
+// code is identical to the loopback case — only the Fabric differs.
+//
+// Bulk transfer uses Mercury's send/recv fallback shape: bulk data is
+// inlined into frames (read-exposed regions travel with the request;
+// writable regions come back with the response). True one-sided RDMA
+// needs NIC support that a Unix socket cannot express.
+//
+// Hostfile format: one "<endpoint-id> <socket-path>" per line.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+
+namespace gekko::net {
+
+struct SocketFabricOptions {
+  /// Daemon role: serve on the hostfile entry for `self_id`.
+  /// Client role (self_id == kInvalidEndpoint): connect-only.
+  EndpointId self_id = kInvalidEndpoint;
+};
+
+class SocketFabric final : public Fabric {
+ public:
+  /// Parse a hostfile and construct a fabric for one process.
+  static Result<std::unique_ptr<SocketFabric>> create(
+      const std::filesystem::path& hostfile, SocketFabricOptions options);
+
+  ~SocketFabric() override;
+  SocketFabric(const SocketFabric&) = delete;
+  SocketFabric& operator=(const SocketFabric&) = delete;
+
+  /// One endpoint per process (one Engine). Daemon role: starts the
+  /// listener on its hostfile socket. Client role: connect-only id.
+  std::pair<EndpointId, std::shared_ptr<Inbox>> register_endpoint() override;
+
+  Status send(EndpointId dest, Message msg) override;
+  void deregister(EndpointId id) override;
+
+  Status bulk_pull(const BulkRegion& region, std::size_t offset,
+                   std::span<std::uint8_t> out) override;
+  Status bulk_push(const BulkRegion& region, std::size_t offset,
+                   std::span<const std::uint8_t> data) override;
+
+  [[nodiscard]] TrafficStats stats() const override;
+
+  /// Endpoint ids of all daemons listed in the hostfile, ascending.
+  [[nodiscard]] std::vector<EndpointId> daemon_ids() const {
+    std::vector<EndpointId> out;
+    out.reserve(hosts_.size());
+    for (const auto& [id, path] : hosts_) out.push_back(id);
+    return out;
+  }
+
+  /// Write a hostfile for `n` daemons with sockets under `dir`.
+  static Result<std::filesystem::path> write_hostfile(
+      const std::filesystem::path& dir, std::uint32_t n);
+
+ private:
+  explicit SocketFabric(SocketFabricOptions options)
+      : options_(options) {}
+
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::thread reader;
+  };
+
+  Status start_listener_();
+  void accept_loop_();
+  void reader_loop_(std::shared_ptr<Connection> conn);
+  Result<std::shared_ptr<Connection>> connect_to_(EndpointId dest);
+  Status write_frame_(Connection& conn, const Message& msg,
+                      const BulkRegion* bulk_out);
+  void shutdown_();
+
+  SocketFabricOptions options_;
+  std::map<EndpointId, std::string> hosts_;  // daemon id -> socket path
+  EndpointId self_ = kInvalidEndpoint;
+  std::shared_ptr<Inbox> inbox_;
+
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::map<EndpointId, std::shared_ptr<Connection>> outgoing_;
+  std::vector<std::shared_ptr<Connection>> incoming_;
+
+  // Request context on the serving side: response for `seq` goes back
+  // over the connection it arrived on, carrying the (possibly written)
+  // owned bulk buffer.
+  struct PendingReply {
+    std::shared_ptr<Connection> conn;
+    BulkRegion writable_bulk;  // owned region, if the request had one
+  };
+  std::mutex reply_mutex_;
+  std::map<std::uint64_t, PendingReply> pending_replies_;
+
+  // Requesting side: writable regions waiting for response bulk.
+  std::mutex bulk_mutex_;
+  std::map<std::uint64_t, BulkRegion> pending_writable_;
+
+  mutable std::mutex stats_mutex_;
+  TrafficStats stats_{};
+};
+
+}  // namespace gekko::net

@@ -1,0 +1,55 @@
+// Chunk arithmetic: split a byte extent [offset, offset+len) into
+// per-chunk slices (paper §III.B.a: "data requests are split into
+// equally sized chunks before they are distributed").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gekko::proto {
+
+struct Extent {
+  std::uint64_t chunk_id = 0;
+  std::uint32_t offset_in_chunk = 0;
+  std::uint32_t length = 0;
+  std::uint64_t buffer_offset = 0;  // position within the caller's buffer
+};
+
+/// Enumerate the chunk slices covering [offset, offset+length).
+/// chunk_size must be a power of two.
+inline std::vector<Extent> split_extent(std::uint64_t offset,
+                                        std::uint64_t length,
+                                        std::uint32_t chunk_size) {
+  std::vector<Extent> out;
+  if (length == 0) return out;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  std::uint64_t buffer_offset = 0;
+  while (remaining > 0) {
+    Extent e;
+    e.chunk_id = pos / chunk_size;
+    e.offset_in_chunk = static_cast<std::uint32_t>(pos % chunk_size);
+    const std::uint64_t in_chunk =
+        static_cast<std::uint64_t>(chunk_size) - e.offset_in_chunk;
+    e.length = static_cast<std::uint32_t>(
+        remaining < in_chunk ? remaining : in_chunk);
+    e.buffer_offset = buffer_offset;
+    out.push_back(e);
+    pos += e.length;
+    buffer_offset += e.length;
+    remaining -= e.length;
+  }
+  return out;
+}
+
+/// Number of chunks an extent touches, without materializing them.
+inline std::uint64_t chunk_span(std::uint64_t offset, std::uint64_t length,
+                                std::uint32_t chunk_size) {
+  if (length == 0) return 0;
+  const std::uint64_t first = offset / chunk_size;
+  const std::uint64_t last = (offset + length - 1) / chunk_size;
+  return last - first + 1;
+}
+
+}  // namespace gekko::proto

@@ -1,0 +1,127 @@
+// Data/metadata placement: pseudo-random wide-striping (paper §III.B.a).
+//
+// "Each file system operation is forwarded via an RPC message to a
+//  specific daemon (determined by hashing of the file's path) ...
+//  GekkoFS does not require central data structures that keep track of
+//  where metadata or data is located."
+//
+// Every client computes placement independently and deterministically:
+//   metadata owner = H(path) mod N
+//   chunk owner    = H(path, seed=chunk_id) mod N
+//
+// Alternative policies (round-robin, node-local) exist for the paper's
+// future-work ablation on "different data distribution patterns".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace gekko::proto {
+
+class Distributor {
+ public:
+  virtual ~Distributor() = default;
+
+  /// Daemon responsible for a path's metadata record.
+  [[nodiscard]] virtual std::uint32_t metadata_target(
+      std::string_view path) const = 0;
+
+  /// Daemon responsible for one data chunk of a path.
+  [[nodiscard]] virtual std::uint32_t chunk_target(
+      std::string_view path, std::uint64_t chunk_id) const = 0;
+
+  [[nodiscard]] virtual std::uint32_t node_count() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The GekkoFS default: independent hash per (path, chunk).
+class HashDistributor final : public Distributor {
+ public:
+  explicit HashDistributor(std::uint32_t nodes) : nodes_(nodes) {}
+
+  [[nodiscard]] std::uint32_t metadata_target(
+      std::string_view path) const override {
+    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
+  }
+
+  [[nodiscard]] std::uint32_t chunk_target(
+      std::string_view path, std::uint64_t chunk_id) const override {
+    return static_cast<std::uint32_t>(
+        gekko::xxhash64(path, /*seed=*/chunk_id + 1) % nodes_);
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::string_view name() const override { return "hash"; }
+
+ private:
+  std::uint32_t nodes_;
+};
+
+/// Chunks stride round-robin from the metadata owner: perfect balance
+/// for single large files, but correlated placement across files.
+class RoundRobinDistributor final : public Distributor {
+ public:
+  explicit RoundRobinDistributor(std::uint32_t nodes) : nodes_(nodes) {}
+
+  [[nodiscard]] std::uint32_t metadata_target(
+      std::string_view path) const override {
+    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
+  }
+
+  [[nodiscard]] std::uint32_t chunk_target(
+      std::string_view path, std::uint64_t chunk_id) const override {
+    return static_cast<std::uint32_t>(
+        (gekko::xxhash64(path) + chunk_id) % nodes_);
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::string_view name() const override {
+    return "round_robin";
+  }
+
+ private:
+  std::uint32_t nodes_;
+};
+
+/// Everything for a path on its metadata owner (BurstFS-style local
+/// writes): zero striping; hotspots under shared files.
+class LocalDistributor final : public Distributor {
+ public:
+  explicit LocalDistributor(std::uint32_t nodes) : nodes_(nodes) {}
+
+  [[nodiscard]] std::uint32_t metadata_target(
+      std::string_view path) const override {
+    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
+  }
+
+  [[nodiscard]] std::uint32_t chunk_target(
+      std::string_view path, std::uint64_t /*chunk_id*/) const override {
+    return metadata_target(path);
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::string_view name() const override { return "local"; }
+
+ private:
+  std::uint32_t nodes_;
+};
+
+enum class DistributionPolicy { hash, round_robin, local };
+
+inline std::unique_ptr<Distributor> make_distributor(
+    DistributionPolicy policy, std::uint32_t nodes) {
+  switch (policy) {
+    case DistributionPolicy::hash:
+      return std::make_unique<HashDistributor>(nodes);
+    case DistributionPolicy::round_robin:
+      return std::make_unique<RoundRobinDistributor>(nodes);
+    case DistributionPolicy::local:
+      return std::make_unique<LocalDistributor>(nodes);
+  }
+  return std::make_unique<HashDistributor>(nodes);
+}
+
+}  // namespace gekko::proto

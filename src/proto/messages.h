@@ -1,0 +1,314 @@
+// GekkoFS RPC protocol: ids and request/response codecs.
+//
+// Every client-to-daemon interaction in the paper maps to one id here:
+// metadata ops (create/stat/remove/update-size/truncate), chunked data
+// ops (write/read via bulk regions), and the readdir broadcast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "proto/metadata.h"
+
+namespace gekko::proto {
+
+enum class RpcId : std::uint16_t {
+  create = 1,
+  stat = 2,
+  remove_metadata = 3,
+  remove_data = 4,
+  update_size = 5,
+  truncate_metadata = 6,
+  truncate_data = 7,
+  write_chunks = 8,
+  read_chunks = 9,
+  get_dirents = 10,
+  daemon_stat = 11,
+};
+
+inline constexpr std::uint16_t to_wire(RpcId id) {
+  return static_cast<std::uint16_t>(id);
+}
+
+// ---------- metadata ops ----------
+
+struct CreateRequest {
+  std::string path;
+  std::uint8_t type = 0;  // FileType
+  std::uint32_t mode = 0644;
+  std::int64_t ctime_ns = 0;  // stamped by the client (no daemon clock dep)
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(path);
+    enc.u8(type);
+    enc.u32(mode);
+    enc.i64(ctime_ns);
+    return buf;
+  }
+  static Result<CreateRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    CreateRequest r;
+    auto path = dec.str();
+    auto type = dec.u8();
+    auto mode = dec.u32();
+    auto ctime = dec.i64();
+    if (!path || !type || !mode || !ctime) return Errc::corruption;
+    r.path = std::string(*path);
+    r.type = *type;
+    r.mode = *mode;
+    r.ctime_ns = *ctime;
+    return r;
+  }
+};
+
+struct PathRequest {  // stat, remove_metadata, remove_data
+  std::string path;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(path);
+    return buf;
+  }
+  static Result<PathRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    auto path = dec.str();
+    if (!path) return Errc::corruption;
+    return PathRequest{std::string(*path)};
+  }
+};
+
+struct StatResponse {
+  Metadata metadata;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(metadata.encode());
+    return buf;
+  }
+  static Result<StatResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    auto md_bytes = dec.str();
+    if (!md_bytes) return Errc::corruption;
+    auto md = Metadata::decode(*md_bytes);
+    if (!md) return md.status();
+    return StatResponse{*md};
+  }
+};
+
+/// Fold `size = max(size, observed_size)` into the file's metadata on
+/// the daemon that owns it; `append` semantics add instead.
+struct UpdateSizeRequest {
+  std::string path;
+  std::uint64_t observed_size = 0;
+  std::int64_t mtime_ns = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(path);
+    enc.u64(observed_size);
+    enc.i64(mtime_ns);
+    return buf;
+  }
+  static Result<UpdateSizeRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    UpdateSizeRequest r;
+    auto path = dec.str();
+    auto size = dec.u64();
+    auto mtime = dec.i64();
+    if (!path || !size || !mtime) return Errc::corruption;
+    r.path = std::string(*path);
+    r.observed_size = *size;
+    r.mtime_ns = *mtime;
+    return r;
+  }
+};
+
+struct TruncateRequest {
+  std::string path;
+  std::uint64_t new_size = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(path);
+    enc.u64(new_size);
+    return buf;
+  }
+  static Result<TruncateRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    TruncateRequest r;
+    auto path = dec.str();
+    auto size = dec.u64();
+    if (!path || !size) return Errc::corruption;
+    r.path = std::string(*path);
+    r.new_size = *size;
+    return r;
+  }
+};
+
+// ---------- data ops ----------
+
+/// One contiguous range within one chunk, plus where its bytes live in
+/// the exposed bulk region.
+struct ChunkSlice {
+  std::uint64_t chunk_id = 0;
+  std::uint32_t offset_in_chunk = 0;
+  std::uint32_t length = 0;
+  std::uint64_t bulk_offset = 0;
+};
+
+struct ChunkIoRequest {  // write_chunks / read_chunks
+  std::string path;
+  std::vector<ChunkSlice> slices;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(path);
+    enc.varint(slices.size());
+    for (const auto& s : slices) {
+      enc.u64(s.chunk_id);
+      enc.u32(s.offset_in_chunk);
+      enc.u32(s.length);
+      enc.u64(s.bulk_offset);
+    }
+    return buf;
+  }
+  static Result<ChunkIoRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    ChunkIoRequest r;
+    auto path = dec.str();
+    auto count = dec.varint();
+    if (!path || !count) return Errc::corruption;
+    r.path = std::string(*path);
+    r.slices.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      ChunkSlice s;
+      auto id = dec.u64();
+      auto off = dec.u32();
+      auto len = dec.u32();
+      auto bulk = dec.u64();
+      if (!id || !off || !len || !bulk) return Errc::corruption;
+      s.chunk_id = *id;
+      s.offset_in_chunk = *off;
+      s.length = *len;
+      s.bulk_offset = *bulk;
+      r.slices.push_back(s);
+    }
+    return r;
+  }
+};
+
+struct ChunkIoResponse {
+  std::uint64_t bytes = 0;  // transferred by this daemon
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u64(bytes);
+    return buf;
+  }
+  static Result<ChunkIoResponse> decode(std::string_view raw) {
+    Decoder dec(raw);
+    auto bytes = dec.u64();
+    if (!bytes) return Errc::corruption;
+    return ChunkIoResponse{*bytes};
+  }
+};
+
+// ---------- readdir broadcast ----------
+
+struct DirentsRequest {
+  std::string dir_path;  // normalized; daemon prefix-scans "<dir>/"
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(dir_path);
+    return buf;
+  }
+  static Result<DirentsRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    auto p = dec.str();
+    if (!p) return Errc::corruption;
+    return DirentsRequest{std::string(*p)};
+  }
+};
+
+struct DirentsResponse {
+  std::vector<Dirent> entries;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(entries.size());
+    for (const auto& e : entries) {
+      enc.str(e.name);
+      enc.u8(static_cast<std::uint8_t>(e.type));
+    }
+    return buf;
+  }
+  static Result<DirentsResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    DirentsResponse r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    r.entries.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto name = dec.str();
+      auto type = dec.u8();
+      if (!name || !type || *type > 1) return Errc::corruption;
+      r.entries.push_back(
+          Dirent{std::string(*name), static_cast<FileType>(*type)});
+    }
+    return r;
+  }
+};
+
+// ---------- daemon stats (df-style) ----------
+
+struct DaemonStatResponse {
+  std::uint64_t metadata_entries = 0;
+  std::uint64_t chunks_written = 0;
+  std::uint64_t chunks_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u64(metadata_entries);
+    enc.u64(chunks_written);
+    enc.u64(chunks_read);
+    enc.u64(bytes_written);
+    enc.u64(bytes_read);
+    return buf;
+  }
+  static Result<DaemonStatResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    DaemonStatResponse r;
+    auto a = dec.u64();
+    auto b = dec.u64();
+    auto c = dec.u64();
+    auto d = dec.u64();
+    auto e = dec.u64();
+    if (!a || !b || !c || !d || !e) return Errc::corruption;
+    r.metadata_entries = *a;
+    r.chunks_written = *b;
+    r.chunks_read = *c;
+    r.bytes_written = *d;
+    r.bytes_read = *e;
+    return r;
+  }
+};
+
+}  // namespace gekko::proto

@@ -1,0 +1,73 @@
+// The GekkoFS metadata record: the *value* stored in each daemon's KV
+// store under the normalized absolute path key.
+//
+// This replaces both the inode and the directory entry of a classic
+// file system (paper §II: "replaces directory entries by objects,
+// stored within a strongly consistent key-value store"). GekkoFS keeps
+// only fields that HPC applications actually consult (Lensing et al.
+// [17]): mode, size, and coarse timestamps. No owner/group/permissions
+// — security is delegated to the node-local FS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+
+namespace gekko::proto {
+
+enum class FileType : std::uint8_t { regular = 0, directory = 1 };
+
+struct Metadata {
+  FileType type = FileType::regular;
+  std::uint64_t size = 0;       // logical file size in bytes
+  std::int64_t ctime_ns = 0;    // creation, nanoseconds since epoch
+  std::int64_t mtime_ns = 0;    // last size-changing update
+  std::uint32_t mode = 0644;    // advisory; not enforced
+
+  [[nodiscard]] bool is_directory() const noexcept {
+    return type == FileType::directory;
+  }
+
+  [[nodiscard]] std::string encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u8(static_cast<std::uint8_t>(type));
+    enc.u64(size);
+    enc.i64(ctime_ns);
+    enc.i64(mtime_ns);
+    enc.u32(mode);
+    return std::string(buf.begin(), buf.end());
+  }
+
+  static Result<Metadata> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    Metadata md;
+    auto type = dec.u8();
+    auto size = dec.u64();
+    auto ctime = dec.i64();
+    auto mtime = dec.i64();
+    auto mode = dec.u32();
+    if (!type || !size || !ctime || !mtime || !mode) {
+      return Status{Errc::corruption, "bad metadata record"};
+    }
+    if (*type > 1) return Status{Errc::corruption, "bad file type"};
+    md.type = static_cast<FileType>(*type);
+    md.size = *size;
+    md.ctime_ns = *ctime;
+    md.mtime_ns = *mtime;
+    md.mode = *mode;
+    return md;
+  }
+};
+
+/// One readdir() result row.
+struct Dirent {
+  std::string name;
+  FileType type = FileType::regular;
+};
+
+}  // namespace gekko::proto

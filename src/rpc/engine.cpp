@@ -1,0 +1,165 @@
+#include "rpc/engine.h"
+
+#include "common/logging.h"
+
+namespace gekko::rpc {
+
+Engine::Engine(net::Fabric& fabric, EngineOptions options)
+    : fabric_(fabric),
+      options_(std::move(options)),
+      self_(net::kInvalidEndpoint),
+      handler_pool_(options_.handler_threads, options_.name + "-handlers") {
+  auto [id, inbox] = fabric_.register_endpoint();
+  self_ = id;
+  inbox_ = std::move(inbox);
+  progress_ = std::thread([this] { progress_loop_(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    if (progress_.joinable()) progress_.join();
+    return;
+  }
+  fabric_.deregister(self_);  // closes the inbox, unblocking progress
+  if (progress_.joinable()) progress_.join();
+  handler_pool_.shutdown();
+  // Fail any still-pending forwards.
+  std::lock_guard lock(pending_mutex_);
+  for (auto& [seq, eventual] : pending_) {
+    eventual.set(Status{Errc::disconnected, "engine shutdown"});
+  }
+  pending_.clear();
+}
+
+void Engine::register_rpc(std::uint16_t rpc_id, std::string name,
+                          Handler handler) {
+  std::lock_guard lock(rpc_mutex_);
+  rpcs_[rpc_id] = RpcEntry{std::move(name), std::move(handler)};
+}
+
+Result<std::vector<std::uint8_t>> Engine::forward(
+    net::EndpointId dest, std::uint16_t rpc_id,
+    std::vector<std::uint8_t> payload, net::BulkRegion bulk) {
+  PendingCall call = begin_forward(dest, rpc_id, std::move(payload), bulk);
+  return finish(call);
+}
+
+Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
+                                          std::uint16_t rpc_id,
+                                          std::vector<std::uint8_t> payload,
+                                          net::BulkRegion bulk) {
+  PendingCall call;
+  call.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.emplace(call.seq, call.eventual);
+  }
+
+  net::Message msg;
+  msg.kind = net::MessageKind::request;
+  msg.rpc_id = rpc_id;
+  msg.seq = call.seq;
+  msg.source = self_;
+  msg.payload = std::move(payload);
+  msg.bulk = bulk;
+
+  if (Status st = fabric_.send(dest, std::move(msg)); !st.is_ok()) {
+    std::lock_guard lock(pending_mutex_);
+    pending_.erase(call.seq);
+    call.send_status = st;
+  }
+  return call;
+}
+
+Result<std::vector<std::uint8_t>> Engine::finish(PendingCall& call) {
+  if (!call.send_status.is_ok()) return call.send_status;
+  auto result = call.eventual.wait_for(options_.rpc_timeout);
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.erase(call.seq);
+  }
+  if (!result.has_value()) {
+    return Status{Errc::timed_out,
+                  "rpc seq " + std::to_string(call.seq) + " timed out"};
+  }
+  return std::move(*result);
+}
+
+void Engine::progress_loop_() {
+  while (auto msg = inbox_->receive()) {
+    if (msg->kind == net::MessageKind::request) {
+      dispatch_request_(std::move(*msg));
+    } else {
+      complete_response_(std::move(*msg));
+    }
+  }
+}
+
+void Engine::dispatch_request_(net::Message msg) {
+  Handler handler;
+  {
+    std::lock_guard lock(rpc_mutex_);
+    auto it = rpcs_.find(msg.rpc_id);
+    if (it != rpcs_.end()) handler = it->second.handler;
+  }
+  if (!handler) {
+    GEKKO_WARN("rpc") << options_.name << ": no handler for rpc id "
+                      << msg.rpc_id;
+    net::Message resp;
+    resp.kind = net::MessageKind::response;
+    resp.seq = msg.seq;
+    resp.source = self_;
+    resp.payload = frame_error(Errc::not_supported);
+    (void)fabric_.send(msg.source, std::move(resp));
+    return;
+  }
+
+  auto shared_msg = std::make_shared<net::Message>(std::move(msg));
+  const bool posted = handler_pool_.post([this, handler = std::move(handler),
+                                          shared_msg] {
+    auto result = handler(*shared_msg);
+    net::Message resp;
+    resp.kind = net::MessageKind::response;
+    resp.seq = shared_msg->seq;
+    resp.source = self_;
+    resp.payload = result.is_ok() ? frame_ok(std::move(*result))
+                                  : frame_error(result.code());
+    handled_.fetch_add(1, std::memory_order_relaxed);
+    (void)fabric_.send(shared_msg->source, std::move(resp));
+  });
+  if (!posted) {
+    net::Message resp;
+    resp.kind = net::MessageKind::response;
+    resp.seq = shared_msg->seq;
+    resp.source = self_;
+    resp.payload = frame_error(Errc::disconnected);
+    (void)fabric_.send(shared_msg->source, std::move(resp));
+  }
+}
+
+void Engine::complete_response_(net::Message msg) {
+  task::Eventual<Result<std::vector<std::uint8_t>>> eventual;
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(msg.seq);
+    if (it == pending_.end()) return;  // late response after timeout
+    eventual = it->second;
+    pending_.erase(it);
+  }
+  if (msg.payload.empty()) {
+    eventual.set(Status{Errc::corruption, "empty response frame"});
+    return;
+  }
+  const auto code = static_cast<Errc>(msg.payload[0]);
+  if (code != Errc::ok) {
+    eventual.set(Status{code});
+    return;
+  }
+  msg.payload.erase(msg.payload.begin());
+  eventual.set(std::move(msg.payload));
+}
+
+}  // namespace gekko::rpc

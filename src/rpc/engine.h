@@ -1,0 +1,140 @@
+// RPC engine standing in for Mercury+Margo.
+//
+// Each GekkoFS daemon and each client owns an Engine. The engine:
+//  - registers an endpoint on the shared Fabric,
+//  - runs a progress thread that drains the inbox (Margo progress ULT),
+//  - dispatches incoming requests onto a handler Pool (Margo handler
+//    xstreams),
+//  - implements blocking forward() with sequence-matched responses and
+//    timeouts (margo_forward + margo_wait).
+//
+// Handlers receive the raw request (including any exposed bulk region)
+// and return a serialized response payload or an error code, which is
+// delivered to the caller as the first byte of the response.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+#include "task/future.h"
+#include "task/pool.h"
+
+namespace gekko::rpc {
+
+/// A handler consumes the request and produces a response payload.
+/// It runs on the engine's handler pool. It may perform bulk transfers
+/// through the engine's fabric against msg.bulk.
+using Handler =
+    std::function<Result<std::vector<std::uint8_t>>(const net::Message&)>;
+
+struct EngineOptions {
+  /// Handler pool width (Margo: number of handler xstreams).
+  std::size_t handler_threads = 2;
+  /// forward() deadline.
+  std::chrono::milliseconds rpc_timeout{5000};
+  std::string name = "engine";
+};
+
+class Engine {
+ public:
+  Engine(net::Fabric& fabric, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a handler for an RPC id. Must happen before requests for
+  /// that id arrive; re-registration replaces (single-threaded setup).
+  void register_rpc(std::uint16_t rpc_id, std::string name, Handler handler);
+
+  /// Send a request and block for the response payload.
+  /// Errc::timed_out if no response within the deadline;
+  /// Errc::disconnected if the destination is gone.
+  Result<std::vector<std::uint8_t>> forward(net::EndpointId dest,
+                                            std::uint16_t rpc_id,
+                                            std::vector<std::uint8_t> payload,
+                                            net::BulkRegion bulk = {});
+
+  /// In-flight request handle (margo_request analog). Obtain with
+  /// begin_forward(), complete with finish(). Movable, not copyable
+  /// across finishes — finish() must be called exactly once.
+  struct PendingCall {
+    std::uint64_t seq = 0;
+    task::Eventual<Result<std::vector<std::uint8_t>>> eventual;
+    Status send_status = Status::ok();
+  };
+
+  /// Fire a request without blocking; lets a client issue one RPC per
+  /// daemon concurrently (wide-striped writes/reads, readdir broadcast).
+  PendingCall begin_forward(net::EndpointId dest, std::uint16_t rpc_id,
+                            std::vector<std::uint8_t> payload,
+                            net::BulkRegion bulk = {});
+
+  /// Wait for a pending call (engine timeout applies).
+  Result<std::vector<std::uint8_t>> finish(PendingCall& call);
+
+  /// Stop the progress thread and handler pool. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] net::EndpointId endpoint() const noexcept { return self_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return options_.name;
+  }
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void progress_loop_();
+  void dispatch_request_(net::Message msg);
+  void complete_response_(net::Message msg);
+
+  net::Fabric& fabric_;
+  EngineOptions options_;
+  net::EndpointId self_;
+  std::shared_ptr<net::Inbox> inbox_;
+  task::Pool handler_pool_;
+  std::thread progress_;
+
+  std::mutex rpc_mutex_;
+  struct RpcEntry {
+    std::string name;
+    Handler handler;
+  };
+  std::unordered_map<std::uint16_t, RpcEntry> rpcs_;
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t,
+                     task::Eventual<Result<std::vector<std::uint8_t>>>>
+      pending_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> handled_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+/// Response payload framing: [status u8][body...]. Helpers shared by
+/// client and daemon sides.
+inline std::vector<std::uint8_t> frame_ok(std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(Errc::ok));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+inline std::vector<std::uint8_t> frame_error(Errc code) {
+  return {static_cast<std::uint8_t>(code)};
+}
+
+}  // namespace gekko::rpc

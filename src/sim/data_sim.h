@@ -1,0 +1,48 @@
+// Data-phase cluster model (Fig. 3 and §IV.B): the IOR workload —
+// P processes per node stream transfers of a given size into their own
+// file (file-per-process) or one shared file, sequentially or at
+// random offsets.
+//
+// Each simulated transfer runs through the REAL placement code
+// (proto::split_extent + proto::Distributor): slices are grouped per
+// target daemon exactly like the production client does, then each
+// per-daemon RPC traverses client NIC -> wire -> daemon CPU -> SSD and
+// joins. Writes end with a size-update RPC to the file's metadata
+// daemon — synchronous, or absorbed by the client size cache (the
+// paper's shared-file fix).
+#pragma once
+
+#include <cstdint>
+
+#include "proto/distributor.h"
+#include "sim/calibration.h"
+
+namespace gekko::sim {
+
+struct DataSimConfig {
+  std::uint32_t nodes = 1;
+  std::uint64_t transfer_size = 512 * 1024;
+  std::uint32_t transfers_per_proc = 20;
+  std::uint32_t chunk_size = 512 * 1024;
+  bool write = true;
+  bool random_offsets = false;
+  bool shared_file = false;
+  /// 0 = synchronous size updates (paper default);
+  /// N = client buffers N updates before sending one (§IV.B cache).
+  std::uint32_t size_cache_interval = 0;
+  /// Client stat cache (paper future-work #2): reads skip the per-read
+  /// metadata RPC (warm-cache steady state).
+  bool stat_cache = false;
+  proto::DistributionPolicy policy = proto::DistributionPolicy::hash;
+  std::uint64_t seed = 1;
+  Calibration cal{};
+};
+
+SimResult run_gekkofs_data(const DataSimConfig& config);
+
+/// Aggregated node-local SSD peak for the reference line in Fig. 3
+/// (MiB/s for `nodes` SSDs at sequential streaming).
+double ssd_peak_mib_s(const Calibration& cal, std::uint32_t nodes,
+                      bool write);
+
+}  // namespace gekko::sim

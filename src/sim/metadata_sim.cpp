@@ -1,0 +1,198 @@
+#include "sim/metadata_sim.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "proto/distributor.h"
+#include "simkit/resource.h"
+#include "simkit/simulator.h"
+
+namespace gekko::sim {
+namespace {
+
+double phase_service(const Calibration& cal, MetaPhase phase) {
+  switch (phase) {
+    case MetaPhase::create: return cal.kv_create_s;
+    case MetaPhase::stat: return cal.kv_stat_s;
+    case MetaPhase::remove: return cal.kv_remove_s;
+  }
+  return cal.kv_create_s;
+}
+
+}  // namespace
+
+SimResult run_gekkofs_metadata(const MetadataSimConfig& config) {
+  simkit::Simulator sim;
+  const Calibration& cal = config.cal;
+  const std::uint32_t nodes = config.nodes;
+  const std::uint32_t procs = nodes * cal.procs_per_node;
+  const double service = phase_service(cal, config.phase);
+
+  // One KV queue per daemon (write path serialized, as in the real DB).
+  std::vector<std::unique_ptr<simkit::Resource>> daemons;
+  daemons.reserve(nodes);
+  for (std::uint32_t d = 0; d < nodes; ++d) {
+    daemons.push_back(std::make_unique<simkit::Resource>(
+        sim, cal.daemon_md_servers, "kv" + std::to_string(d)));
+  }
+
+  proto::HashDistributor dist(nodes);
+
+  struct Shared {
+    std::uint64_t completed = 0;
+    double first_done = 0;
+    double last_done = 0;
+    OnlineStats latency;
+  };
+  auto shared = std::make_shared<Shared>();
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(procs) * config.ops_per_proc;
+
+  // Closed loop per process: issue -> (net) -> daemon KV -> (net) -> next.
+  // Declared as a shared recursive lambda so the completion continuation
+  // can re-enter it.
+  auto issue_holder = std::make_shared<std::function<void(std::uint32_t,
+                                                          std::uint32_t)>>();
+  auto* issue = issue_holder.get();  // raw: outlives sim.run(), no cycle
+  *issue = [&sim, &daemons, &dist, cal, service, shared, issue, config,
+            total_ops](std::uint32_t proc, std::uint32_t op) {
+    if (op >= config.ops_per_proc) return;
+    // mdtest file name: all procs share one directory; GekkoFS's flat
+    // hashing makes the directory irrelevant (single == unique dir).
+    const std::string path = "/mdtest/file." + std::to_string(proc) + "." +
+                             std::to_string(op);
+    const std::uint32_t target = dist.metadata_target(path);
+    const double t0 = sim.now();
+    sim.schedule(cal.net_latency_s, [&sim, &daemons, target, service, cal,
+                                     shared, issue, proc, op, t0,
+                                     total_ops] {
+      daemons[target]->acquire(
+          cal.rpc_overhead_s + service,
+          [&sim, cal, shared, issue, proc, op, t0, total_ops] {
+            sim.schedule(cal.net_latency_s, [shared, issue, proc, op, t0,
+                                             total_ops, &sim] {
+              shared->latency.add(sim.now() - t0);
+              if (shared->completed++ == 0) shared->first_done = sim.now();
+              shared->last_done = sim.now();
+              (void)total_ops;
+              (*issue)(proc, op + 1);
+            });
+          });
+    });
+  };
+
+  for (std::uint32_t p = 0; p < procs; ++p) (*issue)(p, 0);
+  const std::uint64_t events = sim.run();
+
+  SimResult r;
+  r.total_ops = shared->completed;
+  r.sim_seconds = shared->last_done;
+  r.ops_per_sec =
+      r.sim_seconds > 0 ? static_cast<double>(r.total_ops) / r.sim_seconds
+                        : 0;
+  r.mean_latency_s = shared->latency.mean();
+  r.events = events;
+  return r;
+}
+
+SimResult run_lustre_metadata(const LustreSimConfig& config) {
+  simkit::Simulator sim;
+  const Calibration& cal = config.cal;
+  const std::uint32_t nodes = config.nodes;
+  const std::uint32_t procs = nodes * cal.procs_per_node;
+
+  // ONE metadata server for the whole system.
+  simkit::Resource mds(sim, cal.mds_servers, "mds");
+  // Parent-directory critical section. single dir: one shared lock;
+  // unique dir: per-process locks (no contention).
+  std::vector<std::unique_ptr<simkit::Resource>> dir_locks;
+  const std::uint32_t lock_count = config.single_dir ? 1 : procs;
+  dir_locks.reserve(lock_count);
+  for (std::uint32_t i = 0; i < lock_count; ++i) {
+    dir_locks.push_back(
+        std::make_unique<simkit::Resource>(sim, 1, "dirlock"));
+  }
+
+  double mds_service = 0;
+  double lock_service = 0;
+  switch (config.phase) {
+    case MetaPhase::create:
+      mds_service = cal.mds_create_svc_s;
+      lock_service = cal.dir_lock_create_s;
+      break;
+    case MetaPhase::stat:
+      mds_service = cal.mds_stat_svc_s;
+      lock_service = 0;  // stat takes no directory write lock
+      break;
+    case MetaPhase::remove:
+      mds_service = cal.mds_remove_svc_s;
+      lock_service = cal.dir_lock_remove_s;
+      break;
+  }
+
+  struct Shared {
+    std::uint64_t completed = 0;
+    double last_done = 0;
+    OnlineStats latency;
+    Xoshiro256 rng;
+    explicit Shared(std::uint64_t seed) : rng(seed) {}
+  };
+  auto shared = std::make_shared<Shared>(config.seed);
+
+  auto issue_holder = std::make_shared<std::function<void(std::uint32_t,
+                                                          std::uint32_t)>>();
+  auto* issue = issue_holder.get();  // raw: outlives sim.run(), no cycle
+  *issue = [&sim, &mds, &dir_locks, cal, mds_service, lock_service, shared,
+            issue, config](std::uint32_t proc, std::uint32_t op) {
+    if (op >= config.ops_per_proc) return;
+    const double t0 = sim.now();
+    // Interference from the shared production system.
+    const double jitter =
+        1.0 + cal.lustre_jitter * shared->rng.uniform();
+    const std::uint32_t lock_idx =
+        config.single_dir ? 0 : proc % dir_locks.size();
+
+    sim.schedule(cal.mds_rtt_s / 2, [&sim, &mds, &dir_locks, cal,
+                                     mds_service, lock_service, jitter,
+                                     lock_idx, shared, issue, proc, op,
+                                     t0] {
+      mds.acquire(mds_service * jitter, [&sim, &dir_locks, cal,
+                                         lock_service, jitter, lock_idx,
+                                         shared, issue, proc, op, t0] {
+        auto finish = [&sim, cal, shared, issue, proc, op, t0] {
+          sim.schedule(cal.mds_rtt_s / 2,
+                       [shared, issue, proc, op, t0, &sim] {
+                         shared->latency.add(sim.now() - t0);
+                         ++shared->completed;
+                         shared->last_done = sim.now();
+                         (*issue)(proc, op + 1);
+                       });
+        };
+        if (lock_service > 0) {
+          dir_locks[lock_idx]->acquire(lock_service * jitter,
+                                       std::move(finish));
+        } else {
+          finish();
+        }
+      });
+    });
+  };
+
+  for (std::uint32_t p = 0; p < procs; ++p) (*issue)(p, 0);
+  const std::uint64_t events = sim.run();
+
+  SimResult r;
+  r.total_ops = shared->completed;
+  r.sim_seconds = shared->last_done;
+  r.ops_per_sec =
+      r.sim_seconds > 0 ? static_cast<double>(r.total_ops) / r.sim_seconds
+                        : 0;
+  r.mean_latency_s = shared->latency.mean();
+  r.events = events;
+  return r;
+}
+
+}  // namespace gekko::sim

@@ -1,0 +1,46 @@
+// Metadata-phase cluster models (Fig. 2): GekkoFS vs Lustre running the
+// mdtest workload — P processes per node, each creating/stat-ing/
+// removing its own zero-byte files in ONE shared directory.
+//
+// GekkoFS model: every op is one RPC to the daemon selected by hashing
+// the file path (the REAL HashDistributor code); daemons are
+// independent single-server KV queues. Linear scaling falls out of the
+// placement structure, not out of an assumed formula.
+//
+// Lustre model: every op crosses a higher-latency network to ONE MDS
+// (a c-server queue); creates/removes additionally serialize through
+// the parent directory's lock. `single_dir=false` gives each process
+// its own directory (no shared lock), the paper's `unique dir` line.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/calibration.h"
+
+namespace gekko::sim {
+
+enum class MetaPhase { create, stat, remove };
+
+struct MetadataSimConfig {
+  std::uint32_t nodes = 1;
+  MetaPhase phase = MetaPhase::create;
+  /// Files per process; the paper uses 100k, we default to a scaled
+  /// steady-state sample (throughput is time-invariant in this model).
+  std::uint32_t ops_per_proc = 200;
+  std::uint64_t seed = 1;
+  Calibration cal{};
+};
+
+struct LustreSimConfig {
+  std::uint32_t nodes = 1;
+  MetaPhase phase = MetaPhase::create;
+  std::uint32_t ops_per_proc = 200;
+  bool single_dir = true;  // false => "unique dir"
+  std::uint64_t seed = 1;
+  Calibration cal{};
+};
+
+SimResult run_gekkofs_metadata(const MetadataSimConfig& config);
+SimResult run_lustre_metadata(const LustreSimConfig& config);
+
+}  // namespace gekko::sim

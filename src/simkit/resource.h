@@ -1,0 +1,82 @@
+// Queueing resources for the cluster model.
+//
+// Resource: a FCFS multi-server station (G/G/c). acquire() enqueues a
+// job with a service time; the completion callback fires when a server
+// finishes it. Models daemon CPU, the KV store write path, SSDs, NICs
+// and the Lustre MDS.
+//
+// Implementation: each of the c servers holds a "free at" timestamp;
+// an arriving job is assigned to the earliest-free server:
+//   start  = max(now, earliest_free)
+//   finish = start + service
+// This is exact for FCFS multi-server queues with immediate dispatch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkit/simulator.h"
+
+namespace gekko::simkit {
+
+class Resource {
+ public:
+  Resource(Simulator& sim, std::size_t servers, std::string name = "res")
+      : sim_(sim), free_at_(servers > 0 ? servers : 1, 0.0),
+        name_(std::move(name)) {}
+
+  /// Enqueue a job with the given service time; `done` fires at
+  /// completion (sim time). Returns the predicted completion time.
+  SimTime acquire(SimTime service, std::function<void()> done) {
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    const SimTime start = std::max(sim_.now(), *it);
+    const SimTime finish = start + service;
+    *it = finish;
+    busy_time_ += service;
+    wait_time_ += start - sim_.now();
+    ++jobs_;
+    sim_.schedule_at(finish, std::move(done));
+    return finish;
+  }
+
+  /// Utilization in [0,1] relative to elapsed sim time (call after run).
+  [[nodiscard]] double utilization() const noexcept {
+    const double elapsed = sim_.now() * static_cast<double>(free_at_.size());
+    return elapsed > 0 ? busy_time_ / elapsed : 0.0;
+  }
+  [[nodiscard]] double mean_wait() const noexcept {
+    return jobs_ > 0 ? wait_time_ / static_cast<double>(jobs_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<SimTime> free_at_;
+  std::string name_;
+  double busy_time_ = 0;
+  double wait_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/// Join barrier: fires `done` after `count` completions (fan-out RPCs).
+class Join {
+ public:
+  Join(std::size_t count, std::function<void()> done)
+      : remaining_(count), done_(std::move(done)) {
+    if (remaining_ == 0) done_();
+  }
+
+  void arrive() {
+    if (--remaining_ == 0) done_();
+  }
+
+ private:
+  std::size_t remaining_;
+  std::function<void()> done_;
+};
+
+}  // namespace gekko::simkit

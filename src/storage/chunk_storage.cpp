@@ -1,0 +1,172 @@
+#include "storage/chunk_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fileio.h"
+#include "common/hash.h"
+
+namespace gekko::storage {
+namespace {
+
+bool is_power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Result<ChunkStorage> ChunkStorage::open(std::filesystem::path root,
+                                        std::uint32_t chunk_size) {
+  if (!is_power_of_two(chunk_size)) {
+    return Status{Errc::invalid_argument, "chunk size must be a power of two"};
+  }
+  GEKKO_RETURN_IF_ERROR(io::ensure_dir(root));
+  return ChunkStorage{std::move(root), chunk_size};
+}
+
+std::filesystem::path ChunkStorage::chunk_dir_(std::string_view path) const {
+  const std::uint64_t digest = xxhash64(path);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02x/%016" PRIx64,
+                static_cast<unsigned>(digest & 0xff), digest);
+  return root_ / buf;
+}
+
+std::filesystem::path ChunkStorage::chunk_file_(std::string_view path,
+                                                std::uint64_t chunk_id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, chunk_id);
+  return chunk_dir_(path) / buf;
+}
+
+Status ChunkStorage::write_chunk(std::string_view path,
+                                 std::uint64_t chunk_id, std::uint32_t offset,
+                                 std::span<const std::uint8_t> data) {
+  if (offset + data.size() > chunk_size_) {
+    return Status{Errc::invalid_argument, "write crosses chunk boundary"};
+  }
+  const auto dir = chunk_dir_(path);
+  GEKKO_RETURN_IF_ERROR(io::ensure_dir(dir));
+  const auto file = chunk_file_(path, chunk_id);
+
+  const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status{Errc::io_error,
+                  "open chunk: " + std::string(std::strerror(errno))};
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status{err == ENOSPC ? Errc::no_space : Errc::io_error,
+                    "pwrite chunk: " + std::string(std::strerror(err))};
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  ++stats_.chunks_written;
+  stats_.bytes_written += data.size();
+  return Status::ok();
+}
+
+Result<std::size_t> ChunkStorage::read_chunk(std::string_view path,
+                                             std::uint64_t chunk_id,
+                                             std::uint32_t offset,
+                                             std::span<std::uint8_t> out)
+    const {
+  if (offset + out.size() > chunk_size_) {
+    return Status{Errc::invalid_argument, "read crosses chunk boundary"};
+  }
+  std::memset(out.data(), 0, out.size());
+
+  const auto file = chunk_file_(path, chunk_id);
+  const int fd = ::open(file.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      ++stats_.chunks_read;  // sparse hole: all zeroes
+      return std::size_t{0};
+    }
+    return Status{Errc::io_error,
+                  "open chunk: " + std::string(std::strerror(errno))};
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status{Errc::io_error,
+                    "pread chunk: " + std::string(std::strerror(err))};
+    }
+    if (n == 0) break;  // short chunk; remainder stays zeroed
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  ++stats_.chunks_read;
+  stats_.bytes_read += done;
+  return done;
+}
+
+Status ChunkStorage::remove_all(std::string_view path) {
+  const auto dir = chunk_dir_(path);
+  std::error_code ec;
+  const auto removed = std::filesystem::remove_all(dir, ec);
+  if (ec) return Status{Errc::io_error, "remove_all: " + ec.message()};
+  stats_.chunks_removed += removed > 0 ? static_cast<std::uint64_t>(removed)
+                                       : 0;
+  return Status::ok();
+}
+
+Status ChunkStorage::truncate(std::string_view path, std::uint64_t last_chunk,
+                              std::uint32_t last_chunk_bytes) {
+  const auto dir = chunk_dir_(path);
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return Status::ok();
+
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::uint64_t id = 0;
+    const std::string name = entry.path().filename();
+    if (std::sscanf(name.c_str(), "%" SCNu64, &id) != 1) continue;
+    if (id > last_chunk || (id == last_chunk && last_chunk_bytes == 0)) {
+      std::error_code rec;
+      std::filesystem::remove(entry.path(), rec);
+      if (!rec) ++stats_.chunks_removed;
+    }
+  }
+  if (ec) return Status{Errc::io_error, "truncate scan: " + ec.message()};
+
+  if (last_chunk_bytes > 0) {
+    const auto boundary = chunk_file_(path, last_chunk);
+    if (std::filesystem::exists(boundary, ec)) {
+      std::filesystem::resize_file(boundary, last_chunk_bytes, ec);
+      if (ec) {
+        return Status{Errc::io_error, "truncate boundary: " + ec.message()};
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> ChunkStorage::chunk_count(std::string_view path) const {
+  const auto dir = chunk_dir_(path);
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return std::size_t{0};
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    (void)entry;
+    ++n;
+  }
+  if (ec) return Status{Errc::io_error, "chunk_count: " + ec.message()};
+  return n;
+}
+
+}  // namespace gekko::storage

@@ -1,0 +1,89 @@
+// Node-local data persistence: one file per chunk (paper §III.B.b,
+// "I/O persistence layer ... one file per chunk").
+//
+// Chunk files live under <root>/<hash-prefix>/<path-digest>_<chunk_id>
+// on the node-local file system (the paper's XFS-formatted SSD). Chunk
+// content is addressed by (normalized file path, chunk index); the
+// digest keeps names short and directory fan-out flat, matching how
+// GekkoFS avoids deep host-FS hierarchies.
+//
+// Sparse semantics: a missing chunk file reads as zeroes within the
+// file's logical size; a short chunk file reads as data followed by
+// zeroes. Truncate removes whole chunks past the boundary and shortens
+// the boundary chunk.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gekko::storage {
+
+struct ChunkStorageStats {
+  std::uint64_t chunks_written = 0;
+  std::uint64_t chunks_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t chunks_removed = 0;
+};
+
+class ChunkStorage {
+ public:
+  /// `root` is created if missing. `chunk_size` must be a power of two.
+  static Result<ChunkStorage> open(std::filesystem::path root,
+                                   std::uint32_t chunk_size);
+
+  ChunkStorage(ChunkStorage&&) = default;
+  ChunkStorage& operator=(ChunkStorage&&) = default;
+
+  /// Write `data` into chunk `chunk_id` of `path` at `offset` within the
+  /// chunk. Creates or extends the chunk file as needed.
+  Status write_chunk(std::string_view path, std::uint64_t chunk_id,
+                     std::uint32_t offset, std::span<const std::uint8_t> data);
+
+  /// Read up to out.size() bytes from chunk `chunk_id` at `offset`.
+  /// Missing file/short data is zero-filled; returns bytes that came
+  /// from disk (the rest of `out` is zeroed).
+  Result<std::size_t> read_chunk(std::string_view path,
+                                 std::uint64_t chunk_id, std::uint32_t offset,
+                                 std::span<std::uint8_t> out) const;
+
+  /// Remove every chunk belonging to `path` (unlink data path).
+  Status remove_all(std::string_view path);
+
+  /// Remove chunks strictly beyond `last_chunk`, and shorten
+  /// `last_chunk` itself to `last_chunk_bytes` (0 removes it too).
+  Status truncate(std::string_view path, std::uint64_t last_chunk,
+                  std::uint32_t last_chunk_bytes);
+
+  [[nodiscard]] std::uint32_t chunk_size() const noexcept {
+    return chunk_size_;
+  }
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+  [[nodiscard]] ChunkStorageStats stats() const noexcept { return stats_; }
+
+  /// Number of chunk files currently stored for `path`.
+  Result<std::size_t> chunk_count(std::string_view path) const;
+
+ private:
+  ChunkStorage(std::filesystem::path root, std::uint32_t chunk_size)
+      : root_(std::move(root)), chunk_size_(chunk_size) {}
+
+  [[nodiscard]] std::filesystem::path chunk_dir_(std::string_view path) const;
+  [[nodiscard]] std::filesystem::path chunk_file_(std::string_view path,
+                                                  std::uint64_t chunk_id)
+      const;
+
+  std::filesystem::path root_;
+  std::uint32_t chunk_size_;
+  mutable ChunkStorageStats stats_{};
+};
+
+}  // namespace gekko::storage

@@ -1,0 +1,101 @@
+// Eventual<T>: one-shot synchronization cell, after ABT_eventual /
+// margo_request. An RPC forward sets the eventual from the progress
+// thread; the caller waits (with optional deadline).
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace gekko::task {
+
+template <typename T>
+class EventualState {
+ public:
+  void set(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      assert(!value_.has_value() && "eventual set twice");
+      value_.emplace(std::move(value));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until set.
+  T wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return value_.has_value(); });
+    return std::move(*value_);
+  }
+
+  /// Blocks until set or timeout. nullopt on timeout (value stays unset
+  /// and may still arrive later; the state is shared_ptr-owned so a late
+  /// set() is safe).
+  std::optional<T> wait_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return value_.has_value(); })) {
+      return std::nullopt;
+    }
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] bool ready() const {
+    std::lock_guard lock(mutex_);
+    return value_.has_value();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<T> value_;
+};
+
+/// Shared handle; copyable between setter and waiter.
+template <typename T>
+class Eventual {
+ public:
+  Eventual() : state_(std::make_shared<EventualState<T>>()) {}
+
+  void set(T value) const { state_->set(std::move(value)); }
+  T wait() const { return state_->wait(); }
+  std::optional<T> wait_for(std::chrono::nanoseconds timeout) const {
+    return state_->wait_for(timeout);
+  }
+  [[nodiscard]] bool ready() const { return state_->ready(); }
+
+ private:
+  std::shared_ptr<EventualState<T>> state_;
+};
+
+/// Countdown latch for fan-out RPC patterns (e.g. readdir broadcast).
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : remaining_(count) {}
+
+  void count_down() {
+    std::lock_guard lock(mutex_);
+    if (remaining_ > 0) --remaining_;
+    if (remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+  bool wait_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+}  // namespace gekko::task

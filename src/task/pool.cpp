@@ -1,0 +1,42 @@
+#include "task/pool.h"
+
+#include "common/logging.h"
+
+namespace gekko::task {
+
+Pool::Pool(std::size_t workers, std::string name) : name_(std::move(name)) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop_(); });
+  }
+  GEKKO_DEBUG("task") << "pool '" << name_ << "' started with " << workers
+                      << " workers";
+}
+
+Pool::~Pool() { shutdown(); }
+
+bool Pool::post(Task task) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  return queue_.push(std::move(task));
+}
+
+void Pool::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Another caller already initiated shutdown; still wait for joins.
+  }
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Pool::worker_loop_() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gekko::task

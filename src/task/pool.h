@@ -1,0 +1,62 @@
+// Worker pools modeled after Argobots execution streams (xstreams).
+//
+// Margo runs Mercury progress on dedicated xstreams and dispatches RPC
+// handlers onto a pool of handler xstreams (paper §III.B.b). We reproduce
+// that execution model with plain threads: a Pool owns N workers draining
+// a shared queue of tasks. ULT-style blocking is emulated with Eventual
+// (see future.h) — a handler that waits on an eventual occupies its
+// worker, so pools that may block must be sized accordingly, exactly as
+// Margo deployments size their handler pools.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace gekko::task {
+
+class Pool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads immediately. `name` appears in logs.
+  explicit Pool(std::size_t workers, std::string name = "pool");
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~Pool();
+
+  /// Enqueue a task. Returns false after shutdown began.
+  bool post(Task task);
+
+  /// Stop accepting tasks; running/queued tasks complete, workers join.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Tasks executed since construction (relaxed; for stats only).
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+ private:
+  void worker_loop_();
+
+  std::string name_;
+  BlockingQueue<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace gekko::task

@@ -1,0 +1,174 @@
+// Uniform file-system interface so the mdtest/IOR drivers run
+// unmodified against both GekkoFS (fs::Mount) and the baseline PFS —
+// the "unmodified microbenchmark" discipline of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "baseline/pfs.h"
+#include "common/result.h"
+#include "fs/mount.h"
+
+namespace gekko::workload {
+
+class FsAdapter {
+ public:
+  virtual ~FsAdapter() = default;
+  virtual Status create(std::string_view path) = 0;
+  virtual Status stat(std::string_view path) = 0;
+  virtual Status remove(std::string_view path) = 0;
+  virtual Status mkdir(std::string_view path) = 0;
+  virtual Result<std::size_t> pwrite(std::string_view path,
+                                     std::uint64_t offset,
+                                     std::span<const std::uint8_t> data) = 0;
+  virtual Result<std::size_t> pread(std::string_view path,
+                                    std::uint64_t offset,
+                                    std::span<std::uint8_t> out) = 0;
+
+  // Handle-based streaming I/O (IOR opens once, then streams).
+  virtual Result<int> open_stream(std::string_view path, bool for_write) = 0;
+  virtual Result<std::size_t> pwrite_fd(int fd, std::uint64_t offset,
+                                        std::span<const std::uint8_t> d) = 0;
+  virtual Result<std::size_t> pread_fd(int fd, std::uint64_t offset,
+                                       std::span<std::uint8_t> out) = 0;
+  virtual Status close_stream(int fd) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// GekkoFS through the public Mount API.
+class GekkoAdapter final : public FsAdapter {
+ public:
+  explicit GekkoAdapter(fs::Mount& mount) : mount_(mount) {}
+
+  Status create(std::string_view path) override {
+    auto fd = mount_.open(path, fs::create | fs::wr_only);
+    if (!fd) return fd.status();
+    return mount_.close(*fd);
+  }
+  Status stat(std::string_view path) override {
+    return mount_.stat(path).status();
+  }
+  Status remove(std::string_view path) override {
+    return mount_.unlink(path);
+  }
+  Status mkdir(std::string_view path) override { return mount_.mkdir(path); }
+  Result<std::size_t> pwrite(std::string_view path, std::uint64_t offset,
+                             std::span<const std::uint8_t> data) override {
+    auto fd = mount_.open(path, fs::create | fs::wr_only);
+    if (!fd) return fd.status();
+    auto n = mount_.pwrite(*fd, data, offset);
+    Status close_st = mount_.close(*fd);
+    if (!n) return n.status();
+    if (!close_st.is_ok()) return close_st;
+    return n;
+  }
+  Result<std::size_t> pread(std::string_view path, std::uint64_t offset,
+                            std::span<std::uint8_t> out) override {
+    auto fd = mount_.open(path, fs::rd_only);
+    if (!fd) return fd.status();
+    auto n = mount_.pread(*fd, out, offset);
+    Status close_st = mount_.close(*fd);
+    if (!n) return n.status();
+    if (!close_st.is_ok()) return close_st;
+    return n;
+  }
+  Result<int> open_stream(std::string_view path, bool for_write) override {
+    return mount_.open(path, for_write ? (fs::create | fs::rd_wr)
+                                       : fs::rd_only);
+  }
+  Result<std::size_t> pwrite_fd(int fd, std::uint64_t offset,
+                                std::span<const std::uint8_t> d) override {
+    return mount_.pwrite(fd, d, offset);
+  }
+  Result<std::size_t> pread_fd(int fd, std::uint64_t offset,
+                               std::span<std::uint8_t> out) override {
+    return mount_.pread(fd, out, offset);
+  }
+  Status close_stream(int fd) override { return mount_.close(fd); }
+
+  [[nodiscard]] std::string_view name() const override { return "gekkofs"; }
+
+ private:
+  fs::Mount& mount_;
+};
+
+/// The Lustre-like baseline.
+class BaselineAdapter final : public FsAdapter {
+ public:
+  explicit BaselineAdapter(baseline::ParallelFileSystem& pfs) : pfs_(pfs) {}
+
+  Status create(std::string_view path) override {
+    return pfs_.create(path, proto::FileType::regular);
+  }
+  Status stat(std::string_view path) override {
+    return pfs_.stat(path).status();
+  }
+  Status remove(std::string_view path) override { return pfs_.unlink(path); }
+  Status mkdir(std::string_view path) override { return pfs_.mkdir(path); }
+  Result<std::size_t> pwrite(std::string_view path, std::uint64_t offset,
+                             std::span<const std::uint8_t> data) override {
+    if (Status st = pfs_.create(path, proto::FileType::regular);
+        !st.is_ok() && st.code() != Errc::exists) {
+      return st;
+    }
+    return pfs_.write(path, offset, data);
+  }
+  Result<std::size_t> pread(std::string_view path, std::uint64_t offset,
+                            std::span<std::uint8_t> out) override {
+    return pfs_.read(path, offset, out);
+  }
+  Result<int> open_stream(std::string_view path, bool for_write) override {
+    if (for_write) {
+      if (Status st = pfs_.create(path, proto::FileType::regular);
+          !st.is_ok() && st.code() != Errc::exists) {
+        return st;
+      }
+    } else if (Status st = pfs_.stat(path).status(); !st.is_ok()) {
+      return st;
+    }
+    std::lock_guard lock(mutex_);
+    const int fd = next_fd_++;
+    handles_[fd] = std::string(path);
+    return fd;
+  }
+  Result<std::size_t> pwrite_fd(int fd, std::uint64_t offset,
+                                std::span<const std::uint8_t> d) override {
+    auto path = handle_path_(fd);
+    if (!path) return path.status();
+    return pfs_.write(*path, offset, d);
+  }
+  Result<std::size_t> pread_fd(int fd, std::uint64_t offset,
+                               std::span<std::uint8_t> out) override {
+    auto path = handle_path_(fd);
+    if (!path) return path.status();
+    return pfs_.read(*path, offset, out);
+  }
+  Status close_stream(int fd) override {
+    std::lock_guard lock(mutex_);
+    return handles_.erase(fd) > 0 ? Status::ok() : Status{Errc::bad_fd};
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "baseline"; }
+
+ private:
+  Result<std::string> handle_path_(int fd) const {
+    std::lock_guard lock(mutex_);
+    auto it = handles_.find(fd);
+    if (it == handles_.end()) return Errc::bad_fd;
+    return it->second;
+  }
+
+  baseline::ParallelFileSystem& pfs_;
+  mutable std::mutex mutex_;
+  int next_fd_ = 1;
+  std::map<int, std::string> handles_;
+};
+
+}  // namespace gekko::workload

@@ -1,0 +1,45 @@
+// IOR-like data workload driver (paper §IV.B).
+//
+// P worker threads, each writing/reading `bytes_per_proc` in
+// `transfer_size` requests — sequential or random offsets, into a
+// private file (file-per-process) or one shared file (each rank owns a
+// disjoint strided region, IOR's segmented layout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "workload/fs_adapter.h"
+
+namespace gekko::workload {
+
+struct IorConfig {
+  std::uint32_t procs = 4;
+  std::uint64_t transfer_size = 64 * 1024;
+  std::uint64_t bytes_per_proc = 4 * 1024 * 1024;
+  bool random_offsets = false;
+  bool shared_file = false;
+  std::string base_dir = "/ior";
+  std::uint64_t seed = 42;
+  bool verify = false;  // re-read and checksum-compare after write phase
+};
+
+struct IorPhaseResult {
+  double mib_per_sec = 0;
+  double seconds = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t ops = 0;
+  double mean_latency_us = 0;
+  std::uint64_t errors = 0;
+};
+
+struct IorResult {
+  IorPhaseResult write;
+  IorPhaseResult read;
+  bool verified = true;
+};
+
+Result<IorResult> run_ior(FsAdapter& fs, const IorConfig& config);
+
+}  // namespace gekko::workload

@@ -1,0 +1,88 @@
+#include "workload/mdtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gekko::workload {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string file_path(const MdtestConfig& cfg, std::uint32_t proc,
+                      std::uint32_t index) {
+  const std::string dir = cfg.unique_dir
+                              ? cfg.base_dir + "/rank" + std::to_string(proc)
+                              : cfg.base_dir;
+  return dir + "/file." + std::to_string(proc) + "." + std::to_string(index);
+}
+
+PhaseResult run_phase(
+    FsAdapter& fs, const MdtestConfig& cfg,
+    const std::function<Status(std::uint32_t, std::uint32_t)>& op) {
+  std::atomic<std::uint64_t> errors{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.procs);
+  for (std::uint32_t p = 0; p < cfg.procs; ++p) {
+    workers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < cfg.files_per_proc; ++i) {
+        if (Status st = op(p, i); !st.is_ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  (void)fs;
+  PhaseResult r;
+  r.ops = static_cast<std::uint64_t>(cfg.procs) * cfg.files_per_proc;
+  r.seconds = seconds;
+  r.ops_per_sec = seconds > 0 ? static_cast<double>(r.ops) / seconds : 0;
+  r.errors = errors.load();
+  return r;
+}
+
+}  // namespace
+
+Result<MdtestResult> run_mdtest(FsAdapter& fs, const MdtestConfig& cfg) {
+  // Working directories (ignore EEXIST across iterations).
+  if (Status st = fs.mkdir(cfg.base_dir);
+      !st.is_ok() && st.code() != Errc::exists) {
+    return st;
+  }
+  if (cfg.unique_dir) {
+    for (std::uint32_t p = 0; p < cfg.procs; ++p) {
+      if (Status st = fs.mkdir(cfg.base_dir + "/rank" + std::to_string(p));
+          !st.is_ok() && st.code() != Errc::exists) {
+        return st;
+      }
+    }
+  }
+
+  MdtestResult result;
+  result.create = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+    return fs.create(file_path(cfg, p, i));
+  });
+  result.stat = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+    return fs.stat(file_path(cfg, p, i));
+  });
+  result.remove = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+    return fs.remove(file_path(cfg, p, i));
+  });
+
+  if (result.create.errors + result.stat.errors + result.remove.errors > 0) {
+    GEKKO_WARN("mdtest") << "errors: create=" << result.create.errors
+                         << " stat=" << result.stat.errors
+                         << " remove=" << result.remove.errors;
+  }
+  return result;
+}
+
+}  // namespace gekko::workload

@@ -1,0 +1,47 @@
+// mdtest-like metadata workload driver (paper §IV.A).
+//
+// "mdtest performs create, stat, and remove operations in parallel in
+//  a single directory — an important workload in many HPC applications
+//  and among the most difficult workloads for a general-purpose PFS."
+//
+// P worker threads stand in for MPI ranks. Each creates/stats/removes
+// its own `files_per_proc` zero-byte files in one shared directory
+// (or one directory per rank: `unique_dir`, the paper's Lustre
+// configuration variant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "workload/fs_adapter.h"
+
+namespace gekko::workload {
+
+struct MdtestConfig {
+  std::uint32_t procs = 4;
+  std::uint32_t files_per_proc = 1000;
+  bool unique_dir = false;  // one working dir per rank instead of shared
+  std::string base_dir = "/mdtest";
+  std::uint32_t iterations = 1;
+};
+
+struct PhaseResult {
+  double ops_per_sec = 0;
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+};
+
+struct MdtestResult {
+  PhaseResult create;
+  PhaseResult stat;
+  PhaseResult remove;
+};
+
+/// Run all three phases; the adapter may be shared by all threads
+/// (GekkoFS mounts and the baseline PFS are both thread-safe).
+Result<MdtestResult> run_mdtest(FsAdapter& fs, const MdtestConfig& config);
+
+}  // namespace gekko::workload

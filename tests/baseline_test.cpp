@@ -1,0 +1,148 @@
+// Baseline PFS tests: POSIX-compliant semantics (the contrast class to
+// GekkoFS): parent requirements, directory entries, rename, striping.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/pfs.h"
+#include "common/rng.h"
+
+namespace gekko::baseline {
+namespace {
+
+TEST(BaselinePfsTest, CreateRequiresParent) {
+  ParallelFileSystem pfs;
+  // Unlike GekkoFS, POSIX requires the full ancestor chain.
+  EXPECT_EQ(pfs.create("/a/b/c", proto::FileType::regular).code(),
+            Errc::not_found);
+  ASSERT_TRUE(pfs.mkdir("/a").is_ok());
+  EXPECT_EQ(pfs.create("/a/b/c", proto::FileType::regular).code(),
+            Errc::not_found);
+  ASSERT_TRUE(pfs.mkdir("/a/b").is_ok());
+  EXPECT_TRUE(pfs.create("/a/b/c", proto::FileType::regular).is_ok());
+}
+
+TEST(BaselinePfsTest, CreateInFileParentFails) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.create("/f", proto::FileType::regular).is_ok());
+  EXPECT_EQ(pfs.create("/f/child", proto::FileType::regular).code(),
+            Errc::not_directory);
+}
+
+TEST(BaselinePfsTest, ReaddirMaintainsEntries) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.mkdir("/d").is_ok());
+  for (const char* name : {"x", "y", "z"}) {
+    ASSERT_TRUE(
+        pfs.create(std::string("/d/") + name, proto::FileType::regular)
+            .is_ok());
+  }
+  ASSERT_TRUE(pfs.unlink("/d/y").is_ok());
+  auto entries = pfs.readdir("/d");
+  ASSERT_TRUE(entries.is_ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "x");
+  EXPECT_EQ((*entries)[1].name, "z");
+}
+
+TEST(BaselinePfsTest, RmdirRequiresEmpty) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.mkdir("/d").is_ok());
+  ASSERT_TRUE(pfs.create("/d/f", proto::FileType::regular).is_ok());
+  EXPECT_EQ(pfs.rmdir("/d").code(), Errc::not_empty);
+  ASSERT_TRUE(pfs.unlink("/d/f").is_ok());
+  EXPECT_TRUE(pfs.rmdir("/d").is_ok());
+}
+
+TEST(BaselinePfsTest, RenameMovesFile) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.mkdir("/src").is_ok());
+  ASSERT_TRUE(pfs.mkdir("/dst").is_ok());
+  ASSERT_TRUE(pfs.create("/src/f", proto::FileType::regular).is_ok());
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  ASSERT_TRUE(pfs.write("/src/f", 0, data).is_ok());
+
+  ASSERT_TRUE(pfs.rename("/src/f", "/dst/g").is_ok());
+  EXPECT_EQ(pfs.stat("/src/f").code(), Errc::not_found);
+  EXPECT_EQ(pfs.stat("/dst/g")->size, 3u);
+  EXPECT_TRUE(pfs.readdir("/src")->empty());
+  EXPECT_EQ(pfs.readdir("/dst")->size(), 1u);
+
+  std::vector<std::uint8_t> out(3);
+  ASSERT_TRUE(pfs.read("/dst/g", 0, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BaselinePfsTest, RenameOntoExistingFails) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.create("/a", proto::FileType::regular).is_ok());
+  ASSERT_TRUE(pfs.create("/b", proto::FileType::regular).is_ok());
+  EXPECT_EQ(pfs.rename("/a", "/b").code(), Errc::exists);
+}
+
+TEST(BaselinePfsTest, StripedWriteReadRoundTrip) {
+  PfsOptions opts;
+  opts.stripe_size = 1024;  // force multi-stripe
+  ParallelFileSystem pfs(opts);
+  ASSERT_TRUE(pfs.create("/big", proto::FileType::regular).is_ok());
+
+  std::vector<std::uint8_t> data(10 * 1024 + 123);
+  Xoshiro256 rng(5);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  ASSERT_TRUE(pfs.write("/big", 500, data).is_ok());
+  EXPECT_EQ(pfs.stat("/big")->size, 500 + data.size());
+
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_TRUE(pfs.read("/big", 500, out).is_ok());
+  EXPECT_EQ(out, data);
+
+  // Hole before offset 500 reads as zeroes.
+  std::vector<std::uint8_t> head(500, 0xff);
+  ASSERT_TRUE(pfs.read("/big", 0, head).is_ok());
+  EXPECT_TRUE(std::all_of(head.begin(), head.end(),
+                          [](auto b) { return b == 0; }));
+}
+
+TEST(BaselinePfsTest, TruncateAdjustsStripes) {
+  PfsOptions opts;
+  opts.stripe_size = 1024;
+  ParallelFileSystem pfs(opts);
+  ASSERT_TRUE(pfs.create("/t", proto::FileType::regular).is_ok());
+  const std::vector<std::uint8_t> data(5000, 0x77);
+  ASSERT_TRUE(pfs.write("/t", 0, data).is_ok());
+  ASSERT_TRUE(pfs.truncate("/t", 1500).is_ok());
+  EXPECT_EQ(pfs.stat("/t")->size, 1500u);
+  std::vector<std::uint8_t> out(2000, 0xff);
+  auto n = pfs.read("/t", 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 1500u);  // EOF applies
+}
+
+TEST(BaselinePfsTest, ConcurrentSingleDirCreatesAllSucceed) {
+  ParallelFileSystem pfs;
+  ASSERT_TRUE(pfs.mkdir("/storm").is_ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string p = "/storm/f" + std::to_string(t) + "_" +
+                              std::to_string(i);
+        if (!pfs.create(p, proto::FileType::regular).is_ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pfs.readdir("/storm")->size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_GE(pfs.stats().mds_ops,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace gekko::baseline

@@ -1,0 +1,210 @@
+// Cache tests: the LRU SST block cache, DB integration, and the
+// client stat cache (unit + through the Mount API).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "client/stat_cache.h"
+#include "cluster/cluster.h"
+#include "kv/cache.h"
+#include "kv/db.h"
+#include "kv/merge.h"
+
+namespace gekko {
+namespace {
+
+// ---------- BlockCache ----------
+
+TEST(BlockCacheTest, InsertLookupRoundTrip) {
+  kv::BlockCache cache(1 << 20);
+  EXPECT_EQ(cache.lookup(1, 0), nullptr);
+  cache.insert(1, 0, "block-content");
+  auto hit = cache.lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "block-content");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, DistinctKeysDontCollide) {
+  kv::BlockCache cache(1 << 20);
+  cache.insert(1, 0, "a");
+  cache.insert(1, 4096, "b");
+  cache.insert(2, 0, "c");
+  EXPECT_EQ(*cache.lookup(1, 0), "a");
+  EXPECT_EQ(*cache.lookup(1, 4096), "b");
+  EXPECT_EQ(*cache.lookup(2, 0), "c");
+}
+
+TEST(BlockCacheTest, EvictsLruUnderPressure) {
+  kv::BlockCache cache(kv::BlockCache::kShards * 100);  // ~100 B/shard
+  const std::string big(90, 'x');
+  // Insert several blocks that hash to arbitrary shards; each shard
+  // holds at most ~1 of these.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.insert(i, 0, big);
+  }
+  EXPECT_LE(cache.bytes_used(), kv::BlockCache::kShards * 2 * big.size());
+  // The very last inserted block must still be present (MRU).
+  EXPECT_NE(cache.lookup(63, 0), nullptr);
+}
+
+TEST(BlockCacheTest, ReplaceSameKeyKeepsAccounting) {
+  kv::BlockCache cache(1 << 20);
+  cache.insert(5, 0, std::string(100, 'a'));
+  cache.insert(5, 0, std::string(50, 'b'));
+  EXPECT_EQ(cache.bytes_used(), 50u);
+  EXPECT_EQ(cache.lookup(5, 0)->size(), 50u);
+}
+
+TEST(BlockCacheTest, EraseTableDropsOnlyThatTable) {
+  kv::BlockCache cache(1 << 20);
+  cache.insert(7, 0, "seven");
+  cache.insert(7, 4096, "seven2");
+  cache.insert(8, 0, "eight");
+  cache.erase_table(7);
+  EXPECT_EQ(cache.lookup(7, 0), nullptr);
+  EXPECT_EQ(cache.lookup(7, 4096), nullptr);
+  ASSERT_NE(cache.lookup(8, 0), nullptr);
+  EXPECT_EQ(*cache.lookup(8, 0), "eight");
+}
+
+TEST(BlockCacheTest, EvictedBlockSurvivesWhileHeld) {
+  kv::BlockCache cache(kv::BlockCache::kShards * 64);
+  auto held = cache.insert(1, 0, std::string(60, 'h'));
+  for (std::uint64_t i = 2; i < 40; ++i) {
+    cache.insert(i, 0, std::string(60, 'x'));  // evicts (1,0) eventually
+  }
+  EXPECT_EQ(held->size(), 60u);  // shared_ptr keeps it alive
+}
+
+// ---------- DB with block cache ----------
+
+TEST(DbBlockCacheTest, HitsAccumulateOnRepeatedReads) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gekko_dbcache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  kv::Options opts;
+  opts.memtable_budget = 16 * 1024;
+  opts.background_compaction = false;
+  opts.merge_operator = std::make_shared<kv::AppendMergeOperator>();
+  opts.block_cache = std::make_shared<kv::BlockCache>(4 << 20);
+
+  auto db = std::move(*kv::DB::open(dir, opts));
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        db->put("/c/" + std::to_string(i), std::string(64, 'v')).is_ok());
+  }
+  ASSERT_TRUE(db->flush().is_ok());
+
+  // First read warms the cache; repeats must hit.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; i += 50) {
+      ASSERT_TRUE(db->get("/c/" + std::to_string(i)).is_ok());
+    }
+  }
+  EXPECT_GT(opts.block_cache->hits(), opts.block_cache->misses());
+
+  // Same data readable after compaction rewrites tables (old entries
+  // were purged from the cache, new tables repopulate it).
+  ASSERT_TRUE(db->compact_all().is_ok());
+  for (int i = 0; i < 2000; i += 100) {
+    EXPECT_TRUE(db->get("/c/" + std::to_string(i)).is_ok()) << i;
+  }
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- StatCache unit ----------
+
+TEST(StatCacheTest, DisabledCacheNeverHits) {
+  client::StatCache cache(std::chrono::milliseconds(0));
+  proto::Metadata md;
+  cache.store("/f", md);
+  EXPECT_FALSE(cache.lookup("/f").has_value());
+}
+
+TEST(StatCacheTest, StoreLookupInvalidate) {
+  client::StatCache cache(std::chrono::milliseconds(10000));
+  proto::Metadata md;
+  md.size = 42;
+  cache.store("/f", md);
+  auto hit = cache.lookup("/f");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size, 42u);
+  cache.invalidate("/f");
+  EXPECT_FALSE(cache.lookup("/f").has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(StatCacheTest, EntriesExpire) {
+  client::StatCache cache(std::chrono::milliseconds(20));
+  proto::Metadata md;
+  cache.store("/f", md);
+  EXPECT_TRUE(cache.lookup("/f").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(cache.lookup("/f").has_value());
+}
+
+TEST(StatCacheTest, LocalWriteGrowsCachedSize) {
+  client::StatCache cache(std::chrono::milliseconds(10000));
+  proto::Metadata md;
+  md.size = 100;
+  cache.store("/f", md);
+  cache.on_local_write("/f", 500);
+  EXPECT_EQ(cache.lookup("/f")->size, 500u);
+  cache.on_local_write("/f", 50);  // no shrink
+  EXPECT_EQ(cache.lookup("/f")->size, 500u);
+}
+
+// ---------- StatCache through the stack ----------
+
+TEST(StatCacheIntegrationTest, ReadYourWritesAndRpcSavings) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("gekko_statc_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  cluster::ClusterOptions copts;
+  copts.nodes = 2;
+  copts.root = root;
+  copts.daemon_options.chunk_size = 16 * 1024;
+  copts.daemon_options.kv_options.background_compaction = false;
+  auto cluster = std::move(*cluster::Cluster::start(copts));
+
+  client::ClientOptions mopts;
+  mopts.stat_cache_ttl = std::chrono::milliseconds(60000);
+  auto mnt = cluster->mount(mopts);
+
+  auto fd = mnt->open("/cached", fs::create | fs::rd_wr);
+  ASSERT_TRUE(fd.is_ok());
+  std::vector<std::uint8_t> data(10000, 0x33);
+  ASSERT_TRUE(mnt->pwrite(*fd, data, 0).is_ok());
+
+  // Repeated stats served from cache (after the first miss).
+  for (int i = 0; i < 20; ++i) {
+    auto md = mnt->stat("/cached");
+    ASSERT_TRUE(md.is_ok());
+    EXPECT_EQ(md->size, 10000u);  // read-your-writes via on_local_write
+  }
+  const auto stats = mnt->client().stats();
+  EXPECT_GE(stats.stat_cache_hits, 19u);
+
+  // Reads use cached size for EOF and still return correct data.
+  std::vector<std::uint8_t> out(20000);
+  auto n = mnt->pread(*fd, out, 0);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 10000u);
+
+  // Truncate invalidates: next stat refetches the authoritative size.
+  ASSERT_TRUE(mnt->truncate("/cached", 5).is_ok());
+  EXPECT_EQ(mnt->stat("/cached")->size, 5u);
+
+  mnt.reset();
+  cluster.reset();
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace gekko

@@ -1,0 +1,146 @@
+// File I/O wrapper tests: buffered appends, positional reads, atomic
+// replace, directory listing — the layer the WAL/SST/chunk code trusts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/fileio.h"
+
+namespace gekko::io {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gekko_io_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, WriteThenReadBack) {
+  const auto p = dir_ / "f";
+  {
+    auto f = WritableFile::create(p);
+    ASSERT_TRUE(f.is_ok());
+    ASSERT_TRUE(f->append("hello ").is_ok());
+    ASSERT_TRUE(f->append("world").is_ok());
+    EXPECT_EQ(f->size(), 11u);
+    ASSERT_TRUE(f->sync().is_ok());
+    ASSERT_TRUE(f->close().is_ok());
+  }
+  auto content = read_file(p);
+  ASSERT_TRUE(content.is_ok());
+  EXPECT_EQ(*content, "hello world");
+}
+
+TEST_F(FileIoTest, LargeAppendsCrossBufferBoundary) {
+  const auto p = dir_ / "big";
+  const std::string block(50 * 1024, 'z');  // < 64 KiB buffer
+  {
+    auto f = WritableFile::create(p);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(f->append(block).is_ok());  // forces periodic flush
+    }
+    ASSERT_TRUE(f->close().is_ok());
+  }
+  EXPECT_EQ(std::filesystem::file_size(p), 5 * block.size());
+}
+
+TEST_F(FileIoTest, OpenAppendContinues) {
+  const auto p = dir_ / "log";
+  {
+    auto f = WritableFile::create(p);
+    ASSERT_TRUE(f->append("first.").is_ok());
+    ASSERT_TRUE(f->close().is_ok());
+  }
+  {
+    auto f = WritableFile::open_append(p);
+    ASSERT_TRUE(f.is_ok());
+    EXPECT_EQ(f->size(), 6u);  // picks up existing length
+    ASSERT_TRUE(f->append("second.").is_ok());
+    ASSERT_TRUE(f->close().is_ok());
+  }
+  EXPECT_EQ(*read_file(p), "first.second.");
+}
+
+TEST_F(FileIoTest, RandomAccessReads) {
+  const auto p = dir_ / "ra";
+  {
+    auto f = WritableFile::create(p);
+    ASSERT_TRUE(f->append("0123456789").is_ok());
+    ASSERT_TRUE(f->close().is_ok());
+  }
+  auto f = RandomAccessFile::open(p);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f->size(), 10u);
+
+  std::uint8_t buf[4];
+  ASSERT_TRUE(f->read_exact(3, std::span<std::uint8_t>(buf, 4)).is_ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "3456");
+
+  // Short read at EOF reports bytes actually read.
+  auto n = f->read(8, std::span<std::uint8_t>(buf, 4));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 2u);
+  // read_exact past EOF is an error.
+  EXPECT_EQ(f->read_exact(8, std::span<std::uint8_t>(buf, 4)).code(),
+            Errc::io_error);
+}
+
+TEST_F(FileIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(RandomAccessFile::open(dir_ / "absent").code(), Errc::not_found);
+  EXPECT_EQ(read_file(dir_ / "absent").code(), Errc::not_found);
+}
+
+TEST_F(FileIoTest, AtomicWriteReplacesWholeFile) {
+  const auto p = dir_ / "atomic";
+  ASSERT_TRUE(write_file_atomic(p, "version 1").is_ok());
+  ASSERT_TRUE(write_file_atomic(p, "v2").is_ok());
+  EXPECT_EQ(*read_file(p), "v2");
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(p.string() + ".tmp"));
+}
+
+TEST_F(FileIoTest, ListDirReturnsRegularFilesOnly) {
+  ASSERT_TRUE(write_file_atomic(dir_ / "a.txt", "x").is_ok());
+  ASSERT_TRUE(write_file_atomic(dir_ / "b.txt", "y").is_ok());
+  std::filesystem::create_directory(dir_ / "subdir");
+  auto names = list_dir(dir_);
+  ASSERT_TRUE(names.is_ok());
+  std::sort(names->begin(), names->end());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+TEST_F(FileIoTest, EnsureDirIsIdempotent) {
+  const auto deep = dir_ / "x" / "y" / "z";
+  ASSERT_TRUE(ensure_dir(deep).is_ok());
+  ASSERT_TRUE(ensure_dir(deep).is_ok());
+  EXPECT_TRUE(std::filesystem::is_directory(deep));
+}
+
+TEST_F(FileIoTest, RemoveFile) {
+  ASSERT_TRUE(write_file_atomic(dir_ / "rm", "x").is_ok());
+  ASSERT_TRUE(remove_file(dir_ / "rm").is_ok());
+  EXPECT_EQ(remove_file(dir_ / "rm").code(), Errc::not_found);
+}
+
+TEST_F(FileIoTest, MoveSemanticsTransferOwnership) {
+  const auto p = dir_ / "moved";
+  auto f1 = WritableFile::create(p);
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f1->append("abc").is_ok());
+  WritableFile f2 = std::move(*f1);
+  EXPECT_FALSE(f1->is_open());
+  EXPECT_TRUE(f2.is_open());
+  ASSERT_TRUE(f2.append("def").is_ok());
+  ASSERT_TRUE(f2.close().is_ok());
+  EXPECT_EQ(*read_file(p), "abcdef");
+}
+
+}  // namespace
+}  // namespace gekko::io

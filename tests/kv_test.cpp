@@ -1,0 +1,793 @@
+// LSM KV store tests: write batch, WAL (incl. torn-tail recovery),
+// bloom filters, blocks, SSTables, the skiplist/memtable, and the DB
+// facade (merges, snapshots, scans, compaction, crash-reopen, and a
+// model-based randomized test against std::map).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/fileio.h"
+#include "common/rng.h"
+#include "kv/bloom.h"
+#include "kv/block.h"
+#include "kv/db.h"
+#include "kv/internal_key.h"
+#include "kv/memtable.h"
+#include "kv/merge.h"
+#include "kv/skiplist.h"
+#include "kv/sstable.h"
+#include "kv/wal.h"
+#include "kv/write_batch.h"
+
+namespace gekko::kv {
+namespace {
+
+std::filesystem::path fresh_dir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("gekko_kv_") + tag + "_" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------- internal key ----------
+
+TEST(InternalKeyTest, OrderingNewestFirst) {
+  const std::string a1 = make_internal_key("a", 10, ValueType::value);
+  const std::string a2 = make_internal_key("a", 5, ValueType::value);
+  const std::string b = make_internal_key("b", 1, ValueType::value);
+  EXPECT_LT(compare_internal(a1, a2), 0);  // higher seq sorts first
+  EXPECT_LT(compare_internal(a2, b), 0);   // user key dominates
+  EXPECT_EQ(compare_internal(a1, a1), 0);
+}
+
+TEST(InternalKeyTest, TrailerRoundTrip) {
+  const std::string k = make_internal_key("/x/y", 12345, ValueType::merge);
+  EXPECT_EQ(extract_user_key(k), "/x/y");
+  const auto trailer = extract_trailer(k);
+  EXPECT_EQ(trailer_sequence(trailer), 12345u);
+  EXPECT_EQ(trailer_type(trailer), ValueType::merge);
+}
+
+TEST(InternalKeyTest, LookupKeyIsUpperBoundForSnapshot) {
+  // lookup(u, s) must sort <= every version of u with seq <= s and
+  // > every version with seq > s.
+  const std::string lookup = make_lookup_key("k", 10);
+  EXPECT_LE(compare_internal(lookup,
+                             make_internal_key("k", 10, ValueType::value)),
+            0);
+  EXPECT_GT(compare_internal(lookup,
+                             make_internal_key("k", 11, ValueType::value)),
+            0);
+}
+
+// ---------- write batch ----------
+
+TEST(WriteBatchTest, RoundTripAllOps) {
+  WriteBatch batch;
+  batch.put("k1", "v1");
+  batch.erase("k2");
+  batch.merge("k3", "operand");
+  EXPECT_EQ(batch.count(), 3u);
+
+  std::vector<std::tuple<ValueType, std::string, std::string>> ops;
+  ASSERT_TRUE(batch
+                  .for_each([&](ValueType t, std::string_view k,
+                                std::string_view v) {
+                    ops.emplace_back(t, std::string(k), std::string(v));
+                  })
+                  .is_ok());
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], std::make_tuple(ValueType::value, std::string("k1"),
+                                    std::string("v1")));
+  EXPECT_EQ(std::get<0>(ops[1]), ValueType::deletion);
+  EXPECT_EQ(std::get<0>(ops[2]), ValueType::merge);
+}
+
+TEST(WriteBatchTest, SerializeDeserialize) {
+  WriteBatch batch;
+  batch.put("a", std::string(1000, 'x'));
+  batch.erase("b");
+  const auto& bytes = batch.data();
+  auto parsed = WriteBatch::from_bytes(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->count(), 2u);
+}
+
+TEST(WriteBatchTest, RejectsGarbage) {
+  EXPECT_EQ(WriteBatch::from_bytes("\xff\x01garbage").code(),
+            Errc::corruption);
+}
+
+// ---------- WAL ----------
+
+TEST(WalTest, AppendRecoverRoundTrip) {
+  const auto dir = fresh_dir("wal");
+  const auto path = dir / "test.log";
+  {
+    auto w = WalWriter::create(path);
+    ASSERT_TRUE(w.is_ok());
+    ASSERT_TRUE(w->append(1, "first", false).is_ok());
+    ASSERT_TRUE(w->append(2, "second record", true).is_ok());
+    ASSERT_TRUE(w->close().is_ok());
+  }
+  std::vector<std::pair<SequenceNumber, std::string>> records;
+  auto stats = wal_recover(path, [&](SequenceNumber seq,
+                                     std::string_view bytes) {
+    records.emplace_back(seq, std::string(bytes));
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records_applied, 2u);
+  EXPECT_FALSE(stats->tail_corruption);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::pair<SequenceNumber, std::string>{1, "first"}));
+  EXPECT_EQ(records[1].second, "second record");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, MissingFileIsFreshDb) {
+  auto stats = wal_recover("/nonexistent/dir/w.log",
+                           [](auto, auto) { return Status::ok(); });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records_applied, 0u);
+}
+
+TEST(WalTest, TornTailDiscardedIntactPrefixKept) {
+  const auto dir = fresh_dir("waltear");
+  const auto path = dir / "torn.log";
+  {
+    auto w = WalWriter::create(path);
+    ASSERT_TRUE(w->append(1, "keep me", false).is_ok());
+    ASSERT_TRUE(w->append(2, "also keep", false).is_ok());
+    ASSERT_TRUE(w->close().is_ok());
+  }
+  // Tear: chop off the last 4 bytes (partial record payload).
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 4);
+
+  std::vector<SequenceNumber> seqs;
+  auto stats = wal_recover(path, [&](SequenceNumber s, std::string_view) {
+    seqs.push_back(s);
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(seqs, std::vector<SequenceNumber>{1});
+  EXPECT_TRUE(stats->tail_corruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, BitFlipDetectedByCrc) {
+  const auto dir = fresh_dir("walflip");
+  const auto path = dir / "flip.log";
+  {
+    auto w = WalWriter::create(path);
+    ASSERT_TRUE(w->append(1, "payload-payload-payload", false).is_ok());
+    ASSERT_TRUE(w->close().is_ok());
+  }
+  // Flip a payload byte.
+  auto content = io::read_file(path);
+  ASSERT_TRUE(content.is_ok());
+  (*content)[20] ^= 0x40;
+  ASSERT_TRUE(io::write_file_atomic(path, *content).is_ok());
+
+  std::uint64_t applied = 0;
+  auto stats = wal_recover(path, [&](auto, auto) {
+    ++applied;
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_TRUE(stats->tail_corruption);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- bloom ----------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) {
+    builder.add("/key/" + std::to_string(i));
+  }
+  const std::string filter = builder.finish();
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(bloom_may_contain(filter, "/key/" + std::to_string(i)));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) builder.add("/key/" + std::to_string(i));
+  const std::string filter = builder.finish();
+  int fp = 0;
+  constexpr int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bloom_may_contain(filter, "/absent/" + std::to_string(i))) ++fp;
+  }
+  // 10 bits/key => ~1% theoretical; allow generous slack.
+  EXPECT_LT(fp, kProbes / 25);
+}
+
+TEST(BloomTest, EmptyFilterAdmitsEverything) {
+  EXPECT_TRUE(bloom_may_contain("", "anything"));
+  BloomFilterBuilder builder(10);
+  EXPECT_EQ(builder.finish(), "");
+}
+
+// ---------- block ----------
+
+TEST(BlockTest, BuildAndIterate) {
+  BlockBuilder builder(4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/common/prefix/%04d", i);
+    keys.push_back(make_internal_key(buf, 1, ValueType::value));
+  }
+  for (const auto& k : keys) {
+    builder.add(k, "value-" + std::string(extract_user_key(k)));
+  }
+  const std::string block = builder.finish();
+
+  BlockIterator it(block);
+  it.seek_to_first();
+  std::size_t n = 0;
+  for (; it.valid(); it.next()) {
+    EXPECT_EQ(it.key(), keys[n]);
+    ++n;
+  }
+  EXPECT_EQ(n, keys.size());
+  EXPECT_TRUE(it.status().is_ok());
+}
+
+TEST(BlockTest, SeekFindsExactAndSuccessor) {
+  BlockBuilder builder(4);
+  for (int i = 0; i < 50; i += 2) {  // even keys only
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%04d", i);
+    builder.add(make_internal_key(buf, 1, ValueType::value), "v");
+  }
+  const std::string block = builder.finish();
+  BlockIterator it(block);
+
+  it.seek(make_lookup_key("k0010", kMaxSequence));
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(extract_user_key(it.key()), "k0010");
+
+  it.seek(make_lookup_key("k0011", kMaxSequence));  // odd: absent
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(extract_user_key(it.key()), "k0012");
+
+  it.seek(make_lookup_key("k9999", kMaxSequence));  // past the end
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(BlockTest, CorruptBlockReportsStatus) {
+  BlockIterator it("xy");  // smaller than the restart footer
+  it.seek_to_first();
+  EXPECT_FALSE(it.valid());
+  EXPECT_EQ(it.status().code(), Errc::corruption);
+}
+
+// ---------- sstable ----------
+
+class SstableTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = fresh_dir("sst"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::shared_ptr<Table> build(
+      const std::vector<std::pair<std::string, std::string>>& internal_kvs) {
+    const auto path = dir_ / "t.sst";
+    auto file = io::WritableFile::create(path);
+    EXPECT_TRUE(file.is_ok());
+    TableBuilder builder(options_, std::move(*file));
+    for (const auto& [k, v] : internal_kvs) {
+      EXPECT_TRUE(builder.add(k, v).is_ok());
+    }
+    auto meta = builder.finish();
+    EXPECT_TRUE(meta.is_ok());
+    auto table = Table::open(path, options_);
+    EXPECT_TRUE(table.is_ok());
+    return *table;
+  }
+
+  std::filesystem::path dir_;
+  Options options_;
+};
+
+TEST_F(SstableTest, PointLookupAcrossBlocks) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 5000; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/f/%06d", i);
+    kvs.emplace_back(make_internal_key(buf, 7, ValueType::value),
+                     "payload-" + std::to_string(i));
+  }
+  auto table = build(kvs);
+
+  for (int i : {0, 1, 999, 2500, 4999}) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/f/%06d", i);
+    LookupResult lr;
+    ASSERT_TRUE(table->get(buf, kMaxSequence, &lr).is_ok());
+    EXPECT_EQ(lr.state, LookupState::found) << buf;
+    EXPECT_EQ(lr.value, "payload-" + std::to_string(i));
+  }
+  LookupResult miss;
+  ASSERT_TRUE(table->get("/f/999999x", kMaxSequence, &miss).is_ok());
+  EXPECT_EQ(miss.state, LookupState::not_present);
+}
+
+TEST_F(SstableTest, SnapshotVisibility) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  // Newest first within the same user key (internal-key order).
+  kvs.emplace_back(make_internal_key("k", 30, ValueType::value), "v30");
+  kvs.emplace_back(make_internal_key("k", 20, ValueType::deletion), "");
+  kvs.emplace_back(make_internal_key("k", 10, ValueType::value), "v10");
+  auto table = build(kvs);
+
+  LookupResult at35;
+  ASSERT_TRUE(table->get("k", 35, &at35).is_ok());
+  EXPECT_EQ(at35.state, LookupState::found);
+  EXPECT_EQ(at35.value, "v30");
+
+  LookupResult at25;
+  ASSERT_TRUE(table->get("k", 25, &at25).is_ok());
+  EXPECT_EQ(at25.state, LookupState::deleted);
+
+  LookupResult at15;
+  ASSERT_TRUE(table->get("k", 15, &at15).is_ok());
+  EXPECT_EQ(at15.state, LookupState::found);
+  EXPECT_EQ(at15.value, "v10");
+}
+
+TEST_F(SstableTest, IteratorFullScanInOrder) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 3000; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/g/%05d", i);
+    kvs.emplace_back(make_internal_key(buf, 1, ValueType::value), "v");
+  }
+  auto table = build(kvs);
+  Table::Iterator it(table);
+  std::size_t n = 0;
+  std::string prev;
+  for (it.seek_to_first(); it.valid(); it.next()) {
+    if (!prev.empty()) {
+      EXPECT_LT(compare_internal(prev, it.key()), 0);
+    }
+    prev = std::string(it.key());
+    ++n;
+  }
+  EXPECT_EQ(n, kvs.size());
+}
+
+TEST_F(SstableTest, MetaRecordsBounds) {
+  const auto path = dir_ / "b.sst";
+  auto file = io::WritableFile::create(path);
+  TableBuilder builder(options_, std::move(*file));
+  const auto first = make_internal_key("aaa", 5, ValueType::value);
+  const auto last = make_internal_key("zzz", 9, ValueType::value);
+  ASSERT_TRUE(builder.add(first, "1").is_ok());
+  ASSERT_TRUE(builder.add(last, "2").is_ok());
+  auto meta = builder.finish();
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta->smallest, first);
+  EXPECT_EQ(meta->largest, last);
+  EXPECT_EQ(meta->entry_count, 2u);
+}
+
+TEST_F(SstableTest, CorruptedBlockDetected) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 100; ++i) {
+    kvs.emplace_back(make_internal_key("k" + std::to_string(i), 1,
+                                       ValueType::value),
+                     std::string(100, 'v'));
+  }
+  (void)build(kvs);
+  // Flip a byte in the first data block.
+  const auto path = dir_ / "t.sst";
+  auto content = io::read_file(path);
+  ASSERT_TRUE(content.is_ok());
+  (*content)[10] ^= 0x01;
+  ASSERT_TRUE(io::write_file_atomic(path, *content).is_ok());
+
+  auto table = Table::open(path, options_);
+  ASSERT_TRUE(table.is_ok());  // footer/index still intact
+  LookupResult lr;
+  EXPECT_EQ((*table)->get("k0", kMaxSequence, &lr).code(),
+            Errc::corruption);
+}
+
+// ---------- skiplist / memtable ----------
+
+TEST(SkipListTest, SortedInsertAndSeek) {
+  SkipList list;
+  Xoshiro256 rng(3);
+  std::set<std::string> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = make_internal_key(
+        "k" + std::to_string(rng.below(1000000)), i + 1, ValueType::value);
+    if (inserted.insert(key).second) {
+      list.insert(key, "v");
+    }
+  }
+  SkipList::Iterator it(&list);
+  std::string prev;
+  std::size_t n = 0;
+  for (it.seek_to_first(); it.valid(); it.next()) {
+    if (!prev.empty()) EXPECT_LT(compare_internal(prev, it.key()), 0);
+    prev = std::string(it.key());
+    ++n;
+  }
+  EXPECT_EQ(n, inserted.size());
+}
+
+TEST(MemTableTest, VisibilityRules) {
+  MemTable mem;
+  mem.add(1, ValueType::value, "k", "v1");
+  mem.add(2, ValueType::deletion, "k", "");
+  mem.add(3, ValueType::value, "k", "v3");
+
+  LookupResult at3;
+  mem.get("k", 3, &at3);
+  EXPECT_EQ(at3.state, LookupState::found);
+  EXPECT_EQ(at3.value, "v3");
+
+  LookupResult at2;
+  mem.get("k", 2, &at2);
+  EXPECT_EQ(at2.state, LookupState::deleted);
+
+  LookupResult at1;
+  mem.get("k", 1, &at1);
+  EXPECT_EQ(at1.state, LookupState::found);
+  EXPECT_EQ(at1.value, "v1");
+}
+
+TEST(MemTableTest, MergeOperandsAccumulateNewestFirst) {
+  MemTable mem;
+  mem.add(1, ValueType::value, "k", "base");
+  mem.add(2, ValueType::merge, "k", "m1");
+  mem.add(3, ValueType::merge, "k", "m2");
+
+  LookupResult lr;
+  mem.get("k", kMaxSequence, &lr);
+  EXPECT_EQ(lr.state, LookupState::found);
+  EXPECT_EQ(lr.value, "base");
+  ASSERT_EQ(lr.pending_merges.size(), 2u);
+  EXPECT_EQ(lr.pending_merges[0], "m2");  // newest first
+  EXPECT_EQ(lr.pending_merges[1], "m1");
+}
+
+// ---------- DB facade ----------
+
+class DbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fresh_dir("db");
+    open_db();
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void open_db(std::optional<Options> opts = std::nullopt) {
+    db_.reset();
+    Options o = opts.value_or(default_options());
+    auto db = DB::open(dir_ / "db", std::move(o));
+    ASSERT_TRUE(db.is_ok()) << db.status().to_string();
+    db_ = std::move(*db);
+  }
+
+  static Options default_options() {
+    Options o;
+    o.memtable_budget = 32 * 1024;  // tiny => frequent flushes
+    o.l0_compaction_trigger = 3;
+    o.l1_max_bytes = 128 * 1024;
+    o.target_sst_size = 64 * 1024;
+    o.background_compaction = false;  // deterministic tests
+    o.merge_operator = std::make_shared<AppendMergeOperator>();
+    return o;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbTest, PutGetDelete) {
+  ASSERT_TRUE(db_->put("a", "1").is_ok());
+  EXPECT_EQ(*db_->get("a"), "1");
+  ASSERT_TRUE(db_->put("a", "2").is_ok());
+  EXPECT_EQ(*db_->get("a"), "2");
+  ASSERT_TRUE(db_->erase("a").is_ok());
+  EXPECT_EQ(db_->get("a").code(), Errc::not_found);
+}
+
+TEST_F(DbTest, InsertIsCreateSemantics) {
+  EXPECT_TRUE(db_->insert("/file", "md").is_ok());
+  EXPECT_EQ(db_->insert("/file", "md2").code(), Errc::exists);
+  EXPECT_TRUE(db_->remove_existing("/file").is_ok());
+  EXPECT_EQ(db_->remove_existing("/file").code(), Errc::not_found);
+  // Insert works again after removal.
+  EXPECT_TRUE(db_->insert("/file", "md3").is_ok());
+  EXPECT_EQ(*db_->get("/file"), "md3");
+}
+
+TEST_F(DbTest, MergeFoldsInOrder) {
+  ASSERT_TRUE(db_->merge("k", "a").is_ok());  // no base: a
+  ASSERT_TRUE(db_->merge("k", "b").is_ok());
+  ASSERT_TRUE(db_->merge("k", "c").is_ok());
+  EXPECT_EQ(*db_->get("k"), "a,b,c");
+  ASSERT_TRUE(db_->put("k", "base").is_ok());
+  ASSERT_TRUE(db_->merge("k", "z").is_ok());
+  EXPECT_EQ(*db_->get("k"), "base,z");
+}
+
+TEST_F(DbTest, SurvivesFlushAndCompaction) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(db_->put("/k/" + std::to_string(i),
+                         "value-" + std::to_string(i))
+                    .is_ok());
+  }
+  ASSERT_TRUE(db_->flush().is_ok());
+  ASSERT_TRUE(db_->compact_all().is_ok());
+  for (int i : {0, 1, 1500, 2999}) {
+    EXPECT_EQ(*db_->get("/k/" + std::to_string(i)),
+              "value-" + std::to_string(i));
+  }
+  const auto stats = db_->stats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+}
+
+TEST_F(DbTest, DeletionsSurviveCompaction) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(db_->put("/k/" + std::to_string(i), "v").is_ok());
+  }
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(db_->erase("/k/" + std::to_string(i)).is_ok());
+  }
+  ASSERT_TRUE(db_->compact_all().is_ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto r = db_->get("/k/" + std::to_string(i));
+    if (i % 2 == 0) {
+      EXPECT_EQ(r.code(), Errc::not_found) << i;
+    } else {
+      ASSERT_TRUE(r.is_ok()) << i;
+    }
+  }
+}
+
+TEST_F(DbTest, ReopenRecoversFromWal) {
+  ASSERT_TRUE(db_->put("persist", "me").is_ok());
+  ASSERT_TRUE(db_->merge("m", "x").is_ok());
+  open_db();  // destructor flushes; reopen reads back
+  EXPECT_EQ(*db_->get("persist"), "me");
+  EXPECT_EQ(*db_->get("m"), "x");
+}
+
+TEST_F(DbTest, ReopenAfterManyWritesAndCompactions) {
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(db_->put("/p/" + std::to_string(i % 500),
+                         "gen-" + std::to_string(i))
+                    .is_ok());
+  }
+  open_db();
+  for (int k = 0; k < 500; ++k) {
+    auto r = db_->get("/p/" + std::to_string(k));
+    ASSERT_TRUE(r.is_ok()) << k;
+    // Last generation for key k is the largest i with i % 500 == k.
+    EXPECT_EQ(*r, "gen-" + std::to_string(4500 + k));
+  }
+}
+
+TEST_F(DbTest, ScanRangeAndPrefix) {
+  for (const char* k : {"/a/1", "/a/2", "/ab", "/b/1", "/b/2"}) {
+    ASSERT_TRUE(db_->put(k, k).is_ok());
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE(db_->scan("/a/", "/a0", [&](auto k, auto) {
+                    seen.emplace_back(k);
+                    return true;
+                  })
+                  .is_ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"/a/1", "/a/2"}));
+
+  seen.clear();
+  ASSERT_TRUE(db_->scan_prefix("/b/", [&](auto k, auto) {
+                    seen.emplace_back(k);
+                    return true;
+                  })
+                  .is_ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"/b/1", "/b/2"}));
+
+  EXPECT_EQ(*db_->count_range("", ""), 5u);
+}
+
+TEST_F(DbTest, ScanSeesThroughAllLsmLevels) {
+  // Spread the same keyspace across SSTs and the memtable.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db_->put("/s/" + std::to_string(1000 + i), "old").is_ok());
+  }
+  ASSERT_TRUE(db_->compact_all().is_ok());
+  for (int i = 0; i < 2000; i += 3) {
+    ASSERT_TRUE(db_->put("/s/" + std::to_string(1000 + i), "new").is_ok());
+  }
+  for (int i = 0; i < 2000; i += 7) {
+    ASSERT_TRUE(db_->erase("/s/" + std::to_string(1000 + i)).is_ok());
+  }
+  std::map<std::string, std::string> scanned;
+  ASSERT_TRUE(db_->scan_prefix("/s/", [&](auto k, auto v) {
+                    scanned.emplace(k, v);
+                    return true;
+                  })
+                  .is_ok());
+  std::size_t expected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 7 == 0) continue;
+    ++expected;
+    const std::string key = "/s/" + std::to_string(1000 + i);
+    ASSERT_TRUE(scanned.contains(key)) << key;
+    EXPECT_EQ(scanned[key], i % 3 == 0 ? "new" : "old");
+  }
+  EXPECT_EQ(scanned.size(), expected);
+}
+
+TEST_F(DbTest, SnapshotIsolation) {
+  ASSERT_TRUE(db_->put("k", "v1").is_ok());
+  auto snap = db_->snapshot();
+  ASSERT_TRUE(db_->put("k", "v2").is_ok());
+  ASSERT_TRUE(db_->put("new", "x").is_ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot_seq = snap->sequence();
+  EXPECT_EQ(*db_->get("k", at_snap), "v1");
+  EXPECT_EQ(db_->get("new", at_snap).code(), Errc::not_found);
+  EXPECT_EQ(*db_->get("k"), "v2");
+}
+
+TEST_F(DbTest, SnapshotSurvivesFlush) {
+  ASSERT_TRUE(db_->put("k", "old").is_ok());
+  auto snap = db_->snapshot();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db_->put("/fill/" + std::to_string(i),
+                         std::string(64, 'x'))
+                    .is_ok());
+  }
+  ASSERT_TRUE(db_->put("k", "new").is_ok());
+  ASSERT_TRUE(db_->flush().is_ok());
+  ReadOptions ro;
+  ro.snapshot_seq = snap->sequence();
+  EXPECT_EQ(*db_->get("k", ro), "old");
+}
+
+TEST_F(DbTest, WriteBatchIsAtomicAcrossKeys) {
+  WriteBatch batch;
+  batch.put("x", "1");
+  batch.put("y", "2");
+  batch.erase("z");
+  ASSERT_TRUE(db_->put("z", "pre").is_ok());
+  ASSERT_TRUE(db_->write(batch).is_ok());
+  EXPECT_EQ(*db_->get("x"), "1");
+  EXPECT_EQ(*db_->get("y"), "2");
+  EXPECT_EQ(db_->get("z").code(), Errc::not_found);
+}
+
+TEST_F(DbTest, U64MaxMergeOperator) {
+  Options o = default_options();
+  o.merge_operator = std::make_shared<U64MaxMergeOperator>();
+  open_db(o);
+  ASSERT_TRUE(db_->merge("size", U64MaxMergeOperator::encode(100)).is_ok());
+  ASSERT_TRUE(db_->merge("size", U64MaxMergeOperator::encode(50)).is_ok());
+  ASSERT_TRUE(db_->merge("size", U64MaxMergeOperator::encode(200)).is_ok());
+  EXPECT_EQ(U64MaxMergeOperator::decode(*db_->get("size")), 200u);
+}
+
+TEST_F(DbTest, BackgroundCompactionMode) {
+  Options o = default_options();
+  o.background_compaction = true;
+  open_db(o);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(
+        db_->put("/bg/" + std::to_string(i), std::string(32, 'b')).is_ok());
+  }
+  for (int i : {0, 1999, 3999}) {
+    EXPECT_TRUE(db_->get("/bg/" + std::to_string(i)).is_ok()) << i;
+  }
+  open_db(o);  // clean shutdown with background thread + reopen
+  EXPECT_EQ(*db_->count_range("/bg/", "/bg0"), 4000u);
+}
+
+// Model-based randomized test: the DB must agree with std::map under a
+// random op sequence with interleaved flushes/compactions/reopens.
+class DbModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbModelTest, AgreesWithStdMap) {
+  const auto dir = fresh_dir(("model" + std::to_string(GetParam())).c_str());
+  Options o;
+  o.memtable_budget = 16 * 1024;
+  o.l0_compaction_trigger = 3;
+  o.l1_max_bytes = 64 * 1024;
+  o.target_sst_size = 32 * 1024;
+  o.background_compaction = false;
+  o.merge_operator = std::make_shared<AppendMergeOperator>();
+
+  auto db = std::move(*DB::open(dir / "db", o));
+  std::map<std::string, std::string> model;
+  Xoshiro256 rng(GetParam());
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::string key = "/m/" + std::to_string(rng.below(200));
+    switch (rng.below(100)) {
+      default: {  // 0-49: put
+        const std::string value = "v" + std::to_string(step);
+        ASSERT_TRUE(db->put(key, value).is_ok());
+        model[key] = value;
+        break;
+      }
+      case 50 ... 69: {  // erase
+        ASSERT_TRUE(db->erase(key).is_ok());
+        model.erase(key);
+        break;
+      }
+      case 70 ... 89: {  // merge (append semantics)
+        const std::string operand = "m" + std::to_string(step);
+        ASSERT_TRUE(db->merge(key, operand).is_ok());
+        auto it = model.find(key);
+        if (it == model.end() || it->second.empty()) {
+          model[key] = operand;
+        } else {
+          it->second += "," + operand;
+        }
+        break;
+      }
+      case 90 ... 93:
+        ASSERT_TRUE(db->flush().is_ok());
+        break;
+      case 94 ... 95:
+        ASSERT_TRUE(db->compact_all().is_ok());
+        break;
+      case 96 ... 97: {  // reopen
+        db.reset();
+        db = std::move(*DB::open(dir / "db", o));
+        break;
+      }
+      case 98 ... 99: {  // full scan comparison
+        std::map<std::string, std::string> scanned;
+        ASSERT_TRUE(db->scan_prefix("/m/", [&](auto k, auto v) {
+                        scanned.emplace(k, v);
+                        return true;
+                      })
+                        .is_ok());
+        ASSERT_EQ(scanned, model) << "step " << step;
+        break;
+      }
+    }
+    // Spot-check a random key every step.
+    const std::string probe = "/m/" + std::to_string(rng.below(200));
+    auto got = db->get(probe);
+    auto want = model.find(probe);
+    if (want == model.end()) {
+      EXPECT_EQ(got.code(), Errc::not_found) << "step " << step << " " << probe;
+    } else {
+      ASSERT_TRUE(got.is_ok()) << "step " << step << " " << probe;
+      EXPECT_EQ(*got, want->second) << "step " << step << " " << probe;
+    }
+  }
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbModelTest,
+                         ::testing::Values(1ULL, 42ULL, 0xdeadULL));
+
+}  // namespace
+}  // namespace gekko::kv

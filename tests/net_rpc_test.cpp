@@ -1,0 +1,315 @@
+// Fabric and RPC engine tests: delivery, bulk transfer, fault
+// injection, handler dispatch, timeouts, concurrent forwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/fabric.h"
+#include "rpc/engine.h"
+#include "task/future.h"
+#include "task/pool.h"
+
+namespace gekko {
+namespace {
+
+// ---------- fabric ----------
+
+TEST(FabricTest, RegisterSendReceive) {
+  net::LoopbackFabric fabric;
+  auto [id_a, inbox_a] = fabric.register_endpoint();
+  auto [id_b, inbox_b] = fabric.register_endpoint();
+  EXPECT_NE(id_a, id_b);
+  EXPECT_EQ(fabric.endpoint_count(), 2u);
+
+  net::Message msg;
+  msg.rpc_id = 7;
+  msg.source = id_a;
+  msg.payload = {1, 2, 3};
+  ASSERT_TRUE(fabric.send(id_b, std::move(msg)).is_ok());
+
+  auto received = inbox_b->try_receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->rpc_id, 7);
+  EXPECT_EQ(received->source, id_a);
+  EXPECT_EQ(received->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(inbox_a->try_receive().has_value());
+}
+
+TEST(FabricTest, SendToUnknownEndpointFails) {
+  net::LoopbackFabric fabric;
+  EXPECT_EQ(fabric.send(99, net::Message{}).code(), Errc::disconnected);
+}
+
+TEST(FabricTest, DeregisteredEndpointRejectsTraffic) {
+  net::LoopbackFabric fabric;
+  auto [id, inbox] = fabric.register_endpoint();
+  fabric.deregister(id);
+  EXPECT_EQ(fabric.send(id, net::Message{}).code(), Errc::disconnected);
+  EXPECT_FALSE(inbox->receive().has_value());  // closed, drains empty
+}
+
+TEST(FabricTest, FifoPerSenderPair) {
+  net::LoopbackFabric fabric;
+  auto [a, inbox_a] = fabric.register_endpoint();
+  (void)inbox_a;
+  auto [b, inbox_b] = fabric.register_endpoint();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    net::Message m;
+    m.seq = i;
+    m.source = a;
+    ASSERT_TRUE(fabric.send(b, std::move(m)).is_ok());
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    auto m = inbox_b->try_receive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->seq, i);
+  }
+}
+
+TEST(FabricTest, BlackholeDropsSilently) {
+  net::LoopbackFabric fabric;
+  auto [a, inbox_a] = fabric.register_endpoint();
+  (void)a;
+  (void)inbox_a;
+  auto [b, inbox_b] = fabric.register_endpoint();
+  fabric.set_fault_plan(net::FaultPlan{.blackhole = b});
+  EXPECT_TRUE(fabric.send(b, net::Message{}).is_ok());  // silent loss
+  EXPECT_FALSE(inbox_b->try_receive().has_value());
+  EXPECT_EQ(fabric.stats().messages_dropped, 1u);
+}
+
+TEST(FabricTest, ProbabilisticDrop) {
+  net::LoopbackFabric fabric;
+  auto [a, inbox] = fabric.register_endpoint();
+  (void)a;
+  fabric.set_fault_plan(net::FaultPlan{.drop_one_in = 4});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fabric.send(0, net::Message{}).is_ok());
+  }
+  const auto stats = fabric.stats();
+  EXPECT_EQ(stats.messages_dropped, 25u);
+  EXPECT_EQ(stats.messages_sent, 75u);
+  int received = 0;
+  while (inbox->try_receive().has_value()) ++received;
+  EXPECT_EQ(received, 75);
+}
+
+TEST(FabricTest, BulkPullPushAndBounds) {
+  net::LoopbackFabric fabric;
+  std::vector<std::uint8_t> buffer = {10, 20, 30, 40, 50};
+  auto region = net::BulkRegion::expose_write(buffer);
+
+  std::vector<std::uint8_t> out(3);
+  ASSERT_TRUE(fabric.bulk_pull(region, 1, out).is_ok());
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{20, 30, 40}));
+
+  const std::vector<std::uint8_t> in = {77, 88};
+  ASSERT_TRUE(fabric.bulk_push(region, 3, in).is_ok());
+  EXPECT_EQ(buffer, (std::vector<std::uint8_t>{10, 20, 30, 77, 88}));
+
+  EXPECT_EQ(fabric.bulk_pull(region, 4, out).code(), Errc::overflow);
+  EXPECT_EQ(fabric.bulk_push(region, 4, out).code(), Errc::overflow);
+
+  auto ro = net::BulkRegion::expose_read(buffer);
+  EXPECT_EQ(fabric.bulk_push(ro, 0, in).code(), Errc::invalid_argument);
+
+  const auto stats = fabric.stats();
+  EXPECT_EQ(stats.bulk_bytes_pulled, 3u);
+  EXPECT_EQ(stats.bulk_bytes_pushed, 2u);
+}
+
+// ---------- task pool / eventual ----------
+
+TEST(TaskPoolTest, ExecutesAllTasks) {
+  task::Pool pool(3, "test");
+  std::atomic<int> counter{0};
+  task::Latch latch(100);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.post([&] {
+      counter.fetch_add(1);
+      latch.count_down();
+    }));
+  }
+  latch.wait();
+  EXPECT_EQ(counter.load(), 100);
+  pool.shutdown();
+  EXPECT_FALSE(pool.post([] {}));  // rejected after shutdown
+  EXPECT_EQ(pool.executed(), 100u);
+}
+
+TEST(TaskPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    task::Pool pool(1, "drain");
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.post([&] { counter.fetch_add(1); }));
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(EventualTest, SetThenWait) {
+  task::Eventual<int> ev;
+  ev.set(42);
+  EXPECT_TRUE(ev.ready());
+  EXPECT_EQ(ev.wait(), 42);
+}
+
+TEST(EventualTest, CrossThreadHandoff) {
+  task::Eventual<std::string> ev;
+  std::thread setter([ev] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ev.set("done");
+  });
+  EXPECT_EQ(ev.wait(), "done");
+  setter.join();
+}
+
+TEST(EventualTest, WaitForTimesOut) {
+  task::Eventual<int> ev;
+  EXPECT_FALSE(ev.wait_for(std::chrono::milliseconds(20)).has_value());
+  ev.set(1);  // late set is safe
+  EXPECT_EQ(ev.wait_for(std::chrono::milliseconds(20)).value(), 1);
+}
+
+// ---------- rpc engine ----------
+
+class RpcTest : public ::testing::Test {
+ protected:
+  net::LoopbackFabric fabric_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  server.register_rpc(1, "echo", [](const net::Message& msg) {
+    return Result<std::vector<std::uint8_t>>(msg.payload);
+  });
+  rpc::Engine client(fabric_, {.name = "client"});
+  auto resp = client.forward(server.endpoint(), 1, {9, 8, 7});
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(*resp, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(server.requests_handled(), 1u);
+}
+
+TEST_F(RpcTest, HandlerErrorPropagatesAsStatus) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  server.register_rpc(2, "fail", [](const net::Message&) {
+    return Result<std::vector<std::uint8_t>>(
+        Status{Errc::not_found, "nope"});
+  });
+  rpc::Engine client(fabric_, {.name = "client"});
+  auto resp = client.forward(server.endpoint(), 2, {});
+  EXPECT_EQ(resp.code(), Errc::not_found);
+}
+
+TEST_F(RpcTest, UnknownRpcIdReturnsNotSupported) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  rpc::Engine client(fabric_, {.name = "client"});
+  auto resp = client.forward(server.endpoint(), 42, {});
+  EXPECT_EQ(resp.code(), Errc::not_supported);
+}
+
+TEST_F(RpcTest, TimeoutOnBlackholedDaemon) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  server.register_rpc(1, "echo", [](const net::Message& msg) {
+    return Result<std::vector<std::uint8_t>>(msg.payload);
+  });
+  rpc::EngineOptions copts;
+  copts.name = "client";
+  copts.rpc_timeout = std::chrono::milliseconds(50);
+  rpc::Engine client(fabric_, copts);
+
+  fabric_.set_fault_plan(net::FaultPlan{.blackhole = server.endpoint()});
+  auto resp = client.forward(server.endpoint(), 1, {1});
+  EXPECT_EQ(resp.code(), Errc::timed_out);
+
+  // Network heals; the same engine keeps working.
+  fabric_.set_fault_plan(net::FaultPlan{});
+  resp = client.forward(server.endpoint(), 1, {1});
+  EXPECT_TRUE(resp.is_ok());
+}
+
+TEST_F(RpcTest, ForwardToDeadEngineFails) {
+  rpc::Engine client(fabric_, {.name = "client"});
+  net::EndpointId dead;
+  {
+    rpc::Engine server(fabric_, {.name = "server"});
+    dead = server.endpoint();
+  }
+  auto resp = client.forward(dead, 1, {});
+  EXPECT_EQ(resp.code(), Errc::disconnected);
+}
+
+TEST_F(RpcTest, BulkTransferThroughHandler) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  net::Fabric* fabric = &fabric_;
+  // Handler doubles each byte of the exposed region in place.
+  server.register_rpc(
+      3, "double",
+      [fabric](const net::Message& msg) -> Result<std::vector<std::uint8_t>> {
+        std::vector<std::uint8_t> tmp(msg.bulk.size());
+        GEKKO_RETURN_IF_ERROR(fabric->bulk_pull(msg.bulk, 0, tmp));
+        for (auto& b : tmp) b = static_cast<std::uint8_t>(b * 2);
+        GEKKO_RETURN_IF_ERROR(fabric->bulk_push(msg.bulk, 0, tmp));
+        return std::vector<std::uint8_t>{};
+      });
+  rpc::Engine client(fabric_, {.name = "client"});
+
+  std::vector<std::uint8_t> buffer = {1, 2, 3, 4};
+  auto resp = client.forward(server.endpoint(), 3, {},
+                             net::BulkRegion::expose_write(buffer));
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(buffer, (std::vector<std::uint8_t>{2, 4, 6, 8}));
+}
+
+TEST_F(RpcTest, ConcurrentForwardsFromManyThreads) {
+  rpc::EngineOptions sopts;
+  sopts.name = "server";
+  sopts.handler_threads = 4;
+  rpc::Engine server(fabric_, sopts);
+  std::atomic<std::uint64_t> sum{0};
+  server.register_rpc(1, "add", [&sum](const net::Message& msg) {
+    sum.fetch_add(msg.payload.empty() ? 0 : msg.payload[0]);
+    return Result<std::vector<std::uint8_t>>(std::vector<std::uint8_t>{});
+  });
+  rpc::Engine client(fabric_, {.name = "client"});
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        auto r = client.forward(server.endpoint(), 1, {1});
+        if (!r.is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+}
+
+TEST_F(RpcTest, PipelinedBeginFinish) {
+  rpc::Engine server(fabric_, {.name = "server"});
+  server.register_rpc(1, "echo", [](const net::Message& msg) {
+    return Result<std::vector<std::uint8_t>>(msg.payload);
+  });
+  rpc::Engine client(fabric_, {.name = "client"});
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    calls.push_back(client.begin_forward(server.endpoint(), 1, {i}));
+  }
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    auto r = client.finish(calls[i]);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ((*r)[0], i);
+  }
+}
+
+}  // namespace
+}  // namespace gekko

@@ -1,0 +1,218 @@
+// Protocol tests: metadata record codec, message codecs, chunk math
+// properties, distributor placement properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/chunking.h"
+#include "proto/distributor.h"
+#include "proto/messages.h"
+#include "proto/metadata.h"
+
+namespace gekko::proto {
+namespace {
+
+std::string_view as_view(const std::vector<std::uint8_t>& v) {
+  return std::string_view(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+// ---------- metadata record ----------
+
+TEST(MetadataTest, EncodeDecodeRoundTrip) {
+  Metadata md;
+  md.type = FileType::directory;
+  md.size = 123456789;
+  md.ctime_ns = -5;  // pre-epoch timestamps must survive
+  md.mtime_ns = 987654321;
+  md.mode = 0755;
+  auto decoded = Metadata::decode(md.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->type, FileType::directory);
+  EXPECT_EQ(decoded->size, 123456789u);
+  EXPECT_EQ(decoded->ctime_ns, -5);
+  EXPECT_EQ(decoded->mtime_ns, 987654321);
+  EXPECT_EQ(decoded->mode, 0755u);
+}
+
+TEST(MetadataTest, RejectsCorruptRecords) {
+  EXPECT_EQ(Metadata::decode("").code(), Errc::corruption);
+  EXPECT_EQ(Metadata::decode("abc").code(), Errc::corruption);
+  Metadata md;
+  std::string bytes = md.encode();
+  bytes[0] = 9;  // invalid file type
+  EXPECT_EQ(Metadata::decode(bytes).code(), Errc::corruption);
+}
+
+// ---------- messages ----------
+
+TEST(MessagesTest, CreateRequestRoundTrip) {
+  CreateRequest req;
+  req.path = "/a/b/c";
+  req.type = 1;
+  req.mode = 0700;
+  req.ctime_ns = 1234567890123456789LL;
+  auto decoded = CreateRequest::decode(as_view(req.encode()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->path, "/a/b/c");
+  EXPECT_EQ(decoded->type, 1);
+  EXPECT_EQ(decoded->mode, 0700u);
+  EXPECT_EQ(decoded->ctime_ns, 1234567890123456789LL);
+}
+
+TEST(MessagesTest, ChunkIoRequestRoundTrip) {
+  ChunkIoRequest req;
+  req.path = "/data.bin";
+  req.slices = {{0, 100, 200, 0}, {7, 0, 512, 200}, {8, 12, 1, 712}};
+  auto decoded = ChunkIoRequest::decode(as_view(req.encode()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->path, "/data.bin");
+  ASSERT_EQ(decoded->slices.size(), 3u);
+  EXPECT_EQ(decoded->slices[1].chunk_id, 7u);
+  EXPECT_EQ(decoded->slices[1].length, 512u);
+  EXPECT_EQ(decoded->slices[2].bulk_offset, 712u);
+}
+
+TEST(MessagesTest, DirentsResponseRoundTrip) {
+  DirentsResponse resp;
+  resp.entries = {{"file.txt", FileType::regular},
+                  {"subdir", FileType::directory},
+                  {"", FileType::regular}};  // empty names survive
+  auto decoded = DirentsResponse::decode(as_view(resp.encode()));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded->entries.size(), 3u);
+  EXPECT_EQ(decoded->entries[1].name, "subdir");
+  EXPECT_EQ(decoded->entries[1].type, FileType::directory);
+}
+
+TEST(MessagesTest, TruncatedMessagesRejected) {
+  CreateRequest req;
+  req.path = "/x";
+  auto bytes = req.encode();
+  bytes.pop_back();
+  EXPECT_EQ(CreateRequest::decode(as_view(bytes)).code(), Errc::corruption);
+  EXPECT_EQ(ChunkIoRequest::decode("").code(), Errc::corruption);
+  EXPECT_EQ(StatResponse::decode("x").code(), Errc::corruption);
+}
+
+// ---------- chunk math ----------
+
+TEST(ChunkingTest, AlignedSingleChunk) {
+  const auto ext = split_extent(0, 512, 512);
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0].chunk_id, 0u);
+  EXPECT_EQ(ext[0].offset_in_chunk, 0u);
+  EXPECT_EQ(ext[0].length, 512u);
+  EXPECT_EQ(ext[0].buffer_offset, 0u);
+}
+
+TEST(ChunkingTest, UnalignedSpansThreeChunks) {
+  // [300, 1500) with 512-byte chunks: 300..511, 512..1023, 1024..1499.
+  const auto ext = split_extent(300, 1200, 512);
+  ASSERT_EQ(ext.size(), 3u);
+  EXPECT_EQ(ext[0].chunk_id, 0u);
+  EXPECT_EQ(ext[0].offset_in_chunk, 300u);
+  EXPECT_EQ(ext[0].length, 212u);
+  EXPECT_EQ(ext[1].chunk_id, 1u);
+  EXPECT_EQ(ext[1].length, 512u);
+  EXPECT_EQ(ext[1].buffer_offset, 212u);
+  EXPECT_EQ(ext[2].chunk_id, 2u);
+  EXPECT_EQ(ext[2].length, 476u);
+}
+
+TEST(ChunkingTest, EmptyExtent) {
+  EXPECT_TRUE(split_extent(1000, 0, 512).empty());
+  EXPECT_EQ(chunk_span(1000, 0, 512), 0u);
+}
+
+class ChunkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChunkPropertyTest, SlicesTileTheExtentExactly) {
+  // Properties for random extents: slices are contiguous, cover
+  // exactly [offset, offset+len), never cross chunk boundaries, and
+  // buffer offsets are the running sum.
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t chunk_size = 1u << (9 + rng.below(12));  // 512..1M
+    const std::uint64_t offset = rng.below(1ull << 40);
+    const std::uint64_t length = rng.below(1ull << 26) + 1;
+    const auto ext = split_extent(offset, length, chunk_size);
+    ASSERT_FALSE(ext.empty());
+    EXPECT_EQ(ext.size(), chunk_span(offset, length, chunk_size));
+
+    std::uint64_t pos = offset;
+    std::uint64_t buf = 0;
+    for (const auto& e : ext) {
+      EXPECT_EQ(e.chunk_id, pos / chunk_size);
+      EXPECT_EQ(e.offset_in_chunk, pos % chunk_size);
+      EXPECT_EQ(e.buffer_offset, buf);
+      EXPECT_GT(e.length, 0u);
+      EXPECT_LE(static_cast<std::uint64_t>(e.offset_in_chunk) + e.length,
+                chunk_size);
+      pos += e.length;
+      buf += e.length;
+    }
+    EXPECT_EQ(pos, offset + length);
+    EXPECT_EQ(buf, length);
+    // Interior slices are chunk-aligned and full-size.
+    for (std::size_t s = 1; s + 1 < ext.size(); ++s) {
+      EXPECT_EQ(ext[s].offset_in_chunk, 0u);
+      EXPECT_EQ(ext[s].length, chunk_size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkPropertyTest,
+                         ::testing::Values(11ULL, 22ULL, 33ULL));
+
+// ---------- distributor ----------
+
+TEST(DistributorTest, DeterministicAcrossInstances) {
+  // Two clients with the same daemon list MUST resolve identically —
+  // this replaces a central directory service.
+  HashDistributor a(16), b(16);
+  for (int i = 0; i < 100; ++i) {
+    const std::string path = "/p/" + std::to_string(i);
+    EXPECT_EQ(a.metadata_target(path), b.metadata_target(path));
+    EXPECT_EQ(a.chunk_target(path, 42), b.chunk_target(path, 42));
+  }
+}
+
+TEST(DistributorTest, ChunksOfOneFileSpread) {
+  HashDistributor dist(64);
+  std::set<std::uint32_t> targets;
+  for (std::uint64_t c = 0; c < 256; ++c) {
+    targets.insert(dist.chunk_target("/big/file", c));
+  }
+  EXPECT_GT(targets.size(), 48u);  // 256 chunks should hit most of 64
+}
+
+TEST(DistributorTest, RoundRobinStridesSequentially) {
+  RoundRobinDistributor dist(8);
+  const std::uint32_t base = dist.chunk_target("/f", 0);
+  for (std::uint64_t c = 1; c < 16; ++c) {
+    EXPECT_EQ(dist.chunk_target("/f", c), (base + c) % 8);
+  }
+}
+
+TEST(DistributorTest, LocalKeepsEverythingTogether) {
+  LocalDistributor dist(8);
+  const std::uint32_t owner = dist.metadata_target("/f");
+  for (std::uint64_t c = 0; c < 32; ++c) {
+    EXPECT_EQ(dist.chunk_target("/f", c), owner);
+  }
+}
+
+TEST(DistributorTest, AllTargetsInRange) {
+  for (const auto policy :
+       {DistributionPolicy::hash, DistributionPolicy::round_robin,
+        DistributionPolicy::local}) {
+    auto dist = make_distributor(policy, 5);
+    for (int i = 0; i < 200; ++i) {
+      const std::string path = "/r/" + std::to_string(i);
+      EXPECT_LT(dist->metadata_target(path), 5u);
+      EXPECT_LT(dist->chunk_target(path, static_cast<std::uint64_t>(i)), 5u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gekko::proto

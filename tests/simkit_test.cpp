@@ -1,0 +1,258 @@
+// Discrete-event kernel tests (ordering, resources) and cluster-model
+// property tests: linear GekkoFS scaling, flat Lustre, random-access
+// penalties, shared-file ceiling + cache fix — the shapes the paper's
+// figures rest on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/data_sim.h"
+#include "sim/metadata_sim.h"
+#include "simkit/resource.h"
+#include "simkit/simulator.h"
+
+namespace gekko {
+namespace {
+
+// ---------- simulator kernel ----------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  simkit::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, SimultaneousEventsAreFifo) {
+  simkit::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  simkit::Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule(0.5, recurse);
+  };
+  sim.schedule(0.0, recurse);
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_NEAR(sim.now(), 49.5, 1e-9);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  simkit::Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i * 1.0, [&] { ++fired; });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+// ---------- resources ----------
+
+TEST(ResourceTest, SingleServerFcfsQueueing) {
+  simkit::Simulator sim;
+  simkit::Resource res(sim, 1);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule(0.0, [&] {
+      res.acquire(2.0, [&] { completions.push_back(sim.now()); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 4.0);  // serialized
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+  EXPECT_NEAR(res.utilization(), 1.0, 1e-9);
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  simkit::Simulator sim;
+  simkit::Resource res(sim, 3);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule(0.0, [&] {
+      res.acquire(2.0, [&] { completions.push_back(sim.now()); });
+    });
+  }
+  sim.run();
+  for (const double t : completions) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(ResourceTest, JoinFiresAfterAllArrivals) {
+  simkit::Simulator sim;
+  bool done = false;
+  auto join = std::make_shared<simkit::Join>(3, [&] { done = true; });
+  for (int i = 1; i <= 3; ++i) {
+    sim.schedule(i * 1.0, [join] { join->arrive(); });
+  }
+  sim.run_until(2.5);
+  EXPECT_FALSE(done);
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ResourceTest, ZeroCountJoinFiresImmediately) {
+  bool done = false;
+  simkit::Join join(0, [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+// ---------- cluster-model properties (the paper's shapes) ----------
+
+TEST(MetadataSimTest, GekkofsScalesNearLinearly) {
+  sim::MetadataSimConfig cfg;
+  cfg.ops_per_proc = 60;
+  cfg.nodes = 4;
+  const double at4 = run_gekkofs_metadata(cfg).ops_per_sec;
+  cfg.nodes = 32;
+  const double at32 = run_gekkofs_metadata(cfg).ops_per_sec;
+  // 8x nodes should give >= 6x throughput (near-linear).
+  EXPECT_GT(at32 / at4, 6.0);
+}
+
+TEST(MetadataSimTest, LustreSingleDirIsFlat) {
+  sim::LustreSimConfig cfg;
+  cfg.ops_per_proc = 40;
+  cfg.single_dir = true;
+  cfg.nodes = 8;
+  const double at8 = run_lustre_metadata(cfg).ops_per_sec;
+  cfg.nodes = 128;
+  const double at128 = run_lustre_metadata(cfg).ops_per_sec;
+  EXPECT_LT(at128 / at8, 1.3);  // saturated: no scaling
+}
+
+TEST(MetadataSimTest, UniqueDirBeatsSingleDirForLustre) {
+  sim::LustreSimConfig cfg;
+  cfg.ops_per_proc = 40;
+  cfg.nodes = 64;
+  cfg.single_dir = true;
+  const double single = run_lustre_metadata(cfg).ops_per_sec;
+  cfg.single_dir = false;
+  const double unique = run_lustre_metadata(cfg).ops_per_sec;
+  EXPECT_GT(unique, single * 3.0);
+}
+
+TEST(MetadataSimTest, GekkofsIndifferentToDirectoriesBeatsLustre) {
+  sim::MetadataSimConfig g;
+  g.nodes = 64;
+  g.ops_per_proc = 60;
+  const double gkfs = run_gekkofs_metadata(g).ops_per_sec;
+  sim::LustreSimConfig l;
+  l.nodes = 64;
+  l.ops_per_proc = 40;
+  const double lustre = run_lustre_metadata(l).ops_per_sec;
+  EXPECT_GT(gkfs / lustre, 50.0);  // orders of magnitude, as in Fig. 2
+}
+
+TEST(DataSimTest, ThroughputScalesWithNodesAndStaysUnderSsdPeak) {
+  sim::DataSimConfig d;
+  d.transfer_size = 1ull << 20;
+  d.transfers_per_proc = 10;
+  d.nodes = 2;
+  const auto at2 = run_gekkofs_data(d);
+  d.nodes = 16;
+  const auto at16 = run_gekkofs_data(d);
+  EXPECT_GT(at16.mib_per_sec / at2.mib_per_sec, 5.0);
+  EXPECT_LT(at16.mib_per_sec, sim::ssd_peak_mib_s(d.cal, 16, true));
+  EXPECT_GT(at16.mib_per_sec, 0.5 * sim::ssd_peak_mib_s(d.cal, 16, true));
+}
+
+TEST(DataSimTest, LargerTransfersYieldMoreBandwidth) {
+  sim::DataSimConfig d;
+  d.nodes = 8;
+  d.transfers_per_proc = 10;
+  d.transfer_size = 8 << 10;
+  const double small = run_gekkofs_data(d).mib_per_sec;
+  d.transfer_size = 64ull << 20;
+  d.transfers_per_proc = 3;
+  const double large = run_gekkofs_data(d).mib_per_sec;
+  // At 8 nodes the IOPS-bound 8 KiB curve sits well below the
+  // bandwidth-bound 64 MiB curve (the gap widens with scale; Fig. 3
+  // shows ~2 orders at 512 nodes — see bench/fig3_data).
+  EXPECT_GT(large, small * 1.5);
+}
+
+TEST(DataSimTest, RandomSubChunkPenalizedWholeChunkIsNot) {
+  sim::DataSimConfig d;
+  d.nodes = 16;
+  d.transfers_per_proc = 20;
+
+  d.transfer_size = 8 << 10;  // sub-chunk
+  d.write = false;
+  d.random_offsets = false;
+  const double seq_read = run_gekkofs_data(d).mib_per_sec;
+  d.random_offsets = true;
+  const double rnd_read = run_gekkofs_data(d).mib_per_sec;
+  const double read_drop = (seq_read - rnd_read) / seq_read;
+  EXPECT_GT(read_drop, 0.4) << "8 KiB random read should drop ~60%";
+  EXPECT_LT(read_drop, 0.75);
+
+  d.transfer_size = 1ull << 20;  // >= chunk: positionally indifferent
+  d.transfers_per_proc = 8;
+  d.random_offsets = false;
+  const double seq_1m = run_gekkofs_data(d).mib_per_sec;
+  d.random_offsets = true;
+  const double rnd_1m = run_gekkofs_data(d).mib_per_sec;
+  EXPECT_NEAR(rnd_1m / seq_1m, 1.0, 0.1);
+}
+
+TEST(DataSimTest, SharedFileCeilingAndCacheFix) {
+  sim::DataSimConfig d;
+  d.nodes = 64;
+  d.transfer_size = 8 << 10;
+  d.transfers_per_proc = 30;
+  d.write = true;
+
+  d.shared_file = false;
+  const double fpp = run_gekkofs_data(d).ops_per_sec;
+  d.shared_file = true;
+  d.size_cache_interval = 0;
+  const double shared_sync = run_gekkofs_data(d).ops_per_sec;
+  d.size_cache_interval = 64;
+  const double shared_cached = run_gekkofs_data(d).ops_per_sec;
+
+  EXPECT_LT(shared_sync, 200e3);          // the ~150K ceiling
+  EXPECT_LT(shared_sync, fpp / 4.0);      // far below file-per-process
+  EXPECT_GT(shared_cached, fpp * 0.6);    // cache restores most of it
+}
+
+TEST(DataSimTest, WritesSlowerThanReads) {
+  sim::DataSimConfig d;
+  d.nodes = 8;
+  d.transfer_size = 64ull << 20;
+  d.transfers_per_proc = 3;
+  d.write = true;
+  const double w = run_gekkofs_data(d).mib_per_sec;
+  d.write = false;
+  const double r = run_gekkofs_data(d).mib_per_sec;
+  EXPECT_GT(r, w);  // SSD reads faster than writes, as in Fig. 3
+}
+
+TEST(SimResultTest, DeterministicForFixedSeed) {
+  sim::MetadataSimConfig cfg;
+  cfg.nodes = 8;
+  cfg.ops_per_proc = 50;
+  cfg.seed = 99;
+  const auto a = run_gekkofs_metadata(cfg);
+  const auto b = run_gekkofs_metadata(cfg);
+  EXPECT_EQ(a.ops_per_sec, b.ops_per_sec);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace gekko

@@ -1,0 +1,205 @@
+// Socket-fabric tests: frame round trips within one process (two
+// fabrics over a UDS pair), the full daemon/client stack across the
+// socket transport, and a TRUE multi-process deployment with forked
+// gkfsd daemons.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "client/client.h"
+#include "daemon/daemon.h"
+#include "fs/mount.h"
+#include "net/socket_fabric.h"
+#include "rpc/engine.h"
+
+namespace gekko {
+namespace {
+
+class SocketFabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gekko_sock_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SocketFabricTest, HostfileRoundTrip) {
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, 3);
+  ASSERT_TRUE(hostfile.is_ok());
+  auto fabric = net::SocketFabric::create(
+      *hostfile, net::SocketFabricOptions{.self_id = 1});
+  ASSERT_TRUE(fabric.is_ok()) << fabric.status().to_string();
+}
+
+TEST_F(SocketFabricTest, RejectsBadHostfiles) {
+  EXPECT_EQ(net::SocketFabric::create(dir_ / "absent", {}).code(),
+            Errc::not_found);
+  ASSERT_TRUE(io::write_file_atomic(dir_ / "bad", "no-space-here\n").is_ok());
+  EXPECT_EQ(net::SocketFabric::create(dir_ / "bad", {}).code(),
+            Errc::invalid_argument);
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, 2);
+  EXPECT_EQ(net::SocketFabric::create(
+                *hostfile, net::SocketFabricOptions{.self_id = 99})
+                .code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(SocketFabricTest, RpcEchoAcrossSockets) {
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
+  ASSERT_TRUE(hostfile.is_ok());
+
+  auto server_fabric = net::SocketFabric::create(
+      *hostfile, net::SocketFabricOptions{.self_id = 0});
+  ASSERT_TRUE(server_fabric.is_ok());
+  rpc::Engine server(**server_fabric, {.name = "sock-server"});
+  ASSERT_EQ(server.endpoint(), 0u);
+  server.register_rpc(1, "echo", [](const net::Message& msg) {
+    return Result<std::vector<std::uint8_t>>(msg.payload);
+  });
+
+  auto client_fabric = net::SocketFabric::create(*hostfile, {});
+  ASSERT_TRUE(client_fabric.is_ok());
+  rpc::Engine client(**client_fabric, {.name = "sock-client"});
+
+  auto resp = client.forward(0, 1, {5, 6, 7});
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(*resp, (std::vector<std::uint8_t>{5, 6, 7}));
+
+  // Many sequential round trips over the persistent connection.
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    auto r = client.forward(0, 1, {i});
+    ASSERT_TRUE(r.is_ok()) << "i=" << int(i) << ": "
+                           << r.status().to_string();
+    EXPECT_EQ((*r)[0], i);
+  }
+}
+
+TEST_F(SocketFabricTest, FullStackOverSockets) {
+  // Daemon and client in one process but communicating ONLY through
+  // Unix sockets — the loopback fabric is not involved.
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
+  ASSERT_TRUE(hostfile.is_ok());
+
+  auto daemon_fabric = net::SocketFabric::create(
+      *hostfile, net::SocketFabricOptions{.self_id = 0});
+  ASSERT_TRUE(daemon_fabric.is_ok());
+  daemon::DaemonOptions dopts;
+  dopts.chunk_size = 8192;
+  dopts.kv_options.background_compaction = false;
+  auto daemon =
+      daemon::GekkoDaemon::start(**daemon_fabric, dir_ / "node0", dopts);
+  ASSERT_TRUE(daemon.is_ok()) << daemon.status().to_string();
+
+  auto client_fabric = net::SocketFabric::create(*hostfile, {});
+  ASSERT_TRUE(client_fabric.is_ok());
+  client::ClientOptions copts;
+  copts.chunk_size = 8192;
+  fs::Mount mnt(**client_fabric, {0}, copts);
+
+  // Metadata + chunked data with inline-bulk both directions.
+  auto fd = mnt.open("/sock-file", fs::create | fs::rd_wr);
+  ASSERT_TRUE(fd.is_ok()) << fd.status().to_string();
+  std::vector<std::uint8_t> data(20000);  // crosses chunk boundaries
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  auto written = mnt.pwrite(*fd, data, 0);
+  ASSERT_TRUE(written.is_ok()) << written.status().to_string();
+  EXPECT_EQ(*written, data.size());
+
+  std::vector<std::uint8_t> out(data.size());
+  auto n = mnt.pread(*fd, out, 0);
+  ASSERT_TRUE(n.is_ok()) << n.status().to_string();
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+
+  EXPECT_EQ(mnt.fstat(*fd)->size, data.size());
+  ASSERT_TRUE(mnt.close(*fd).is_ok());
+  ASSERT_TRUE(mnt.unlink("/sock-file").is_ok());
+  (*daemon)->shutdown();
+}
+
+TEST_F(SocketFabricTest, MultiProcessDaemons) {
+  // The real thing: fork TWO gkfsd-style daemon processes, then run a
+  // client in the parent against them.
+  constexpr std::uint32_t kDaemons = 2;
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, kDaemons);
+  ASSERT_TRUE(hostfile.is_ok());
+
+  std::vector<pid_t> children;
+  for (std::uint32_t id = 0; id < kDaemons; ++id) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: run a daemon until killed.
+      auto fabric = net::SocketFabric::create(
+          *hostfile, net::SocketFabricOptions{.self_id = id});
+      if (!fabric) ::_exit(10);
+      daemon::DaemonOptions dopts;
+      dopts.chunk_size = 8192;
+      auto daemon = daemon::GekkoDaemon::start(
+          **fabric, dir_ / ("node" + std::to_string(id)), dopts);
+      if (!daemon) ::_exit(11);
+      for (;;) ::pause();
+    }
+    children.push_back(pid);
+  }
+
+  // Wait for both sockets to appear.
+  for (std::uint32_t id = 0; id < kDaemons; ++id) {
+    const auto sock = dir_ / ("gkfsd." + std::to_string(id) + ".sock");
+    for (int i = 0; i < 200 && !std::filesystem::exists(sock); ++i) {
+      ::usleep(20 * 1000);
+    }
+    ASSERT_TRUE(std::filesystem::exists(sock)) << sock;
+  }
+
+  {
+    auto client_fabric = net::SocketFabric::create(*hostfile, {});
+    ASSERT_TRUE(client_fabric.is_ok());
+    client::ClientOptions copts;
+    copts.chunk_size = 8192;
+    fs::Mount mnt(**client_fabric, {0, 1}, copts);
+
+    // Spread files over both daemon processes.
+    std::vector<std::uint8_t> payload(30000);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(i);
+    }
+    for (int i = 0; i < 8; ++i) {
+      const std::string p = "/mp/file" + std::to_string(i);
+      auto fd = mnt.open(p, fs::create | fs::rd_wr);
+      ASSERT_TRUE(fd.is_ok()) << p << ": " << fd.status().to_string();
+      ASSERT_TRUE(mnt.pwrite(*fd, payload, 0).is_ok());
+      std::vector<std::uint8_t> back(payload.size());
+      auto n = mnt.pread(*fd, back, 0);
+      ASSERT_TRUE(n.is_ok());
+      EXPECT_EQ(back, payload) << p;
+      ASSERT_TRUE(mnt.close(*fd).is_ok());
+    }
+    // Both daemon processes must actually hold state (wide striping).
+    auto stats = mnt.client().daemon_stats();
+    ASSERT_TRUE(stats.is_ok());
+    ASSERT_EQ(stats->size(), kDaemons);
+    EXPECT_GT((*stats)[0].chunks_written + (*stats)[1].chunks_written, 0u);
+    EXPECT_GT((*stats)[0].metadata_entries + (*stats)[1].metadata_entries,
+              0u);
+  }
+
+  for (const pid_t pid : children) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gekko

@@ -1,0 +1,220 @@
+// Chunk storage tests: one-file-per-chunk persistence, sparse reads,
+// truncation, cleanup; SSD model sanity.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "common/rng.h"
+#include "storage/chunk_storage.h"
+#include "storage/ssd_model.h"
+
+namespace gekko::storage {
+namespace {
+
+class ChunkStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gekko_cs_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    auto cs = ChunkStorage::open(dir_, kChunk);
+    ASSERT_TRUE(cs.is_ok());
+    cs_ = std::make_unique<ChunkStorage>(std::move(*cs));
+  }
+  void TearDown() override {
+    cs_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static constexpr std::uint32_t kChunk = 4096;
+  std::filesystem::path dir_;
+  std::unique_ptr<ChunkStorage> cs_;
+};
+
+TEST_F(ChunkStorageTest, RejectsNonPowerOfTwoChunkSize) {
+  EXPECT_EQ(ChunkStorage::open(dir_ / "x", 1000).code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(ChunkStorageTest, WriteReadRoundTrip) {
+  std::vector<std::uint8_t> data(kChunk);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(cs_->write_chunk("/f", 0, 0, data).is_ok());
+
+  std::vector<std::uint8_t> out(kChunk);
+  auto n = cs_->read_chunk("/f", 0, 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, kChunk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ChunkStorageTest, PartialWriteWithinChunk) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  ASSERT_TRUE(cs_->write_chunk("/f", 2, 100, data).is_ok());
+
+  std::vector<std::uint8_t> out(8);
+  auto n = cs_->read_chunk("/f", 2, 98, out);
+  ASSERT_TRUE(n.is_ok());
+  // 98..99 are a hole (zero), 100..103 carry data, 104..105 past EOF.
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0, 0, 1, 2, 3, 4, 0, 0}));
+}
+
+TEST_F(ChunkStorageTest, MissingChunkReadsAsZeroes) {
+  std::vector<std::uint8_t> out(16, 0xff);
+  auto n = cs_->read_chunk("/nothing", 5, 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 0u);  // nothing from disk
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST_F(ChunkStorageTest, CrossBoundaryOpsRejected) {
+  std::vector<std::uint8_t> data(10);
+  EXPECT_EQ(cs_->write_chunk("/f", 0, kChunk - 4, data).code(),
+            Errc::invalid_argument);
+  std::vector<std::uint8_t> out(10);
+  EXPECT_EQ(cs_->read_chunk("/f", 0, kChunk - 4, out).code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(ChunkStorageTest, SeparateFilesDontInterfere) {
+  const std::vector<std::uint8_t> a(16, 0xaa), b(16, 0xbb);
+  ASSERT_TRUE(cs_->write_chunk("/a", 0, 0, a).is_ok());
+  ASSERT_TRUE(cs_->write_chunk("/b", 0, 0, b).is_ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(cs_->read_chunk("/a", 0, 0, out).is_ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(cs_->remove_all("/a").is_ok());
+  ASSERT_TRUE(cs_->read_chunk("/b", 0, 0, out).is_ok());
+  EXPECT_EQ(out, b);
+  auto n = cs_->read_chunk("/a", 0, 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 0u);  // gone
+}
+
+TEST_F(ChunkStorageTest, ChunkCountTracksWrites) {
+  std::vector<std::uint8_t> data(8, 1);
+  for (std::uint64_t c : {0ull, 3ull, 9ull}) {
+    ASSERT_TRUE(cs_->write_chunk("/f", c, 0, data).is_ok());
+  }
+  EXPECT_EQ(*cs_->chunk_count("/f"), 3u);
+  EXPECT_EQ(*cs_->chunk_count("/other"), 0u);
+}
+
+TEST_F(ChunkStorageTest, TruncateDropsAndShortens) {
+  std::vector<std::uint8_t> full(kChunk, 0x11);
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    ASSERT_TRUE(cs_->write_chunk("/f", c, 0, full).is_ok());
+  }
+  // New size = 1.5 chunks: keep chunk0, shorten chunk1 to half, drop 2+3.
+  ASSERT_TRUE(cs_->truncate("/f", 1, kChunk / 2).is_ok());
+  EXPECT_EQ(*cs_->chunk_count("/f"), 2u);
+
+  std::vector<std::uint8_t> out(kChunk);
+  ASSERT_TRUE(cs_->read_chunk("/f", 1, 0, out).is_ok());
+  for (std::uint32_t i = 0; i < kChunk; ++i) {
+    ASSERT_EQ(out[i], i < kChunk / 2 ? 0x11 : 0) << i;
+  }
+
+  // Truncate to exactly chunk boundary removes the boundary chunk.
+  ASSERT_TRUE(cs_->truncate("/f", 1, 0).is_ok());
+  EXPECT_EQ(*cs_->chunk_count("/f"), 1u);
+  // Truncate to zero clears everything.
+  ASSERT_TRUE(cs_->truncate("/f", 0, 0).is_ok());
+  EXPECT_EQ(*cs_->chunk_count("/f"), 0u);
+}
+
+TEST_F(ChunkStorageTest, StatsAccumulate) {
+  std::vector<std::uint8_t> data(100, 1);
+  ASSERT_TRUE(cs_->write_chunk("/f", 0, 0, data).is_ok());
+  std::vector<std::uint8_t> out(100);
+  ASSERT_TRUE(cs_->read_chunk("/f", 0, 0, out).is_ok());
+  const auto stats = cs_->stats();
+  EXPECT_EQ(stats.chunks_written, 1u);
+  EXPECT_EQ(stats.bytes_written, 100u);
+  EXPECT_EQ(stats.chunks_read, 1u);
+  EXPECT_EQ(stats.bytes_read, 100u);
+}
+
+class ChunkRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(ChunkRoundTripTest, RandomExtentsRoundTrip) {
+  // Property: any sequence of in-chunk writes followed by reads over
+  // the written union returns exactly the written bytes (zero-filled
+  // holes elsewhere).
+  const auto [chunk_size, seed] = GetParam();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gekko_csprop_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(chunk_size) + "_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  auto cs = ChunkStorage::open(dir, chunk_size);
+  ASSERT_TRUE(cs.is_ok());
+
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::uint8_t> model(chunk_size * 4, 0);  // chunks 0..3
+  for (int op = 0; op < 60; ++op) {
+    const std::uint64_t chunk = rng.below(4);
+    const std::uint32_t off =
+        static_cast<std::uint32_t>(rng.below(chunk_size));
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        rng.below(chunk_size - off) + 1);
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    ASSERT_TRUE(cs->write_chunk("/prop", chunk, off, data).is_ok());
+    std::copy(data.begin(), data.end(),
+              model.begin() + static_cast<std::size_t>(chunk) * chunk_size +
+                  off);
+  }
+  for (std::uint64_t chunk = 0; chunk < 4; ++chunk) {
+    std::vector<std::uint8_t> out(chunk_size);
+    ASSERT_TRUE(cs->read_chunk("/prop", chunk, 0, out).is_ok());
+    const auto* expect =
+        model.data() + static_cast<std::size_t>(chunk) * chunk_size;
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), expect))
+        << "chunk " << chunk;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChunkRoundTripTest,
+    ::testing::Combine(::testing::Values(512u, 4096u, 65536u),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------- SSD model ----------
+
+TEST(SsdModelTest, SmallRequestsAreIopsBound) {
+  SsdModel ssd;
+  // 4 KiB: IOPS-bound => service ~ latency + 1/iops, not bytes/bw.
+  const double t4k = ssd.write_time(4096);
+  const double t8k = ssd.write_time(8192);
+  EXPECT_NEAR(t4k, t8k, t4k * 0.05);  // both IOPS-bound, nearly equal
+}
+
+TEST(SsdModelTest, LargeRequestsAreBandwidthBound) {
+  SsdModel ssd;
+  const double t1m = ssd.write_time(1 << 20);
+  const double t2m = ssd.write_time(2 << 20);
+  EXPECT_GT(t2m, t1m * 1.8);  // scales with bytes
+}
+
+TEST(SsdModelTest, RandomPenaltyApplies) {
+  SsdModel ssd;
+  EXPECT_GT(ssd.read_time(8192, /*random=*/true),
+            ssd.read_time(8192, false) * 2.0);
+  EXPECT_GT(ssd.write_time(8192, true), ssd.write_time(8192, false) * 1.3);
+}
+
+TEST(SsdModelTest, PeakBandwidthApproachesProfile) {
+  SsdModel ssd;
+  // Streaming 64 MiB requests should approach the profile bandwidth.
+  EXPECT_GT(ssd.peak_write_bw(64 << 20),
+            ssd.profile().write_bw_bytes_per_s * 0.95);
+  EXPECT_GT(ssd.peak_read_bw(64 << 20),
+            ssd.profile().read_bw_bytes_per_s * 0.95);
+}
+
+}  // namespace
+}  // namespace gekko::storage

@@ -1,0 +1,163 @@
+// Workload driver tests: mdtest and IOR run correctly against both
+// file systems and report consistent accounting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "workload/ior.h"
+#include "workload/mdtest.h"
+
+namespace gekko::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("gekko_wl_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+    cluster::ClusterOptions opts;
+    opts.nodes = 2;
+    opts.root = root_;
+    opts.daemon_options.chunk_size = 16 * 1024;
+    opts.daemon_options.kv_options.background_compaction = false;
+    auto c = cluster::Cluster::start(opts);
+    ASSERT_TRUE(c.is_ok());
+    cluster_ = std::move(*c);
+    mnt_ = cluster_->mount();
+  }
+  void TearDown() override {
+    mnt_.reset();
+    cluster_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<fs::Mount> mnt_;
+};
+
+TEST_F(WorkloadTest, MdtestOnGekkofsCompletesWithoutErrors) {
+  GekkoAdapter fs(*mnt_);
+  MdtestConfig cfg;
+  cfg.procs = 3;
+  cfg.files_per_proc = 100;
+  auto result = run_mdtest(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  for (const auto* phase :
+       {&result->create, &result->stat, &result->remove}) {
+    EXPECT_EQ(phase->ops, 300u);
+    EXPECT_EQ(phase->errors, 0u);
+    EXPECT_GT(phase->ops_per_sec, 0.0);
+  }
+  // The remove phase leaves the namespace empty.
+  auto dirfd = mnt_->opendir("/mdtest");
+  ASSERT_TRUE(dirfd.is_ok());
+  auto first = mnt_->readdir(*dirfd);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_FALSE(first->has_value());
+}
+
+TEST_F(WorkloadTest, MdtestUniqueDirVariant) {
+  GekkoAdapter fs(*mnt_);
+  MdtestConfig cfg;
+  cfg.procs = 2;
+  cfg.files_per_proc = 50;
+  cfg.unique_dir = true;
+  auto result = run_mdtest(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->create.errors, 0u);
+  // Per-rank dirs exist.
+  EXPECT_TRUE(mnt_->stat("/mdtest/rank0")->is_directory());
+  EXPECT_TRUE(mnt_->stat("/mdtest/rank1")->is_directory());
+}
+
+TEST_F(WorkloadTest, MdtestOnBaseline) {
+  baseline::ParallelFileSystem pfs;
+  BaselineAdapter fs(pfs);
+  MdtestConfig cfg;
+  cfg.procs = 2;
+  cfg.files_per_proc = 100;
+  auto result = run_mdtest(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->create.errors, 0u);
+  EXPECT_EQ(result->remove.errors, 0u);
+}
+
+TEST_F(WorkloadTest, IorFilePerProcessVerifies) {
+  GekkoAdapter fs(*mnt_);
+  IorConfig cfg;
+  cfg.procs = 3;
+  cfg.transfer_size = 8 * 1024;
+  cfg.bytes_per_proc = 256 * 1024;
+  cfg.verify = true;
+  auto result = run_ior(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->write.errors, 0u);
+  EXPECT_EQ(result->read.errors, 0u);
+  EXPECT_TRUE(result->verified);
+  EXPECT_EQ(result->write.bytes, 3u * 256 * 1024);
+  EXPECT_GT(result->write.mib_per_sec, 0.0);
+  EXPECT_GT(result->read.mean_latency_us, 0.0);
+}
+
+TEST_F(WorkloadTest, IorSharedFileDisjointRegionsVerify) {
+  GekkoAdapter fs(*mnt_);
+  IorConfig cfg;
+  cfg.procs = 4;
+  cfg.transfer_size = 4 * 1024;
+  cfg.bytes_per_proc = 64 * 1024;
+  cfg.shared_file = true;
+  cfg.verify = true;
+  auto result = run_ior(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->verified);
+  EXPECT_EQ(result->write.errors + result->read.errors, 0u);
+  // The shared file's size covers all ranks' strided regions.
+  EXPECT_EQ(mnt_->stat("/ior/shared")->size, 4u * 64 * 1024);
+}
+
+TEST_F(WorkloadTest, IorRandomOffsetsVerify) {
+  GekkoAdapter fs(*mnt_);
+  IorConfig cfg;
+  cfg.procs = 2;
+  cfg.transfer_size = 4 * 1024;
+  cfg.bytes_per_proc = 128 * 1024;
+  cfg.random_offsets = true;
+  cfg.verify = true;
+  auto result = run_ior(fs, cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->verified);
+}
+
+TEST_F(WorkloadTest, IorRejectsBadConfig) {
+  GekkoAdapter fs(*mnt_);
+  IorConfig cfg;
+  cfg.transfer_size = 3000;  // not a divisor of bytes_per_proc
+  cfg.bytes_per_proc = 10000;
+  EXPECT_EQ(run_ior(fs, cfg).code(), Errc::invalid_argument);
+}
+
+TEST_F(WorkloadTest, GekkoAndBaselineAgreeOnIorContent) {
+  // Same workload, both file systems, byte-identical verification.
+  IorConfig cfg;
+  cfg.procs = 2;
+  cfg.transfer_size = 8 * 1024;
+  cfg.bytes_per_proc = 64 * 1024;
+  cfg.verify = true;
+
+  GekkoAdapter gfs(*mnt_);
+  auto g = run_ior(gfs, cfg);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_TRUE(g->verified);
+
+  baseline::ParallelFileSystem pfs;
+  BaselineAdapter bfs(pfs);
+  auto b = run_ior(bfs, cfg);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_TRUE(b->verified);
+}
+
+}  // namespace
+}  // namespace gekko::workload

@@ -1,0 +1,75 @@
+// gkfsd — the GekkoFS daemon as a standalone process.
+//
+// This is the deployment unit of the paper: one daemon per node,
+// started by the user at job begin (in parallel across nodes), torn
+// down at job end. Daemons find each other — and clients find them —
+// through a shared hostfile (here: Unix-domain socket paths; on a real
+// cluster: Mercury addresses).
+//
+//   gkfsd <hostfile> <self-id> <data-root> [chunk-size-bytes]
+//
+// Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
+// lives under <data-root> and survives restarts.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "daemon/daemon.h"
+#include "net/socket_fabric.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: gkfsd <hostfile> <self-id> <data-root> "
+                 "[chunk-size-bytes]\n");
+    return 2;
+  }
+  const char* hostfile = argv[1];
+  const auto self_id = static_cast<gekko::net::EndpointId>(
+      std::strtoul(argv[2], nullptr, 10));
+  const char* root = argv[3];
+
+  gekko::net::SocketFabricOptions fopts;
+  fopts.self_id = self_id;
+  auto fabric = gekko::net::SocketFabric::create(hostfile, fopts);
+  if (!fabric) {
+    std::fprintf(stderr, "gkfsd: fabric: %s\n",
+                 fabric.status().to_string().c_str());
+    return 1;
+  }
+
+  gekko::daemon::DaemonOptions dopts;
+  if (argc > 4) {
+    dopts.chunk_size =
+        static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  }
+  auto daemon = gekko::daemon::GekkoDaemon::start(**fabric, root, dopts);
+  if (!daemon) {
+    std::fprintf(stderr, "gkfsd: start: %s\n",
+                 daemon.status().to_string().c_str());
+    return 1;
+  }
+  if ((*daemon)->endpoint() != self_id) {
+    std::fprintf(stderr, "gkfsd: endpoint registration failed\n");
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::fprintf(stderr, "gkfsd: daemon %u serving (root=%s)\n", self_id,
+               root);
+  while (g_stop == 0) {
+    ::usleep(100 * 1000);
+  }
+  std::fprintf(stderr, "gkfsd: daemon %u shutting down\n", self_id);
+  (*daemon)->shutdown();
+  return 0;
+}
