@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/task")
+subdirs("src/net")
+subdirs("src/rpc")
+subdirs("src/kv")
+subdirs("src/storage")
+subdirs("src/proto")
+subdirs("src/daemon")
+subdirs("src/client")
+subdirs("src/fs")
+subdirs("src/cluster")
+subdirs("src/baseline")
+subdirs("src/simkit")
+subdirs("src/sim")
+subdirs("src/workload")
+subdirs("src/preload")
+subdirs("tools")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_metadata.dir/fig2_metadata.cpp.o"
+  "CMakeFiles/fig2_metadata.dir/fig2_metadata.cpp.o.d"
+  "fig2_metadata"
+  "fig2_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_data.dir/fig3_data.cpp.o"
+  "CMakeFiles/fig3_data.dir/fig3_data.cpp.o.d"
+  "fig3_data"
+  "fig3_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/real_engine.cpp" "bench/CMakeFiles/real_engine.dir/real_engine.cpp.o" "gcc" "bench/CMakeFiles/real_engine.dir/real_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gekko_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gekko_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gekko_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/gekko_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gekko_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemon/CMakeFiles/gekko_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/gekko_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/gekko_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gekko_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gekko_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gekko_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gekko_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/gekko_task.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_engine.dir/real_engine.cpp.o"
+  "CMakeFiles/real_engine.dir/real_engine.cpp.o.d"
+  "real_engine"
+  "real_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup.dir/startup.cpp.o"
+  "CMakeFiles/startup.dir/startup.cpp.o.d"
+  "startup"
+  "startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkfs_shell.dir/gkfs_shell.cpp.o"
+  "CMakeFiles/gkfs_shell.dir/gkfs_shell.cpp.o.d"
+  "gkfs_shell"
+  "gkfs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkfs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_baseline.dir/pfs.cpp.o"
+  "CMakeFiles/gekko_baseline.dir/pfs.cpp.o.d"
+  "libgekko_baseline.a"
+  "libgekko_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgekko_baseline.a"
+)

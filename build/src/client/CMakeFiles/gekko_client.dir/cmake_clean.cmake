@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_client.dir/client.cpp.o"
+  "CMakeFiles/gekko_client.dir/client.cpp.o.d"
+  "libgekko_client.a"
+  "libgekko_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/gekko_cluster.dir/cluster.cpp.o.d"
+  "libgekko_cluster.a"
+  "libgekko_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

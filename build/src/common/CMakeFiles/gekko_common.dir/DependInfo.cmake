@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/gekko_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/gekko_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/fileio.cpp" "src/common/CMakeFiles/gekko_common.dir/fileio.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/fileio.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/gekko_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/gekko_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/path.cpp" "src/common/CMakeFiles/gekko_common.dir/path.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/path.cpp.o.d"
+  "/root/repo/src/common/result.cpp" "src/common/CMakeFiles/gekko_common.dir/result.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/result.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/gekko_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/gekko_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/gekko_common.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

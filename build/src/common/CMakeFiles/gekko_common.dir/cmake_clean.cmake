@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_common.dir/config.cpp.o"
+  "CMakeFiles/gekko_common.dir/config.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/crc32.cpp.o"
+  "CMakeFiles/gekko_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/fileio.cpp.o"
+  "CMakeFiles/gekko_common.dir/fileio.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/hash.cpp.o"
+  "CMakeFiles/gekko_common.dir/hash.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/logging.cpp.o"
+  "CMakeFiles/gekko_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/path.cpp.o"
+  "CMakeFiles/gekko_common.dir/path.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/result.cpp.o"
+  "CMakeFiles/gekko_common.dir/result.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/stats.cpp.o"
+  "CMakeFiles/gekko_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gekko_common.dir/units.cpp.o"
+  "CMakeFiles/gekko_common.dir/units.cpp.o.d"
+  "libgekko_common.a"
+  "libgekko_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_daemon.dir/daemon.cpp.o"
+  "CMakeFiles/gekko_daemon.dir/daemon.cpp.o.d"
+  "CMakeFiles/gekko_daemon.dir/metadata_backend.cpp.o"
+  "CMakeFiles/gekko_daemon.dir/metadata_backend.cpp.o.d"
+  "libgekko_daemon.a"
+  "libgekko_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

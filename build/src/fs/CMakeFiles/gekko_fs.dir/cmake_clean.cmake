@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_fs.dir/mount.cpp.o"
+  "CMakeFiles/gekko_fs.dir/mount.cpp.o.d"
+  "libgekko_fs.a"
+  "libgekko_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

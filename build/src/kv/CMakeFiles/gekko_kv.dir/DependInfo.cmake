@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block.cpp" "src/kv/CMakeFiles/gekko_kv.dir/block.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/block.cpp.o.d"
+  "/root/repo/src/kv/bloom.cpp" "src/kv/CMakeFiles/gekko_kv.dir/bloom.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/bloom.cpp.o.d"
+  "/root/repo/src/kv/db.cpp" "src/kv/CMakeFiles/gekko_kv.dir/db.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/db.cpp.o.d"
+  "/root/repo/src/kv/sstable.cpp" "src/kv/CMakeFiles/gekko_kv.dir/sstable.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/sstable.cpp.o.d"
+  "/root/repo/src/kv/version.cpp" "src/kv/CMakeFiles/gekko_kv.dir/version.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/version.cpp.o.d"
+  "/root/repo/src/kv/wal.cpp" "src/kv/CMakeFiles/gekko_kv.dir/wal.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/wal.cpp.o.d"
+  "/root/repo/src/kv/write_batch.cpp" "src/kv/CMakeFiles/gekko_kv.dir/write_batch.cpp.o" "gcc" "src/kv/CMakeFiles/gekko_kv.dir/write_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gekko_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

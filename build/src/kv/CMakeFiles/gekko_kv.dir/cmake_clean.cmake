@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_kv.dir/block.cpp.o"
+  "CMakeFiles/gekko_kv.dir/block.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/bloom.cpp.o"
+  "CMakeFiles/gekko_kv.dir/bloom.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/db.cpp.o"
+  "CMakeFiles/gekko_kv.dir/db.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/sstable.cpp.o"
+  "CMakeFiles/gekko_kv.dir/sstable.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/version.cpp.o"
+  "CMakeFiles/gekko_kv.dir/version.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/wal.cpp.o"
+  "CMakeFiles/gekko_kv.dir/wal.cpp.o.d"
+  "CMakeFiles/gekko_kv.dir/write_batch.cpp.o"
+  "CMakeFiles/gekko_kv.dir/write_batch.cpp.o.d"
+  "libgekko_kv.a"
+  "libgekko_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

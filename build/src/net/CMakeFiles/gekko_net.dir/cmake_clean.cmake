@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_net.dir/fabric.cpp.o"
+  "CMakeFiles/gekko_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/gekko_net.dir/socket_fabric.cpp.o"
+  "CMakeFiles/gekko_net.dir/socket_fabric.cpp.o.d"
+  "libgekko_net.a"
+  "libgekko_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

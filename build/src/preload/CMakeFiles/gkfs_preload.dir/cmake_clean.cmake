@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkfs_preload.dir/preload.cpp.o"
+  "CMakeFiles/gkfs_preload.dir/preload.cpp.o.d"
+  "libgkfs_preload.pdb"
+  "libgkfs_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkfs_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

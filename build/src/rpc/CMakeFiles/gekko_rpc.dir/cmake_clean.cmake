@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_rpc.dir/engine.cpp.o"
+  "CMakeFiles/gekko_rpc.dir/engine.cpp.o.d"
+  "libgekko_rpc.a"
+  "libgekko_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

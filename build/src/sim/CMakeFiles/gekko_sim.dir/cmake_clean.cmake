@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_sim.dir/data_sim.cpp.o"
+  "CMakeFiles/gekko_sim.dir/data_sim.cpp.o.d"
+  "CMakeFiles/gekko_sim.dir/metadata_sim.cpp.o"
+  "CMakeFiles/gekko_sim.dir/metadata_sim.cpp.o.d"
+  "libgekko_sim.a"
+  "libgekko_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

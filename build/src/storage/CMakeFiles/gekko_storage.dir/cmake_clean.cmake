@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_storage.dir/chunk_storage.cpp.o"
+  "CMakeFiles/gekko_storage.dir/chunk_storage.cpp.o.d"
+  "libgekko_storage.a"
+  "libgekko_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_task.dir/pool.cpp.o"
+  "CMakeFiles/gekko_task.dir/pool.cpp.o.d"
+  "libgekko_task.a"
+  "libgekko_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_workload.dir/ior.cpp.o"
+  "CMakeFiles/gekko_workload.dir/ior.cpp.o.d"
+  "CMakeFiles/gekko_workload.dir/mdtest.cpp.o"
+  "CMakeFiles/gekko_workload.dir/mdtest.cpp.o.d"
+  "libgekko_workload.a"
+  "libgekko_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

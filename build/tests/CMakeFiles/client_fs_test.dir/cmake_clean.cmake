@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_fs_test.dir/client_fs_test.cpp.o"
+  "CMakeFiles/client_fs_test.dir/client_fs_test.cpp.o.d"
+  "client_fs_test"
+  "client_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

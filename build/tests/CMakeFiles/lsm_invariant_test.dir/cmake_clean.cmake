@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_invariant_test.dir/lsm_invariant_test.cpp.o"
+  "CMakeFiles/lsm_invariant_test.dir/lsm_invariant_test.cpp.o.d"
+  "lsm_invariant_test"
+  "lsm_invariant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_fabric_test.dir/socket_fabric_test.cpp.o"
+  "CMakeFiles/socket_fabric_test.dir/socket_fabric_test.cpp.o.d"
+  "socket_fabric_test"
+  "socket_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkfsd.dir/gkfsd.cpp.o"
+  "CMakeFiles/gkfsd.dir/gkfsd.cpp.o.d"
+  "gkfsd"
+  "gkfsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkfsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
