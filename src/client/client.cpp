@@ -33,7 +33,47 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
   // (none) incoming requests, and the progress thread completes
   // responses.
   rpc_opts.handler_threads = 1;
+  // Failure semantics at the forwarding layer: idempotent reads retry
+  // through the engine after transient outcomes (a daemon hiccup or
+  // restart); mutating rpcs never do — a replayed create/remove could
+  // double-apply. Non-retryable failures surface as the POSIX error
+  // errc_to_errno maps them to (disconnected → ECONNRESET, internal →
+  // EIO, ...). Callers can override both knobs via rpc_options.
+  if (!rpc_opts.retryable) {
+    rpc_opts.retryable = [](std::uint16_t id) {
+      switch (static_cast<RpcId>(id)) {
+        case RpcId::stat:
+        case RpcId::read_chunks:
+        case RpcId::get_dirents:
+        case RpcId::daemon_stat:
+          return true;
+        default:
+          return false;
+      }
+    };
+    if (rpc_opts.max_attempts <= 1) rpc_opts.max_attempts = 3;
+  }
   engine_ = std::make_unique<rpc::Engine>(fabric_, rpc_opts);
+}
+
+Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
+    rpc::Engine::PendingCall& call, net::EndpointId ep, std::uint16_t rpc_id,
+    std::vector<std::uint8_t> payload, net::BulkRegion bulk) {
+  auto r = engine_->finish(call);
+  if (r.is_ok()) return r;
+  const Errc code = r.code();
+  if (code != Errc::timed_out && code != Errc::disconnected &&
+      code != Errc::again) {
+    return r;
+  }
+  if (!engine_->is_retryable(rpc_id)) return r;
+  // Fan-out calls bypass forward()'s retry loop; re-forward this one
+  // call synchronously (the engine applies its own backoff policy).
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.rpcs_sent;
+  }
+  return engine_->forward(ep, rpc_id, std::move(payload), bulk);
 }
 
 // ---------- metadata ----------
@@ -282,11 +322,15 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
       net::BulkRegion::expose_write(out.subspan(0, readable));
 
   std::vector<rpc::Engine::PendingCall> calls;
+  std::vector<net::EndpointId> call_eps;
+  std::vector<std::vector<std::uint8_t>> call_reqs;
   calls.reserve(per_daemon.size());
   for (const auto& [daemon_id, req] : per_daemon) {
-    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+    call_eps.push_back(endpoint_of_(daemon_id));
+    call_reqs.push_back(req.encode());
+    calls.push_back(engine_->begin_forward(call_eps.back(),
                                            proto::to_wire(RpcId::read_chunks),
-                                           req.encode(), bulk));
+                                           call_reqs.back(), bulk));
   }
   {
     std::lock_guard lock(stats_mutex_);
@@ -295,8 +339,11 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
 
   std::uint64_t transferred = 0;
   Status first_error = Status::ok();
-  for (auto& call : calls) {
-    auto r = engine_->finish(call);
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    auto& call = calls[i];
+    auto r = finish_or_retry_(call, call_eps[i],
+                              proto::to_wire(RpcId::read_chunks),
+                              std::move(call_reqs[i]), bulk);
     if (!r) {
       if (first_error.is_ok()) first_error = r.status();
       continue;
@@ -335,8 +382,11 @@ Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
   }
 
   std::vector<proto::Dirent> merged;
-  for (auto& call : calls) {
-    auto r = engine_->finish(call);
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    auto& call = calls[i];
+    auto r = finish_or_retry_(call, daemons_[i],
+                              proto::to_wire(RpcId::get_dirents),
+                              req.encode());
     if (!r) return r.status();
     auto decoded = proto::DirentsResponse::decode(
         std::string_view(reinterpret_cast<const char*>(r->data()),

@@ -100,6 +100,12 @@ class Client {
   [[nodiscard]] net::EndpointId endpoint_of_(std::uint32_t daemon_id) const {
     return daemons_[daemon_id];
   }
+  /// finish() a fan-out call; on a transient failure of an idempotent
+  /// rpc, re-forward that single call (engine backoff policy applies).
+  Result<std::vector<std::uint8_t>> finish_or_retry_(
+      rpc::Engine::PendingCall& call, net::EndpointId ep,
+      std::uint16_t rpc_id, std::vector<std::uint8_t> payload,
+      net::BulkRegion bulk = {});
   Status send_size_update_(const std::string& path, std::uint64_t size);
   Status remove_data_everywhere_(std::string_view path);
 

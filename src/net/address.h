@@ -17,4 +17,21 @@ using EndpointId = std::uint32_t;
 inline constexpr EndpointId kInvalidEndpoint =
     std::numeric_limits<EndpointId>::max();
 
+// Id-space split (socket transport)
+// ---------------------------------
+//   [0, kClientEndpointBase)              daemon ids: dense hostfile
+//       ids, low so `hash % n_daemons` addresses them directly.
+//   [kClientEndpointBase, kInvalidEndpoint)  client ids: bit 30 set,
+//       low 30 bits derived from the process pid mixed with a
+//       per-process random salt (pids alone are only 22–24 bits wide
+//       and recycle, so two client processes could otherwise collide;
+//       see client_endpoint_id() in socket_fabric.cpp).
+//   kInvalidEndpoint (all ones)           never a valid address.
+//
+// Daemons route replies by (requester id, seq), so a client-id
+// collision would cross-deliver responses — the salt makes that
+// probability ~2^-30 instead of certain under pid reuse.
+inline constexpr EndpointId kClientEndpointBase = 0x40000000u;
+inline constexpr EndpointId kClientEndpointMask = kClientEndpointBase - 1;
+
 }  // namespace gekko::net

@@ -1,10 +1,26 @@
 #include "net/fabric.h"
 
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
 namespace gekko::net {
+
+void Fabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard lock(injector_mutex_);
+  injector_ = std::move(injector);
+}
+
+FaultAction Fabric::consult_injector_(EndpointId dest, const Message& msg) {
+  std::shared_ptr<FaultInjector> injector;
+  {
+    std::lock_guard lock(injector_mutex_);
+    injector = injector_;
+  }
+  if (!injector) return {};
+  return injector->on_send(dest, msg);
+}
 
 std::pair<EndpointId, std::shared_ptr<Inbox>>
 LoopbackFabric::register_endpoint() {
@@ -15,6 +31,8 @@ LoopbackFabric::register_endpoint() {
 }
 
 Status LoopbackFabric::send(EndpointId dest, Message msg) {
+  const FaultAction fault = consult_injector_(dest, msg);
+  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
   std::shared_ptr<Inbox> inbox;
   {
     std::lock_guard lock(mutex_);
@@ -26,7 +44,9 @@ Status LoopbackFabric::send(EndpointId dest, Message msg) {
     const bool dropped =
         fault_plan_.drop_one_in != 0 &&
         (send_counter_ % fault_plan_.drop_one_in) == 0;
-    if (blackholed || dropped) {
+    // Loopback has no connections; kill_connection degrades to losing
+    // the message (the closest observable effect).
+    if (blackholed || dropped || fault.drop || fault.kill_connection) {
       ++stats_.messages_dropped;
       return Status::ok();  // silent loss, sender can't observe it
     }
@@ -34,6 +54,7 @@ Status LoopbackFabric::send(EndpointId dest, Message msg) {
     stats_.payload_bytes += msg.payload.size();
     inbox = inboxes_[dest];
   }
+  if (fault.duplicate) (void)inbox->push(msg);
   if (!inbox->push(std::move(msg))) {
     return Status{Errc::disconnected, "endpoint shutting down"};
   }

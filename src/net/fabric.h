@@ -12,7 +12,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -43,6 +45,47 @@ struct FaultPlan {
   std::uint64_t drop_one_in = 0;
 };
 
+/// One-shot fault decision for a single send(). Fields combine: e.g.
+/// kill_connection + drop simulates a daemon dying mid-RPC (the link is
+/// severed AND the in-flight message is lost).
+struct FaultAction {
+  /// Message vanishes; the sender still observes success (a real lossy
+  /// fabric cannot report loss either).
+  bool drop = false;
+  /// Deliver the message twice (retransmission race).
+  bool duplicate = false;
+  /// Sever the transport link the message would travel over BEFORE
+  /// transmitting. SocketFabric shuts the connection down (the next
+  /// send redials); the loopback fabric has no connections and treats
+  /// this as dropping the message.
+  bool kill_connection = false;
+  /// Sleep this long on the sender's thread before transmitting.
+  std::chrono::milliseconds delay{0};
+};
+
+/// Deterministic fault hook consulted on every send(). Richer than
+/// FaultPlan: tests script per-message drops, delays, duplicates, and
+/// connection kills — the lifecycle events libfabric surfaces to
+/// Mercury, reproduced without a flaky network.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultAction on_send(EndpointId dest, const Message& msg) = 0;
+};
+
+/// Wraps a callable as an injector (test shorthand).
+class CallbackFaultInjector final : public FaultInjector {
+ public:
+  using Fn = std::function<FaultAction(EndpointId, const Message&)>;
+  explicit CallbackFaultInjector(Fn fn) : fn_(std::move(fn)) {}
+  FaultAction on_send(EndpointId dest, const Message& msg) override {
+    return fn_(dest, msg);
+  }
+
+ private:
+  Fn fn_;
+};
+
 class Inbox;
 
 /// Abstract transport. All methods are thread-safe.
@@ -68,7 +111,25 @@ class Fabric {
   virtual Status bulk_push(const BulkRegion& region, std::size_t offset,
                            std::span<const std::uint8_t> data) = 0;
 
+  /// Abandon interest in the response to request `seq`: unregister any
+  /// writable bulk region tied to it so a late response can no longer
+  /// write into caller memory. Guarantees that once cancel() returns,
+  /// no further transport-side write to that region happens (any write
+  /// already in progress completes first). Unknown seqs are a no-op.
+  virtual void cancel(std::uint64_t seq) { (void)seq; }
+
+  /// Install (nullptr = clear) a fault hook consulted on every send.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
   [[nodiscard]] virtual TrafficStats stats() const = 0;
+
+ protected:
+  /// Healthy action when no injector is installed. Thread-safe.
+  FaultAction consult_injector_(EndpointId dest, const Message& msg);
+
+ private:
+  mutable std::mutex injector_mutex_;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 /// An endpoint's receive queue.

@@ -4,11 +4,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
+#include <random>
+#include <thread>
 
 #include "common/codec.h"
 #include "common/fileio.h"
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace gekko::net {
@@ -19,9 +24,20 @@ constexpr std::uint8_t kBulkReadData = 1;
 constexpr std::uint8_t kBulkWritableSize = 2;
 constexpr std::uint8_t kBulkResponseData = 3;
 
-/// Client endpoint ids live far above any hostfile daemon id.
+/// Client endpoint ids live in the high half of the id space (see
+/// address.h). The pid is mixed with a per-process random salt: bare
+/// pids fit in ~22 bits and recycle, so two client processes (or one
+/// client restarted) could otherwise claim the same id and have the
+/// daemon cross-route their replies.
 EndpointId client_endpoint_id() {
-  return 0x40000000u | (static_cast<EndpointId>(::getpid()) & 0xFFFFFF);
+  static const std::uint32_t salt = [] {
+    std::random_device rd;
+    return static_cast<std::uint32_t>(rd());
+  }();
+  const auto mixed = static_cast<std::uint32_t>(
+      mix64((static_cast<std::uint64_t>(salt) << 32) |
+            static_cast<std::uint32_t>(::getpid())));
+  return kClientEndpointBase | (mixed & kClientEndpointMask);
 }
 
 Status write_all(int fd, const std::uint8_t* data, std::size_t len) {
@@ -72,8 +88,19 @@ Result<std::unique_ptr<SocketFabric>> SocketFabric::create(
     if (space == std::string::npos) {
       return Status{Errc::invalid_argument, "bad hostfile line: " + line};
     }
-    const auto id =
-        static_cast<EndpointId>(std::stoul(line.substr(0, space)));
+    // from_chars, not stoul: a Result-returning factory must not throw
+    // on garbage or out-of-range ids.
+    EndpointId id = 0;
+    const char* first = line.data();
+    const char* last = first + space;
+    const auto [ptr, ec] = std::from_chars(first, last, id);
+    if (ec != std::errc() || ptr != last) {
+      return Status{Errc::invalid_argument, "bad hostfile id: " + line};
+    }
+    if (id >= kClientEndpointBase) {
+      return Status{Errc::invalid_argument,
+                    "hostfile id in client id-space: " + line};
+    }
     fabric->hosts_[id] = line.substr(space + 1);
   }
   if (fabric->hosts_.empty()) {
@@ -171,7 +198,8 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
     if (!read_all(conn->fd, len_buf, 4).is_ok()) break;
     std::uint32_t frame_len;
     std::memcpy(&frame_len, len_buf, 4);
-    if (frame_len < 17 || frame_len > (1u << 30)) break;  // min: empty payload, no bulk
+    // min: empty payload, no bulk
+    if (frame_len < 17 || frame_len > options_.max_frame_bytes) break;
 
     std::vector<std::uint8_t> frame(frame_len);
     if (!read_all(conn->fd, frame.data(), frame.size()).is_ok()) break;
@@ -206,7 +234,7 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
       }
       case kBulkWritableSize: {
         auto size = dec.u64();
-        if (!size || *size > (1u << 30)) goto done;
+        if (!size || *size > options_.max_frame_bytes) goto done;
         msg.bulk = BulkRegion::adopt(
             std::vector<std::uint8_t>(static_cast<std::size_t>(*size), 0),
             /*writable=*/true);
@@ -220,6 +248,9 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
         // so only written ranges travel.
         auto count = dec.varint();
         if (!count) goto done;
+        // bulk_mutex_ held across the whole application: cancel(seq)
+        // also takes it, so once a cancel returns no byte of this
+        // response can land in the caller's buffer.
         std::lock_guard lock(bulk_mutex_);
         auto it = pending_writable_.find(msg.seq);
         for (std::uint64_t r = 0; r < *count; ++r) {
@@ -227,8 +258,8 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
           auto bytes = dec.str();
           if (!off || !bytes) goto done;
           if (it != pending_writable_.end() &&
-              *off + bytes->size() <= it->second.size()) {
-            std::memcpy(it->second.write_ptr() + *off, bytes->data(),
+              *off + bytes->size() <= it->second.region.size()) {
+            std::memcpy(it->second.region.write_ptr() + *off, bytes->data(),
                         bytes->size());
           }
         }
@@ -246,7 +277,7 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
       reply.conn = conn;
       reply.writable_bulk = std::move(writable_bulk);
       std::lock_guard lock(reply_mutex_);
-      pending_replies_[msg.seq] = std::move(reply);
+      pending_replies_[ReplyKey{msg.source, msg.seq}] = std::move(reply);
     } else {
       // Clean any stale pending-writable entry (response w/o bulk).
       std::lock_guard lock(bulk_mutex_);
@@ -257,6 +288,67 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
   }
 done:
   ::shutdown(conn->fd, SHUT_RDWR);
+  conn->dead.store(true, std::memory_order_release);
+  evict_(conn);
+}
+
+void SocketFabric::park_zombie_locked_(
+    const std::shared_ptr<Connection>& conn) {
+  if (std::find(zombies_.begin(), zombies_.end(), conn) == zombies_.end()) {
+    zombies_.push_back(conn);
+  }
+}
+
+void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
+  // During teardown shutdown_() owns all cleanup (and joins us).
+  if (stopping_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lock(conn_mutex_);
+    if (conn->peer != kInvalidEndpoint) {
+      auto it = outgoing_.find(conn->peer);
+      if (it != outgoing_.end() && it->second == conn) outgoing_.erase(it);
+    }
+    std::erase(incoming_, conn);
+    park_zombie_locked_(conn);
+  }
+  // Serving side: reply routes over this link can never be used.
+  {
+    std::lock_guard lock(reply_mutex_);
+    std::erase_if(pending_replies_, [&](const auto& kv) {
+      return kv.second.conn == conn;
+    });
+  }
+  // Requesting side: responses for these regions can never arrive;
+  // drop them instead of leaking them (the caller's forward() will
+  // time out or already has).
+  {
+    std::lock_guard lock(bulk_mutex_);
+    std::erase_if(pending_writable_, [&](const auto& kv) {
+      return kv.second.conn == conn;
+    });
+  }
+}
+
+void SocketFabric::kill_connection_(EndpointId dest, const Message& msg) {
+  std::shared_ptr<Connection> victim;
+  if (msg.kind == MessageKind::response) {
+    std::lock_guard lock(reply_mutex_);
+    auto it = pending_replies_.find(ReplyKey{dest, msg.seq});
+    if (it != pending_replies_.end()) victim = it->second.conn;
+  } else {
+    std::lock_guard lock(conn_mutex_);
+    auto it = outgoing_.find(dest);
+    if (it != outgoing_.end()) victim = it->second;
+  }
+  if (!victim) return;
+  victim->dead.store(true, std::memory_order_release);
+  ::shutdown(victim->fd, SHUT_RDWR);
+  evict_(victim);
+}
+
+void SocketFabric::cancel(std::uint64_t seq) {
+  std::lock_guard lock(bulk_mutex_);
+  pending_writable_.erase(seq);
 }
 
 Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
@@ -294,6 +386,16 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
     enc.u8(kBulkNone);
   }
 
+  // Validate on the send side: an oversized frame must fail HERE with
+  // overflow, not trip the receiver's limit and silently kill the
+  // peer's view of this connection.
+  if (frame.size() > options_.max_frame_bytes) {
+    return Status{Errc::overflow,
+                  "frame of " + std::to_string(frame.size()) +
+                      " bytes exceeds max_frame_bytes " +
+                      std::to_string(options_.max_frame_bytes)};
+  }
+
   std::uint8_t len_buf[4];
   const auto frame_len = static_cast<std::uint32_t>(frame.size());
   std::memcpy(len_buf, &frame_len, 4);
@@ -308,7 +410,10 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
   {
     std::lock_guard lock(conn_mutex_);
     auto it = outgoing_.find(dest);
-    if (it != outgoing_.end()) return it->second;
+    if (it != outgoing_.end() &&
+        !it->second->dead.load(std::memory_order_acquire)) {
+      return it->second;
+    }
   }
   auto host = hosts_.find(dest);
   if (host == hosts_.end()) {
@@ -326,10 +431,24 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     return Status{Errc::disconnected,
                   "connect " + host->second + ": " + std::strerror(errno)};
   }
+
+  std::lock_guard lock(conn_mutex_);
+  auto it = outgoing_.find(dest);
+  if (it != outgoing_.end()) {
+    if (!it->second->dead.load(std::memory_order_acquire)) {
+      // Lost a connect race; keep the established link.
+      ::close(fd);
+      return it->second;
+    }
+    // Replace a dead cached connection; its reader will evict itself,
+    // park it here so shutdown_() can join the thread.
+    park_zombie_locked_(it->second);
+    outgoing_.erase(it);
+  }
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
+  conn->peer = dest;
   conn->reader = std::thread([this, conn] { reader_loop_(conn); });
-  std::lock_guard lock(conn_mutex_);
   outgoing_[dest] = conn;
   return conn;
 }
@@ -340,40 +459,64 @@ Status SocketFabric::send(EndpointId dest, Message msg) {
     ++stats_.messages_sent;
     stats_.payload_bytes += msg.payload.size();
   }
+  const FaultAction fault = consult_injector_(dest, msg);
+  if (fault.kill_connection) kill_connection_(dest, msg);
+  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+  if (fault.drop) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.messages_dropped;
+    return Status::ok();  // silent loss, sender can't observe it
+  }
+
   if (msg.kind == MessageKind::response) {
     // Route back over the originating connection with any written bulk.
     PendingReply reply;
     {
       std::lock_guard lock(reply_mutex_);
-      auto it = pending_replies_.find(msg.seq);
+      auto it = pending_replies_.find(ReplyKey{dest, msg.seq});
       if (it == pending_replies_.end()) {
         return Status{Errc::disconnected, "no reply route for seq"};
       }
       reply = std::move(it->second);
       pending_replies_.erase(it);
     }
-    return write_frame_(*reply.conn, msg,
-                        reply.writable_bulk.valid() ? &reply.writable_bulk
-                                                    : nullptr);
+    const BulkRegion* bulk_out =
+        reply.writable_bulk.valid() ? &reply.writable_bulk : nullptr;
+    Status st = write_frame_(*reply.conn, msg, bulk_out);
+    if (st.is_ok() && fault.duplicate) {
+      (void)write_frame_(*reply.conn, msg, bulk_out);
+    }
+    return st;
   }
 
-  // Request: register writable regions so the response can fill them.
-  if (msg.bulk.valid() && msg.bulk.writable() && !msg.bulk.owned()) {
-    std::lock_guard lock(bulk_mutex_);
-    pending_writable_[msg.seq] = msg.bulk;
+  // Request path. A cached connection may have died since the last
+  // send (daemon restart): if the write fails, evict the link and
+  // redial once, transparently.
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto conn = connect_to_(dest);
+    if (!conn) return conn.status();
+    // Register writable regions so the response can fill them, tied to
+    // this connection so its death fails them.
+    if (msg.bulk.valid() && msg.bulk.writable() && !msg.bulk.owned()) {
+      std::lock_guard lock(bulk_mutex_);
+      pending_writable_[msg.seq] = PendingWritable{msg.bulk, *conn};
+    }
+    last = write_frame_(**conn, msg, nullptr);
+    if (last.is_ok()) {
+      if (fault.duplicate) (void)write_frame_(**conn, msg, nullptr);
+      return last;
+    }
+    {
+      std::lock_guard lock(bulk_mutex_);
+      pending_writable_.erase(msg.seq);
+    }
+    if (last.code() != Errc::disconnected) return last;  // e.g. overflow
+    (*conn)->dead.store(true, std::memory_order_release);
+    ::shutdown((*conn)->fd, SHUT_RDWR);
+    evict_(*conn);
   }
-  auto conn = connect_to_(dest);
-  if (!conn) {
-    std::lock_guard lock(bulk_mutex_);
-    pending_writable_.erase(msg.seq);
-    return conn.status();
-  }
-  Status st = write_frame_(**conn, msg, nullptr);
-  if (!st.is_ok()) {
-    std::lock_guard lock(bulk_mutex_);
-    pending_writable_.erase(msg.seq);
-  }
-  return st;
+  return last;
 }
 
 void SocketFabric::deregister(EndpointId id) {
@@ -398,15 +541,29 @@ void SocketFabric::shutdown_() {
     std::lock_guard lock(conn_mutex_);
     for (auto& [id, c] : outgoing_) conns.push_back(c);
     conns.insert(conns.end(), incoming_.begin(), incoming_.end());
+    conns.insert(conns.end(), zombies_.begin(), zombies_.end());
     outgoing_.clear();
     incoming_.clear();
+    zombies_.clear();
   }
+  // A connection can sit in a routing map AND the zombie list for a
+  // moment around eviction; join each exactly once.
+  std::sort(conns.begin(), conns.end());
+  conns.erase(std::unique(conns.begin(), conns.end()), conns.end());
   for (auto& c : conns) {
     ::shutdown(c->fd, SHUT_RDWR);
   }
   for (auto& c : conns) {
     if (c->reader.joinable()) c->reader.join();
     ::close(c->fd);
+  }
+  {
+    std::lock_guard lock(reply_mutex_);
+    pending_replies_.clear();
+  }
+  {
+    std::lock_guard lock(bulk_mutex_);
+    pending_writable_.clear();
   }
   if (inbox_) inbox_->close();
   if (self_ != kInvalidEndpoint && hosts_.contains(self_)) {

@@ -32,6 +32,12 @@ struct SocketFabricOptions {
   /// Daemon role: serve on the hostfile entry for `self_id`.
   /// Client role (self_id == kInvalidEndpoint): connect-only.
   EndpointId self_id = kInvalidEndpoint;
+  /// Upper bound for one wire frame, enforced on BOTH sides: the
+  /// sender fails oversized frames with Errc::overflow before any
+  /// bytes hit the wire (instead of silently killing the peer's
+  /// connection), and the receiver drops connections that announce a
+  /// larger frame. All processes sharing a hostfile must agree.
+  std::uint32_t max_frame_bytes = 1u << 30;
 };
 
 class SocketFabric final : public Fabric {
@@ -50,6 +56,11 @@ class SocketFabric final : public Fabric {
 
   Status send(EndpointId dest, Message msg) override;
   void deregister(EndpointId id) override;
+
+  /// Unregister the writable bulk region for `seq`. Synchronizes with
+  /// the reader threads: once this returns, no late kBulkResponseData
+  /// frame can write into the caller's buffer.
+  void cancel(std::uint64_t seq) override;
 
   Status bulk_pull(const BulkRegion& region, std::size_t offset,
                    std::span<std::uint8_t> out) override;
@@ -76,6 +87,11 @@ class SocketFabric final : public Fabric {
 
   struct Connection {
     int fd = -1;
+    /// Dialed daemon id (outgoing only; accepted conns stay invalid).
+    EndpointId peer = kInvalidEndpoint;
+    /// Set when the reader loop exits or a write fails: the link is
+    /// unusable and the next send() to `peer` must redial.
+    std::atomic<bool> dead{false};
     std::mutex write_mutex;
     std::thread reader;
   };
@@ -86,6 +102,12 @@ class SocketFabric final : public Fabric {
   Result<std::shared_ptr<Connection>> connect_to_(EndpointId dest);
   Status write_frame_(Connection& conn, const Message& msg,
                       const BulkRegion* bulk_out);
+  /// Remove a dead connection from the routing maps, fail every
+  /// in-flight entry tied to it, and park it for joining. Safe from
+  /// any thread, including the connection's own reader.
+  void evict_(const std::shared_ptr<Connection>& conn);
+  void park_zombie_locked_(const std::shared_ptr<Connection>& conn);
+  void kill_connection_(EndpointId dest, const Message& msg);
   void shutdown_();
 
   SocketFabricOptions options_;
@@ -100,20 +122,32 @@ class SocketFabric final : public Fabric {
   std::mutex conn_mutex_;
   std::map<EndpointId, std::shared_ptr<Connection>> outgoing_;
   std::vector<std::shared_ptr<Connection>> incoming_;
+  /// Evicted connections whose reader threads still need joining
+  /// (a thread cannot join itself); reaped in shutdown_().
+  std::vector<std::shared_ptr<Connection>> zombies_;
 
-  // Request context on the serving side: response for `seq` goes back
-  // over the connection it arrived on, carrying the (possibly written)
-  // owned bulk buffer.
+  // Request context on the serving side: the response for a request
+  // goes back over the connection it arrived on, carrying the
+  // (possibly written) owned bulk buffer. Keyed by (requester id, seq)
+  // — seq alone collides across client processes, which each count
+  // sequences from 1.
   struct PendingReply {
     std::shared_ptr<Connection> conn;
     BulkRegion writable_bulk;  // owned region, if the request had one
   };
+  using ReplyKey = std::pair<EndpointId, std::uint64_t>;
   std::mutex reply_mutex_;
-  std::map<std::uint64_t, PendingReply> pending_replies_;
+  std::map<ReplyKey, PendingReply> pending_replies_;
 
-  // Requesting side: writable regions waiting for response bulk.
+  // Requesting side: writable regions waiting for response bulk,
+  // tied to the connection the request left on so a dead link fails
+  // them instead of leaking them.
+  struct PendingWritable {
+    BulkRegion region;
+    std::shared_ptr<Connection> conn;
+  };
   std::mutex bulk_mutex_;
-  std::map<std::uint64_t, BulkRegion> pending_writable_;
+  std::map<std::uint64_t, PendingWritable> pending_writable_;
 
   mutable std::mutex stats_mutex_;
   TrafficStats stats_{};

@@ -1,8 +1,22 @@
 #include "rpc/engine.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace gekko::rpc {
+namespace {
+
+/// Outcomes worth re-sending an idempotent rpc for: the request may
+/// never have reached the daemon, or the daemon may be back already.
+bool transient(Errc code) {
+  return code == Errc::timed_out || code == Errc::disconnected ||
+         code == Errc::again;
+}
+
+}  // namespace
 
 Engine::Engine(net::Fabric& fabric, EngineOptions options)
     : fabric_(fabric),
@@ -42,9 +56,48 @@ void Engine::register_rpc(std::uint16_t rpc_id, std::string name,
 
 Result<std::vector<std::uint8_t>> Engine::forward(
     net::EndpointId dest, std::uint16_t rpc_id,
-    std::vector<std::uint8_t> payload, net::BulkRegion bulk) {
-  PendingCall call = begin_forward(dest, rpc_id, std::move(payload), bulk);
-  return finish(call);
+    std::vector<std::uint8_t> payload, net::BulkRegion bulk,
+    std::chrono::milliseconds timeout) {
+  const auto per_attempt =
+      timeout.count() > 0 ? timeout : options_.rpc_timeout;
+  const std::uint32_t attempts =
+      (options_.max_attempts > 1 && options_.retryable &&
+       options_.retryable(rpc_id))
+          ? options_.max_attempts
+          : 1;
+  std::chrono::milliseconds backoff = options_.retry_backoff;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= attempts;
+    std::vector<std::uint8_t> body;
+    if (last) {
+      body = std::move(payload);
+    } else {
+      body = payload;  // keep a copy while retries remain
+    }
+    PendingCall call = begin_forward(dest, rpc_id, std::move(body), bulk);
+    auto result = finish(call, per_attempt);
+    if (result.is_ok() || last || !transient(result.code())) return result;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    GEKKO_WARN("rpc") << options_.name << ": rpc " << rpc_id << " to "
+                      << dest << " " << errc_name(result.code())
+                      << ", retry " << (attempt + 1) << "/" << (attempts - 1)
+                      << " after backoff";
+    std::this_thread::sleep_for(jittered_(backoff, call.seq));
+    backoff = std::min(backoff * 2, options_.retry_backoff_max);
+  }
+}
+
+std::chrono::milliseconds Engine::jittered_(std::chrono::milliseconds base,
+                                            std::uint64_t seed) const {
+  if (base.count() <= 0) return base;
+  // Deterministic jitter in [base/2, base]: decorrelates a burst of
+  // clients retrying against the same recovering daemon, while keeping
+  // test runs replayable.
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(self_) << 32));
+  const auto half = base.count() / 2;
+  const auto span = static_cast<std::uint64_t>(base.count() - half + 1);
+  return std::chrono::milliseconds(
+      half + static_cast<std::int64_t>(sm.next() % span));
 }
 
 Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
@@ -75,13 +128,22 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
 }
 
 Result<std::vector<std::uint8_t>> Engine::finish(PendingCall& call) {
+  return finish(call, options_.rpc_timeout);
+}
+
+Result<std::vector<std::uint8_t>> Engine::finish(
+    PendingCall& call, std::chrono::milliseconds timeout) {
   if (!call.send_status.is_ok()) return call.send_status;
-  auto result = call.eventual.wait_for(options_.rpc_timeout);
+  auto result = call.eventual.wait_for(timeout);
   {
     std::lock_guard lock(pending_mutex_);
     pending_.erase(call.seq);
   }
   if (!result.has_value()) {
+    // Deadline passed: revoke the transport's claim on any writable
+    // bulk region BEFORE returning, so a late response cannot scribble
+    // into a buffer the caller is about to reuse.
+    fabric_.cancel(call.seq);
     return Status{Errc::timed_out,
                   "rpc seq " + std::to_string(call.seq) + " timed out"};
   }

@@ -40,8 +40,20 @@ using Handler =
 struct EngineOptions {
   /// Handler pool width (Margo: number of handler xstreams).
   std::size_t handler_threads = 2;
-  /// forward() deadline.
+  /// Per-attempt forward() deadline (margo_forward_timed analog).
   std::chrono::milliseconds rpc_timeout{5000};
+  /// Total attempts for retryable RPCs (1 = never retry). Only rpc ids
+  /// the `retryable` predicate approves are ever re-sent, and only
+  /// after a transient outcome (timed_out / disconnected / again) —
+  /// a retried create or remove could double-apply, a retried stat
+  /// cannot.
+  std::uint32_t max_attempts = 1;
+  /// First retry backoff; doubles per attempt (with jitter) up to
+  /// `retry_backoff_max`.
+  std::chrono::milliseconds retry_backoff{10};
+  std::chrono::milliseconds retry_backoff_max{1000};
+  /// Idempotency predicate over rpc ids. Unset = nothing retries.
+  std::function<bool(std::uint16_t)> retryable;
   std::string name = "engine";
 };
 
@@ -60,10 +72,15 @@ class Engine {
   /// Send a request and block for the response payload.
   /// Errc::timed_out if no response within the deadline;
   /// Errc::disconnected if the destination is gone.
-  Result<std::vector<std::uint8_t>> forward(net::EndpointId dest,
-                                            std::uint16_t rpc_id,
-                                            std::vector<std::uint8_t> payload,
-                                            net::BulkRegion bulk = {});
+  ///
+  /// If the options allow retries and `retryable(rpc_id)` holds,
+  /// transient outcomes are retried with exponential backoff + jitter
+  /// (fresh seq per attempt). `timeout` overrides the per-attempt
+  /// deadline; zero means options.rpc_timeout.
+  Result<std::vector<std::uint8_t>> forward(
+      net::EndpointId dest, std::uint16_t rpc_id,
+      std::vector<std::uint8_t> payload, net::BulkRegion bulk = {},
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{0});
 
   /// In-flight request handle (margo_request analog). Obtain with
   /// begin_forward(), complete with finish(). Movable, not copyable
@@ -80,8 +97,14 @@ class Engine {
                             std::vector<std::uint8_t> payload,
                             net::BulkRegion bulk = {});
 
-  /// Wait for a pending call (engine timeout applies).
+  /// Wait for a pending call (engine timeout applies). On timeout the
+  /// call is cancelled on the fabric: any writable bulk region tied to
+  /// it is unregistered BEFORE returning, so a late response can never
+  /// scribble into a buffer the caller has already reclaimed.
   Result<std::vector<std::uint8_t>> finish(PendingCall& call);
+  /// Same, with a per-call deadline.
+  Result<std::vector<std::uint8_t>> finish(PendingCall& call,
+                                           std::chrono::milliseconds timeout);
 
   /// Stop the progress thread and handler pool. Idempotent.
   void shutdown();
@@ -94,9 +117,20 @@ class Engine {
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return handled_.load(std::memory_order_relaxed);
   }
+  /// Re-sends performed by forward() after transient failures.
+  [[nodiscard]] std::uint64_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  /// True if the configured policy may re-send this rpc id.
+  [[nodiscard]] bool is_retryable(std::uint16_t rpc_id) const {
+    return options_.max_attempts > 1 && options_.retryable &&
+           options_.retryable(rpc_id);
+  }
 
  private:
   void progress_loop_();
+  [[nodiscard]] std::chrono::milliseconds jittered_(
+      std::chrono::milliseconds base, std::uint64_t seed) const;
   void dispatch_request_(net::Message msg);
   void complete_response_(net::Message msg);
 
@@ -120,6 +154,7 @@ class Engine {
       pending_;
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> handled_{0};
+  std::atomic<std::uint64_t> retries_{0};
   std::atomic<bool> stopped_{false};
 };
 

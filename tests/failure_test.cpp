@@ -2,10 +2,12 @@
 // corrupted persistence, partial cluster availability.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 
 #include "cluster/cluster.h"
 #include "common/fileio.h"
+#include "proto/messages.h"
 
 namespace gekko {
 namespace {
@@ -170,6 +172,35 @@ TEST_F(FailureTest, LossyNetworkOnlyCausesTimeoutsNotCorruption) {
     if (md.is_ok()) continue;  // creation may have failed: fine
     EXPECT_EQ(md.code(), Errc::not_found) << p;
   }
+}
+
+TEST_F(FailureTest, TransientDropMaskedByIdempotentRetry) {
+  // A one-shot fault injector drops the first stat request on the
+  // floor. The client's default retry policy (idempotent rpcs only)
+  // must mask the loss — the caller sees success, not timed_out.
+  auto fd = mnt_->open("/flaky-read", fs::create | fs::wr_only);
+  ASSERT_TRUE(fd.is_ok());
+  ASSERT_TRUE(mnt_->close(*fd).is_ok());
+
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+  cluster_->fabric().set_fault_injector(
+      std::make_shared<net::CallbackFaultInjector>(
+          [dropped](net::EndpointId, const net::Message& msg) {
+            net::FaultAction a;
+            if (msg.kind == net::MessageKind::request &&
+                msg.rpc_id == proto::to_wire(proto::RpcId::stat) &&
+                dropped->fetch_add(1) == 0) {
+              a.drop = true;
+            }
+            return a;
+          }));
+
+  const auto before = mnt_->client().engine().retries();
+  auto md = mnt_->stat("/flaky-read");
+  ASSERT_TRUE(md.is_ok()) << md.status().to_string();
+  EXPECT_EQ(dropped->load(), 2);  // first dropped, retry delivered
+  EXPECT_GT(mnt_->client().engine().retries(), before);
+  cluster_->fabric().set_fault_injector(nullptr);
 }
 
 TEST_F(FailureTest, ManifestCorruptionIsDetectedAtRestart) {

@@ -52,6 +52,31 @@ TEST_F(SocketFabricTest, RejectsBadHostfiles) {
             Errc::invalid_argument);
 }
 
+TEST_F(SocketFabricTest, RejectsGarbageAndOutOfRangeHostfileIds) {
+  // Malformed ids must come back as invalid_argument from the factory,
+  // never as a std::stoul exception escaping a Result-returning API.
+  const std::vector<std::string> bad_lines = {
+      "xyz /tmp/a.sock\n",                    // not a number
+      "12abc /tmp/a.sock\n",                  // trailing junk
+      "-3 /tmp/a.sock\n",                     // negative
+      "99999999999999999999 /tmp/a.sock\n",   // out of range for u32
+      "1073741824 /tmp/a.sock\n",             // 2^30: client id-space
+  };
+  int i = 0;
+  for (const auto& line : bad_lines) {
+    const auto path = dir_ / ("bad" + std::to_string(i++));
+    ASSERT_TRUE(io::write_file_atomic(path, line).is_ok());
+    auto fabric = net::SocketFabric::create(path, {});
+    EXPECT_EQ(fabric.code(), Errc::invalid_argument) << line;
+  }
+  // Comments and blank lines are still fine.
+  const auto good = dir_ / "good";
+  ASSERT_TRUE(io::write_file_atomic(
+                  good, "# comment\n\n0 " + (dir_ / "d0.sock").string() + "\n")
+                  .is_ok());
+  EXPECT_TRUE(net::SocketFabric::create(good, {}).is_ok());
+}
+
 TEST_F(SocketFabricTest, RpcEchoAcrossSockets) {
   auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
   ASSERT_TRUE(hostfile.is_ok());
@@ -199,6 +224,88 @@ TEST_F(SocketFabricTest, MultiProcessDaemons) {
     int status = 0;
     ::waitpid(pid, &status, 0);
   }
+}
+
+TEST_F(SocketFabricTest, DaemonRestartRecovery) {
+  // Kill a daemon process out from under a live client, restart it on
+  // the same data root, and verify the client's idempotent calls
+  // (stat/read) recover transparently via reconnect + retry.
+  auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
+  ASSERT_TRUE(hostfile.is_ok());
+  const auto sock = dir_ / "gkfsd.0.sock";
+  const auto root = dir_ / "node0";
+
+  const auto spawn_daemon = [&]() -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      auto fabric = net::SocketFabric::create(
+          *hostfile, net::SocketFabricOptions{.self_id = 0});
+      if (!fabric) ::_exit(10);
+      daemon::DaemonOptions dopts;
+      dopts.chunk_size = 4096;
+      auto daemon = daemon::GekkoDaemon::start(**fabric, root, dopts);
+      if (!daemon) ::_exit(11);
+      for (;;) ::pause();
+    }
+    return pid;
+  };
+  const auto wait_for_sock = [&]() {
+    for (int i = 0; i < 200 && !std::filesystem::exists(sock); ++i) {
+      ::usleep(20 * 1000);
+    }
+    ASSERT_TRUE(std::filesystem::exists(sock));
+  };
+
+  pid_t daemon_pid = spawn_daemon();
+  ASSERT_GE(daemon_pid, 0);
+  wait_for_sock();
+
+  auto client_fabric = net::SocketFabric::create(*hostfile, {});
+  ASSERT_TRUE(client_fabric.is_ok());
+  client::ClientOptions copts;
+  copts.chunk_size = 4096;
+  copts.rpc_options.rpc_timeout = std::chrono::milliseconds(300);
+  copts.rpc_options.max_attempts = 6;
+  copts.rpc_options.retry_backoff = std::chrono::milliseconds(50);
+  fs::Mount mnt(**client_fabric, {0}, copts);
+
+  std::vector<std::uint8_t> payload(10000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  auto fd = mnt.open("/restart-me", fs::create | fs::rd_wr);
+  ASSERT_TRUE(fd.is_ok()) << fd.status().to_string();
+  ASSERT_TRUE(mnt.pwrite(*fd, payload, 0).is_ok());
+  ASSERT_TRUE(mnt.close(*fd).is_ok());
+
+  // Hard-kill the daemon (no shutdown — state must persist on disk),
+  // then restart it on the same root. Remove the stale socket first so
+  // wait_for_sock() observes the NEW daemon's bind.
+  ::kill(daemon_pid, SIGKILL);
+  int status = 0;
+  ::waitpid(daemon_pid, &status, 0);
+  std::filesystem::remove(sock);
+  daemon_pid = spawn_daemon();
+  ASSERT_GE(daemon_pid, 0);
+  wait_for_sock();
+
+  // Same client, same (now-dead) cached connection: stat + read must
+  // succeed via transparent reconnect, without remounting.
+  auto st = mnt.stat("/restart-me");
+  ASSERT_TRUE(st.is_ok()) << st.status().to_string();
+  EXPECT_EQ(st->size, payload.size());
+
+  auto fd2 = mnt.open("/restart-me", fs::rd_only);
+  ASSERT_TRUE(fd2.is_ok()) << fd2.status().to_string();
+  std::vector<std::uint8_t> back(payload.size());
+  auto n = mnt.pread(*fd2, back, 0);
+  ASSERT_TRUE(n.is_ok()) << n.status().to_string();
+  EXPECT_EQ(*n, payload.size());
+  EXPECT_EQ(back, payload);
+  ASSERT_TRUE(mnt.close(*fd2).is_ok());
+
+  ::kill(daemon_pid, SIGKILL);
+  ::waitpid(daemon_pid, &status, 0);
 }
 
 }  // namespace

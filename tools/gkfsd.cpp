@@ -10,9 +10,11 @@
 //
 // Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
 // lives under <data-root> and survives restarts.
+#include <charconv>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "daemon/daemon.h"
 #include "net/socket_fabric.h"
@@ -22,6 +24,14 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
+
+/// Strict decimal parse; rejects garbage and trailing junk ("12abc")
+/// instead of silently running daemon 0 like strtoul would.
+bool parse_u32(const char* arg, std::uint32_t* out) {
+  const char* last = arg + std::strlen(arg);
+  const auto [ptr, ec] = std::from_chars(arg, last, *out);
+  return ec == std::errc() && ptr == last && last != arg;
+}
 
 }  // namespace
 
@@ -33,8 +43,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const char* hostfile = argv[1];
-  const auto self_id = static_cast<gekko::net::EndpointId>(
-      std::strtoul(argv[2], nullptr, 10));
+  std::uint32_t self_id = 0;
+  if (!parse_u32(argv[2], &self_id)) {
+    std::fprintf(stderr, "gkfsd: bad self-id '%s'\n", argv[2]);
+    return 2;
+  }
   const char* root = argv[3];
 
   gekko::net::SocketFabricOptions fopts;
@@ -48,8 +61,10 @@ int main(int argc, char** argv) {
 
   gekko::daemon::DaemonOptions dopts;
   if (argc > 4) {
-    dopts.chunk_size =
-        static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+    if (!parse_u32(argv[4], &dopts.chunk_size) || dopts.chunk_size == 0) {
+      std::fprintf(stderr, "gkfsd: bad chunk-size '%s'\n", argv[4]);
+      return 2;
+    }
   }
   auto daemon = gekko::daemon::GekkoDaemon::start(**fabric, root, dopts);
   if (!daemon) {
