@@ -22,13 +22,28 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
     : fabric_(fabric),
       daemons_(std::move(daemons)),
       options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &metrics::Registry::global()),
       distributor_(proto::make_distributor(
           options_.distribution,
           static_cast<std::uint32_t>(daemons_.size()))),
       size_cache_(options_.size_cache_interval),
       stat_cache_(options_.stat_cache_ttl) {
+  m_.rpcs_sent = &registry_->counter("client.rpcs_sent");
+  m_.bytes_written = &registry_->counter("client.bytes_written");
+  m_.bytes_read = &registry_->counter("client.bytes_read");
+  m_.stat_cache_hits = &registry_->counter("client.stat_cache.hits");
+  m_.stat_cache_misses = &registry_->counter("client.stat_cache.misses");
+  m_.size_updates_sent = &registry_->counter("client.size_updates.sent");
+  m_.size_updates_absorbed =
+      &registry_->counter("client.size_updates.absorbed");
+  m_.write_fanout = &registry_->histogram("client.write.fanout");
+  m_.read_fanout = &registry_->histogram("client.read.fanout");
+
   rpc::EngineOptions rpc_opts = options_.rpc_options;
   if (rpc_opts.name == "engine") rpc_opts.name = "gkfs-client";
+  if (rpc_opts.registry == nullptr) rpc_opts.registry = registry_;
+  if (!rpc_opts.rpc_name) rpc_opts.rpc_name = proto::rpc_name;
   // The client engine only *sends*; one handler thread suffices for the
   // (none) incoming requests, and the progress thread completes
   // responses.
@@ -69,6 +84,7 @@ Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
   if (!engine_->is_retryable(rpc_id)) return r;
   // Fan-out calls bypass forward()'s retry loop; re-forward this one
   // call synchronously (the engine applies its own backoff policy).
+  m_.rpcs_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -88,6 +104,7 @@ Status Client::create(std::string_view path, proto::FileType type,
   const std::uint32_t target = distributor_->metadata_target(path);
   auto resp = engine_->forward(endpoint_of_(target),
                                proto::to_wire(RpcId::create), req.encode());
+  m_.rpcs_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -98,12 +115,15 @@ Status Client::create(std::string_view path, proto::FileType type,
 Result<proto::Metadata> Client::stat(std::string_view path) {
   const std::string key{path};
   if (auto cached = stat_cache_.lookup(key)) {
+    m_.stat_cache_hits->inc();
     return *cached;
   }
+  m_.stat_cache_misses->inc();
   proto::PathRequest req{std::string(path)};
   const std::uint32_t target = distributor_->metadata_target(path);
   auto resp = engine_->forward(endpoint_of_(target),
                                proto::to_wire(RpcId::stat), req.encode());
+  m_.rpcs_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -125,6 +145,7 @@ Status Client::remove(std::string_view path) {
   auto resp =
       engine_->forward(endpoint_of_(target),
                        proto::to_wire(RpcId::remove_metadata), req.encode());
+  m_.rpcs_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -152,6 +173,7 @@ Status Client::remove_data_everywhere_(std::string_view path) {
     calls.push_back(engine_->begin_forward(
         ep, proto::to_wire(RpcId::remove_data), req.encode()));
   }
+  m_.rpcs_sent->inc(daemons_.size());
   {
     std::lock_guard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();
@@ -174,6 +196,7 @@ Status Client::truncate(std::string_view path, std::uint64_t new_size) {
   auto resp = engine_->forward(endpoint_of_(target),
                                proto::to_wire(RpcId::truncate_metadata),
                                req.encode());
+  m_.rpcs_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -187,6 +210,7 @@ Status Client::truncate(std::string_view path, std::uint64_t new_size) {
     calls.push_back(engine_->begin_forward(
         ep, proto::to_wire(RpcId::truncate_data), req.encode()));
   }
+  m_.rpcs_sent->inc(daemons_.size());
   {
     std::lock_guard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();
@@ -209,6 +233,8 @@ Status Client::send_size_update_(const std::string& path,
   auto resp =
       engine_->forward(endpoint_of_(target),
                        proto::to_wire(RpcId::update_size), req.encode());
+  m_.rpcs_sent->inc();
+  m_.size_updates_sent->inc();
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.rpcs_sent;
@@ -245,6 +271,7 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
 
   // Expose the write buffer once; every daemon pulls its slices.
   const net::BulkRegion bulk = net::BulkRegion::expose_read(data);
+  m_.write_fanout->record(per_daemon.size());
 
   std::vector<rpc::Engine::PendingCall> calls;
   calls.reserve(per_daemon.size());
@@ -253,6 +280,7 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
                                            proto::to_wire(RpcId::write_chunks),
                                            req.encode(), bulk));
   }
+  m_.rpcs_sent->inc(per_daemon.size());
   {
     std::lock_guard lock(stats_mutex_);
     stats_.rpcs_sent += per_daemon.size();
@@ -285,10 +313,12 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
   if (auto to_send = size_cache_.observe(key, observed)) {
     GEKKO_RETURN_IF_ERROR(send_size_update_(key, *to_send));
   } else {
+    m_.size_updates_absorbed->inc();
     std::lock_guard lock(stats_mutex_);
     ++stats_.size_updates_absorbed;
   }
 
+  m_.bytes_written->inc(written);
   {
     std::lock_guard lock(stats_mutex_);
     stats_.bytes_written += written;
@@ -320,6 +350,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
 
   const net::BulkRegion bulk =
       net::BulkRegion::expose_write(out.subspan(0, readable));
+  m_.read_fanout->record(per_daemon.size());
 
   std::vector<rpc::Engine::PendingCall> calls;
   std::vector<net::EndpointId> call_eps;
@@ -332,6 +363,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
                                            proto::to_wire(RpcId::read_chunks),
                                            call_reqs.back(), bulk));
   }
+  m_.rpcs_sent->inc(per_daemon.size());
   {
     std::lock_guard lock(stats_mutex_);
     stats_.rpcs_sent += per_daemon.size();
@@ -359,6 +391,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
   }
   GEKKO_RETURN_IF_ERROR(first_error);
 
+  m_.bytes_read->inc(transferred);
   {
     std::lock_guard lock(stats_mutex_);
     stats_.bytes_read += transferred;
@@ -376,6 +409,7 @@ Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
     calls.push_back(engine_->begin_forward(
         ep, proto::to_wire(RpcId::get_dirents), req.encode()));
   }
+  m_.rpcs_sent->inc(daemons_.size());
   {
     std::lock_guard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();

@@ -35,6 +35,10 @@ struct ClientOptions {
   /// future-work item #2; see client/stat_cache.h for the trade.
   std::chrono::milliseconds stat_cache_ttl{0};
   rpc::EngineOptions rpc_options;
+  /// Metric sink (forwarding-layer counters, fan-out histograms).
+  /// nullptr = metrics::Registry::global(). Also seeds the engine's
+  /// registry unless rpc_options.registry is set explicitly.
+  metrics::Registry* registry = nullptr;
 };
 
 struct ClientStats {
@@ -112,12 +116,27 @@ class Client {
   net::Fabric& fabric_;
   std::vector<net::EndpointId> daemons_;
   ClientOptions options_;
+  metrics::Registry* registry_;  // resolved from options_, never null
   std::unique_ptr<proto::Distributor> distributor_;
   std::unique_ptr<rpc::Engine> engine_;
   SizeCache size_cache_;
   StatCache stat_cache_;
   mutable std::mutex stats_mutex_;
   ClientStats stats_;
+
+  // Cached registry references (record path takes no lock).
+  struct ClientMetrics {
+    metrics::Counter* rpcs_sent;
+    metrics::Counter* bytes_written;
+    metrics::Counter* bytes_read;
+    metrics::Counter* stat_cache_hits;
+    metrics::Counter* stat_cache_misses;
+    metrics::Counter* size_updates_sent;
+    metrics::Counter* size_updates_absorbed;
+    metrics::Histogram* write_fanout;  // daemons touched per write()
+    metrics::Histogram* read_fanout;   // daemons touched per read()
+  };
+  ClientMetrics m_;
 };
 
 /// Wall-clock nanoseconds (client-stamped ctimes/mtimes).

@@ -1,10 +1,12 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <mutex>
 
 namespace gekko::log {
 namespace {
 std::mutex g_mutex;
+Sink g_sink;  // guarded by g_mutex
 
 const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -16,6 +18,13 @@ const char* level_tag(Level lvl) {
     case Level::off: return "OFF  ";
   }
   return "?";
+}
+
+double seconds_since_start() noexcept {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 }  // namespace
 
@@ -30,9 +39,35 @@ void set_level(Level lvl) noexcept {
 
 Level level() noexcept { return threshold().load(std::memory_order_relaxed); }
 
-void write(Level lvl, std::string_view component, std::string_view message) {
+void set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(lvl),
+  g_sink = std::move(sink);
+}
+
+unsigned thread_number() noexcept {
+  static std::atomic<unsigned> g_next{0};
+  thread_local const unsigned id =
+      g_next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%12.6f] [t%02u] [%s]",
+                seconds_since_start(), thread_number(), level_tag(lvl));
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    std::string line;
+    line.reserve(component.size() + message.size() + 56);
+    line += prefix;
+    line += ' ';
+    line += component;
+    line += ": ";
+    line += message;
+    g_sink(lvl, line);
+    return;
+  }
+  std::fprintf(stderr, "%s %.*s: %.*s\n", prefix,
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }

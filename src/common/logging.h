@@ -1,11 +1,16 @@
 // Minimal thread-safe leveled logger.
 //
-// Daemons and clients are hot paths; logging must be cheap when disabled.
-// The macro guards evaluate the level before formatting anything.
+// Daemons and clients are hot paths; logging must be cheap when
+// disabled. The macros evaluate the level FIRST and never touch their
+// stream arguments below threshold. Each emitted line is prefixed with
+// a monotonic timestamp (seconds since process start) and a compact
+// thread id so interleaved daemon/handler output can be attributed:
+//   [   12.304157] [t03] [WARN ] rpc: ...
 #pragma once
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -20,7 +25,21 @@ std::atomic<Level>& threshold() noexcept;
 void set_level(Level lvl) noexcept;
 Level level() noexcept;
 
-/// Emit one line: "[lvl] component: message\n" to stderr, atomically.
+/// True if a message at `lvl` would be emitted. The macro guard.
+inline bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >= static_cast<int>(level());
+}
+
+/// Redirect fully formatted lines (no trailing newline) to `sink`
+/// instead of stderr; nullptr restores stderr. Test capture hook.
+using Sink = std::function<void(Level, std::string_view line)>;
+void set_sink(Sink sink);
+
+/// Small dense id for the calling thread (1, 2, 3, ... in first-log
+/// order) — far more readable than std::thread::id hashes.
+unsigned thread_number() noexcept;
+
+/// Emit one line: "[ts] [tid] [lvl] component: message", atomically.
 void write(Level lvl, std::string_view component, std::string_view message);
 
 namespace detail {
@@ -40,15 +59,25 @@ class LineBuilder {
   std::string_view component_;
   std::ostringstream os_;
 };
+
+/// Absorbs a LineBuilder chain into void so GEKKO_LOG can be a single
+/// ternary expression. `&` binds looser than `<<`, so the whole chain
+/// runs (or is skipped) as one operand.
+struct Voidify {
+  void operator&(const LineBuilder&) const noexcept {}
+};
 }  // namespace detail
 
 }  // namespace gekko::log
 
-#define GEKKO_LOG(lvl, component)                                      \
-  if (static_cast<int>(lvl) < static_cast<int>(::gekko::log::level())) \
-    ;                                                                  \
-  else                                                                 \
-    ::gekko::log::detail::LineBuilder(lvl, component)
+// A single expression, not an if/else: usable inside un-braced
+// if/else branches without dangling-else capture, and the stream
+// arguments are never evaluated when the level is disabled.
+#define GEKKO_LOG(lvl, component)                     \
+  !::gekko::log::enabled(lvl)                         \
+      ? (void)0                                       \
+      : ::gekko::log::detail::Voidify() &             \
+            ::gekko::log::detail::LineBuilder(lvl, component)
 
 #define GEKKO_TRACE(component) GEKKO_LOG(::gekko::log::Level::trace, component)
 #define GEKKO_DEBUG(component) GEKKO_LOG(::gekko::log::Level::debug, component)

@@ -1,0 +1,329 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace gekko::metrics {
+
+// ---------- Registry ----------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    const LatencyHistogram lh = h->materialize();
+    HistogramStats hs;
+    hs.count = lh.count();
+    hs.sum = h->sum();
+    hs.p50 = lh.quantile(0.5);
+    hs.p90 = lh.quantile(0.9);
+    hs.p99 = lh.quantile(0.99);
+    hs.max = lh.quantile(1.0);
+    s.histograms[name] = hs;
+  }
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // never destroyed: recorders may
+                                        // outlive static teardown order
+  return *g;
+}
+
+// ---------- Snapshot JSON ----------
+
+namespace {
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back('?');  // metric names never contain control chars
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+/// Minimal recursive-descent parser for the snapshot subset: objects,
+/// strings (no escapes beyond \" and \\), and integer numbers.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view in) : in_(in) {}
+
+  bool consume(char c) {
+    skip_ws_();
+    if (pos_ >= in_.size() || in_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws_();
+    return pos_ < in_.size() && in_[pos_] == c;
+  }
+
+  bool string(std::string* out) {
+    skip_ws_();
+    if (pos_ >= in_.size() || in_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      char c = in_[pos_++];
+      if (c == '\\' && pos_ < in_.size()) c = in_[pos_++];
+      out->push_back(c);
+    }
+    if (pos_ >= in_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool integer(std::int64_t* out) {
+    skip_ws_();
+    const std::size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    while (pos_ < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (in_[start] == '-' && pos_ == start + 1)) {
+      return false;
+    }
+    std::int64_t v = 0;
+    bool neg = in_[start] == '-';
+    for (std::size_t i = start + (neg ? 1 : 0); i < pos_; ++i) {
+      v = v * 10 + (in_[i] - '0');
+    }
+    *out = neg ? -v : v;
+    return true;
+  }
+
+  bool at_end() {
+    skip_ws_();
+    return pos_ >= in_.size();
+  }
+
+ private:
+  void skip_ws_() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+/// Parse {"name":int,...} into fn(name, value). Empty object ok.
+bool parse_int_object(JsonParser& p,
+                      const std::function<void(std::string, std::int64_t)>&
+                          fn) {
+  if (!p.consume('{')) return false;
+  if (p.consume('}')) return true;
+  for (;;) {
+    std::string key;
+    std::int64_t value = 0;
+    if (!p.string(&key) || !p.consume(':') || !p.integer(&value)) {
+      return false;
+    }
+    fn(std::move(key), value);
+    if (p.consume('}')) return true;
+    if (!p.consume(',')) return false;
+  }
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + 48 * (counters.size() + gauges.size()) +
+              96 * histograms.size());
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(&out, name);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(&out, name);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(&out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p90\":" + std::to_string(h.p90) +
+           ",\"p99\":" + std::to_string(h.p99) +
+           ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Result<Snapshot> Snapshot::from_json(std::string_view json) {
+  JsonParser p(json);
+  Snapshot s;
+  std::string key;
+  if (!p.consume('{')) return Errc::corruption;
+
+  // "counters"
+  if (!p.string(&key) || key != "counters" || !p.consume(':')) {
+    return Errc::corruption;
+  }
+  if (!parse_int_object(p, [&](std::string name, std::int64_t v) {
+        s.counters[std::move(name)] = static_cast<std::uint64_t>(v);
+      })) {
+    return Errc::corruption;
+  }
+
+  // "gauges"
+  if (!p.consume(',') || !p.string(&key) || key != "gauges" ||
+      !p.consume(':')) {
+    return Errc::corruption;
+  }
+  if (!parse_int_object(p, [&](std::string name, std::int64_t v) {
+        s.gauges[std::move(name)] = v;
+      })) {
+    return Errc::corruption;
+  }
+
+  // "histograms"
+  if (!p.consume(',') || !p.string(&key) || key != "histograms" ||
+      !p.consume(':') || !p.consume('{')) {
+    return Errc::corruption;
+  }
+  if (!p.consume('}')) {
+    for (;;) {
+      std::string name;
+      if (!p.string(&name) || !p.consume(':')) return Errc::corruption;
+      HistogramStats hs;
+      bool ok = parse_int_object(p, [&](std::string field, std::int64_t v) {
+        const auto u = static_cast<std::uint64_t>(v);
+        if (field == "count") hs.count = u;
+        else if (field == "sum") hs.sum = u;
+        else if (field == "p50") hs.p50 = u;
+        else if (field == "p90") hs.p90 = u;
+        else if (field == "p99") hs.p99 = u;
+        else if (field == "max") hs.max = u;
+      });
+      if (!ok) return Errc::corruption;
+      s.histograms[std::move(name)] = hs;
+      if (p.consume('}')) break;
+      if (!p.consume(',')) return Errc::corruption;
+    }
+  }
+  if (!p.consume('}')) return Errc::corruption;
+  return s;
+}
+
+// ---------- Tracer ----------
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {}
+
+void Tracer::record(std::uint64_t trace_id, const char* name,
+                    std::uint16_t rpc_id, std::uint64_t start_ns,
+                    std::uint64_t duration_ns) noexcept {
+  const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx & mask_];
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.rpc_id.store(rpc_id, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  // Publish last: a dump observing this seq sees plausible fields (a
+  // concurrent overwrite can still mix spans — accepted, see header).
+  slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<TraceSpan> Tracer::dump() const {
+  struct Numbered {
+    std::uint64_t seq;
+    TraceSpan span;
+  };
+  std::vector<Numbered> present;
+  present.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0) continue;  // never written
+    TraceSpan span;
+    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.rpc_id = static_cast<std::uint16_t>(
+        slot.rpc_id.load(std::memory_order_relaxed));
+    span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    span.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    present.push_back(Numbered{seq, span});
+  }
+  std::sort(present.begin(), present.end(),
+            [](const Numbered& a, const Numbered& b) { return a.seq < b.seq; });
+  std::vector<TraceSpan> out;
+  out.reserve(present.size());
+  for (auto& n : present) out.push_back(n.span);
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* g = new Tracer(4096);
+  return *g;
+}
+
+}  // namespace gekko::metrics

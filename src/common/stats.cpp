@@ -12,16 +12,43 @@ std::uint64_t LatencyHistogram::upper_bound_of(std::size_t idx) noexcept {
   return base + step * static_cast<std::uint64_t>(sub + 1) - 1;
 }
 
+std::uint64_t LatencyHistogram::lower_bound_of(std::size_t idx) noexcept {
+  if (idx < kSub) return static_cast<std::uint64_t>(idx);
+  const std::size_t bucket = idx / kSub;
+  const std::size_t sub = idx % kSub;
+  const int msb = static_cast<int>(bucket) + 3;
+  const std::uint64_t base = 1ULL << msb;
+  const std::uint64_t step = 1ULL << (msb - 4);
+  return base + step * static_cast<std::uint64_t>(sub);
+}
+
 std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
   if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
+
+  if (q <= 0.0) {
+    // Minimum recorded value's bucket; exact in the linear range.
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] != 0) return lower_bound_of(i);
+    }
+    return 0;  // unreachable with count_ > 0
+  }
+  if (q >= 1.0) {
+    // Maximum recorded value's bucket upper bound.
+    for (std::size_t i = kBuckets; i-- > 0;) {
+      if (buckets_[i] != 0) return upper_bound_of(i);
+    }
+    return 0;  // unreachable with count_ > 0
+  }
+
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
-    if (seen > target) return upper_bound_of(i);
+    if (seen > target) {
+      // Linear range: the bucket index IS the recorded value.
+      return i < kSub ? static_cast<std::uint64_t>(i) : upper_bound_of(i);
+    }
   }
   return upper_bound_of(kBuckets - 1);
 }

@@ -24,6 +24,9 @@ class OnlineStats {
   void merge(const OnlineStats& o) noexcept {
     if (o.n_ == 0) return;
     if (n_ == 0) {
+      // Adopt o wholesale: our default-constructed min_/max_ of 0.0
+      // are sentinels, not samples, and must never survive a merge
+      // with real (e.g. all-positive) data.
       *this = o;
       return;
     }
@@ -35,8 +38,9 @@ class OnlineStats {
              o.mean_ * static_cast<double>(o.n_)) /
             total;
     n_ += o.n_;
-    if (o.min_ < min_) min_ = o.min_;
-    if (o.max_ > max_) max_ = o.max_;
+    // Both sides hold real samples here; plain min/max is safe.
+    min_ = o.min_ < min_ ? o.min_ : min_;
+    max_ = o.max_ > max_ ? o.max_ : max_;
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
@@ -85,10 +89,27 @@ class LatencyHistogram {
                   : 0.0;
   }
 
-  /// Approximate quantile (q in [0,1]); returns bucket upper bound.
+  /// Quantile with explicit edge semantics:
+  ///  - empty histogram: 0 for any q,
+  ///  - q <= 0: lower bound of the first occupied bucket (the exact
+  ///    smallest value for the linear sub-kSub range),
+  ///  - q >= 1: upper bound of the last occupied bucket,
+  ///  - otherwise: the exact value for the linear range (bucket index
+  ///    IS the value there), the bucket upper bound beyond it.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
- private:
+  /// Replace contents from raw bucket counts (metrics::Histogram
+  /// snapshots its atomic buckets through this).
+  void load(const std::array<std::uint64_t, kBuckets>& buckets,
+            std::uint64_t sum) noexcept {
+    buckets_ = buckets;
+    sum_ = sum;
+    count_ = 0;
+    for (const auto b : buckets_) count_ += b;
+  }
+
+  /// Bucket index for a value: values < kSub map 1:1 (exact), larger
+  /// values to power-of-two buckets with kSub linear sub-buckets.
   static std::size_t index_of(std::uint64_t v) noexcept {
     if (v < kSub) return static_cast<std::size_t>(v);
     const int msb = 63 - __builtin_clzll(v);
@@ -98,7 +119,9 @@ class LatencyHistogram {
     return idx < kBuckets ? idx : kBuckets - 1;
   }
   static std::uint64_t upper_bound_of(std::size_t idx) noexcept;
+  static std::uint64_t lower_bound_of(std::size_t idx) noexcept;
 
+ private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::array<std::uint64_t, kBuckets> buckets_{};

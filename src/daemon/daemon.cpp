@@ -3,6 +3,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/units.h"
+#include "kv/cache.h"
 #include "proto/messages.h"
 
 namespace gekko::daemon {
@@ -14,6 +17,16 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
     DaemonOptions options) {
   std::unique_ptr<GekkoDaemon> d(new GekkoDaemon(std::move(options)));
   d->fabric_ = &fabric;
+  d->registry_ = d->options_.registry != nullptr
+                     ? d->options_.registry
+                     : &metrics::Registry::global();
+
+  // Default a modest block cache so SST reads (stat storms) hit memory
+  // and `kv.cache.*` metrics are meaningful out of the box.
+  if (d->options_.kv_options.block_cache == nullptr) {
+    d->options_.kv_options.block_cache =
+        std::make_shared<kv::BlockCache>(8_MiB);
+  }
 
   auto metadata = MetadataBackend::open(root / "metadata",
                                         d->options_.kv_options);
@@ -28,6 +41,8 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
   rpc::EngineOptions rpc_opts = d->options_.rpc_options;
   rpc_opts.handler_threads = d->options_.handler_threads;
   if (rpc_opts.name == "engine") rpc_opts.name = "gkfs-daemon";
+  if (rpc_opts.registry == nullptr) rpc_opts.registry = d->registry_;
+  if (!rpc_opts.rpc_name) rpc_opts.rpc_name = proto::rpc_name;
   d->engine_ = std::make_unique<rpc::Engine>(fabric, rpc_opts);
   d->register_handlers_();
   GEKKO_INFO("daemon") << "daemon up at endpoint " << d->engine_->endpoint()
@@ -44,13 +59,27 @@ void GekkoDaemon::shutdown() {
 }
 
 void GekkoDaemon::register_handlers_() {
+  // Each handler is wrapped with daemon-level service accounting
+  // (`daemon.<op>.ops/.errors/.latency`). The engine separately tracks
+  // rpc.handler.* including queueing — the daemon view is pure service
+  // time of the op against kv/storage.
   auto bind = [this](RpcId id, const char* name,
                      Result<std::vector<std::uint8_t>> (GekkoDaemon::*fn)(
                          const net::Message&)) {
-    engine_->register_rpc(proto::to_wire(id), name,
-                          [this, fn](const net::Message& msg) {
-                            return (this->*fn)(msg);
-                          });
+    const std::string base = std::string("daemon.") + name + ".";
+    auto* ops = &registry_->counter(base + "ops");
+    auto* errors = &registry_->counter(base + "errors");
+    auto* latency = &registry_->histogram(base + "latency");
+    engine_->register_rpc(
+        proto::to_wire(id), name,
+        [this, fn, ops, errors, latency](const net::Message& msg) {
+          const std::uint64_t t0 = metrics::now_ns();
+          auto result = (this->*fn)(msg);
+          latency->record(metrics::now_ns() - t0);
+          ops->inc();
+          if (!result.is_ok()) errors->inc();
+          return result;
+        });
   };
   bind(RpcId::create, "create", &GekkoDaemon::on_create_);
   bind(RpcId::stat, "stat", &GekkoDaemon::on_stat_);
@@ -210,7 +239,51 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_daemon_stat_(
   resp.chunks_read = cs.chunks_read;
   resp.bytes_written = cs.bytes_written;
   resp.bytes_read = cs.bytes_read;
+  resp.metrics_json = metrics_json();
   return resp.encode();
+}
+
+void GekkoDaemon::publish_backend_metrics_() {
+  const auto cs = data_->stats();
+  registry_->gauge("storage.chunks_written").set(
+      static_cast<std::int64_t>(cs.chunks_written));
+  registry_->gauge("storage.chunks_read").set(
+      static_cast<std::int64_t>(cs.chunks_read));
+  registry_->gauge("storage.bytes_written").set(
+      static_cast<std::int64_t>(cs.bytes_written));
+  registry_->gauge("storage.bytes_read").set(
+      static_cast<std::int64_t>(cs.bytes_read));
+  registry_->gauge("storage.chunks_removed").set(
+      static_cast<std::int64_t>(cs.chunks_removed));
+
+  const auto ks = metadata_->db().stats();
+  registry_->gauge("kv.puts").set(static_cast<std::int64_t>(ks.puts));
+  registry_->gauge("kv.gets").set(static_cast<std::int64_t>(ks.gets));
+  registry_->gauge("kv.deletes").set(static_cast<std::int64_t>(ks.deletes));
+  registry_->gauge("kv.merges").set(static_cast<std::int64_t>(ks.merges));
+  registry_->gauge("kv.flushes").set(static_cast<std::int64_t>(ks.flushes));
+  registry_->gauge("kv.compactions").set(
+      static_cast<std::int64_t>(ks.compactions));
+  registry_->gauge("kv.wal_appends").set(
+      static_cast<std::int64_t>(ks.wal_appends));
+  registry_->gauge("kv.wal_syncs").set(
+      static_cast<std::int64_t>(ks.wal_syncs));
+  registry_->gauge("kv.memtable_bytes").set(
+      static_cast<std::int64_t>(ks.memtable_bytes));
+
+  if (const auto& cache = metadata_->db().options().block_cache) {
+    registry_->gauge("kv.cache.hits").set(
+        static_cast<std::int64_t>(cache->hits()));
+    registry_->gauge("kv.cache.misses").set(
+        static_cast<std::int64_t>(cache->misses()));
+    registry_->gauge("kv.cache.bytes_used").set(
+        static_cast<std::int64_t>(cache->bytes_used()));
+  }
+}
+
+std::string GekkoDaemon::metrics_json() {
+  publish_backend_metrics_();
+  return registry_->snapshot().to_json();
 }
 
 }  // namespace gekko::daemon

@@ -28,6 +28,9 @@ struct DaemonOptions {
   std::size_t handler_threads = 2;
   kv::Options kv_options;
   rpc::EngineOptions rpc_options;
+  /// Metric sink for this daemon (per-op service latencies, kv and
+  /// storage internals). nullptr = metrics::Registry::global().
+  metrics::Registry* registry = nullptr;
 };
 
 class GekkoDaemon {
@@ -56,10 +59,18 @@ class GekkoDaemon {
   [[nodiscard]] storage::ChunkStorage& data() noexcept { return *data_; }
   [[nodiscard]] rpc::Engine& engine() noexcept { return *engine_; }
 
+  /// Refresh storage/kv gauges and serialize the registry snapshot.
+  /// This is the payload of the daemon_stat telemetry RPC and of the
+  /// gkfsd SIGUSR1/exit dumps.
+  [[nodiscard]] std::string metrics_json();
+
  private:
   GekkoDaemon(DaemonOptions options) : options_(std::move(options)) {}
 
   void register_handlers_();
+  /// Republish point-in-time absolutes (storage counters, kv stats,
+  /// block-cache hit/miss) as gauges so snapshots carry them.
+  void publish_backend_metrics_();
 
   // One handler per RpcId; each runs on the engine's handler pool.
   Result<std::vector<std::uint8_t>> on_create_(const net::Message& msg);
@@ -78,6 +89,7 @@ class GekkoDaemon {
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
 
   DaemonOptions options_;
+  metrics::Registry* registry_ = nullptr;  // resolved in start()
   std::unique_ptr<MetadataBackend> metadata_;
   std::unique_ptr<storage::ChunkStorage> data_;
   std::unique_ptr<rpc::Engine> engine_;

@@ -248,6 +248,8 @@ Status DB::write_locked_(const WriteBatch& batch, bool sync,
       std::string_view(reinterpret_cast<const char*>(batch.data().data()),
                        batch.data().size()),
       sync));
+  ++stats_.wal_appends;
+  if (sync) ++stats_.wal_syncs;
 
   SequenceNumber seq = first_seq;
   GEKKO_RETURN_IF_ERROR(batch.for_each(

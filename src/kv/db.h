@@ -38,6 +38,8 @@ struct DbStats {
   std::uint64_t merges = 0;
   std::uint64_t flushes = 0;
   std::uint64_t compactions = 0;
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_syncs = 0;
   std::uint64_t level_files[kNumLevels] = {};
   std::uint64_t level_bytes[kNumLevels] = {};
   std::size_t memtable_bytes = 0;

@@ -7,6 +7,10 @@
 
 namespace gekko::net {
 
+Fabric::Fabric()
+    : fault_fires_(
+          &metrics::Registry::global().counter("net.fault_injector.fires")) {}
+
 void Fabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
   std::lock_guard lock(injector_mutex_);
   injector_ = std::move(injector);
@@ -19,7 +23,21 @@ FaultAction Fabric::consult_injector_(EndpointId dest, const Message& msg) {
     injector = injector_;
   }
   if (!injector) return {};
-  return injector->on_send(dest, msg);
+  FaultAction action = injector->on_send(dest, msg);
+  if (action.drop || action.duplicate || action.kill_connection ||
+      action.delay.count() > 0) {
+    fault_fires_->inc();
+  }
+  return action;
+}
+
+LoopbackFabric::LoopbackFabric() {
+  auto& reg = metrics::Registry::global();
+  m_.messages = &reg.counter("net.loopback.messages");
+  m_.bytes = &reg.counter("net.loopback.payload_bytes");
+  m_.drops = &reg.counter("net.loopback.drops");
+  m_.bulk_pulled_bytes = &reg.counter("net.loopback.bulk_pulled_bytes");
+  m_.bulk_pushed_bytes = &reg.counter("net.loopback.bulk_pushed_bytes");
 }
 
 std::pair<EndpointId, std::shared_ptr<Inbox>>
@@ -48,10 +66,13 @@ Status LoopbackFabric::send(EndpointId dest, Message msg) {
     // the message (the closest observable effect).
     if (blackholed || dropped || fault.drop || fault.kill_connection) {
       ++stats_.messages_dropped;
+      m_.drops->inc();
       return Status::ok();  // silent loss, sender can't observe it
     }
     ++stats_.messages_sent;
     stats_.payload_bytes += msg.payload.size();
+    m_.messages->inc();
+    m_.bytes->inc(msg.payload.size());
     inbox = inboxes_[dest];
   }
   if (fault.duplicate) (void)inbox->push(msg);
@@ -90,6 +111,7 @@ Status LoopbackFabric::bulk_pull(const BulkRegion& region, std::size_t offset,
   }
   std::memcpy(out.data(), region.read_ptr() + offset, out.size());
   bulk_pulled_.fetch_add(out.size(), std::memory_order_relaxed);
+  m_.bulk_pulled_bytes->inc(out.size());
   return Status::ok();
 }
 
@@ -103,6 +125,7 @@ Status LoopbackFabric::bulk_push(const BulkRegion& region, std::size_t offset,
   }
   std::memcpy(region.write_ptr() + offset, data.data(), data.size());
   bulk_pushed_.fetch_add(data.size(), std::memory_order_relaxed);
+  m_.bulk_pushed_bytes->inc(data.size());
   return Status::ok();
 }
 

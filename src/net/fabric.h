@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/result.h"
 #include "net/message.h"
@@ -124,12 +125,16 @@ class Fabric {
   [[nodiscard]] virtual TrafficStats stats() const = 0;
 
  protected:
+  Fabric();
+
   /// Healthy action when no injector is installed. Thread-safe.
+  /// Non-trivial actions bump the `net.fault_injector.fires` counter.
   FaultAction consult_injector_(EndpointId dest, const Message& msg);
 
  private:
   mutable std::mutex injector_mutex_;
   std::shared_ptr<FaultInjector> injector_;
+  metrics::Counter* fault_fires_;  // global registry, cached
 };
 
 /// An endpoint's receive queue.
@@ -147,7 +152,7 @@ class Inbox {
 /// All endpoints in one process; delivery is a queue push.
 class LoopbackFabric final : public Fabric {
  public:
-  LoopbackFabric() = default;
+  LoopbackFabric();
   LoopbackFabric(const LoopbackFabric&) = delete;
   LoopbackFabric& operator=(const LoopbackFabric&) = delete;
 
@@ -178,6 +183,15 @@ class LoopbackFabric final : public Fabric {
   TrafficStats stats_{};
   std::atomic<std::uint64_t> bulk_pulled_{0};
   std::atomic<std::uint64_t> bulk_pushed_{0};
+  // Registry mirrors of TrafficStats (global registry, cached).
+  struct LoopbackMetrics {
+    metrics::Counter* messages;
+    metrics::Counter* bytes;
+    metrics::Counter* drops;
+    metrics::Counter* bulk_pulled_bytes;
+    metrics::Counter* bulk_pushed_bytes;
+  };
+  LoopbackMetrics m_;
 };
 
 }  // namespace gekko::net

@@ -71,6 +71,17 @@ Status read_all(int fd, std::uint8_t* data, std::size_t len) {
 
 }  // namespace
 
+SocketFabric::SocketFabric(SocketFabricOptions options) : options_(options) {
+  auto& reg = metrics::Registry::global();
+  m_.frames_out = &reg.counter("net.socket.frames_out");
+  m_.frames_in = &reg.counter("net.socket.frames_in");
+  m_.bytes_out = &reg.counter("net.socket.bytes_out");
+  m_.bytes_in = &reg.counter("net.socket.bytes_in");
+  m_.dials = &reg.counter("net.socket.dials");
+  m_.redials = &reg.counter("net.socket.redials");
+  m_.evictions = &reg.counter("net.socket.evictions");
+}
+
 Result<std::unique_ptr<SocketFabric>> SocketFabric::create(
     const std::filesystem::path& hostfile, SocketFabricOptions options) {
   auto content = io::read_file(hostfile);
@@ -198,26 +209,34 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
     if (!read_all(conn->fd, len_buf, 4).is_ok()) break;
     std::uint32_t frame_len;
     std::memcpy(&frame_len, len_buf, 4);
-    // min: empty payload, no bulk
-    if (frame_len < 17 || frame_len > options_.max_frame_bytes) break;
+    // min: empty payload, no bulk (kind+rpc_id+seq+source+trace_id+
+    // str-len+bulk_mode = 1+2+8+4+8+1+1 = 25)
+    if (frame_len < 25 || frame_len > options_.max_frame_bytes) break;
 
     std::vector<std::uint8_t> frame(frame_len);
     if (!read_all(conn->fd, frame.data(), frame.size()).is_ok()) break;
+    m_.frames_in->inc();
+    m_.bytes_in->inc(4 + frame.size());
 
     Decoder dec(frame);
     auto kind = dec.u8();
     auto rpc_id = dec.u16();
     auto seq = dec.u64();
     auto source = dec.u32();
+    auto trace_id = dec.u64();
     auto payload = dec.str();
     auto bulk_mode = dec.u8();
-    if (!kind || !rpc_id || !seq || !source || !payload || !bulk_mode) break;
+    if (!kind || !rpc_id || !seq || !source || !trace_id || !payload ||
+        !bulk_mode) {
+      break;
+    }
 
     Message msg;
     msg.kind = static_cast<MessageKind>(*kind);
     msg.rpc_id = *rpc_id;
     msg.seq = *seq;
     msg.source = *source;
+    msg.trace_id = *trace_id;
     msg.payload.assign(payload->begin(), payload->end());
 
     BulkRegion writable_bulk;
@@ -302,6 +321,7 @@ void SocketFabric::park_zombie_locked_(
 void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
   // During teardown shutdown_() owns all cleanup (and joins us).
   if (stopping_.load(std::memory_order_acquire)) return;
+  m_.evictions->inc();
   {
     std::lock_guard lock(conn_mutex_);
     if (conn->peer != kInvalidEndpoint) {
@@ -359,6 +379,7 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
   enc.u16(msg.rpc_id);
   enc.u64(msg.seq);
   enc.u32(self_);
+  enc.u64(msg.trace_id);
   enc.str(std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
                            msg.payload.size()));
 
@@ -402,7 +423,12 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
 
   std::lock_guard lock(conn.write_mutex);
   GEKKO_RETURN_IF_ERROR(write_all(conn.fd, len_buf, 4));
-  return write_all(conn.fd, frame.data(), frame.size());
+  Status st = write_all(conn.fd, frame.data(), frame.size());
+  if (st.is_ok()) {
+    m_.frames_out->inc();
+    m_.bytes_out->inc(4 + frame.size());
+  }
+  return st;
 }
 
 Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
@@ -431,6 +457,7 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     return Status{Errc::disconnected,
                   "connect " + host->second + ": " + std::strerror(errno)};
   }
+  m_.dials->inc();
 
   std::lock_guard lock(conn_mutex_);
   auto it = outgoing_.find(dest);
@@ -442,6 +469,7 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     }
     // Replace a dead cached connection; its reader will evict itself,
     // park it here so shutdown_() can join the thread.
+    m_.redials->inc();
     park_zombie_locked_(it->second);
     outgoing_.erase(it);
   }

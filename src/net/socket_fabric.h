@@ -82,8 +82,7 @@ class SocketFabric final : public Fabric {
       const std::filesystem::path& dir, std::uint32_t n);
 
  private:
-  explicit SocketFabric(SocketFabricOptions options)
-      : options_(options) {}
+  explicit SocketFabric(SocketFabricOptions options);
 
   struct Connection {
     int fd = -1;
@@ -151,6 +150,19 @@ class SocketFabric final : public Fabric {
 
   mutable std::mutex stats_mutex_;
   TrafficStats stats_{};
+
+  // Transport-level telemetry (global registry, cached at construction;
+  // incremented lock-free on the data path).
+  struct SocketMetrics {
+    metrics::Counter* frames_out;
+    metrics::Counter* frames_in;
+    metrics::Counter* bytes_out;
+    metrics::Counter* bytes_in;
+    metrics::Counter* dials;
+    metrics::Counter* redials;
+    metrics::Counter* evictions;
+  };
+  SocketMetrics m_;
 };
 
 }  // namespace gekko::net

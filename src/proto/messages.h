@@ -34,6 +34,25 @@ inline constexpr std::uint16_t to_wire(RpcId id) {
   return static_cast<std::uint16_t>(id);
 }
 
+/// Human name for a wire rpc id — metric names, traces, tooling.
+/// Unknown ids return "" (the caller falls back to a numeric label).
+inline std::string rpc_name(std::uint16_t id) {
+  switch (static_cast<RpcId>(id)) {
+    case RpcId::create: return "create";
+    case RpcId::stat: return "stat";
+    case RpcId::remove_metadata: return "remove_metadata";
+    case RpcId::remove_data: return "remove_data";
+    case RpcId::update_size: return "update_size";
+    case RpcId::truncate_metadata: return "truncate_metadata";
+    case RpcId::truncate_data: return "truncate_data";
+    case RpcId::write_chunks: return "write_chunks";
+    case RpcId::read_chunks: return "read_chunks";
+    case RpcId::get_dirents: return "get_dirents";
+    case RpcId::daemon_stat: return "daemon_stat";
+  }
+  return "";
+}
+
 // ---------- metadata ops ----------
 
 struct CreateRequest {
@@ -282,6 +301,10 @@ struct DaemonStatResponse {
   std::uint64_t chunks_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
+  /// metrics::Snapshot::to_json() of the daemon's registry — per-RPC
+  /// latency digests (p50/p99), retry/timeout counters, kv/storage
+  /// internals. Parse with metrics::Snapshot::from_json() (gkfs-top).
+  std::string metrics_json;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const {
     std::vector<std::uint8_t> buf;
@@ -291,6 +314,7 @@ struct DaemonStatResponse {
     enc.u64(chunks_read);
     enc.u64(bytes_written);
     enc.u64(bytes_read);
+    enc.str(metrics_json);
     return buf;
   }
   static Result<DaemonStatResponse> decode(std::string_view bytes) {
@@ -301,12 +325,14 @@ struct DaemonStatResponse {
     auto c = dec.u64();
     auto d = dec.u64();
     auto e = dec.u64();
-    if (!a || !b || !c || !d || !e) return Errc::corruption;
+    auto j = dec.str();
+    if (!a || !b || !c || !d || !e || !j) return Errc::corruption;
     r.metadata_entries = *a;
     r.chunks_written = *b;
     r.chunks_read = *c;
     r.bytes_written = *d;
     r.bytes_read = *e;
+    r.metrics_json = std::string(*j);
     return r;
   }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -21,8 +22,15 @@ bool transient(Errc code) {
 Engine::Engine(net::Fabric& fabric, EngineOptions options)
     : fabric_(fabric),
       options_(std::move(options)),
+      registry_(options_.registry ? options_.registry
+                                  : &metrics::Registry::global()),
+      tracer_(options_.tracer ? options_.tracer : &metrics::Tracer::global()),
       self_(net::kInvalidEndpoint),
-      handler_pool_(options_.handler_threads, options_.name + "-handlers") {
+      handler_pool_(options_.handler_threads, options_.name + "-handlers"),
+      agg_sent_(&registry_->counter("rpc.requests_sent")),
+      agg_handled_(&registry_->counter("rpc.requests_handled")),
+      agg_retries_(&registry_->counter("rpc.retries")),
+      agg_timeouts_(&registry_->counter("rpc.timeouts")) {
   auto [id, inbox] = fabric_.register_endpoint();
   self_ = id;
   inbox_ = std::move(inbox);
@@ -50,8 +58,46 @@ void Engine::shutdown() {
 
 void Engine::register_rpc(std::uint16_t rpc_id, std::string name,
                           Handler handler) {
+  auto hm = std::make_shared<HandlerMetrics>();
+  const std::string base = "rpc.handler." + name + ".";
+  hm->handled = &registry_->counter(base + "handled");
+  hm->errors = &registry_->counter(base + "errors");
+  hm->latency = &registry_->histogram(base + "latency");
+  hm->queue = &registry_->histogram(base + "queue");
+  hm->inflight = &registry_->gauge(base + "inflight");
   std::lock_guard lock(rpc_mutex_);
-  rpcs_[rpc_id] = RpcEntry{std::move(name), std::move(handler)};
+  rpcs_[rpc_id] = RpcEntry{std::move(name), std::move(handler), std::move(hm)};
+}
+
+std::string Engine::rpc_name_(std::uint16_t rpc_id) const {
+  if (options_.rpc_name) {
+    std::string name = options_.rpc_name(rpc_id);
+    if (!name.empty()) return name;
+  }
+  return "id" + std::to_string(rpc_id);
+}
+
+Engine::CallerMetrics* Engine::caller_metrics_for_(std::uint16_t rpc_id) {
+  const std::size_t slot =
+      std::min<std::size_t>(rpc_id, kCallerSlots - 1);
+  CallerMetrics* m = caller_slots_[slot].load(std::memory_order_acquire);
+  if (m != nullptr) return m;
+  std::lock_guard lock(metrics_mutex_);
+  m = caller_slots_[slot].load(std::memory_order_relaxed);
+  if (m != nullptr) return m;
+  const std::string base = "rpc.caller." + rpc_name_(rpc_id) + ".";
+  auto owned = std::make_unique<CallerMetrics>();
+  owned->sent = &registry_->counter(base + "sent");
+  owned->ok = &registry_->counter(base + "ok");
+  owned->errors = &registry_->counter(base + "errors");
+  owned->retries = &registry_->counter(base + "retries");
+  owned->timeouts = &registry_->counter(base + "timeouts");
+  owned->latency = &registry_->histogram(base + "latency");
+  owned->inflight = &registry_->gauge(base + "inflight");
+  m = owned.get();
+  caller_owned_.push_back(std::move(owned));
+  caller_slots_[slot].store(m, std::memory_order_release);
+  return m;
 }
 
 Result<std::vector<std::uint8_t>> Engine::forward(
@@ -78,6 +124,8 @@ Result<std::vector<std::uint8_t>> Engine::forward(
     auto result = finish(call, per_attempt);
     if (result.is_ok() || last || !transient(result.code())) return result;
     retries_.fetch_add(1, std::memory_order_relaxed);
+    agg_retries_->inc();
+    caller_metrics_for_(rpc_id)->retries->inc();
     GEKKO_WARN("rpc") << options_.name << ": rpc " << rpc_id << " to "
                       << dest << " " << errc_name(result.code())
                       << ", retry " << (attempt + 1) << "/" << (attempts - 1)
@@ -106,6 +154,17 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
                                           net::BulkRegion bulk) {
   PendingCall call;
   call.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  call.rpc_id = rpc_id;
+  // Trace id: unique per attempt (seq is engine-unique, self_ makes it
+  // process-unique on a shared fabric). Forced non-zero: 0 = untraced.
+  call.trace_id =
+      mix64((static_cast<std::uint64_t>(self_) << 32) ^ call.seq);
+  if (call.trace_id == 0) call.trace_id = 1;
+  call.start_ns = metrics::now_ns();
+  call.metrics = caller_metrics_for_(rpc_id);
+  call.metrics->sent->inc();
+  call.metrics->inflight->add(1);
+  agg_sent_->inc();
   {
     std::lock_guard lock(pending_mutex_);
     pending_.emplace(call.seq, call.eventual);
@@ -115,6 +174,7 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
   msg.kind = net::MessageKind::request;
   msg.rpc_id = rpc_id;
   msg.seq = call.seq;
+  msg.trace_id = call.trace_id;
   msg.source = self_;
   msg.payload = std::move(payload);
   msg.bulk = bulk;
@@ -123,6 +183,9 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
     std::lock_guard lock(pending_mutex_);
     pending_.erase(call.seq);
     call.send_status = st;
+    call.metrics->inflight->sub(1);
+    call.metrics->errors->inc();
+    call.metrics = nullptr;  // settled here; finish() must not re-count
   }
   return call;
 }
@@ -138,6 +201,26 @@ Result<std::vector<std::uint8_t>> Engine::finish(
   {
     std::lock_guard lock(pending_mutex_);
     pending_.erase(call.seq);
+  }
+  // Settle caller-side accounting exactly once (metrics is nulled
+  // below; a double finish() records nothing further).
+  CallerMetrics* cm = call.metrics;
+  call.metrics = nullptr;
+  if (cm != nullptr) {
+    const std::uint64_t dur = metrics::now_ns() - call.start_ns;
+    cm->inflight->sub(1);
+    cm->latency->record(dur);
+    tracer_->record(call.trace_id, "rpc.caller", call.rpc_id, call.start_ns,
+                    dur);
+    if (!result.has_value()) {
+      cm->timeouts->inc();
+      cm->errors->inc();
+      agg_timeouts_->inc();
+    } else if (result->is_ok()) {
+      cm->ok->inc();
+    } else {
+      cm->errors->inc();
+    }
   }
   if (!result.has_value()) {
     // Deadline passed: revoke the transport's claim on any writable
@@ -162,10 +245,14 @@ void Engine::progress_loop_() {
 
 void Engine::dispatch_request_(net::Message msg) {
   Handler handler;
+  std::shared_ptr<HandlerMetrics> hm;
   {
     std::lock_guard lock(rpc_mutex_);
     auto it = rpcs_.find(msg.rpc_id);
-    if (it != rpcs_.end()) handler = it->second.handler;
+    if (it != rpcs_.end()) {
+      handler = it->second.handler;
+      hm = it->second.metrics;
+    }
   }
   if (!handler) {
     GEKKO_WARN("rpc") << options_.name << ": no handler for rpc id "
@@ -173,29 +260,49 @@ void Engine::dispatch_request_(net::Message msg) {
     net::Message resp;
     resp.kind = net::MessageKind::response;
     resp.seq = msg.seq;
+    resp.trace_id = msg.trace_id;
     resp.source = self_;
     resp.payload = frame_error(Errc::not_supported);
     (void)fabric_.send(msg.source, std::move(resp));
     return;
   }
 
+  const std::uint64_t t_enq = metrics::now_ns();
   auto shared_msg = std::make_shared<net::Message>(std::move(msg));
   const bool posted = handler_pool_.post([this, handler = std::move(handler),
-                                          shared_msg] {
+                                          hm, t_enq, shared_msg] {
+    // Attribute queueing (progress thread → handler pool pickup) and
+    // service time separately: a slow op whose queue span dominates is
+    // starved for handler threads, not slow to serve.
+    const std::uint64_t t_start = metrics::now_ns();
+    hm->queue->record(t_start - t_enq);
+    hm->inflight->add(1);
     auto result = handler(*shared_msg);
+    const std::uint64_t t_done = metrics::now_ns();
+    hm->inflight->sub(1);
+    hm->latency->record(t_done - t_start);
+    hm->handled->inc();
+    if (!result.is_ok()) hm->errors->inc();
+    tracer_->record(shared_msg->trace_id, "rpc.queue", shared_msg->rpc_id,
+                    t_enq, t_start - t_enq);
+    tracer_->record(shared_msg->trace_id, "rpc.service", shared_msg->rpc_id,
+                    t_start, t_done - t_start);
     net::Message resp;
     resp.kind = net::MessageKind::response;
     resp.seq = shared_msg->seq;
+    resp.trace_id = shared_msg->trace_id;
     resp.source = self_;
     resp.payload = result.is_ok() ? frame_ok(std::move(*result))
                                   : frame_error(result.code());
     handled_.fetch_add(1, std::memory_order_relaxed);
+    agg_handled_->inc();
     (void)fabric_.send(shared_msg->source, std::move(resp));
   });
   if (!posted) {
     net::Message resp;
     resp.kind = net::MessageKind::response;
     resp.seq = shared_msg->seq;
+    resp.trace_id = shared_msg->trace_id;
     resp.source = self_;
     resp.payload = frame_error(Errc::disconnected);
     (void)fabric_.send(shared_msg->source, std::move(resp));

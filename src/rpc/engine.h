@@ -13,6 +13,7 @@
 // delivered to the caller as the first byte of the response.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "net/fabric.h"
 #include "task/future.h"
@@ -55,6 +57,15 @@ struct EngineOptions {
   /// Idempotency predicate over rpc ids. Unset = nothing retries.
   std::function<bool(std::uint16_t)> retryable;
   std::string name = "engine";
+  /// Metric sink. nullptr = the process-wide Registry::global().
+  /// Tests pass their own registry to isolate counters.
+  metrics::Registry* registry = nullptr;
+  /// Span sink for request tracing. nullptr = Tracer::global().
+  metrics::Tracer* tracer = nullptr;
+  /// Human name for an rpc id, used in caller-side metric names
+  /// (`rpc.caller.<name>.sent` etc.). Unset = "id<N>". The handler
+  /// side gets its names from register_rpc().
+  std::function<std::string(std::uint16_t)> rpc_name;
 };
 
 class Engine {
@@ -82,6 +93,9 @@ class Engine {
       std::vector<std::uint8_t> payload, net::BulkRegion bulk = {},
       std::chrono::milliseconds timeout = std::chrono::milliseconds{0});
 
+  /// Per-rpc-id caller-side metrics (cached registry references).
+  struct CallerMetrics;
+
   /// In-flight request handle (margo_request analog). Obtain with
   /// begin_forward(), complete with finish(). Movable, not copyable
   /// across finishes — finish() must be called exactly once.
@@ -89,6 +103,14 @@ class Engine {
     std::uint64_t seq = 0;
     task::Eventual<Result<std::vector<std::uint8_t>>> eventual;
     Status send_status = Status::ok();
+    /// Trace id stamped on the request (and echoed by the response).
+    std::uint64_t trace_id = 0;
+    std::uint16_t rpc_id = 0;
+    std::uint64_t start_ns = 0;
+    /// Non-null while the call is accountable: begin_forward() bumps
+    /// inflight, finish() settles latency/outcome and nulls this so a
+    /// call is never double-counted.
+    CallerMetrics* metrics = nullptr;
   };
 
   /// Fire a request without blocking; lets a client issue one RPC per
@@ -127,15 +149,41 @@ class Engine {
            options_.retryable(rpc_id);
   }
 
+  /// The metric sink this engine records into (options.registry, or
+  /// the global registry when unset).
+  [[nodiscard]] metrics::Registry& registry() noexcept { return *registry_; }
+
+  struct CallerMetrics {
+    metrics::Counter* sent;
+    metrics::Counter* ok;
+    metrics::Counter* errors;
+    metrics::Counter* retries;
+    metrics::Counter* timeouts;
+    metrics::Histogram* latency;  // send → outcome, nanoseconds
+    metrics::Gauge* inflight;
+  };
+
  private:
+  struct HandlerMetrics {
+    metrics::Counter* handled;
+    metrics::Counter* errors;
+    metrics::Histogram* latency;  // handler service time, ns
+    metrics::Histogram* queue;    // progress-thread enqueue → start, ns
+    metrics::Gauge* inflight;
+  };
+
   void progress_loop_();
   [[nodiscard]] std::chrono::milliseconds jittered_(
       std::chrono::milliseconds base, std::uint64_t seed) const;
   void dispatch_request_(net::Message msg);
   void complete_response_(net::Message msg);
+  CallerMetrics* caller_metrics_for_(std::uint16_t rpc_id);
+  [[nodiscard]] std::string rpc_name_(std::uint16_t rpc_id) const;
 
   net::Fabric& fabric_;
   EngineOptions options_;
+  metrics::Registry* registry_;  // resolved from options_, never null
+  metrics::Tracer* tracer_;      // resolved from options_, never null
   net::EndpointId self_;
   std::shared_ptr<net::Inbox> inbox_;
   task::Pool handler_pool_;
@@ -145,8 +193,24 @@ class Engine {
   struct RpcEntry {
     std::string name;
     Handler handler;
+    std::shared_ptr<HandlerMetrics> metrics;
   };
   std::unordered_map<std::uint16_t, RpcEntry> rpcs_;
+
+  /// Caller metrics per rpc id: lock-free lookup via an atomic slot
+  /// array (ids beyond the table share the last slot, labelled by the
+  /// first id that lands there). Slots are created lazily under
+  /// metrics_mutex_ — once, per id, per engine.
+  static constexpr std::size_t kCallerSlots = 64;
+  std::mutex metrics_mutex_;
+  std::array<std::atomic<CallerMetrics*>, kCallerSlots> caller_slots_{};
+  std::vector<std::unique_ptr<CallerMetrics>> caller_owned_;
+
+  // Aggregates across all rpc ids (what gkfs-top reads).
+  metrics::Counter* agg_sent_;
+  metrics::Counter* agg_handled_;
+  metrics::Counter* agg_retries_;
+  metrics::Counter* agg_timeouts_;
 
   std::mutex pending_mutex_;
   std::unordered_map<std::uint64_t,

@@ -3,11 +3,15 @@
 
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/config.h"
 #include "common/crc32.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/path.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -249,6 +253,162 @@ TEST(StatsTest, HistogramMerge) {
   a.merge(b);
   EXPECT_EQ(a.count(), 200u);
   EXPECT_GE(a.quantile(0.99), 190u);
+}
+
+TEST(StatsTest, QuantileEdgeSemantics) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+
+  LatencyHistogram h;
+  h.add(100);
+  h.add(5000);
+  // q <= 0 → lower bound of first occupied bucket; q >= 1 → upper
+  // bound of the last. Both must bracket the true sample.
+  EXPECT_LE(h.quantile(0.0), 100u);
+  EXPECT_LE(h.quantile(-1.0), 100u);
+  EXPECT_GE(h.quantile(1.0), 5000u);
+  EXPECT_GE(h.quantile(2.0), 5000u);
+}
+
+TEST(StatsTest, QuantileLinearRangeIsExact) {
+  // Values < kSub (16) map 1:1 to buckets: quantiles there are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+}
+
+TEST(StatsTest, QuantileBucketBoundaryValues) {
+  // 15 is the last exact value; 16 starts the first log-scaled bucket;
+  // 2^k and 2^k - 1 straddle bucket-group boundaries. A single-sample
+  // histogram must report a quantile inside the sample's own bucket:
+  // >= the value's bucket lower bound, and within one sub-bucket width
+  // above the value.
+  const std::uint64_t cases[] = {15,        16,         31,         32,
+                                 1023,      1024,       (1u << 20) - 1,
+                                 1u << 20,  (1ull << 40) - 1, 1ull << 40};
+  for (const std::uint64_t v : cases) {
+    LatencyHistogram h;
+    h.add(v);
+    const auto q = h.quantile(0.5);
+    const std::uint64_t width = v < 16 ? 0 : (v >> 4);  // sub-bucket span
+    EXPECT_GE(q, LatencyHistogram::lower_bound_of(
+                     LatencyHistogram::index_of(v)))
+        << "v=" << v;
+    EXPECT_LE(q, v + width) << "v=" << v;
+    EXPECT_GE(q + width, v) << "v=" << v;
+  }
+}
+
+TEST(StatsTest, IndexOfIsMonotonic) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const auto idx = LatencyHistogram::index_of(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    EXPECT_LT(idx, LatencyHistogram::kBuckets);
+    prev = idx;
+  }
+}
+
+TEST(StatsTest, MergeIntoEmptyKeepsAllPositiveMin) {
+  // Regression: the default-constructed min_ of 0.0 is a sentinel and
+  // must not survive a merge with real all-positive samples.
+  OnlineStats a, b;
+  b.add(5.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5.0);
+  EXPECT_EQ(a.max(), 9.0);
+
+  // Merging an empty shard INTO a populated one must be a no-op.
+  OnlineStats c;
+  b.merge(c);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 5.0);
+
+  // All-negative samples: the 0.0 max sentinel must not survive either.
+  OnlineStats d, e;
+  e.add(-7.0);
+  e.add(-3.0);
+  d.merge(e);
+  EXPECT_EQ(d.min(), -7.0);
+  EXPECT_EQ(d.max(), -3.0);
+}
+
+// ---------- logging ----------
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = log::level(); }
+  void TearDown() override {
+    log::set_sink(nullptr);
+    log::set_level(saved_level_);
+  }
+  log::Level saved_level_ = log::Level::warn;
+};
+
+TEST_F(LoggingTest, SinkCapturesFormattedLine) {
+  std::vector<std::pair<log::Level, std::string>> lines;
+  log::set_sink([&](log::Level lvl, std::string_view line) {
+    lines.emplace_back(lvl, std::string(line));
+  });
+  log::set_level(log::Level::info);
+  GEKKO_INFO("unit") << "hello " << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, log::Level::info);
+  // Prefix carries a monotonic timestamp and a compact thread id.
+  EXPECT_NE(lines[0].second.find("[t"), std::string::npos) << lines[0].second;
+  EXPECT_NE(lines[0].second.find("unit: hello 42"), std::string::npos)
+      << lines[0].second;
+  EXPECT_EQ(lines[0].second.front(), '[') << lines[0].second;
+}
+
+TEST_F(LoggingTest, DisabledLevelEvaluatesNoArguments) {
+  std::vector<std::string> lines;
+  log::set_sink([&](log::Level, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  log::set_level(log::Level::warn);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  GEKKO_DEBUG("unit") << expensive();
+  EXPECT_EQ(evaluations, 0) << "disabled level must not touch arguments";
+  EXPECT_TRUE(lines.empty());
+  GEKKO_WARN("unit") << expensive();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST_F(LoggingTest, MacroIsSafeInUnbracedIfElse) {
+  // GEKKO_LOG is a single ternary expression, so an un-braced
+  // `if ... GEKKO_LOG ... else` must bind the else to the OUTER if.
+  std::vector<std::string> lines;
+  log::set_sink([&](log::Level, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  log::set_level(log::Level::info);
+  bool else_taken = false;
+  if (false)
+    GEKKO_INFO("unit") << "not reached";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(LoggingTest, ThreadNumbersAreCompactAndStable) {
+  const unsigned mine = log::thread_number();
+  EXPECT_EQ(log::thread_number(), mine);  // stable per thread
+  unsigned other = 0;
+  std::thread([&] { other = log::thread_number(); }).join();
+  EXPECT_NE(other, mine);
 }
 
 // ---------- codec ----------

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/metrics.h"
 #include "net/socket_fabric.h"
 #include "rpc/engine.h"
 
@@ -71,6 +72,10 @@ class FaultInjectionTest : public ::testing::Test {
 
   std::filesystem::path dir_;
   std::filesystem::path hostfile_;
+  // Isolated metric sink for tests that assert exact counter values.
+  // A member (not a test local) so it outlives the engines TearDown
+  // destroys — they hold cached references into it.
+  metrics::Registry registry_;
   std::unique_ptr<net::SocketFabric> server_fabric_;
   std::unique_ptr<rpc::Engine> server_;
   std::unique_ptr<net::SocketFabric> client_fabric_;
@@ -131,6 +136,50 @@ TEST_F(FaultInjectionTest, IdempotentRetryRecoversFromDrops) {
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_EQ(*r, (std::vector<std::uint8_t>{1, 2, 3}));
   EXPECT_EQ(client_->retries(), 2u);
+}
+
+TEST_F(FaultInjectionTest, RetryAndTimeoutCountersTrackInjectedFaults) {
+  // The observability contract for fault handling: every timed-out
+  // attempt shows up in rpc.timeouts, every re-send in rpc.retries —
+  // per-rpc AND in the aggregates gkfs-top renders.
+  rpc::EngineOptions opts;
+  opts.rpc_timeout = 100ms;
+  opts.max_attempts = 4;
+  opts.retry_backoff = 5ms;
+  opts.retryable = [](std::uint16_t id) { return id == kEchoRpc; };
+  opts.registry = &registry_;
+  opts.rpc_name = [](std::uint16_t) { return std::string("echo"); };
+  make_client(opts);
+
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+  client_fabric_->set_fault_injector(std::make_shared<CallbackFaultInjector>(
+      [dropped](net::EndpointId, const net::Message& msg) {
+        FaultAction a;
+        if (msg.kind == net::MessageKind::request &&
+            msg.rpc_id == kEchoRpc && dropped->fetch_add(1) < 2) {
+          a.drop = true;
+        }
+        return a;
+      }));
+
+  auto r = client_->forward(0, kEchoRpc, {7});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  const auto snap = registry_.snapshot();
+  // Three attempts: two dropped (timed out), the third succeeded.
+  EXPECT_EQ(snap.counter_or("rpc.requests_sent"), 3u);
+  EXPECT_EQ(snap.counter_or("rpc.retries"), 2u);
+  EXPECT_EQ(snap.counter_or("rpc.timeouts"), 2u);
+  EXPECT_EQ(snap.counter_or("rpc.caller.echo.sent"), 3u);
+  EXPECT_EQ(snap.counter_or("rpc.caller.echo.retries"), 2u);
+  EXPECT_EQ(snap.counter_or("rpc.caller.echo.timeouts"), 2u);
+  EXPECT_EQ(snap.counter_or("rpc.caller.echo.errors"), 2u);
+  EXPECT_EQ(snap.counter_or("rpc.caller.echo.ok"), 1u);
+  // Every attempt settled: nothing left in flight.
+  EXPECT_EQ(snap.gauge_or("rpc.caller.echo.inflight"), 0);
+  // Each attempt recorded a latency sample.
+  ASSERT_TRUE(snap.histograms.contains("rpc.caller.echo.latency"));
+  EXPECT_EQ(snap.histograms.at("rpc.caller.echo.latency").count, 3u);
 }
 
 TEST_F(FaultInjectionTest, NonIdempotentRpcNeverRetries) {

@@ -1,0 +1,168 @@
+// gkfs-top — live per-node telemetry for a running GekkoFS deployment.
+//
+// Polls every daemon in the hostfile over the daemon_stat RPC and
+// renders one table row per node: total ops served, ops/s since the
+// previous poll, p50/p99 service latency of the busiest op, in-flight
+// requests, retry/timeout counters, and data/metadata volume.
+// Unreachable daemons render as "down" instead of aborting the tool —
+// exactly the situation an operator runs gkfs-top to diagnose.
+//
+//   gkfs-top <hostfile> [interval-seconds] [iterations]
+//
+// interval-seconds defaults to 2 (0 = poll back-to-back); iterations
+// defaults to 0 = run until interrupted.
+#include <charconv>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "net/socket_fabric.h"
+#include "proto/messages.h"
+#include "rpc/engine.h"
+
+namespace {
+
+bool parse_u32(const char* arg, std::uint32_t* out) {
+  const char* last = arg + std::strlen(arg);
+  const auto [ptr, ec] = std::from_chars(arg, last, *out);
+  return ec == std::errc() && ptr == last && last != arg;
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The rpc.handler.<op>.latency histogram with the most samples — the
+/// op dominating this daemon's load, whose tail is the one that
+/// matters.
+const gekko::metrics::HistogramStats* busiest_handler(
+    const gekko::metrics::Snapshot& snap, std::string* op_name) {
+  const gekko::metrics::HistogramStats* best = nullptr;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!starts_with(name, "rpc.handler.") || !ends_with(name, ".latency")) {
+      continue;
+    }
+    if (best == nullptr || h.count > best->count) {
+      best = &h;
+      *op_name = name.substr(std::strlen("rpc.handler."),
+                             name.size() - std::strlen("rpc.handler.") -
+                                 std::strlen(".latency"));
+    }
+  }
+  return best;
+}
+
+std::int64_t total_inflight(const gekko::metrics::Snapshot& snap) {
+  std::int64_t total = 0;
+  for (const auto& [name, v] : snap.gauges) {
+    if (starts_with(name, "rpc.handler.") && ends_with(name, ".inflight")) {
+      total += v;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: gkfs-top <hostfile> [interval-seconds] "
+                 "[iterations]\n");
+    return 2;
+  }
+  std::uint32_t interval = 2;
+  std::uint32_t iterations = 0;
+  if (argc > 2 && !parse_u32(argv[2], &interval)) {
+    std::fprintf(stderr, "gkfs-top: bad interval '%s'\n", argv[2]);
+    return 2;
+  }
+  if (argc > 3 && !parse_u32(argv[3], &iterations)) {
+    std::fprintf(stderr, "gkfs-top: bad iterations '%s'\n", argv[3]);
+    return 2;
+  }
+
+  // Client role: connect-only endpoint, no listener.
+  auto fabric = gekko::net::SocketFabric::create(
+      argv[1], gekko::net::SocketFabricOptions{});
+  if (!fabric) {
+    std::fprintf(stderr, "gkfs-top: fabric: %s\n",
+                 fabric.status().to_string().c_str());
+    return 1;
+  }
+  gekko::rpc::EngineOptions eopts;
+  eopts.name = "gkfs-top";
+  eopts.handler_threads = 1;
+  eopts.rpc_timeout = std::chrono::milliseconds{2000};
+  eopts.rpc_name = gekko::proto::rpc_name;
+  gekko::rpc::Engine engine(**fabric, eopts);
+
+  const auto daemons = (*fabric)->daemon_ids();
+  std::map<gekko::net::EndpointId, std::uint64_t> prev_ops;
+
+  for (std::uint32_t iter = 0; iterations == 0 || iter < iterations;
+       ++iter) {
+    if (iter > 0 && interval > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval));
+    }
+    std::printf(
+        "%-5s %10s %9s %-14s %9s %9s %8s %8s %8s %10s %10s %9s\n", "node",
+        "ops", "ops/s", "busiest-op", "p50(us)", "p99(us)", "inflight",
+        "retries", "timeouts", "MB-written", "MB-read", "meta");
+    for (const auto id : daemons) {
+      auto r = engine.forward(
+          id, gekko::proto::to_wire(gekko::proto::RpcId::daemon_stat), {});
+      if (!r) {
+        std::printf("%-5u %s\n", id, "down");
+        continue;
+      }
+      auto resp = gekko::proto::DaemonStatResponse::decode(
+          std::string_view(reinterpret_cast<const char*>(r->data()),
+                           r->size()));
+      if (!resp) {
+        std::printf("%-5u %s\n", id, "bad-response");
+        continue;
+      }
+      auto snap = gekko::metrics::Snapshot::from_json(resp->metrics_json);
+      if (!snap) {
+        std::printf("%-5u %s\n", id, "bad-metrics");
+        continue;
+      }
+      const std::uint64_t ops = snap->counter_or("rpc.requests_handled");
+      double ops_s = 0.0;
+      if (auto it = prev_ops.find(id);
+          it != prev_ops.end() && interval > 0 && ops >= it->second) {
+        ops_s = static_cast<double>(ops - it->second) /
+                static_cast<double>(interval);
+      }
+      prev_ops[id] = ops;
+
+      std::string op = "-";
+      const auto* h = busiest_handler(*snap, &op);
+      const double p50_us = h ? static_cast<double>(h->p50) / 1000.0 : 0.0;
+      const double p99_us = h ? static_cast<double>(h->p99) / 1000.0 : 0.0;
+
+      std::printf("%-5u %10" PRIu64 " %9.1f %-14s %9.1f %9.1f %8" PRId64
+                  " %8" PRIu64 " %8" PRIu64 " %10.1f %10.1f %9" PRIu64 "\n",
+                  id, ops, ops_s, op.c_str(), p50_us, p99_us,
+                  total_inflight(*snap), snap->counter_or("rpc.retries"),
+                  snap->counter_or("rpc.timeouts"),
+                  static_cast<double>(resp->bytes_written) / (1024.0 * 1024.0),
+                  static_cast<double>(resp->bytes_read) / (1024.0 * 1024.0),
+                  resp->metadata_entries);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -10,6 +10,11 @@
 //
 // Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
 // lives under <data-root> and survives restarts.
+//
+// SIGUSR1 dumps a metrics snapshot (JSON) to stderr without stopping
+// the daemon; the same snapshot is dumped once at exit. For live
+// polling across nodes use gkfs-top, which reads the same data over
+// the daemon_stat RPC.
 #include <charconv>
 #include <csignal>
 #include <cstdio>
@@ -22,8 +27,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_metrics = 0;
 
 void handle_signal(int) { g_stop = 1; }
+
+void handle_dump(int) { g_dump_metrics = 1; }
 
 /// Strict decimal parse; rejects garbage and trailing junk ("12abc")
 /// instead of silently running daemon 0 like strtoul would.
@@ -79,12 +87,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump);
   std::fprintf(stderr, "gkfsd: daemon %u serving (root=%s)\n", self_id,
                root);
   while (g_stop == 0) {
     ::usleep(100 * 1000);
+    if (g_dump_metrics != 0) {
+      g_dump_metrics = 0;
+      // Snapshot off the signal handler, on the main loop: the
+      // handler only sets a flag (metrics_json allocates).
+      std::fprintf(stderr, "gkfsd: metrics %u %s\n", self_id,
+                   (*daemon)->metrics_json().c_str());
+    }
   }
   std::fprintf(stderr, "gkfsd: daemon %u shutting down\n", self_id);
+  std::fprintf(stderr, "gkfsd: metrics %u %s\n", self_id,
+               (*daemon)->metrics_json().c_str());
   (*daemon)->shutdown();
   return 0;
 }
