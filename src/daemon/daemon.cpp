@@ -1,5 +1,7 @@
 #include "daemon/daemon.h"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -7,6 +9,7 @@
 #include "common/units.h"
 #include "kv/cache.h"
 #include "proto/messages.h"
+#include "task/future.h"
 
 namespace gekko::daemon {
 
@@ -33,10 +36,20 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
   if (!metadata) return metadata.status();
   d->metadata_ = std::move(*metadata);
 
+  storage::ChunkStorageOptions storage_opts;
+  storage_opts.fd_cache_capacity = d->options_.fd_cache_capacity;
   auto data = storage::ChunkStorage::open(root / "chunks",
-                                          d->options_.chunk_size);
+                                          d->options_.chunk_size,
+                                          storage_opts);
   if (!data) return data.status();
   d->data_ = std::make_unique<storage::ChunkStorage>(std::move(*data));
+
+  if (d->options_.io_threads > 0) {
+    d->io_pool_ =
+        std::make_unique<task::Pool>(d->options_.io_threads, "iostreams");
+  }
+  d->io_queue_ = &d->registry_->histogram("daemon.io.queue");
+  d->io_service_ = &d->registry_->histogram("daemon.io.service");
 
   rpc::EngineOptions rpc_opts = d->options_.rpc_options;
   rpc_opts.handler_threads = d->options_.handler_threads;
@@ -55,7 +68,11 @@ GekkoDaemon::~GekkoDaemon() { shutdown(); }
 void GekkoDaemon::shutdown() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
+  // Engine first: joining the handler pool waits out every in-flight
+  // chunk handler, and each of those has already joined its own slice
+  // tasks — so by the time the io pool shuts down it is quiescent.
   if (engine_) engine_->shutdown();
+  if (io_pool_) io_pool_->shutdown();
 }
 
 void GekkoDaemon::register_handlers_() {
@@ -177,42 +194,115 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_truncate_data_(
 
 Result<std::vector<std::uint8_t>> GekkoDaemon::on_write_chunks_(
     const net::Message& msg) {
-  auto req = proto::ChunkIoRequest::decode(payload_view(msg));
-  if (!req) return req.status();
-
-  std::vector<std::uint8_t> buf;
-  std::uint64_t total = 0;
-  for (const auto& slice : req->slices) {
-    buf.resize(slice.length);
-    // One-sided pull from the client's exposed region (RDMA read).
-    GEKKO_RETURN_IF_ERROR(fabric_->bulk_pull(
-        msg.bulk, slice.bulk_offset, std::span<std::uint8_t>(buf)));
-    GEKKO_RETURN_IF_ERROR(data_->write_chunk(
-        req->path, slice.chunk_id, slice.offset_in_chunk,
-        std::span<const std::uint8_t>(buf)));
-    total += slice.length;
-  }
-  return proto::ChunkIoResponse{total}.encode();
+  return chunk_io_(msg, /*is_write=*/true);
 }
 
 Result<std::vector<std::uint8_t>> GekkoDaemon::on_read_chunks_(
     const net::Message& msg) {
+  return chunk_io_(msg, /*is_write=*/false);
+}
+
+Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
+                              const proto::ChunkSlice& slice,
+                              const net::Message& msg, bool is_write) {
+  // Grow-only bounce buffer, reused across slices AND requests on this
+  // worker. make_unique_for_overwrite skips value-initialization — every
+  // byte is overwritten by the bulk pull / chunk read before use
+  // (read_chunk zero-fills sparse tails itself).
+  thread_local std::unique_ptr<std::uint8_t[]> buf;
+  thread_local std::size_t buf_cap = 0;
+  if (buf_cap < slice.length) {
+    buf = std::make_unique_for_overwrite<std::uint8_t[]>(slice.length);
+    buf_cap = slice.length;
+  }
+  const std::span<std::uint8_t> span(buf.get(), slice.length);
+
+  if (is_write) {
+    // One-sided pull from the client's exposed region (RDMA read).
+    GEKKO_RETURN_IF_ERROR(fabric_->bulk_pull(msg.bulk, slice.bulk_offset,
+                                             span));
+    GEKKO_RETURN_IF_ERROR(data_->write_chunk(
+        req.path, slice.chunk_id, slice.offset_in_chunk,
+        std::span<const std::uint8_t>(span)));
+  } else {
+    GEKKO_RETURN_IF_ERROR(data_->read_chunk(req.path, slice.chunk_id,
+                                            slice.offset_in_chunk, span)
+                              .status());
+  }
+
+  if (options_.device_model != nullptr) {
+    // Hardware substitution (DESIGN §1): charge the modeled SSD service
+    // time for this op. Sub-chunk slices pay the random-access penalty.
+    const bool random = slice.offset_in_chunk != 0 ||
+                        slice.length != options_.chunk_size;
+    const double secs =
+        is_write ? options_.device_model->write_time(slice.length, random)
+                 : options_.device_model->read_time(slice.length, random);
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  }
+
+  if (!is_write) {
+    // One-sided push into the client's buffer (RDMA write).
+    GEKKO_RETURN_IF_ERROR(fabric_->bulk_push(
+        msg.bulk, slice.bulk_offset, std::span<const std::uint8_t>(span)));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::chunk_io_(
+    const net::Message& msg, bool is_write) {
   auto req = proto::ChunkIoRequest::decode(payload_view(msg));
   if (!req) return req.status();
 
-  std::vector<std::uint8_t> buf;
-  std::uint64_t total = 0;
+  // Validate every slice against the chunk geometry BEFORE any buffer
+  // is sized from a wire-supplied length.
+  const std::uint64_t cs = options_.chunk_size;
   for (const auto& slice : req->slices) {
-    buf.resize(slice.length);
-    GEKKO_RETURN_IF_ERROR(data_->read_chunk(req->path, slice.chunk_id,
-                                            slice.offset_in_chunk,
-                                            std::span<std::uint8_t>(buf))
-                              .status());
-    // One-sided push into the client's buffer (RDMA write).
-    GEKKO_RETURN_IF_ERROR(fabric_->bulk_push(
-        msg.bulk, slice.bulk_offset, std::span<const std::uint8_t>(buf)));
-    total += slice.length;
+    if (slice.length > cs ||
+        static_cast<std::uint64_t>(slice.offset_in_chunk) + slice.length >
+            cs) {
+      return Status{Errc::invalid_argument, "slice crosses chunk boundary"};
+    }
   }
+
+  std::uint64_t total = 0;
+  if (io_pool_ == nullptr || req->slices.size() < 2) {
+    // Serial path: no pool (io_threads=0) or nothing to overlap.
+    for (const auto& slice : req->slices) {
+      GEKKO_RETURN_IF_ERROR(slice_io_(*req, slice, msg, is_write));
+      total += slice.length;
+    }
+    return proto::ChunkIoResponse{total}.encode();
+  }
+
+  // Fan out: one task per slice (the paper's one-ULT-per-chunk-op
+  // model). The handler blocks on the eventuals, so req/msg outlive
+  // every task — ALL eventuals must be awaited even after an error.
+  std::vector<task::Eventual<Status>> done(req->slices.size());
+  for (std::size_t i = 0; i < req->slices.size(); ++i) {
+    const std::uint64_t posted_ns = metrics::now_ns();
+    auto ev = done[i];
+    const bool queued =
+        io_pool_->post([this, &r = *req, &msg, i, is_write, posted_ns, ev] {
+          io_queue_->record(metrics::now_ns() - posted_ns);
+          const std::uint64_t t0 = metrics::now_ns();
+          Status st = slice_io_(r, r.slices[i], msg, is_write);
+          // Record before set(): once the last eventual fires the
+          // handler may respond, and a caller snapshotting the registry
+          // right after the RPC must already see every sample.
+          io_service_->record(metrics::now_ns() - t0);
+          ev.set(std::move(st));
+        });
+    if (!queued) ev.set(Status{Errc::again, "io pool shut down"});
+  }
+
+  Status first = Status::ok();
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    Status s = done[i].wait();
+    if (first.is_ok() && !s.is_ok()) first = std::move(s);
+  }
+  GEKKO_RETURN_IF_ERROR(first);
+  for (const auto& slice : req->slices) total += slice.length;
   return proto::ChunkIoResponse{total}.encode();
 }
 
@@ -255,6 +345,14 @@ void GekkoDaemon::publish_backend_metrics_() {
       static_cast<std::int64_t>(cs.bytes_read));
   registry_->gauge("storage.chunks_removed").set(
       static_cast<std::int64_t>(cs.chunks_removed));
+  registry_->gauge("storage.fd_cache.hits").set(
+      static_cast<std::int64_t>(cs.fd_cache_hits));
+  registry_->gauge("storage.fd_cache.misses").set(
+      static_cast<std::int64_t>(cs.fd_cache_misses));
+  registry_->gauge("storage.fd_cache.evictions").set(
+      static_cast<std::int64_t>(cs.fd_cache_evictions));
+  registry_->gauge("storage.fd_cache.open").set(
+      static_cast<std::int64_t>(data_->fd_cache_open()));
 
   const auto ks = metadata_->db().stats();
   registry_->gauge("kv.puts").set(static_cast<std::int64_t>(ks.puts));

@@ -20,12 +20,31 @@
 #include "net/fabric.h"
 #include "rpc/engine.h"
 #include "storage/chunk_storage.h"
+#include "storage/ssd_model.h"
+#include "task/pool.h"
+
+namespace gekko::proto {
+struct ChunkIoRequest;
+struct ChunkSlice;
+}  // namespace gekko::proto
 
 namespace gekko::daemon {
 
 struct DaemonOptions {
   std::uint32_t chunk_size = 512 * 1024;  // paper §IV: 512 KiB
   std::size_t handler_threads = 2;
+  /// Dedicated chunk-I/O pool ("iostreams", after Margo's xstream
+  /// split): write_chunks/read_chunks fan each slice out as its own
+  /// task, the paper's one-ULT-per-chunk-operation model (§III.B.b).
+  /// 0 keeps the serial in-handler path.
+  std::size_t io_threads = 4;
+  /// Open-descriptor cache size for the chunk store (0 disables).
+  std::size_t fd_cache_capacity = 256;
+  /// Optional SSD performance model: when set, every chunk task also
+  /// waits the modeled device service time (DESIGN §1 hardware
+  /// substitution — lets the bench expose I/O parallelism on hosts
+  /// whose page cache absorbs the real device latency).
+  const storage::SsdModel* device_model = nullptr;
   kv::Options kv_options;
   rpc::EngineOptions rpc_options;
   /// Metric sink for this daemon (per-op service latencies, kv and
@@ -85,6 +104,16 @@ class GekkoDaemon {
       const net::Message& msg);
   Result<std::vector<std::uint8_t>> on_write_chunks_(const net::Message& msg);
   Result<std::vector<std::uint8_t>> on_read_chunks_(const net::Message& msg);
+  /// Shared body of the two chunk handlers: validates slices, fans them
+  /// out on io_pool_ (or runs serially when io_threads == 0 / single
+  /// slice), joins, and aggregates bytes/first-error in slice order.
+  Result<std::vector<std::uint8_t>> chunk_io_(const net::Message& msg,
+                                              bool is_write);
+  /// One slice: bulk_pull→write_chunk or read_chunk→bulk_push through a
+  /// grow-only thread-local bounce buffer.
+  Status slice_io_(const proto::ChunkIoRequest& req,
+                   const proto::ChunkSlice& slice, const net::Message& msg,
+                   bool is_write);
   Result<std::vector<std::uint8_t>> on_get_dirents_(const net::Message& msg);
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
 
@@ -93,6 +122,12 @@ class GekkoDaemon {
   std::unique_ptr<MetadataBackend> metadata_;
   std::unique_ptr<storage::ChunkStorage> data_;
   std::unique_ptr<rpc::Engine> engine_;
+  /// Chunk I/O workers. Handlers block on Eventuals while these run,
+  /// so the pool is separate from the engine's handler pool (a shared
+  /// pool would deadlock once every worker waits on its own slices).
+  std::unique_ptr<task::Pool> io_pool_;
+  metrics::Histogram* io_queue_ = nullptr;    // post → task start
+  metrics::Histogram* io_service_ = nullptr;  // task body duration
   net::Fabric* fabric_ = nullptr;
   std::atomic<bool> stopped_{false};
 };

@@ -1,6 +1,8 @@
 #include "net/socket_fabric.h"
 
+#include <limits.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -40,16 +42,40 @@ EndpointId client_endpoint_id() {
   return kClientEndpointBase | (mixed & kClientEndpointMask);
 }
 
-Status write_all(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+#ifndef IOV_MAX
+#define IOV_MAX 1024
+#endif
+
+/// Gathered send of every iovec in order, batching at IOV_MAX and
+/// advancing across partial writes. Consumes `iov` (bases/lengths are
+/// adjusted in place). MSG_NOSIGNAL so a dead peer surfaces as an
+/// error instead of SIGPIPE.
+Status writev_all(int fd, std::vector<iovec>& iov) {
+  std::size_t idx = 0;
+  while (idx < iov.size()) {
+    if (iov[idx].iov_len == 0) {
+      ++idx;
+      continue;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov.data() + idx;
+    mh.msg_iovlen = std::min<std::size_t>(iov.size() - idx, IOV_MAX);
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status{Errc::disconnected,
-                    std::string("send: ") + std::strerror(errno)};
+                    std::string("sendmsg: ") + std::strerror(errno)};
     }
-    done += static_cast<std::size_t>(n);
+    auto advanced = static_cast<std::size_t>(n);
+    while (idx < iov.size() && advanced >= iov[idx].iov_len) {
+      advanced -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iov.size() && advanced > 0) {
+      iov[idx].iov_base =
+          static_cast<std::uint8_t*>(iov[idx].iov_base) + advanced;
+      iov[idx].iov_len -= advanced;
+    }
   }
   return Status::ok();
 }
@@ -80,6 +106,7 @@ SocketFabric::SocketFabric(SocketFabricOptions options) : options_(options) {
   m_.dials = &reg.counter("net.socket.dials");
   m_.redials = &reg.counter("net.socket.redials");
   m_.evictions = &reg.counter("net.socket.evictions");
+  m_.writev_segments = &reg.counter("fabric.writev_segments");
 }
 
 Result<std::unique_ptr<SocketFabric>> SocketFabric::create(
@@ -182,13 +209,15 @@ Status SocketFabric::start_listener_() {
   if (::listen(listen_fd_, 64) != 0) {
     return Status{Errc::io_error, "listen()"};
   }
-  acceptor_ = std::thread([this] { accept_loop_(); });
+  // The fd is captured by value: shutdown_() closes and overwrites
+  // listen_fd_ concurrently, so the loop must never read the member.
+  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop_(fd); });
   return Status::ok();
 }
 
-void SocketFabric::accept_loop_() {
+void SocketFabric::accept_loop_(int listen_fd) {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed
@@ -373,8 +402,33 @@ void SocketFabric::cancel(std::uint64_t seq) {
 
 Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
                                   const BulkRegion* bulk_out) {
-  std::vector<std::uint8_t> frame;
-  Encoder enc(&frame);
+  // Zero-copy framing: only header/metadata bytes (including the varint
+  // length prefixes of bulk strings) are built in the scratch buffer.
+  // Bulk payload bytes are gathered straight out of the exposed region
+  // by sendmsg, so an N-MiB transfer never transits a temporary frame.
+  // The byte stream is identical to what a single flat encode produces
+  // — the receiver is unchanged.
+  std::vector<std::uint8_t> scratch;
+  Encoder enc(&scratch);
+
+  // External (not-copied) payload segments, spliced into the stream
+  // after the first `after` scratch bytes. Recorded as offsets because
+  // scratch may reallocate while encoding continues.
+  struct ExtSegment {
+    std::size_t after;
+    const std::uint8_t* ptr;
+    std::size_t len;
+  };
+  std::vector<ExtSegment> ext;
+  std::size_t ext_bytes = 0;
+  auto emit_bulk = [&](const std::uint8_t* ptr, std::size_t len) {
+    enc.varint(len);  // str framing: the length prefix stays in scratch
+    if (len > 0) {
+      ext.push_back({scratch.size(), ptr, len});
+      ext_bytes += len;
+    }
+  };
+
   enc.u8(static_cast<std::uint8_t>(msg.kind));
   enc.u16(msg.rpc_id);
   enc.u64(msg.seq);
@@ -390,9 +444,7 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
     if (ranges != nullptr) {
       for (const auto& [off, len] : *ranges) {
         enc.u64(off);
-        enc.str(std::string_view(
-            reinterpret_cast<const char*>(bulk_out->read_ptr() + off),
-            static_cast<std::size_t>(len)));
+        emit_bulk(bulk_out->read_ptr() + off, static_cast<std::size_t>(len));
       }
     }
   } else if (msg.bulk.valid() && msg.bulk.writable()) {
@@ -400,33 +452,50 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
     enc.u64(msg.bulk.size());
   } else if (msg.bulk.valid()) {
     enc.u8(kBulkReadData);
-    enc.str(std::string_view(
-        reinterpret_cast<const char*>(msg.bulk.read_ptr()),
-        msg.bulk.size()));
+    emit_bulk(msg.bulk.read_ptr(), msg.bulk.size());
   } else {
     enc.u8(kBulkNone);
   }
 
   // Validate on the send side: an oversized frame must fail HERE with
   // overflow, not trip the receiver's limit and silently kill the
-  // peer's view of this connection.
-  if (frame.size() > options_.max_frame_bytes) {
+  // peer's view of this connection. The check covers the total on-wire
+  // frame size, scratch plus gathered bulk.
+  const std::size_t frame_len = scratch.size() + ext_bytes;
+  if (frame_len > options_.max_frame_bytes) {
     return Status{Errc::overflow,
-                  "frame of " + std::to_string(frame.size()) +
+                  "frame of " + std::to_string(frame_len) +
                       " bytes exceeds max_frame_bytes " +
                       std::to_string(options_.max_frame_bytes)};
   }
 
   std::uint8_t len_buf[4];
-  const auto frame_len = static_cast<std::uint32_t>(frame.size());
-  std::memcpy(len_buf, &frame_len, 4);
+  const auto frame_len32 = static_cast<std::uint32_t>(frame_len);
+  std::memcpy(len_buf, &frame_len32, 4);
+
+  // Materialize the iovec list only now: scratch's storage is stable
+  // once encoding is complete.
+  std::vector<iovec> iov;
+  iov.reserve(ext.size() * 2 + 2);
+  iov.push_back({len_buf, 4});
+  std::size_t pos = 0;
+  for (const auto& seg : ext) {
+    if (seg.after > pos) {
+      iov.push_back({scratch.data() + pos, seg.after - pos});
+      pos = seg.after;
+    }
+    iov.push_back({const_cast<std::uint8_t*>(seg.ptr), seg.len});
+  }
+  if (pos < scratch.size()) {
+    iov.push_back({scratch.data() + pos, scratch.size() - pos});
+  }
 
   std::lock_guard lock(conn.write_mutex);
-  GEKKO_RETURN_IF_ERROR(write_all(conn.fd, len_buf, 4));
-  Status st = write_all(conn.fd, frame.data(), frame.size());
+  Status st = writev_all(conn.fd, iov);
   if (st.is_ok()) {
     m_.frames_out->inc();
-    m_.bytes_out->inc(4 + frame.size());
+    m_.bytes_out->inc(4 + frame_len);
+    m_.writev_segments->inc(ext.size());
   }
   return st;
 }

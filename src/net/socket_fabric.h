@@ -96,7 +96,7 @@ class SocketFabric final : public Fabric {
   };
 
   Status start_listener_();
-  void accept_loop_();
+  void accept_loop_(int listen_fd);
   void reader_loop_(std::shared_ptr<Connection> conn);
   Result<std::shared_ptr<Connection>> connect_to_(EndpointId dest);
   Status write_frame_(Connection& conn, const Message& msg,
@@ -161,6 +161,9 @@ class SocketFabric final : public Fabric {
     metrics::Counter* dials;
     metrics::Counter* redials;
     metrics::Counter* evictions;
+    /// Bulk payload segments gathered zero-copy by sendmsg (counts
+    /// external iovec entries, not scratch/header pieces).
+    metrics::Counter* writev_segments;
   };
   SocketMetrics m_;
 };

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -16,15 +17,22 @@ namespace {
 
 bool is_power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
 }  // namespace
 
+ChunkStorage::FdHandle::~FdHandle() {
+  if (fd >= 0) ::close(fd);
+}
+
 Result<ChunkStorage> ChunkStorage::open(std::filesystem::path root,
-                                        std::uint32_t chunk_size) {
+                                        std::uint32_t chunk_size,
+                                        ChunkStorageOptions options) {
   if (!is_power_of_two(chunk_size)) {
     return Status{Errc::invalid_argument, "chunk size must be a power of two"};
   }
   GEKKO_RETURN_IF_ERROR(io::ensure_dir(root));
-  return ChunkStorage{std::move(root), chunk_size};
+  return ChunkStorage{std::move(root), chunk_size, options};
 }
 
 std::filesystem::path ChunkStorage::chunk_dir_(std::string_view path) const {
@@ -42,37 +50,131 @@ std::filesystem::path ChunkStorage::chunk_file_(std::string_view path,
   return chunk_dir_(path) / buf;
 }
 
+Result<ChunkStorage::FdRef> ChunkStorage::acquire_fd_(
+    std::string_view path, std::uint64_t chunk_id, bool create) const {
+  const std::uint64_t digest = xxhash64(path);
+  const auto key = std::make_pair(digest, chunk_id);
+  Shard* shard = nullptr;
+  if (options_.fd_cache_capacity > 0) {
+    shard = &state_->shards[mix64(digest ^ chunk_id) % kShards];
+    std::lock_guard lock(shard->mutex);
+    auto it = shard->slots.find(key);
+    if (it != shard->slots.end()) {
+      it->second.tick = ++shard->tick;
+      state_->fd_cache_hits.fetch_add(1, kRelaxed);
+      return it->second.fd;
+    }
+  }
+  state_->fd_cache_misses.fetch_add(1, kRelaxed);
+
+  // Open outside any shard lock: the open/ensure_dir syscalls are the
+  // slow part the cache exists to amortize.
+  if (create) {
+    GEKKO_RETURN_IF_ERROR(io::ensure_dir(chunk_dir_(path)));
+  }
+  const auto file = chunk_file_(path, chunk_id);
+  const int flags = create ? (O_RDWR | O_CREAT) : O_RDWR;
+  const int fd = ::open(file.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (!create && errno == ENOENT) return Errc::not_found;  // sparse hole
+    return Status{Errc::io_error,
+                  "open chunk: " + std::string(std::strerror(errno))};
+  }
+  auto handle = std::make_shared<FdHandle>();
+  handle->fd = fd;
+  if (shard == nullptr) return handle;  // cache disabled
+
+  std::lock_guard lock(shard->mutex);
+  auto [it, inserted] = shard->slots.try_emplace(key);
+  if (!inserted) {
+    // Lost an open race; keep the established descriptor (ours closes
+    // when `handle` goes out of scope).
+    it->second.tick = ++shard->tick;
+    return it->second.fd;
+  }
+  it->second.fd = handle;
+  it->second.tick = ++shard->tick;
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, options_.fd_cache_capacity / kShards);
+  while (shard->slots.size() > per_shard) {
+    auto victim = shard->slots.begin();
+    for (auto cand = shard->slots.begin(); cand != shard->slots.end();
+         ++cand) {
+      if (cand->second.tick < victim->second.tick) victim = cand;
+    }
+    shard->slots.erase(victim);  // last user closes the fd
+    state_->fd_cache_evictions.fetch_add(1, kRelaxed);
+  }
+  return handle;
+}
+
+void ChunkStorage::invalidate_path_(std::string_view path) const {
+  if (options_.fd_cache_capacity == 0) return;
+  const std::uint64_t digest = xxhash64(path);
+  // Chunk ids of one file spread across shards; sweep them all.
+  for (auto& shard : state_->shards) {
+    std::lock_guard lock(shard.mutex);
+    std::erase_if(shard.slots, [digest](const auto& kv) {
+      return kv.first.first == digest;
+    });
+  }
+}
+
+void ChunkStorage::invalidate_chunk_(std::string_view path,
+                                     std::uint64_t chunk_id) const {
+  if (options_.fd_cache_capacity == 0) return;
+  const std::uint64_t digest = xxhash64(path);
+  auto& shard = state_->shards[mix64(digest ^ chunk_id) % kShards];
+  std::lock_guard lock(shard.mutex);
+  shard.slots.erase(std::make_pair(digest, chunk_id));
+}
+
+std::size_t ChunkStorage::fd_cache_open() const {
+  std::size_t n = 0;
+  for (auto& shard : state_->shards) {
+    std::lock_guard lock(shard.mutex);
+    n += shard.slots.size();
+  }
+  return n;
+}
+
+ChunkStorageStats ChunkStorage::stats() const noexcept {
+  ChunkStorageStats s;
+  s.chunks_written = state_->chunks_written.load(kRelaxed);
+  s.chunks_read = state_->chunks_read.load(kRelaxed);
+  s.bytes_written = state_->bytes_written.load(kRelaxed);
+  s.bytes_read = state_->bytes_read.load(kRelaxed);
+  s.chunks_removed = state_->chunks_removed.load(kRelaxed);
+  s.fd_cache_hits = state_->fd_cache_hits.load(kRelaxed);
+  s.fd_cache_misses = state_->fd_cache_misses.load(kRelaxed);
+  s.fd_cache_evictions = state_->fd_cache_evictions.load(kRelaxed);
+  return s;
+}
+
 Status ChunkStorage::write_chunk(std::string_view path,
                                  std::uint64_t chunk_id, std::uint32_t offset,
                                  std::span<const std::uint8_t> data) {
   if (offset + data.size() > chunk_size_) {
     return Status{Errc::invalid_argument, "write crosses chunk boundary"};
   }
-  const auto dir = chunk_dir_(path);
-  GEKKO_RETURN_IF_ERROR(io::ensure_dir(dir));
-  const auto file = chunk_file_(path, chunk_id);
-
-  const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status{Errc::io_error,
-                  "open chunk: " + std::string(std::strerror(errno))};
-  }
+  auto fd = acquire_fd_(path, chunk_id, /*create=*/true);
+  if (!fd) return fd.status();
   std::size_t done = 0;
   while (done < data.size()) {
-    const ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+    const ssize_t n = ::pwrite((*fd)->fd, data.data() + done,
+                               data.size() - done,
                                static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
       const int err = errno;
-      ::close(fd);
+      invalidate_chunk_(path, chunk_id);
       return Status{err == ENOSPC ? Errc::no_space : Errc::io_error,
                     "pwrite chunk: " + std::string(std::strerror(err))};
     }
     done += static_cast<std::size_t>(n);
   }
-  ::close(fd);
-  ++stats_.chunks_written;
-  stats_.bytes_written += data.size();
+  state_->chunks_written.fetch_add(1, kRelaxed);
+  state_->bytes_written.fetch_add(data.size(), kRelaxed);
   return Status::ok();
 }
 
@@ -86,48 +188,51 @@ Result<std::size_t> ChunkStorage::read_chunk(std::string_view path,
   }
   std::memset(out.data(), 0, out.size());
 
-  const auto file = chunk_file_(path, chunk_id);
-  const int fd = ::open(file.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      ++stats_.chunks_read;  // sparse hole: all zeroes
+  auto fd = acquire_fd_(path, chunk_id, /*create=*/false);
+  if (!fd) {
+    if (fd.code() == Errc::not_found) {
+      state_->chunks_read.fetch_add(1, kRelaxed);  // sparse hole: zeroes
       return std::size_t{0};
     }
-    return Status{Errc::io_error,
-                  "open chunk: " + std::string(std::strerror(errno))};
+    return fd.status();
   }
   std::size_t done = 0;
   while (done < out.size()) {
-    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+    const ssize_t n = ::pread((*fd)->fd, out.data() + done,
+                              out.size() - done,
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
       const int err = errno;
-      ::close(fd);
+      invalidate_chunk_(path, chunk_id);
       return Status{Errc::io_error,
                     "pread chunk: " + std::string(std::strerror(err))};
     }
     if (n == 0) break;  // short chunk; remainder stays zeroed
     done += static_cast<std::size_t>(n);
   }
-  ::close(fd);
-  ++stats_.chunks_read;
-  stats_.bytes_read += done;
+  state_->chunks_read.fetch_add(1, kRelaxed);
+  state_->bytes_read.fetch_add(done, kRelaxed);
   return done;
 }
 
 Status ChunkStorage::remove_all(std::string_view path) {
+  // Invalidate BEFORE unlinking: a cached fd on an unlinked inode would
+  // let a concurrent writer scribble into (and a reader revive) data
+  // that is supposed to be gone.
+  invalidate_path_(path);
   const auto dir = chunk_dir_(path);
   std::error_code ec;
   const auto removed = std::filesystem::remove_all(dir, ec);
   if (ec) return Status{Errc::io_error, "remove_all: " + ec.message()};
-  stats_.chunks_removed += removed > 0 ? static_cast<std::uint64_t>(removed)
-                                       : 0;
+  state_->chunks_removed.fetch_add(
+      removed > 0 ? static_cast<std::uint64_t>(removed) : 0, kRelaxed);
   return Status::ok();
 }
 
 Status ChunkStorage::truncate(std::string_view path, std::uint64_t last_chunk,
                               std::uint32_t last_chunk_bytes) {
+  invalidate_path_(path);
   const auto dir = chunk_dir_(path);
   std::error_code ec;
   if (!std::filesystem::exists(dir, ec)) return Status::ok();
@@ -139,7 +244,7 @@ Status ChunkStorage::truncate(std::string_view path, std::uint64_t last_chunk,
     if (id > last_chunk || (id == last_chunk && last_chunk_bytes == 0)) {
       std::error_code rec;
       std::filesystem::remove(entry.path(), rec);
-      if (!rec) ++stats_.chunks_removed;
+      if (!rec) state_->chunks_removed.fetch_add(1, kRelaxed);
     }
   }
   if (ec) return Status{Errc::io_error, "truncate scan: " + ec.message()};

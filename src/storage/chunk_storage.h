@@ -11,13 +11,30 @@
 // file's logical size; a short chunk file reads as data followed by
 // zeroes. Truncate removes whole chunks past the boundary and shortens
 // the boundary chunk.
+//
+// Concurrency: a ChunkStorage is safe to call from many threads at
+// once (the daemon dispatches each chunk slice as its own I/O task,
+// after the paper's one-ULT-per-chunk-operation model). Steady-state
+// chunk I/O goes through a sharded LRU cache of open file descriptors,
+// so a hot chunk costs a single pwrite/pread instead of
+// open+pwrite+close. Cached descriptors are shared handles: an eviction
+// or invalidation never closes an fd another thread is actively using
+// (the last holder closes it). remove_all() and truncate() invalidate
+// every cached descriptor of the file first, so no writer can revive
+// an unlinked inode through a stale fd.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -30,13 +47,24 @@ struct ChunkStorageStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t chunks_removed = 0;
+  std::uint64_t fd_cache_hits = 0;
+  std::uint64_t fd_cache_misses = 0;
+  std::uint64_t fd_cache_evictions = 0;
+};
+
+struct ChunkStorageOptions {
+  /// Upper bound on cached open chunk descriptors across all shards.
+  /// 0 disables the cache (every op pays open+close, the pre-cache
+  /// behaviour). Sized well below RLIMIT_NOFILE defaults.
+  std::size_t fd_cache_capacity = 256;
 };
 
 class ChunkStorage {
  public:
   /// `root` is created if missing. `chunk_size` must be a power of two.
   static Result<ChunkStorage> open(std::filesystem::path root,
-                                   std::uint32_t chunk_size);
+                                   std::uint32_t chunk_size,
+                                   ChunkStorageOptions options = {});
 
   ChunkStorage(ChunkStorage&&) = default;
   ChunkStorage& operator=(ChunkStorage&&) = default;
@@ -67,23 +95,78 @@ class ChunkStorage {
   [[nodiscard]] const std::filesystem::path& root() const noexcept {
     return root_;
   }
-  [[nodiscard]] ChunkStorageStats stats() const noexcept { return stats_; }
+  [[nodiscard]] ChunkStorageStats stats() const noexcept;
 
   /// Number of chunk files currently stored for `path`.
   Result<std::size_t> chunk_count(std::string_view path) const;
 
+  /// Descriptors currently held by the fd cache (tests, telemetry).
+  [[nodiscard]] std::size_t fd_cache_open() const;
+
  private:
-  ChunkStorage(std::filesystem::path root, std::uint32_t chunk_size)
-      : root_(std::move(root)), chunk_size_(chunk_size) {}
+  /// A cached descriptor. Shared: the cache holds one reference and
+  /// every in-flight op holds another, so eviction only drops the
+  /// cache's reference — the close happens when the last user is done.
+  struct FdHandle {
+    int fd = -1;
+    ~FdHandle();
+  };
+  using FdRef = std::shared_ptr<FdHandle>;
+
+  struct Shard {
+    std::mutex mutex;
+    struct Slot {
+      FdRef fd;
+      std::uint64_t tick = 0;  // last-use stamp for LRU eviction
+    };
+    // (path digest, chunk id) -> slot. Bounded small (capacity/shards),
+    // so LRU eviction scans instead of maintaining an intrusive list.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Slot> slots;
+    std::uint64_t tick = 0;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  /// All mutable state lives behind one allocation so the storage
+  /// stays movable (atomics and mutexes are not).
+  struct State {
+    std::array<Shard, kShards> shards;
+    std::atomic<std::uint64_t> chunks_written{0};
+    std::atomic<std::uint64_t> chunks_read{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> chunks_removed{0};
+    std::atomic<std::uint64_t> fd_cache_hits{0};
+    std::atomic<std::uint64_t> fd_cache_misses{0};
+    std::atomic<std::uint64_t> fd_cache_evictions{0};
+  };
+
+  ChunkStorage(std::filesystem::path root, std::uint32_t chunk_size,
+               ChunkStorageOptions options)
+      : root_(std::move(root)),
+        chunk_size_(chunk_size),
+        options_(options),
+        state_(std::make_unique<State>()) {}
 
   [[nodiscard]] std::filesystem::path chunk_dir_(std::string_view path) const;
   [[nodiscard]] std::filesystem::path chunk_file_(std::string_view path,
                                                   std::uint64_t chunk_id)
       const;
 
+  /// Fetch (or open and cache) the descriptor for one chunk file.
+  /// `create` opens O_RDWR|O_CREAT (write path); without it a missing
+  /// file surfaces Errc::not_found (read path: sparse hole).
+  Result<FdRef> acquire_fd_(std::string_view path, std::uint64_t chunk_id,
+                            bool create) const;
+  /// Drop every cached descriptor belonging to `path` (all chunks).
+  void invalidate_path_(std::string_view path) const;
+  /// Drop one cached descriptor (after an I/O error on it).
+  void invalidate_chunk_(std::string_view path, std::uint64_t chunk_id)
+      const;
+
   std::filesystem::path root_;
   std::uint32_t chunk_size_;
-  mutable ChunkStorageStats stats_{};
+  ChunkStorageOptions options_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace gekko::storage

@@ -369,8 +369,15 @@ TEST_F(GkfsTopTest, RendersPerNodeTableForRealDaemonProcesses) {
     if (pid == 0) {
       const std::string root = (dir_ / ("node" + std::to_string(id))).string();
       const std::string id_str = std::to_string(id);
-      ::execl(GKFSD_BIN, "gkfsd", hostfile->c_str(), id_str.c_str(),
-              root.c_str(), "8192", static_cast<char*>(nullptr));
+      // Node 1 exercises the --io-threads flag end to end.
+      if (id == 1) {
+        ::execl(GKFSD_BIN, "gkfsd", hostfile->c_str(), id_str.c_str(),
+                root.c_str(), "8192", "--io-threads", "2",
+                static_cast<char*>(nullptr));
+      } else {
+        ::execl(GKFSD_BIN, "gkfsd", hostfile->c_str(), id_str.c_str(),
+                root.c_str(), "8192", static_cast<char*>(nullptr));
+      }
       ::_exit(12);  // exec failed
     }
     children.push_back(pid);
@@ -423,6 +430,37 @@ TEST_F(GkfsTopTest, RendersPerNodeTableForRealDaemonProcesses) {
     }
   }
   EXPECT_GE(rows, 2) << output;
+
+  // The io-pool/fd-cache families ride the same daemon_stat snapshot
+  // gkfs-top consumes; growing it must not have broken the table above,
+  // and the new families must survive the JSON round trip per node.
+  {
+    auto probe_fabric = net::SocketFabric::create(*hostfile, {});
+    ASSERT_TRUE(probe_fabric.is_ok());
+    rpc::Engine probe(**probe_fabric, {.name = "probe"});
+    for (std::uint32_t id = 0; id < kDaemons; ++id) {
+      auto r = probe.forward(id, proto::to_wire(proto::RpcId::daemon_stat),
+                             {});
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+      auto resp = proto::DaemonStatResponse::decode(std::string_view(
+          reinterpret_cast<const char*>(r->data()), r->size()));
+      ASSERT_TRUE(resp.is_ok());
+      auto snap = metrics::Snapshot::from_json(resp->metrics_json);
+      ASSERT_TRUE(snap.is_ok()) << resp->metrics_json;
+      for (const char* g :
+           {"storage.fd_cache.hits", "storage.fd_cache.misses",
+            "storage.fd_cache.evictions", "storage.fd_cache.open"}) {
+        EXPECT_TRUE(snap->gauges.count(g)) << "node " << id << " missing "
+                                           << g;
+      }
+      // Both nodes wrote chunks through the io pool.
+      const auto it = snap->histograms.find("daemon.io.service");
+      ASSERT_NE(it, snap->histograms.end()) << "node " << id;
+      EXPECT_GT(it->second.count, 0u) << "node " << id;
+      EXPECT_GT(snap->gauge_or("storage.fd_cache.misses"), 0) << "node "
+                                                              << id;
+    }
+  }
 
   for (const pid_t pid : children) {
     ::kill(pid, SIGKILL);

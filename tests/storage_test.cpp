@@ -2,8 +2,12 @@
 // truncation, cleanup; SSD model sanity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <filesystem>
 #include <numeric>
+#include <thread>
 
 #include "common/rng.h"
 #include "storage/chunk_storage.h"
@@ -182,6 +186,210 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ChunkRoundTripTest,
     ::testing::Combine(::testing::Values(512u, 4096u, 65536u),
                        ::testing::Values(1, 2, 3)));
+
+// ---------- fd cache ----------
+
+class FdCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gekko_fdc_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ChunkStorage open_with_capacity(std::size_t capacity) {
+    ChunkStorageOptions opts;
+    opts.fd_cache_capacity = capacity;
+    auto cs = ChunkStorage::open(dir_, kChunk, opts);
+    EXPECT_TRUE(cs.is_ok());
+    return std::move(*cs);
+  }
+
+  static constexpr std::uint32_t kChunk = 4096;
+  std::filesystem::path dir_;
+};
+
+TEST_F(FdCacheTest, RepeatOpsHitTheCache) {
+  auto cs = open_with_capacity(64);
+  const std::vector<std::uint8_t> data(64, 0xab);
+  ASSERT_TRUE(cs.write_chunk("/f", 0, 0, data).is_ok());  // miss + insert
+  ASSERT_TRUE(cs.write_chunk("/f", 0, 64, data).is_ok());  // hit
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(cs.read_chunk("/f", 0, 0, out).is_ok());  // hit
+  EXPECT_EQ(out, data);
+
+  const auto stats = cs.stats();
+  EXPECT_EQ(stats.fd_cache_misses, 1u);
+  EXPECT_EQ(stats.fd_cache_hits, 2u);
+  EXPECT_EQ(cs.fd_cache_open(), 1u);
+}
+
+TEST_F(FdCacheTest, EvictionBoundsOpenDescriptors) {
+  // capacity 16 over 16 shards => one slot per shard.
+  auto cs = open_with_capacity(16);
+  const std::vector<std::uint8_t> data(8, 1);
+  constexpr std::uint64_t kChunks = 64;
+  for (std::uint64_t c = 0; c < kChunks; ++c) {
+    ASSERT_TRUE(cs.write_chunk("/big", c, 0, data).is_ok());
+  }
+  const auto stats = cs.stats();
+  EXPECT_LE(cs.fd_cache_open(), 16u);
+  EXPECT_EQ(stats.fd_cache_misses, kChunks);  // distinct chunks: all miss
+  // Every insert beyond a shard's slot evicts the previous holder.
+  EXPECT_EQ(stats.fd_cache_evictions, kChunks - cs.fd_cache_open());
+  EXPECT_GE(stats.fd_cache_evictions, kChunks - 16);
+}
+
+TEST_F(FdCacheTest, RemoveAllInvalidatesCachedFds) {
+  auto cs = open_with_capacity(64);
+  const std::vector<std::uint8_t> data(32, 0x5a);
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    ASSERT_TRUE(cs.write_chunk("/gone", c, 0, data).is_ok());
+  }
+  ASSERT_TRUE(cs.write_chunk("/stays", 0, 0, data).is_ok());
+  EXPECT_EQ(cs.fd_cache_open(), 5u);
+
+  ASSERT_TRUE(cs.remove_all("/gone").is_ok());
+  // Only the other file's descriptor survives; no cached fd can revive
+  // the unlinked chunks.
+  EXPECT_EQ(cs.fd_cache_open(), 1u);
+  std::vector<std::uint8_t> out(32, 0xff);
+  auto n = cs.read_chunk("/gone", 0, 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 0u);  // sparse: data is really gone
+  ASSERT_TRUE(cs.read_chunk("/stays", 0, 0, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FdCacheTest, TruncateInvalidatesCachedFds) {
+  auto cs = open_with_capacity(64);
+  const std::vector<std::uint8_t> full(kChunk, 0x22);
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(cs.write_chunk("/t", c, 0, full).is_ok());
+  }
+  EXPECT_EQ(cs.fd_cache_open(), 3u);
+  ASSERT_TRUE(cs.truncate("/t", 1, kChunk / 2).is_ok());
+  EXPECT_EQ(cs.fd_cache_open(), 0u);
+
+  // Chunk 1 re-opens shortened: half data, half zero-filled tail.
+  std::vector<std::uint8_t> out(kChunk, 0xff);
+  ASSERT_TRUE(cs.read_chunk("/t", 1, 0, out).is_ok());
+  for (std::uint32_t i = 0; i < kChunk; ++i) {
+    ASSERT_EQ(out[i], i < kChunk / 2 ? 0x22 : 0) << i;
+  }
+  // Chunk 2 was dropped: sparse zeroes, not stale cached data.
+  auto n = cs.read_chunk("/t", 2, 0, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(FdCacheTest, SparseHolesAreNotCached) {
+  auto cs = open_with_capacity(64);
+  const std::vector<std::uint8_t> data(16, 7);
+  ASSERT_TRUE(cs.write_chunk("/s", 0, 0, data).is_ok());
+  const auto before = cs.stats();
+
+  std::vector<std::uint8_t> out(16, 0xff);
+  for (int i = 0; i < 3; ++i) {
+    auto n = cs.read_chunk("/s", 9, 0, out);  // missing chunk
+    ASSERT_TRUE(n.is_ok());
+    EXPECT_EQ(*n, 0u);
+  }
+  const auto after = cs.stats();
+  // A hole never enters the cache: each sparse read is a fresh miss and
+  // the open-descriptor count is unchanged.
+  EXPECT_EQ(after.fd_cache_misses, before.fd_cache_misses + 3);
+  EXPECT_EQ(cs.fd_cache_open(), 1u);
+}
+
+TEST_F(FdCacheTest, CapacityZeroDisablesCache) {
+  auto cs = open_with_capacity(0);
+  const std::vector<std::uint8_t> data(16, 3);
+  ASSERT_TRUE(cs.write_chunk("/n", 0, 0, data).is_ok());
+  ASSERT_TRUE(cs.write_chunk("/n", 0, 0, data).is_ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(cs.read_chunk("/n", 0, 0, out).is_ok());
+  EXPECT_EQ(out, data);
+  const auto stats = cs.stats();
+  EXPECT_EQ(stats.fd_cache_hits, 0u);
+  EXPECT_EQ(stats.fd_cache_misses, 3u);
+  EXPECT_EQ(cs.fd_cache_open(), 0u);
+}
+
+// Regression for the pre-existing data race on ChunkStorage stats
+// (mutable, non-atomic, mutated from concurrent handlers) and the main
+// cache-churn concurrency test: run under GEKKO_SANITIZE=thread via
+// `ctest -L sanitize`.
+TEST_F(FdCacheTest, ConcurrentMixedReadWriteStress) {
+  // Tiny capacity: constant eviction while other threads still hold
+  // (and use) the evicted descriptors.
+  auto cs = open_with_capacity(8);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kChunksPerThread = 8;
+  constexpr int kOps = 400;
+
+  // last_fill[chunk] = fill byte of the last completed write; chunk ids
+  // are disjoint per thread, so the owner's record is authoritative.
+  std::array<std::atomic<int>, kThreads * kChunksPerThread> last_fill{};
+  for (auto& f : last_fill) f.store(-1);
+  std::atomic<std::uint64_t> writes{0}, reads{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0x9e3779b9u + t);
+      std::vector<std::uint8_t> buf(kChunk);
+      for (int op = 0; op < kOps && !failed.load(); ++op) {
+        if (rng.below(10) < 7) {
+          // Full-chunk write to one of this thread's own chunks.
+          const std::uint64_t chunk =
+              t * kChunksPerThread + rng.below(kChunksPerThread);
+          const auto fill = static_cast<std::uint8_t>(op & 0xff);
+          std::fill(buf.begin(), buf.end(), fill);
+          if (!cs.write_chunk("/stress", chunk, 0, buf).is_ok()) {
+            failed.store(true);
+            break;
+          }
+          last_fill[chunk].store(fill);
+          writes.fetch_add(1);
+        } else {
+          // Read ANY chunk (written, in-flight, or still a hole); only
+          // the status is asserted — content may legitimately be torn
+          // while its owner is mid-overwrite.
+          const std::uint64_t chunk =
+              rng.below(kThreads * kChunksPerThread);
+          if (!cs.read_chunk("/stress", chunk, 0, buf).is_ok()) {
+            failed.store(true);
+            break;
+          }
+          reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+
+  const auto stats = cs.stats();
+  EXPECT_EQ(stats.chunks_written, writes.load());  // no lost updates
+  EXPECT_EQ(stats.chunks_read, reads.load());
+  EXPECT_EQ(stats.bytes_written, writes.load() * kChunk);
+  EXPECT_GT(stats.fd_cache_evictions, 0u);
+  EXPECT_LE(cs.fd_cache_open(), 16u);  // capacity 8 => 1 slot x 16 shards
+
+  // Quiesced: every chunk reads back its owner's last completed write.
+  std::vector<std::uint8_t> out(kChunk);
+  for (std::size_t c = 0; c < last_fill.size(); ++c) {
+    const int fill = last_fill[c].load();
+    if (fill < 0) continue;
+    ASSERT_TRUE(cs.read_chunk("/stress", c, 0, out).is_ok());
+    EXPECT_TRUE(std::all_of(out.begin(), out.end(), [&](std::uint8_t b) {
+      return b == static_cast<std::uint8_t>(fill);
+    })) << "chunk " << c;
+  }
+}
 
 // ---------- SSD model ----------
 

@@ -7,6 +7,10 @@
 // cluster: Mercury addresses).
 //
 //   gkfsd <hostfile> <self-id> <data-root> [chunk-size-bytes]
+//         [--io-threads <n>]
+//
+// --io-threads sizes the daemon's chunk-I/O pool (0 = serial in-handler
+// I/O); the default matches DaemonOptions::io_threads.
 //
 // Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
 // lives under <data-root> and survives restarts.
@@ -20,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "daemon/daemon.h"
 #include "net/socket_fabric.h"
@@ -44,19 +49,36 @@ bool parse_u32(const char* arg, std::uint32_t* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
+  // Split flags from positional arguments so --io-threads may appear
+  // anywhere on the command line.
+  std::vector<const char*> positional;
+  bool have_io_threads = false;
+  std::uint32_t io_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--io-threads") == 0) {
+      if (i + 1 >= argc || !parse_u32(argv[i + 1], &io_threads)) {
+        std::fprintf(stderr, "gkfsd: bad --io-threads value\n");
+        return 2;
+      }
+      have_io_threads = true;
+      ++i;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3 || positional.size() > 4) {
     std::fprintf(stderr,
                  "usage: gkfsd <hostfile> <self-id> <data-root> "
-                 "[chunk-size-bytes]\n");
+                 "[chunk-size-bytes] [--io-threads <n>]\n");
     return 2;
   }
-  const char* hostfile = argv[1];
+  const char* hostfile = positional[0];
   std::uint32_t self_id = 0;
-  if (!parse_u32(argv[2], &self_id)) {
-    std::fprintf(stderr, "gkfsd: bad self-id '%s'\n", argv[2]);
+  if (!parse_u32(positional[1], &self_id)) {
+    std::fprintf(stderr, "gkfsd: bad self-id '%s'\n", positional[1]);
     return 2;
   }
-  const char* root = argv[3];
+  const char* root = positional[2];
 
   gekko::net::SocketFabricOptions fopts;
   fopts.self_id = self_id;
@@ -68,12 +90,14 @@ int main(int argc, char** argv) {
   }
 
   gekko::daemon::DaemonOptions dopts;
-  if (argc > 4) {
-    if (!parse_u32(argv[4], &dopts.chunk_size) || dopts.chunk_size == 0) {
-      std::fprintf(stderr, "gkfsd: bad chunk-size '%s'\n", argv[4]);
+  if (positional.size() > 3) {
+    if (!parse_u32(positional[3], &dopts.chunk_size) ||
+        dopts.chunk_size == 0) {
+      std::fprintf(stderr, "gkfsd: bad chunk-size '%s'\n", positional[3]);
       return 2;
     }
   }
+  if (have_io_threads) dopts.io_threads = io_threads;
   auto daemon = gekko::daemon::GekkoDaemon::start(**fabric, root, dopts);
   if (!daemon) {
     std::fprintf(stderr, "gkfsd: start: %s\n",
