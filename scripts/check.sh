@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-shot verification gate: configure + build + lint + full test
+# suite with the runtime lock-order validator on. This is the command
+# to run before pushing; it is exactly what CI would run.
+#
+# Usage: scripts/check.sh [build-dir]
+#   build-dir   defaults to ./build
+#
+# Environment:
+#   GEKKO_SANITIZE   forward a sanitizer to the build
+#                    (thread | address | undefined); uses a separate
+#                    build dir build-<sanitizer> so the plain build
+#                    stays warm.
+#   JOBS             parallel build jobs (default: nproc)
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SAN="${GEKKO_SANITIZE:-}"
+if [ -n "${SAN}" ]; then
+  BUILD_DIR="${1:-${REPO_ROOT}/build-${SAN}}"
+else
+  BUILD_DIR="${1:-${REPO_ROOT}/build}"
+fi
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== check.sh: configure (${BUILD_DIR}${SAN:+, sanitize=${SAN}})"
+# GEKKO_THREAD_SAFETY is a hard error on violations under clang and a
+# warned no-op under gcc, so it is always safe to request here.
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGEKKO_THREAD_SAFETY=ON \
+      ${SAN:+-DGEKKO_SANITIZE=${SAN}} >/dev/null
+
+echo "== check.sh: build (-j${JOBS})"
+cmake --build "${BUILD_DIR}" -j"${JOBS}"
+
+echo "== check.sh: lint gate (ctest -L lint)"
+(cd "${BUILD_DIR}" && ctest -L lint --output-on-failure)
+
+echo "== check.sh: sanitize-labeled suites"
+(cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L sanitize --output-on-failure)
+
+echo "== check.sh: full test suite (lockdep on)"
+(cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest --output-on-failure)
+
+echo "== check.sh: all gates passed"

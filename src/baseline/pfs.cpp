@@ -1,4 +1,5 @@
 #include "baseline/pfs.h"
+#include "common/thread_annotations.h"
 
 #include <algorithm>
 #include <chrono>
@@ -44,7 +45,7 @@ Status ParallelFileSystem::create(std::string_view raw, proto::FileType type,
                                   std::uint32_t mode) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   if (namespace_.contains(*p)) return Errc::exists;
   // POSIX: the parent must exist, and the new entry is inserted into
@@ -67,7 +68,7 @@ Status ParallelFileSystem::create(std::string_view raw, proto::FileType type,
 Result<proto::Metadata> ParallelFileSystem::stat(std::string_view raw) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   return inode->md;
@@ -76,7 +77,7 @@ Result<proto::Metadata> ParallelFileSystem::stat(std::string_view raw) {
 Status ParallelFileSystem::unlink(std::string_view raw) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (inode->md.is_directory()) return Errc::is_directory;
@@ -98,7 +99,7 @@ Status ParallelFileSystem::rmdir(std::string_view raw) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
   if (*p == "/") return Errc::busy;
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (!inode->md.is_directory()) return Errc::not_directory;
@@ -115,7 +116,7 @@ Result<std::vector<proto::Dirent>> ParallelFileSystem::readdir(
     std::string_view raw) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (!inode->md.is_directory()) return Errc::not_directory;
@@ -135,7 +136,7 @@ Status ParallelFileSystem::truncate(std::string_view raw,
                                     std::uint64_t new_size) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (inode->md.is_directory()) return Errc::is_directory;
@@ -159,7 +160,7 @@ Status ParallelFileSystem::rename(std::string_view from_raw,
   if (!from) return from.status();
   auto to = path::normalize(to_raw);
   if (!to) return to.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   auto it = namespace_.find(*from);
   if (it == namespace_.end()) return Errc::not_found;
@@ -194,7 +195,7 @@ Result<std::size_t> ParallelFileSystem::write(
     std::span<const std::uint8_t> data) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (inode->md.is_directory()) return Errc::is_directory;
@@ -225,7 +226,7 @@ Result<std::size_t> ParallelFileSystem::read(std::string_view raw,
                                              std::span<std::uint8_t> out) {
   auto p = path::normalize(raw);
   if (!p) return p.status();
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   ++stats_.mds_ops;
   GEKKO_ASSIGN_OR_RETURN(Inode * inode, lookup_locked_(*p));
   if (inode->md.is_directory()) return Errc::is_directory;
@@ -260,7 +261,7 @@ Result<std::size_t> ParallelFileSystem::read(std::string_view raw,
 }
 
 PfsStats ParallelFileSystem::stats() const {
-  std::lock_guard lock(mds_mutex_);
+  LockGuard lock(mds_mutex_);
   return stats_;
 }
 

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -30,6 +29,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "proto/metadata.h"
 
 namespace gekko::baseline {
@@ -83,13 +83,17 @@ class ParallelFileSystem {
     std::set<std::string> children;  // directories only, basenames
   };
 
-  Result<Inode*> lookup_locked_(std::string_view path);
-  Status check_parent_locked_(std::string_view path);
+  Result<Inode*> lookup_locked_(std::string_view path)
+      GEKKO_REQUIRES(mds_mutex_);
+  Status check_parent_locked_(std::string_view path)
+      GEKKO_REQUIRES(mds_mutex_);
 
   PfsOptions options_;
-  mutable std::mutex mds_mutex_;  // the MDS: one lock, whole namespace
-  std::map<std::string, Inode, std::less<>> namespace_;
-  mutable PfsStats stats_;
+  mutable Mutex mds_mutex_{"baseline.pfs.mds",
+                           lockdep::rank::kPfsMds};  // one lock, whole namespace
+  std::map<std::string, Inode, std::less<>> namespace_
+      GEKKO_GUARDED_BY(mds_mutex_);
+  mutable PfsStats stats_ GEKKO_GUARDED_BY(mds_mutex_);
 };
 
 }  // namespace gekko::baseline

@@ -1,4 +1,5 @@
 #include "client/client.h"
+#include "common/thread_annotations.h"
 
 #include <algorithm>
 #include <chrono>
@@ -86,7 +87,7 @@ Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
   // call synchronously (the engine applies its own backoff policy).
   m_.rpcs_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
   }
   return engine_->forward(ep, rpc_id, std::move(payload), bulk);
@@ -106,7 +107,7 @@ Status Client::create(std::string_view path, proto::FileType type,
                                proto::to_wire(RpcId::create), req.encode());
   m_.rpcs_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
   }
   return resp.status();
@@ -125,7 +126,7 @@ Result<proto::Metadata> Client::stat(std::string_view path) {
                                proto::to_wire(RpcId::stat), req.encode());
   m_.rpcs_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
   }
   if (!resp) return resp.status();
@@ -147,7 +148,7 @@ Status Client::remove(std::string_view path) {
                        proto::to_wire(RpcId::remove_metadata), req.encode());
   m_.rpcs_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
   }
   if (!resp) return resp.status();
@@ -175,7 +176,7 @@ Status Client::remove_data_everywhere_(std::string_view path) {
   }
   m_.rpcs_sent->inc(daemons_.size());
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();
   }
   Status first_error = Status::ok();
@@ -198,7 +199,7 @@ Status Client::truncate(std::string_view path, std::uint64_t new_size) {
                                req.encode());
   m_.rpcs_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
   }
   GEKKO_RETURN_IF_ERROR(resp.status());
@@ -212,7 +213,7 @@ Status Client::truncate(std::string_view path, std::uint64_t new_size) {
   }
   m_.rpcs_sent->inc(daemons_.size());
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();
   }
   Status first_error = Status::ok();
@@ -236,7 +237,7 @@ Status Client::send_size_update_(const std::string& path,
   m_.rpcs_sent->inc();
   m_.size_updates_sent->inc();
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.rpcs_sent;
     ++stats_.size_updates_sent;
   }
@@ -282,7 +283,7 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
   }
   m_.rpcs_sent->inc(per_daemon.size());
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.rpcs_sent += per_daemon.size();
   }
 
@@ -314,13 +315,13 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
     GEKKO_RETURN_IF_ERROR(send_size_update_(key, *to_send));
   } else {
     m_.size_updates_absorbed->inc();
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.size_updates_absorbed;
   }
 
   m_.bytes_written->inc(written);
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.bytes_written += written;
   }
   return static_cast<std::size_t>(written);
@@ -365,7 +366,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
   }
   m_.rpcs_sent->inc(per_daemon.size());
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.rpcs_sent += per_daemon.size();
   }
 
@@ -393,7 +394,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
 
   m_.bytes_read->inc(transferred);
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.bytes_read += transferred;
   }
   return static_cast<std::size_t>(readable);
@@ -411,7 +412,7 @@ Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
   }
   m_.rpcs_sent->inc(daemons_.size());
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     stats_.rpcs_sent += daemons_.size();
   }
 
@@ -469,8 +470,15 @@ Result<std::vector<proto::DaemonStatResponse>> Client::daemon_stats() {
 }
 
 ClientStats Client::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  ClientStats s = stats_;
+  ClientStats s;
+  {
+    LockGuard lock(stats_mutex_);
+    s = stats_;
+  }
+  // Read the cache counters after dropping stats_mutex_: the stat
+  // cache's lock ranks BEFORE client.stats (DESIGN §11.1), so calling
+  // into it while holding stats_mutex_ was a lock-order violation
+  // (caught by lockdep in cache_test's integration case).
   s.stat_cache_hits = stat_cache_.hits();
   s.stat_cache_misses = stat_cache_.misses();
   return s;

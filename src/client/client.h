@@ -19,6 +19,7 @@
 #include "client/size_cache.h"
 #include "client/stat_cache.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/fabric.h"
 #include "proto/distributor.h"
 #include "proto/messages.h"
@@ -121,8 +122,8 @@ class Client {
   std::unique_ptr<rpc::Engine> engine_;
   SizeCache size_cache_;
   StatCache stat_cache_;
-  mutable std::mutex stats_mutex_;
-  ClientStats stats_;
+  mutable Mutex stats_mutex_{"client.stats", lockdep::rank::kClientStats};
+  ClientStats stats_ GEKKO_GUARDED_BY(stats_mutex_);
 
   // Cached registry references (record path takes no lock).
   struct ClientMetrics {

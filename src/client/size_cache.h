@@ -15,10 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace gekko::client {
 
@@ -36,7 +37,7 @@ class SizeCache {
   std::optional<std::uint64_t> observe(const std::string& path,
                                        std::uint64_t observed_size) {
     if (interval_ == 0) return observed_size;  // pass-through
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto& e = entries_[path];
     if (observed_size > e.pending_max) e.pending_max = observed_size;
     if (++e.buffered < interval_) return std::nullopt;
@@ -48,7 +49,7 @@ class SizeCache {
   /// Drain the pending update for one path (close/fsync barrier).
   std::optional<std::uint64_t> flush(const std::string& path) {
     if (interval_ == 0) return std::nullopt;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = entries_.find(path);
     if (it == entries_.end() || it->second.buffered == 0) return std::nullopt;
     const std::uint64_t out = it->second.pending_max;
@@ -59,12 +60,12 @@ class SizeCache {
   /// Drop state for a path without flushing (unlink).
   void forget(const std::string& path) {
     if (interval_ == 0) return;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     entries_.erase(path);
   }
 
   [[nodiscard]] std::size_t pending_paths() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return entries_.size();
   }
 
@@ -75,8 +76,8 @@ class SizeCache {
   };
 
   std::uint32_t interval_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mutex_{"client.size_cache", lockdep::rank::kSizeCache};
+  std::unordered_map<std::string, Entry> entries_ GEKKO_GUARDED_BY(mutex_);
 };
 
 }  // namespace gekko::client

@@ -11,11 +11,11 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "proto/metadata.h"
 
 namespace gekko::client {
@@ -31,7 +31,7 @@ class StatCache {
 
   std::optional<proto::Metadata> lookup(const std::string& path) {
     if (!enabled()) return std::nullopt;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = entries_.find(path);
     if (it == entries_.end()) {
       ++misses_;
@@ -48,14 +48,14 @@ class StatCache {
 
   void store(const std::string& path, const proto::Metadata& md) {
     if (!enabled()) return;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     entries_[path] = Entry{md, Clock::now() + ttl_};
   }
 
   /// Local write at [.., end): grow the cached size (read-your-writes).
   void on_local_write(const std::string& path, std::uint64_t end) {
     if (!enabled()) return;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = entries_.find(path);
     if (it != entries_.end() && end > it->second.md.size) {
       it->second.md.size = end;
@@ -64,21 +64,21 @@ class StatCache {
 
   void invalidate(const std::string& path) {
     if (!enabled()) return;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     entries_.erase(path);
   }
 
   void clear() {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     entries_.clear();
   }
 
   [[nodiscard]] std::uint64_t hits() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return hits_;
   }
   [[nodiscard]] std::uint64_t misses() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return misses_;
   }
 
@@ -89,10 +89,10 @@ class StatCache {
   };
 
   std::chrono::milliseconds ttl_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable Mutex mutex_{"client.stat_cache", lockdep::rank::kStatCache};
+  std::unordered_map<std::string, Entry> entries_ GEKKO_GUARDED_BY(mutex_);
+  std::uint64_t hits_ GEKKO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ GEKKO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gekko::client

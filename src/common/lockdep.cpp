@@ -1,0 +1,201 @@
+// relaxed-ok: g_enabled is an isolated on/off flag; the state it gates
+// is guarded by g_mutex or thread-local.
+#include "common/lockdep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>  // lint-ok: bare-mutex — lockdep is the instrumentation layer and must not instrument itself
+#include <utility>
+
+namespace gekko::lockdep {
+namespace {
+
+/// One lock currently held by a thread.
+struct Held {
+  const void* m = nullptr;
+  const char* name = nullptr;  // nullptr = anonymous
+  int rank = kNoRank;
+};
+
+/// Per-thread acquisition stack, outermost first.
+thread_local std::vector<Held>* t_held = nullptr;
+
+std::vector<Held>& held_stack() {
+  if (t_held == nullptr) t_held = new std::vector<Held>();  // leaked at exit
+  return *t_held;
+}
+
+/// Global state: name->rank registry and the observed-order edge map.
+/// Guarded by a raw std::mutex — the instrumentation layer cannot use
+/// the instrumented wrappers without recursing into itself.
+std::mutex g_mutex;
+std::map<std::string, int>* g_ranks = nullptr;
+struct Edge {
+  std::vector<std::string> sequence;  // full held-stack at first sight
+};
+std::map<std::pair<std::string, std::string>, Edge>* g_edges = nullptr;
+
+std::atomic<int> g_enabled{-1};  // -1 unresolved, 0 off, 1 on
+
+bool resolve_env_enabled() {
+  const char* v = std::getenv("GEKKO_LOCKDEP");
+  return v != nullptr &&
+         (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0);
+}
+
+std::vector<std::string> sequence_of(const std::vector<Held>& held,
+                                     const char* acquiring) {
+  std::vector<std::string> seq;
+  seq.reserve(held.size() + 1);
+  for (const Held& h : held) {
+    seq.emplace_back(h.name != nullptr ? h.name : "<anon>");
+  }
+  if (acquiring != nullptr) seq.emplace_back(acquiring);
+  return seq;
+}
+
+void print_sequence(const char* label, const std::vector<std::string>& seq) {
+  std::fprintf(stderr, "lockdep:   %s:", label);
+  for (const auto& n : seq) std::fprintf(stderr, " -> %s", n.c_str());
+  std::fputc('\n', stderr);
+}
+
+[[noreturn]] void die(const char* what, const std::vector<std::string>& now,
+                      const std::vector<std::string>* recorded) {
+  std::fprintf(stderr, "lockdep: FATAL: %s\n", what);
+  print_sequence("this thread's acquisition sequence", now);
+  if (recorded != nullptr) {
+    print_sequence("previously recorded sequence", *recorded);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+void record_and_check(const std::vector<Held>& held, const char* name,
+                      int rank) {
+  // Rank discipline: strictly increasing among ranked locks.
+  if (rank != kNoRank) {
+    for (const Held& h : held) {
+      if (h.rank != kNoRank && h.rank >= rank) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "lock rank order violated: acquiring '%s' (rank %d) "
+                      "while holding '%s' (rank %d)",
+                      name, rank, h.name != nullptr ? h.name : "<anon>",
+                      h.rank);
+        die(buf, sequence_of(held, name), nullptr);
+      }
+    }
+  }
+  // Observed-order inversions among named locks (catches unranked
+  // pairs and same-rank mistakes the static table misses).
+  if (name == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_edges == nullptr) {
+    g_edges = new std::map<std::pair<std::string, std::string>, Edge>();
+  }
+  for (const Held& h : held) {
+    if (h.name == nullptr || std::strcmp(h.name, name) == 0) continue;
+    const auto fwd = std::make_pair(std::string(h.name), std::string(name));
+    const auto rev = std::make_pair(fwd.second, fwd.first);
+    if (auto it = g_edges->find(rev); it != g_edges->end()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "lock order inverted: acquiring '%s' while holding "
+                    "'%s', but the opposite order was already observed",
+                    name, h.name);
+      die(buf, sequence_of(held, name), &it->second.sequence);
+    }
+    g_edges->try_emplace(fwd, Edge{sequence_of(held, name)});
+  }
+}
+
+void register_name(const char* name, int rank) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_ranks == nullptr) g_ranks = new std::map<std::string, int>();
+  auto [it, inserted] = g_ranks->try_emplace(name, rank);
+  if (!inserted && it->second != rank) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "conflicting rank registration for '%s': %d vs %d", name,
+                  it->second, rank);
+    die(buf, sequence_of(held_stack(), name), nullptr);
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_env_enabled() ? 1 : 0;
+    int expected = -1;
+    if (!g_enabled.compare_exchange_strong(expected, v,
+                                           std::memory_order_relaxed)) {
+      v = expected;
+    }
+  }
+  return v == 1;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void on_acquire(const void* m, const char* name, int rank) {
+  if (!enabled()) return;
+  auto& held = held_stack();
+  for (const Held& h : held) {
+    if (h.m == m) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "re-entrant acquisition of '%s' (already held by this "
+                    "thread)",
+                    name != nullptr ? name : "<anon>");
+      die(buf, sequence_of(held, name), nullptr);
+    }
+  }
+  if (name != nullptr) register_name(name, rank);
+  record_and_check(held, name, rank);
+  held.push_back(Held{m, name, rank});
+}
+
+void on_try_acquire(const void* m, const char* name, int rank) {
+  if (!enabled()) return;
+  if (name != nullptr) register_name(name, rank);
+  held_stack().push_back(Held{m, name, rank});
+}
+
+void on_release(const void* m) noexcept {
+  if (!enabled()) return;
+  auto& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->m == m) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+int rank_of(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_ranks == nullptr) return kNoRank;
+  auto it = g_ranks->find(name);
+  return it == g_ranks->end() ? kNoRank : it->second;
+}
+
+std::vector<std::string> held_names() {
+  if (!enabled()) return {};
+  return sequence_of(held_stack(), nullptr);
+}
+
+void reset_for_test() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_ranks != nullptr) g_ranks->clear();
+  if (g_edges != nullptr) g_edges->clear();
+}
+
+}  // namespace gekko::lockdep

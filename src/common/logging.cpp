@@ -1,12 +1,16 @@
+// relaxed-ok: the level threshold and thread-number counter are
+// independent monotonic scalars; no other data is published through
+// them, so relaxed ordering is sufficient.
 #include "common/logging.h"
 
 #include <chrono>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace gekko::log {
 namespace {
-std::mutex g_mutex;
-Sink g_sink;  // guarded by g_mutex
+Mutex g_mutex{"log", lockdep::rank::kLog};
+Sink g_sink GEKKO_GUARDED_BY(g_mutex);
 
 const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -40,7 +44,7 @@ void set_level(Level lvl) noexcept {
 Level level() noexcept { return threshold().load(std::memory_order_relaxed); }
 
 void set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   g_sink = std::move(sink);
 }
 
@@ -55,7 +59,7 @@ void write(Level lvl, std::string_view component, std::string_view message) {
   char prefix[48];
   std::snprintf(prefix, sizeof(prefix), "[%12.6f] [t%02u] [%s]",
                 seconds_since_start(), thread_number(), level_tag(lvl));
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   if (g_sink) {
     std::string line;
     line.reserve(component.size() + message.size() + 56);

@@ -1,15 +1,19 @@
+// relaxed-ok: see metrics.h — telemetry scalars with no dependent
+// non-atomic data; the tracer seq publication uses release/acquire.
 #include "common/metrics.h"
 
 #include <algorithm>
 #include <cctype>
 #include <functional>
 
+#include "common/thread_annotations.h"
+
 namespace gekko::metrics {
 
 // ---------- Registry ----------
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -19,7 +23,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -28,7 +32,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -38,7 +42,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();

@@ -21,6 +21,10 @@
 // going (relaxed reads may be a few events stale — fine for telemetry)
 // and serializes to a small JSON subset that Snapshot::from_json()
 // parses back (gkfs-top, tests).
+// relaxed-ok: counters, gauges, histogram buckets, and tracer slots
+// are independent monotonic telemetry scalars; readers tolerate a few
+// stale events and no non-atomic data is published through them (the
+// tracer's seq field, the one real publication, uses release/acquire).
 #pragma once
 
 #include <array>
@@ -29,13 +33,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace gekko::metrics {
 
@@ -199,10 +203,15 @@ class Registry {
   static Registry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards only the name-interning maps; the metric objects behind
+  /// the unique_ptrs are lock-free and accessed without it.
+  mutable Mutex mutex_{"metrics.registry", lockdep::rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GEKKO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GEKKO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GEKKO_GUARDED_BY(mutex_);
 };
 
 /// One captured span of a traced request. `name` must point at a

@@ -1,11 +1,11 @@
 // Blocking MPMC queues used by the fabric and task pools.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace gekko {
 
@@ -20,9 +20,9 @@ class BlockingQueue {
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
   /// Returns false if the queue is closed.
-  bool push(T item) {
+  bool push(T item) GEKKO_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -31,9 +31,11 @@ class BlockingQueue {
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop() GEKKO_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    cv_.wait(lock, [&]() GEKKO_REQUIRES(mutex_) {
+      return !items_.empty() || closed_;
+    });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -41,37 +43,37 @@ class BlockingQueue {
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard lock(mutex_);
+  std::optional<T> try_pop() GEKKO_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
   }
 
-  void close() {
+  void close() GEKKO_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool closed() const GEKKO_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::size_t size() const GEKKO_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{"queue", lockdep::rank::kQueue};
+  CondVar cv_;
+  std::deque<T> items_ GEKKO_GUARDED_BY(mutex_);
+  bool closed_ GEKKO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gekko

@@ -1,0 +1,259 @@
+// Clang Thread Safety Analysis annotations + the project's lock types.
+//
+// Build with -DGEKKO_THREAD_SAFETY=ON (clang only) and every
+// `GEKKO_GUARDED_BY(mutex_)` member becomes a compile-time contract:
+// touching it without holding `mutex_` is a -Werror. On GCC (and any
+// compiler without the capability attributes) the macros expand to
+// nothing and the wrappers degrade to the plain std primitives — zero
+// overhead, zero behaviour change.
+//
+// The wrappers are also the lockdep instrumentation point (lockdep.h):
+// a `gekko::Mutex("kv.db", lockdep::rank::kKvDb)` participates in
+// runtime acquisition-order checking when GEKKO_LOCKDEP is enabled; a
+// default-constructed Mutex gets only the re-entrancy check.
+//
+// Project rule (enforced by tools/gekko-lint.py, ctest label `lint`):
+// no bare std::mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable outside this header and lockdep.cpp. Use:
+//   gekko::Mutex mu_;                 + gekko::LockGuard lock(mu_);
+//   gekko::Mutex mu_;                 + gekko::UniqueLock lock(mu_);
+//                                       gekko::CondVar cv_; cv_.wait(lock);
+//   gekko::SharedMutex mu_;          + gekko::SharedLockGuard lock(mu_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // lint-ok: bare-mutex — wrapped here, nowhere else
+#include <mutex>               // lint-ok: bare-mutex — wrapped here, nowhere else
+#include <shared_mutex>        // lint-ok: bare-mutex — wrapped here, nowhere else
+
+#include "common/lockdep.h"
+
+#if defined(__clang__)
+#define GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define GEKKO_CAPABILITY(x) GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction.
+#define GEKKO_SCOPED_CAPABILITY \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+/// Member may only be read or written while holding `x`.
+#define GEKKO_GUARDED_BY(x) GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+/// Pointee may only be accessed while holding `x`.
+#define GEKKO_PT_GUARDED_BY(x) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not
+/// release it).
+#define GEKKO_REQUIRES(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define GEKKO_REQUIRES_SHARED(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define GEKKO_ACQUIRE(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define GEKKO_ACQUIRE_SHARED(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define GEKKO_RELEASE(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define GEKKO_RELEASE_SHARED(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock
+/// guard for self-locking public APIs).
+#define GEKKO_EXCLUDES(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+/// try_lock-style: acquires only when returning `b`.
+#define GEKKO_TRY_ACQUIRE(...) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+/// Returns a reference to the given capability.
+#define GEKKO_RETURN_CAPABILITY(x) \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+/// Opt a function out of analysis (init/teardown single-threaded code
+/// whose locking is deliberately irregular).
+#define GEKKO_NO_THREAD_SAFETY_ANALYSIS \
+  GEKKO_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+namespace gekko {
+
+/// std::mutex with a capability annotation and lockdep instrumentation.
+/// Name + rank opt the instance into acquisition-order checking; the
+/// rank table is lockdep::rank (DESIGN.md §11).
+class GEKKO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GEKKO_ACQUIRE() {
+    lockdep::on_acquire(this, name_, rank_);
+    m_.lock();
+  }
+  bool try_lock() GEKKO_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    lockdep::on_try_acquire(this, name_, rank_);
+    return true;
+  }
+  void unlock() GEKKO_RELEASE() {
+    m_.unlock();
+    lockdep::on_release(this);
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+  const char* name_ = nullptr;
+  int rank_ = lockdep::kNoRank;
+};
+
+/// std::shared_mutex counterpart. Shared acquisitions participate in
+/// the same ordering checks as exclusive ones (a reader can deadlock a
+/// writer just as well).
+class GEKKO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const char* name, int rank) : name_(name), rank_(rank) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() GEKKO_ACQUIRE() {
+    lockdep::on_acquire(this, name_, rank_);
+    m_.lock();
+  }
+  void unlock() GEKKO_RELEASE() {
+    m_.unlock();
+    lockdep::on_release(this);
+  }
+  void lock_shared() GEKKO_ACQUIRE_SHARED() {
+    lockdep::on_acquire(this, name_, rank_);
+    m_.lock_shared();
+  }
+  void unlock_shared() GEKKO_RELEASE_SHARED() {
+    m_.unlock_shared();
+    lockdep::on_release(this);
+  }
+
+ private:
+  std::shared_mutex m_;
+  const char* name_ = nullptr;
+  int rank_ = lockdep::kNoRank;
+};
+
+/// RAII exclusive lock (std::lock_guard analog).
+class GEKKO_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) GEKKO_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() GEKKO_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// RAII exclusive lock over a SharedMutex (writer side).
+class GEKKO_SCOPED_CAPABILITY WriteLockGuard {
+ public:
+  explicit WriteLockGuard(SharedMutex& m) GEKKO_ACQUIRE(m) : m_(m) {
+    m_.lock();
+  }
+  ~WriteLockGuard() GEKKO_RELEASE() { m_.unlock(); }
+  WriteLockGuard(const WriteLockGuard&) = delete;
+  WriteLockGuard& operator=(const WriteLockGuard&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// RAII shared lock (reader side of a SharedMutex).
+class GEKKO_SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(SharedMutex& m) GEKKO_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~SharedLockGuard() GEKKO_RELEASE() { m_.unlock_shared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Movable-ownership lock for condition-variable waits and
+/// pass-the-lock helper APIs (std::unique_lock analog).
+class GEKKO_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) GEKKO_ACQUIRE(m) : m_(&m) {
+    m_->lock();
+    owns_ = true;
+  }
+  ~UniqueLock() GEKKO_RELEASE() {
+    if (owns_) m_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() GEKKO_ACQUIRE() {
+    m_->lock();
+    owns_ = true;
+  }
+  void unlock() GEKKO_RELEASE() {
+    m_->unlock();
+    owns_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return owns_; }
+  [[nodiscard]] Mutex* mutex() const noexcept { return m_; }
+
+ private:
+  friend class CondVar;
+  Mutex* m_;
+  bool owns_ = false;
+};
+
+/// Condition variable working with UniqueLock<gekko::Mutex>. The wait
+/// adopts the underlying std::mutex for the duration of the blocking
+/// call and releases it back, so lockdep's view (the capability stays
+/// logically held across the wait, as in clang's model) is preserved.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) {
+    std::unique_lock<std::mutex> native(lk.m_->m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    std::unique_lock<std::mutex> native(lk.m_->m_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lk,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) {
+    std::unique_lock<std::mutex> native(lk.m_->m_, std::adopt_lock);
+    const bool ok = cv_.wait_for(native, timeout, std::move(pred));
+    native.release();
+    return ok;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gekko

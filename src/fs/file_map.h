@@ -10,12 +10,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "proto/metadata.h"
 
 namespace gekko::fs {
@@ -59,33 +59,33 @@ struct OpenDir {
 class FileMap {
  public:
   int insert_file(std::shared_ptr<OpenFile> file) {
-    std::lock_guard lock(mutex_);
+    WriteLockGuard lock(mutex_);
     const int fd = next_fd_++;
     files_[fd] = std::move(file);
     return fd;
   }
 
   int insert_dir(std::shared_ptr<OpenDir> dir) {
-    std::lock_guard lock(mutex_);
+    WriteLockGuard lock(mutex_);
     const int fd = next_fd_++;
     dirs_[fd] = std::move(dir);
     return fd;
   }
 
   [[nodiscard]] std::shared_ptr<OpenFile> file(int fd) const {
-    std::lock_guard lock(mutex_);
+    SharedLockGuard lock(mutex_);
     auto it = files_.find(fd);
     return it != files_.end() ? it->second : nullptr;
   }
 
   [[nodiscard]] std::shared_ptr<OpenDir> dir(int fd) const {
-    std::lock_guard lock(mutex_);
+    SharedLockGuard lock(mutex_);
     auto it = dirs_.find(fd);
     return it != dirs_.end() ? it->second : nullptr;
   }
 
   bool erase(int fd) {
-    std::lock_guard lock(mutex_);
+    WriteLockGuard lock(mutex_);
     return files_.erase(fd) > 0 || dirs_.erase(fd) > 0;
   }
 
@@ -94,15 +94,19 @@ class FileMap {
   [[nodiscard]] static bool owns(int fd) noexcept { return fd >= kFdBase; }
 
   [[nodiscard]] std::size_t open_count() const {
-    std::lock_guard lock(mutex_);
+    SharedLockGuard lock(mutex_);
     return files_.size() + dirs_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  int next_fd_ = kFdBase;
-  std::unordered_map<int, std::shared_ptr<OpenFile>> files_;
-  std::unordered_map<int, std::shared_ptr<OpenDir>> dirs_;
+  /// Read-mostly (every shim call does a file()/dir() lookup; opens
+  /// and closes are comparatively rare), hence a SharedMutex.
+  mutable SharedMutex mutex_{"fs.file_map", lockdep::rank::kFileMap};
+  int next_fd_ GEKKO_GUARDED_BY(mutex_) = kFdBase;
+  std::unordered_map<int, std::shared_ptr<OpenFile>> files_
+      GEKKO_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::shared_ptr<OpenDir>> dirs_
+      GEKKO_GUARDED_BY(mutex_);
 };
 
 }  // namespace gekko::fs

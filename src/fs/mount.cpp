@@ -1,3 +1,5 @@
+// relaxed-ok: mount op tallies are standalone counters read only by
+// stats(); no other data is published through them.
 #include "fs/mount.h"
 
 #include "common/path.h"

@@ -10,9 +10,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace gekko::kv {
 
@@ -31,7 +32,7 @@ class BlockCache {
   std::shared_ptr<const std::string> lookup(std::uint64_t file_number,
                                             std::uint64_t offset) {
     Shard& shard = shard_for_(file_number, offset);
-    std::lock_guard lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     auto it = shard.index.find(key_(file_number, offset));
     if (it == shard.index.end()) {
       ++misses_;
@@ -50,7 +51,7 @@ class BlockCache {
     auto shared = std::make_shared<const std::string>(std::move(block));
     Shard& shard = shard_for_(file_number, offset);
     const std::uint64_t key = key_(file_number, offset);
-    std::lock_guard lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     if (auto it = shard.index.find(key); it != shard.index.end()) {
       shard.bytes -= it->second->block->size();
       shard.lru.erase(it->second);
@@ -71,7 +72,7 @@ class BlockCache {
   /// Drop all blocks of one table (after compaction deletes it).
   void erase_table(std::uint64_t file_number) {
     for (auto& shard : shards_) {
-      std::lock_guard lock(shard.mutex);
+      LockGuard lock(shard.mutex);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if ((it->key >> 24) == file_number) {
           shard.bytes -= it->block->size();
@@ -87,7 +88,7 @@ class BlockCache {
   [[nodiscard]] std::size_t bytes_used() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard lock(shard.mutex);
+      LockGuard lock(shard.mutex);
       total += shard.bytes;
     }
     return total;
@@ -101,10 +102,14 @@ class BlockCache {
     std::shared_ptr<const std::string> block;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = MRU
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    std::size_t bytes = 0;
+    /// All shards share one lockdep name/rank: they are leaves and are
+    /// only ever acquired one at a time (erase_table walks them
+    /// sequentially), possibly under the DB lock (kKvDb < kKvCacheShard).
+    mutable Mutex mutex{"kv.cache.shard", lockdep::rank::kKvCacheShard};
+    std::list<Entry> lru GEKKO_GUARDED_BY(mutex);  // front = MRU
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+        GEKKO_GUARDED_BY(mutex);
+    std::size_t bytes GEKKO_GUARDED_BY(mutex) = 0;
   };
 
   // Key packs (file_number, offset): offsets are < 16 MiB-scale for our

@@ -1,4 +1,6 @@
+// relaxed-ok: see db.h — per-op counters bumped outside the DB lock.
 #include "kv/db.h"
+#include "common/thread_annotations.h"
 
 #include <algorithm>
 #include <cinttypes>
@@ -59,14 +61,14 @@ Result<std::unique_ptr<DB>> DB::open(const std::filesystem::path& dir,
 
 DB::~DB() {
   {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     shutting_down_ = true;
   }
   work_cv_.notify_all();
   if (background_.joinable()) background_.join();
   // Final flush so close/reopen round-trips losslessly even without WAL
   // sync. Errors here are logged, not thrown.
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (imm_) {
     if (Status st = flush_imm_locked_(lock); !st.is_ok()) {
       GEKKO_ERROR("kv.db") << "final imm flush failed: " << st.to_string();
@@ -92,7 +94,7 @@ DB::~DB() {
 }
 
 Status DB::recover_() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   GEKKO_RETURN_IF_ERROR(versions_.recover());
 
   // Replay every WAL on disk in ascending file-number order. WALs whose
@@ -150,7 +152,7 @@ Status DB::put(std::string_view key, std::string_view value,
   WriteBatch batch;
   batch.put(key, value);
   Status st = write(batch, wo);
-  if (st.is_ok()) ++stats_.puts;
+  if (st.is_ok()) ops_.puts.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
@@ -158,7 +160,7 @@ Status DB::erase(std::string_view key, const WriteOptions& wo) {
   WriteBatch batch;
   batch.erase(key);
   Status st = write(batch, wo);
-  if (st.is_ok()) ++stats_.deletes;
+  if (st.is_ok()) ops_.deletes.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
@@ -170,20 +172,20 @@ Status DB::merge(std::string_view key, std::string_view operand,
   WriteBatch batch;
   batch.merge(key, operand);
   Status st = write(batch, wo);
-  if (st.is_ok()) ++stats_.merges;
+  if (st.is_ok()) ops_.merges.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
 Status DB::write(const WriteBatch& batch, const WriteOptions& wo) {
   if (batch.empty()) return Status::ok();
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   return write_locked_(batch, wo.sync || options_.wal_sync, lock);
 }
 
 Status DB::insert(std::string_view key, std::string_view value,
                   const WriteOptions& wo) {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   // Existence check under the write lock makes this linearizable; the
   // read path below never blocks on I/O beyond table reads.
@@ -208,12 +210,12 @@ Status DB::insert(std::string_view key, std::string_view value,
   WriteBatch batch;
   batch.put(key, value);
   Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
-  if (st.is_ok()) ++stats_.puts;
+  if (st.is_ok()) ops_.puts.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
 Status DB::remove_existing(std::string_view key, const WriteOptions& wo) {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   LookupResult lr;
   const std::uint64_t snap = versions_.last_sequence();
@@ -236,12 +238,12 @@ Status DB::remove_existing(std::string_view key, const WriteOptions& wo) {
   WriteBatch batch;
   batch.erase(key);
   Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
-  if (st.is_ok()) ++stats_.deletes;
+  if (st.is_ok()) ops_.deletes.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
 Status DB::write_locked_(const WriteBatch& batch, bool sync,
-                         std::unique_lock<std::mutex>& lock) {
+                         UniqueLock& lock) {
   const SequenceNumber first_seq = versions_.last_sequence() + 1;
   GEKKO_RETURN_IF_ERROR(wal_->append(
       first_seq,
@@ -260,7 +262,7 @@ Status DB::write_locked_(const WriteBatch& batch, bool sync,
   return maybe_switch_memtable_(lock);
 }
 
-Status DB::maybe_switch_memtable_(std::unique_lock<std::mutex>& lock) {
+Status DB::maybe_switch_memtable_(UniqueLock& lock) {
   if (mem_->approximate_bytes() < options_.memtable_budget) {
     return Status::ok();
   }
@@ -292,7 +294,7 @@ Status DB::maybe_switch_memtable_(std::unique_lock<std::mutex>& lock) {
   return maybe_compact_locked_(lock);
 }
 
-Status DB::flush_imm_locked_(std::unique_lock<std::mutex>& lock) {
+Status DB::flush_imm_locked_(UniqueLock& lock) {
   (void)lock;  // held for the duration (documented simplification)
   if (!imm_) return Status::ok();
 
@@ -349,7 +351,7 @@ std::uint64_t max_bytes_for_level(const Options& opts, int level) {
 }
 }  // namespace
 
-Status DB::maybe_compact_locked_(std::unique_lock<std::mutex>& lock) {
+Status DB::maybe_compact_locked_(UniqueLock& lock) {
   for (;;) {
     auto version = versions_.current();
     int target = -1;
@@ -371,7 +373,7 @@ Status DB::maybe_compact_locked_(std::unique_lock<std::mutex>& lock) {
 }
 
 Status DB::compact_level_locked_(int level,
-                                 std::unique_lock<std::mutex>& lock) {
+                                 UniqueLock& lock) {
   (void)lock;
   auto version = versions_.current();
   const int out_level = level + 1;
@@ -575,7 +577,7 @@ Status DB::compact_level_locked_(int level,
 }
 
 void DB::background_loop_() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   while (!shutting_down_) {
     if (imm_ == nullptr) {
       // Also check compaction debt before sleeping.
@@ -612,7 +614,7 @@ Status DB::get_internal_(std::string_view key, std::uint64_t snap,
   std::shared_ptr<MemTable> mem, imm;
   std::shared_ptr<const Version> version;
   {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     mem = mem_;
     imm = imm_;
     version = versions_.current();
@@ -652,10 +654,10 @@ Result<std::string> DB::fold_merges_(std::string_view key,
 }
 
 Result<std::string> DB::get(std::string_view key, const ReadOptions& ro) {
-  ++stats_.gets;
+  ops_.gets.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t snap = ro.snapshot_seq;
   if (snap == 0) {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     snap = versions_.last_sequence();
   }
   LookupResult lr;
@@ -689,7 +691,7 @@ Status DB::scan(std::string_view start, std::string_view end,
   std::shared_ptr<const Version> version;
   std::uint64_t snap = ro.snapshot_seq;
   {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     mem = mem_;
     imm = imm_;
     version = versions_.current();
@@ -786,14 +788,14 @@ Result<std::uint64_t> DB::count_range(std::string_view start,
 // ---------- management ----------
 
 std::shared_ptr<Snapshot> DB::snapshot() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   const std::uint64_t seq = versions_.last_sequence();
   active_snapshots_.insert(seq);
   return std::shared_ptr<Snapshot>(new Snapshot(this, seq));
 }
 
 void DB::release_snapshot_(std::uint64_t seq) {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   auto it = active_snapshots_.find(seq);
   if (it != active_snapshots_.end()) active_snapshots_.erase(it);
 }
@@ -804,7 +806,7 @@ std::uint64_t DB::oldest_snapshot_locked_() const {
 }
 
 Status DB::flush() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   if (mem_->empty() && imm_ == nullptr) return Status::ok();
   if (!mem_->empty()) {
@@ -831,7 +833,7 @@ Status DB::flush() {
 
 Status DB::compact_all() {
   GEKKO_RETURN_IF_ERROR(flush());
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   // Compact every populated level downward once, then settle thresholds.
   for (int level = 0; level < kNumLevels - 1; ++level) {
     if (!versions_.current()->levels[level].empty()) {
@@ -844,8 +846,12 @@ Status DB::compact_all() {
 }
 
 DbStats DB::stats() const {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   DbStats s = stats_;
+  s.puts = ops_.puts.load(std::memory_order_relaxed);
+  s.gets = ops_.gets.load(std::memory_order_relaxed);
+  s.deletes = ops_.deletes.load(std::memory_order_relaxed);
+  s.merges = ops_.merges.load(std::memory_order_relaxed);
   auto version = versions_.current();
   for (int level = 0; level < kNumLevels; ++level) {
     s.level_files[level] = version->levels[level].size();

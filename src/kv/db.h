@@ -6,15 +6,17 @@
 //  - snapshot-isolated scans,
 //  - merge operators for contention-free size updates,
 //  - leveled background compaction.
+// relaxed-ok: the per-op counters (puts/gets/deletes/merges) are
+// standalone tallies bumped outside mutex_ on purpose (the get/put hot
+// path must not re-take the DB lock just to count); stats() folds them
+// into the locked snapshot.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "kv/iterator.h"
 #include "kv/memtable.h"
 #include "kv/options.h"
@@ -125,16 +128,17 @@ class DB {
   DB(std::filesystem::path dir, Options options);
 
   Status recover_();
-  Status write_locked_(const WriteBatch& batch, bool sync,
-                       std::unique_lock<std::mutex>& lock);
-  Status maybe_switch_memtable_(std::unique_lock<std::mutex>& lock);
-  Status flush_imm_locked_(std::unique_lock<std::mutex>& lock);
-  Status maybe_compact_locked_(std::unique_lock<std::mutex>& lock);
-  Status compact_level_locked_(int level,
-                               std::unique_lock<std::mutex>& lock);
+  Status write_locked_(const WriteBatch& batch, bool sync, UniqueLock& lock)
+      GEKKO_REQUIRES(mutex_);
+  Status maybe_switch_memtable_(UniqueLock& lock) GEKKO_REQUIRES(mutex_);
+  Status flush_imm_locked_(UniqueLock& lock) GEKKO_REQUIRES(mutex_);
+  Status maybe_compact_locked_(UniqueLock& lock) GEKKO_REQUIRES(mutex_);
+  Status compact_level_locked_(int level, UniqueLock& lock)
+      GEKKO_REQUIRES(mutex_);
   void background_loop_();
   void release_snapshot_(std::uint64_t seq);
-  [[nodiscard]] std::uint64_t oldest_snapshot_locked_() const;
+  [[nodiscard]] std::uint64_t oldest_snapshot_locked_() const
+      GEKKO_REQUIRES(mutex_);
   Result<std::string> fold_merges_(std::string_view key,
                                    const LookupResult& lr) const;
   Status get_internal_(std::string_view key, std::uint64_t snap,
@@ -143,21 +147,36 @@ class DB {
   std::filesystem::path dir_;
   Options options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;     // wakes the background thread
-  std::condition_variable done_cv_;     // signals flush/compaction done
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<MemTable> imm_;       // being flushed (may be null)
-  std::optional<WalWriter> wal_;
-  VersionSet versions_;
-  std::multiset<std::uint64_t> active_snapshots_;
+  mutable Mutex mutex_{"kv.db", lockdep::rank::kKvDb};
+  CondVar work_cv_;  // wakes the background thread
+  CondVar done_cv_;  // signals flush/compaction done
+  std::shared_ptr<MemTable> mem_ GEKKO_GUARDED_BY(mutex_);
+  std::shared_ptr<MemTable> imm_
+      GEKKO_GUARDED_BY(mutex_);  // being flushed (may be null)
+  std::optional<WalWriter> wal_ GEKKO_GUARDED_BY(mutex_);
+  VersionSet versions_ GEKKO_GUARDED_BY(mutex_);
+  std::multiset<std::uint64_t> active_snapshots_ GEKKO_GUARDED_BY(mutex_);
 
   std::thread background_;
-  bool shutting_down_ = false;
-  bool background_error_set_ = false;
-  Status background_error_ = Status::ok();
+  bool shutting_down_ GEKKO_GUARDED_BY(mutex_) = false;
+  bool background_error_set_ GEKKO_GUARDED_BY(mutex_) = false;
+  Status background_error_ GEKKO_GUARDED_BY(mutex_) = Status::ok();
 
-  mutable DbStats stats_;
+  /// Flush/compaction/WAL tallies, mutated only under mutex_ (the
+  /// level_* and memtable fields are recomputed by stats()).
+  mutable DbStats stats_ GEKKO_GUARDED_BY(mutex_);
+  /// Per-op counters bumped OUTSIDE mutex_ — put()/get() return after
+  /// dropping the DB lock and must not re-take it to count. These were
+  /// plain DbStats fields once: incrementing them unlocked while
+  /// stats() read them under the lock was a data race (found by this
+  /// PR's annotation pass; regression-tested in kv_test).
+  struct OpCounters {
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> merges{0};
+  };
+  mutable OpCounters ops_;
 };
 
 }  // namespace gekko::kv

@@ -1,3 +1,6 @@
+// relaxed-ok: approximate_bytes is a monotone size estimate used for
+// flush heuristics; writers publish entries via the skiplist, not this
+// counter.
 // Memtable: skiplist of internal keys with visibility-aware point reads.
 #pragma once
 

@@ -1,3 +1,6 @@
+// relaxed-ok: node next-pointers use release/acquire where publication
+// matters; relaxed loads are confined to traversal hints and the
+// height counter per the LevelDB skiplist memory-model argument.
 // Lock-free-read skiplist, after LevelDB's memtable structure.
 //
 // Concurrency contract: one writer at a time (the DB write path is

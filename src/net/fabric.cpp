@@ -1,9 +1,12 @@
+// relaxed-ok: bulk_pulled_/bulk_pushed_ are standalone byte counters
+// mirrored into TrafficStats; no other data is published through them.
 #include "net/fabric.h"
 
 #include <cstring>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace gekko::net {
 
@@ -12,14 +15,14 @@ Fabric::Fabric()
           &metrics::Registry::global().counter("net.fault_injector.fires")) {}
 
 void Fabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard lock(injector_mutex_);
+  LockGuard lock(injector_mutex_);
   injector_ = std::move(injector);
 }
 
 FaultAction Fabric::consult_injector_(EndpointId dest, const Message& msg) {
   std::shared_ptr<FaultInjector> injector;
   {
-    std::lock_guard lock(injector_mutex_);
+    LockGuard lock(injector_mutex_);
     injector = injector_;
   }
   if (!injector) return {};
@@ -42,7 +45,7 @@ LoopbackFabric::LoopbackFabric() {
 
 std::pair<EndpointId, std::shared_ptr<Inbox>>
 LoopbackFabric::register_endpoint() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto inbox = std::make_shared<Inbox>();
   inboxes_.push_back(inbox);
   return {static_cast<EndpointId>(inboxes_.size() - 1), inbox};
@@ -50,10 +53,12 @@ LoopbackFabric::register_endpoint() {
 
 Status LoopbackFabric::send(EndpointId dest, Message msg) {
   const FaultAction fault = consult_injector_(dest, msg);
-  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+  if (fault.delay.count() > 0) {
+    std::this_thread::sleep_for(fault.delay);  // blocking-ok: scripted fault delay runs on the injecting sender's thread by design
+  }
   std::shared_ptr<Inbox> inbox;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     ++send_counter_;
     if (dest >= inboxes_.size() || !inboxes_[dest]) {
       return Status{Errc::disconnected, "unknown endpoint"};
@@ -85,7 +90,7 @@ Status LoopbackFabric::send(EndpointId dest, Message msg) {
 void LoopbackFabric::deregister(EndpointId id) {
   std::shared_ptr<Inbox> inbox;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (id >= inboxes_.size()) return;
     inbox = std::move(inboxes_[id]);
     inboxes_[id] = nullptr;
@@ -94,12 +99,12 @@ void LoopbackFabric::deregister(EndpointId id) {
 }
 
 void LoopbackFabric::set_fault_plan(FaultPlan plan) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   fault_plan_ = plan;
 }
 
 FaultPlan LoopbackFabric::fault_plan() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return fault_plan_;
 }
 
@@ -130,7 +135,7 @@ Status LoopbackFabric::bulk_push(const BulkRegion& region, std::size_t offset,
 }
 
 TrafficStats LoopbackFabric::stats() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   TrafficStats s = stats_;
   s.bulk_bytes_pulled = bulk_pulled_.load(std::memory_order_relaxed);
   s.bulk_bytes_pushed = bulk_pushed_.load(std::memory_order_relaxed);
@@ -138,7 +143,7 @@ TrafficStats LoopbackFabric::stats() const {
 }
 
 std::size_t LoopbackFabric::endpoint_count() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& p : inboxes_) {
     if (p) ++n;

@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 
 namespace gekko::net {
@@ -132,8 +132,9 @@ class Fabric {
   FaultAction consult_injector_(EndpointId dest, const Message& msg);
 
  private:
-  mutable std::mutex injector_mutex_;
-  std::shared_ptr<FaultInjector> injector_;
+  mutable Mutex injector_mutex_{"net.fault_injector",
+                                lockdep::rank::kFabricInjector};
+  std::shared_ptr<FaultInjector> injector_ GEKKO_GUARDED_BY(injector_mutex_);
   metrics::Counter* fault_fires_;  // global registry, cached
 };
 
@@ -176,11 +177,12 @@ class LoopbackFabric final : public Fabric {
   [[nodiscard]] std::size_t endpoint_count() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<Inbox>> inboxes_;  // index == EndpointId
-  FaultPlan fault_plan_{};
-  std::uint64_t send_counter_ = 0;
-  TrafficStats stats_{};
+  mutable Mutex mutex_{"net.loopback", lockdep::rank::kLoopback};
+  std::vector<std::shared_ptr<Inbox>> inboxes_
+      GEKKO_GUARDED_BY(mutex_);  // index == EndpointId
+  FaultPlan fault_plan_ GEKKO_GUARDED_BY(mutex_){};
+  std::uint64_t send_counter_ GEKKO_GUARDED_BY(mutex_) = 0;
+  TrafficStats stats_ GEKKO_GUARDED_BY(mutex_){};
   std::atomic<std::uint64_t> bulk_pulled_{0};
   std::atomic<std::uint64_t> bulk_pushed_{0};
   // Registry mirrors of TrafficStats (global registry, cached).

@@ -1,4 +1,5 @@
 #include "net/socket_fabric.h"
+#include "common/thread_annotations.h"
 
 #include <limits.h>
 #include <sys/socket.h>
@@ -225,7 +226,7 @@ void SocketFabric::accept_loop_(int listen_fd) {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
-      std::lock_guard lock(conn_mutex_);
+      LockGuard lock(conn_mutex_);
       incoming_.push_back(conn);
     }
     conn->reader = std::thread([this, conn] { reader_loop_(conn); });
@@ -299,7 +300,7 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
         // bulk_mutex_ held across the whole application: cancel(seq)
         // also takes it, so once a cancel returns no byte of this
         // response can land in the caller's buffer.
-        std::lock_guard lock(bulk_mutex_);
+        LockGuard lock(bulk_mutex_);
         auto it = pending_writable_.find(msg.seq);
         for (std::uint64_t r = 0; r < *count; ++r) {
           auto off = dec.u64();
@@ -324,11 +325,11 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
       PendingReply reply;
       reply.conn = conn;
       reply.writable_bulk = std::move(writable_bulk);
-      std::lock_guard lock(reply_mutex_);
+      LockGuard lock(reply_mutex_);
       pending_replies_[ReplyKey{msg.source, msg.seq}] = std::move(reply);
     } else {
       // Clean any stale pending-writable entry (response w/o bulk).
-      std::lock_guard lock(bulk_mutex_);
+      LockGuard lock(bulk_mutex_);
       pending_writable_.erase(msg.seq);
     }
 
@@ -352,7 +353,7 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
   if (stopping_.load(std::memory_order_acquire)) return;
   m_.evictions->inc();
   {
-    std::lock_guard lock(conn_mutex_);
+    LockGuard lock(conn_mutex_);
     if (conn->peer != kInvalidEndpoint) {
       auto it = outgoing_.find(conn->peer);
       if (it != outgoing_.end() && it->second == conn) outgoing_.erase(it);
@@ -362,7 +363,7 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
   }
   // Serving side: reply routes over this link can never be used.
   {
-    std::lock_guard lock(reply_mutex_);
+    LockGuard lock(reply_mutex_);
     std::erase_if(pending_replies_, [&](const auto& kv) {
       return kv.second.conn == conn;
     });
@@ -371,7 +372,7 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
   // drop them instead of leaking them (the caller's forward() will
   // time out or already has).
   {
-    std::lock_guard lock(bulk_mutex_);
+    LockGuard lock(bulk_mutex_);
     std::erase_if(pending_writable_, [&](const auto& kv) {
       return kv.second.conn == conn;
     });
@@ -381,11 +382,11 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
 void SocketFabric::kill_connection_(EndpointId dest, const Message& msg) {
   std::shared_ptr<Connection> victim;
   if (msg.kind == MessageKind::response) {
-    std::lock_guard lock(reply_mutex_);
+    LockGuard lock(reply_mutex_);
     auto it = pending_replies_.find(ReplyKey{dest, msg.seq});
     if (it != pending_replies_.end()) victim = it->second.conn;
   } else {
-    std::lock_guard lock(conn_mutex_);
+    LockGuard lock(conn_mutex_);
     auto it = outgoing_.find(dest);
     if (it != outgoing_.end()) victim = it->second;
   }
@@ -396,7 +397,7 @@ void SocketFabric::kill_connection_(EndpointId dest, const Message& msg) {
 }
 
 void SocketFabric::cancel(std::uint64_t seq) {
-  std::lock_guard lock(bulk_mutex_);
+  LockGuard lock(bulk_mutex_);
   pending_writable_.erase(seq);
 }
 
@@ -490,7 +491,7 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
     iov.push_back({scratch.data() + pos, scratch.size() - pos});
   }
 
-  std::lock_guard lock(conn.write_mutex);
+  LockGuard lock(conn.write_mutex);
   Status st = writev_all(conn.fd, iov);
   if (st.is_ok()) {
     m_.frames_out->inc();
@@ -503,7 +504,7 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
 Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     EndpointId dest) {
   {
-    std::lock_guard lock(conn_mutex_);
+    LockGuard lock(conn_mutex_);
     auto it = outgoing_.find(dest);
     if (it != outgoing_.end() &&
         !it->second->dead.load(std::memory_order_acquire)) {
@@ -528,7 +529,7 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
   }
   m_.dials->inc();
 
-  std::lock_guard lock(conn_mutex_);
+  LockGuard lock(conn_mutex_);
   auto it = outgoing_.find(dest);
   if (it != outgoing_.end()) {
     if (!it->second->dead.load(std::memory_order_acquire)) {
@@ -552,15 +553,17 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
 
 Status SocketFabric::send(EndpointId dest, Message msg) {
   {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.messages_sent;
     stats_.payload_bytes += msg.payload.size();
   }
   const FaultAction fault = consult_injector_(dest, msg);
   if (fault.kill_connection) kill_connection_(dest, msg);
-  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+  if (fault.delay.count() > 0) {
+    std::this_thread::sleep_for(fault.delay);  // blocking-ok: scripted fault delay runs on the injecting sender's thread by design
+  }
   if (fault.drop) {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     ++stats_.messages_dropped;
     return Status::ok();  // silent loss, sender can't observe it
   }
@@ -569,7 +572,7 @@ Status SocketFabric::send(EndpointId dest, Message msg) {
     // Route back over the originating connection with any written bulk.
     PendingReply reply;
     {
-      std::lock_guard lock(reply_mutex_);
+      LockGuard lock(reply_mutex_);
       auto it = pending_replies_.find(ReplyKey{dest, msg.seq});
       if (it == pending_replies_.end()) {
         return Status{Errc::disconnected, "no reply route for seq"};
@@ -596,7 +599,7 @@ Status SocketFabric::send(EndpointId dest, Message msg) {
     // Register writable regions so the response can fill them, tied to
     // this connection so its death fails them.
     if (msg.bulk.valid() && msg.bulk.writable() && !msg.bulk.owned()) {
-      std::lock_guard lock(bulk_mutex_);
+      LockGuard lock(bulk_mutex_);
       pending_writable_[msg.seq] = PendingWritable{msg.bulk, *conn};
     }
     last = write_frame_(**conn, msg, nullptr);
@@ -605,7 +608,7 @@ Status SocketFabric::send(EndpointId dest, Message msg) {
       return last;
     }
     {
-      std::lock_guard lock(bulk_mutex_);
+      LockGuard lock(bulk_mutex_);
       pending_writable_.erase(msg.seq);
     }
     if (last.code() != Errc::disconnected) return last;  // e.g. overflow
@@ -635,7 +638,7 @@ void SocketFabric::shutdown_() {
 
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard lock(conn_mutex_);
+    LockGuard lock(conn_mutex_);
     for (auto& [id, c] : outgoing_) conns.push_back(c);
     conns.insert(conns.end(), incoming_.begin(), incoming_.end());
     conns.insert(conns.end(), zombies_.begin(), zombies_.end());
@@ -655,11 +658,11 @@ void SocketFabric::shutdown_() {
     ::close(c->fd);
   }
   {
-    std::lock_guard lock(reply_mutex_);
+    LockGuard lock(reply_mutex_);
     pending_replies_.clear();
   }
   {
-    std::lock_guard lock(bulk_mutex_);
+    LockGuard lock(bulk_mutex_);
     pending_writable_.clear();
   }
   if (inbox_) inbox_->close();
@@ -675,7 +678,7 @@ Status SocketFabric::bulk_pull(const BulkRegion& region, std::size_t offset,
     return Status{Errc::overflow, "bulk pull out of range"};
   }
   std::memcpy(out.data(), region.read_ptr() + offset, out.size());
-  std::lock_guard lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   stats_.bulk_bytes_pulled += out.size();
   return Status::ok();
 }
@@ -690,13 +693,13 @@ Status SocketFabric::bulk_push(const BulkRegion& region, std::size_t offset,
   }
   std::memcpy(region.write_ptr() + offset, data.data(), data.size());
   region.record_push(offset, data.size());
-  std::lock_guard lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   stats_.bulk_bytes_pushed += data.size();
   return Status::ok();
 }
 
 TrafficStats SocketFabric::stats() const {
-  std::lock_guard lock(stats_mutex_);
+  LockGuard lock(stats_mutex_);
   return stats_;
 }
 

@@ -18,12 +18,12 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/fabric.h"
 
 namespace gekko::net {
@@ -91,7 +91,9 @@ class SocketFabric final : public Fabric {
     /// Set when the reader loop exits or a write fails: the link is
     /// unusable and the next send() to `peer` must redial.
     std::atomic<bool> dead{false};
-    std::mutex write_mutex;
+    /// Serializes whole frames onto the socket (one writer at a time);
+    /// the fd itself is only written under it.
+    Mutex write_mutex{"net.socket.write", lockdep::rank::kSocketWrite};
     std::thread reader;
   };
 
@@ -118,12 +120,15 @@ class SocketFabric final : public Fabric {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex conn_mutex_;
-  std::map<EndpointId, std::shared_ptr<Connection>> outgoing_;
-  std::vector<std::shared_ptr<Connection>> incoming_;
+  Mutex conn_mutex_{"net.socket.conn", lockdep::rank::kSocketConn};
+  std::map<EndpointId, std::shared_ptr<Connection>> outgoing_
+      GEKKO_GUARDED_BY(conn_mutex_);
+  std::vector<std::shared_ptr<Connection>> incoming_
+      GEKKO_GUARDED_BY(conn_mutex_);
   /// Evicted connections whose reader threads still need joining
   /// (a thread cannot join itself); reaped in shutdown_().
-  std::vector<std::shared_ptr<Connection>> zombies_;
+  std::vector<std::shared_ptr<Connection>> zombies_
+      GEKKO_GUARDED_BY(conn_mutex_);
 
   // Request context on the serving side: the response for a request
   // goes back over the connection it arrived on, carrying the
@@ -135,8 +140,9 @@ class SocketFabric final : public Fabric {
     BulkRegion writable_bulk;  // owned region, if the request had one
   };
   using ReplyKey = std::pair<EndpointId, std::uint64_t>;
-  std::mutex reply_mutex_;
-  std::map<ReplyKey, PendingReply> pending_replies_;
+  Mutex reply_mutex_{"net.socket.reply", lockdep::rank::kSocketReply};
+  std::map<ReplyKey, PendingReply> pending_replies_
+      GEKKO_GUARDED_BY(reply_mutex_);
 
   // Requesting side: writable regions waiting for response bulk,
   // tied to the connection the request left on so a dead link fails
@@ -145,11 +151,12 @@ class SocketFabric final : public Fabric {
     BulkRegion region;
     std::shared_ptr<Connection> conn;
   };
-  std::mutex bulk_mutex_;
-  std::map<std::uint64_t, PendingWritable> pending_writable_;
+  Mutex bulk_mutex_{"net.socket.bulk", lockdep::rank::kSocketBulk};
+  std::map<std::uint64_t, PendingWritable> pending_writable_
+      GEKKO_GUARDED_BY(bulk_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  TrafficStats stats_{};
+  mutable Mutex stats_mutex_{"net.socket.stats", lockdep::rank::kSocketStats};
+  TrafficStats stats_ GEKKO_GUARDED_BY(stats_mutex_){};
 
   // Transport-level telemetry (global registry, cached at construction;
   // incremented lock-free on the data path).

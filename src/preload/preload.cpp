@@ -50,6 +50,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
+#include "common/thread_annotations.h"
 #include "fs/mount.h"
 #include "net/socket_fabric.h"
 
@@ -98,8 +99,9 @@ struct ShimState {
   bool enabled = false;
   // dup2(gkfs_fd, n) aliases a LOW (kernel-range) fd to a GekkoFS fd —
   // shell redirection does exactly this with fds 0/1/2.
-  std::mutex alias_mutex;
-  std::unordered_map<int, int> fd_aliases;  // low fd -> gekko fd
+  gekko::Mutex alias_mutex{"preload.alias", gekko::lockdep::rank::kPreloadAlias};
+  std::unordered_map<int, int> fd_aliases
+      GEKKO_GUARDED_BY(alias_mutex);  // low fd -> gekko fd
 };
 
 std::once_flag g_init_once;
@@ -197,14 +199,14 @@ std::optional<std::string> intercept_path(const char* path) {
 int resolve_fd(int fd) {
   if (g_state == nullptr) return -1;
   if (gekko::fs::FileMap::owns(fd)) return fd;
-  std::lock_guard lock(g_state->alias_mutex);
+  gekko::LockGuard lock(g_state->alias_mutex);
   auto it = g_state->fd_aliases.find(fd);
   return it != g_state->fd_aliases.end() ? it->second : -1;
 }
 
 void drop_alias(int fd) {
   if (g_state == nullptr) return;
-  std::lock_guard lock(g_state->alias_mutex);
+  gekko::LockGuard lock(g_state->alias_mutex);
   g_state->fd_aliases.erase(fd);
 }
 
@@ -607,7 +609,7 @@ int dup2(int oldfd, int newfd) {
     const int gdup =
         const_cast<gekko::fs::FileMap&>(g_state->mount->file_map())
             .insert_file(std::move(file));
-    std::lock_guard lock(g_state->alias_mutex);
+    gekko::LockGuard lock(g_state->alias_mutex);
     g_state->fd_aliases[newfd] = gdup;
     return newfd;
   }

@@ -1,3 +1,4 @@
+// relaxed-ok: see engine.h — counters and metrics slot pointers only.
 #include "rpc/engine.h"
 
 #include <algorithm>
@@ -6,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace gekko::rpc {
 namespace {
@@ -49,7 +51,7 @@ void Engine::shutdown() {
   if (progress_.joinable()) progress_.join();
   handler_pool_.shutdown();
   // Fail any still-pending forwards.
-  std::lock_guard lock(pending_mutex_);
+  LockGuard lock(pending_mutex_);
   for (auto& [seq, eventual] : pending_) {
     eventual.set(Status{Errc::disconnected, "engine shutdown"});
   }
@@ -65,7 +67,7 @@ void Engine::register_rpc(std::uint16_t rpc_id, std::string name,
   hm->latency = &registry_->histogram(base + "latency");
   hm->queue = &registry_->histogram(base + "queue");
   hm->inflight = &registry_->gauge(base + "inflight");
-  std::lock_guard lock(rpc_mutex_);
+  LockGuard lock(rpc_mutex_);
   rpcs_[rpc_id] = RpcEntry{std::move(name), std::move(handler), std::move(hm)};
 }
 
@@ -82,7 +84,7 @@ Engine::CallerMetrics* Engine::caller_metrics_for_(std::uint16_t rpc_id) {
       std::min<std::size_t>(rpc_id, kCallerSlots - 1);
   CallerMetrics* m = caller_slots_[slot].load(std::memory_order_acquire);
   if (m != nullptr) return m;
-  std::lock_guard lock(metrics_mutex_);
+  LockGuard lock(metrics_mutex_);
   m = caller_slots_[slot].load(std::memory_order_relaxed);
   if (m != nullptr) return m;
   const std::string base = "rpc.caller." + rpc_name_(rpc_id) + ".";
@@ -130,7 +132,7 @@ Result<std::vector<std::uint8_t>> Engine::forward(
                       << dest << " " << errc_name(result.code())
                       << ", retry " << (attempt + 1) << "/" << (attempts - 1)
                       << " after backoff";
-    std::this_thread::sleep_for(jittered_(backoff, call.seq));
+    std::this_thread::sleep_for(jittered_(backoff, call.seq));  // blocking-ok: retry backoff runs on the blocked caller's thread, never on progress/handler threads
     backoff = std::min(backoff * 2, options_.retry_backoff_max);
   }
 }
@@ -166,7 +168,7 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
   call.metrics->inflight->add(1);
   agg_sent_->inc();
   {
-    std::lock_guard lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     pending_.emplace(call.seq, call.eventual);
   }
 
@@ -180,7 +182,7 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
   msg.bulk = bulk;
 
   if (Status st = fabric_.send(dest, std::move(msg)); !st.is_ok()) {
-    std::lock_guard lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     pending_.erase(call.seq);
     call.send_status = st;
     call.metrics->inflight->sub(1);
@@ -199,7 +201,7 @@ Result<std::vector<std::uint8_t>> Engine::finish(
   if (!call.send_status.is_ok()) return call.send_status;
   auto result = call.eventual.wait_for(timeout);
   {
-    std::lock_guard lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     pending_.erase(call.seq);
   }
   // Settle caller-side accounting exactly once (metrics is nulled
@@ -247,7 +249,7 @@ void Engine::dispatch_request_(net::Message msg) {
   Handler handler;
   std::shared_ptr<HandlerMetrics> hm;
   {
-    std::lock_guard lock(rpc_mutex_);
+    LockGuard lock(rpc_mutex_);
     auto it = rpcs_.find(msg.rpc_id);
     if (it != rpcs_.end()) {
       handler = it->second.handler;
@@ -312,7 +314,7 @@ void Engine::dispatch_request_(net::Message msg) {
 void Engine::complete_response_(net::Message msg) {
   task::Eventual<Result<std::vector<std::uint8_t>>> eventual;
   {
-    std::lock_guard lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     auto it = pending_.find(msg.seq);
     if (it == pending_.end()) return;  // late response after timeout
     eventual = it->second;

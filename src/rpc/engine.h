@@ -13,13 +13,15 @@
 // delivered to the caller as the first byte of the response.
 #pragma once
 
+// relaxed-ok: sequence/handled/retry counters and the caller-metrics
+// slot pointers are independent scalars; slot fill is protected by
+// metrics_mutex_ and the pointed-to metrics are themselves atomic.
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -27,6 +29,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/fabric.h"
 #include "task/future.h"
 #include "task/pool.h"
@@ -189,22 +192,26 @@ class Engine {
   task::Pool handler_pool_;
   std::thread progress_;
 
-  std::mutex rpc_mutex_;
+  Mutex rpc_mutex_{"rpc.engine.table", lockdep::rank::kEngineRpcTable};
   struct RpcEntry {
     std::string name;
     Handler handler;
     std::shared_ptr<HandlerMetrics> metrics;
   };
-  std::unordered_map<std::uint16_t, RpcEntry> rpcs_;
+  std::unordered_map<std::uint16_t, RpcEntry> rpcs_
+      GEKKO_GUARDED_BY(rpc_mutex_);
 
   /// Caller metrics per rpc id: lock-free lookup via an atomic slot
   /// array (ids beyond the table share the last slot, labelled by the
   /// first id that lands there). Slots are created lazily under
   /// metrics_mutex_ — once, per id, per engine.
   static constexpr std::size_t kCallerSlots = 64;
-  std::mutex metrics_mutex_;
+  Mutex metrics_mutex_{"rpc.engine.metrics", lockdep::rank::kEngineMetrics};
+  /// Slots are read lock-free; filled (once per id) under
+  /// metrics_mutex_, which also guards the ownership vector.
   std::array<std::atomic<CallerMetrics*>, kCallerSlots> caller_slots_{};
-  std::vector<std::unique_ptr<CallerMetrics>> caller_owned_;
+  std::vector<std::unique_ptr<CallerMetrics>> caller_owned_
+      GEKKO_GUARDED_BY(metrics_mutex_);
 
   // Aggregates across all rpc ids (what gkfs-top reads).
   metrics::Counter* agg_sent_;
@@ -212,10 +219,10 @@ class Engine {
   metrics::Counter* agg_retries_;
   metrics::Counter* agg_timeouts_;
 
-  std::mutex pending_mutex_;
+  Mutex pending_mutex_{"rpc.engine.pending", lockdep::rank::kEnginePending};
   std::unordered_map<std::uint64_t,
                      task::Eventual<Result<std::vector<std::uint8_t>>>>
-      pending_;
+      pending_ GEKKO_GUARDED_BY(pending_mutex_);
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> handled_{0};
   std::atomic<std::uint64_t> retries_{0};

@@ -1,4 +1,8 @@
+// relaxed-ok: ChunkStorage stats are standalone byte/op tallies (the PR 3
+// ChunkStorageStats race fix made them atomic); no data is published
+// through them.
 #include "storage/chunk_storage.h"
+#include "common/thread_annotations.h"
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -57,7 +61,7 @@ Result<ChunkStorage::FdRef> ChunkStorage::acquire_fd_(
   Shard* shard = nullptr;
   if (options_.fd_cache_capacity > 0) {
     shard = &state_->shards[mix64(digest ^ chunk_id) % kShards];
-    std::lock_guard lock(shard->mutex);
+    LockGuard lock(shard->mutex);
     auto it = shard->slots.find(key);
     if (it != shard->slots.end()) {
       it->second.tick = ++shard->tick;
@@ -84,7 +88,7 @@ Result<ChunkStorage::FdRef> ChunkStorage::acquire_fd_(
   handle->fd = fd;
   if (shard == nullptr) return handle;  // cache disabled
 
-  std::lock_guard lock(shard->mutex);
+  LockGuard lock(shard->mutex);
   auto [it, inserted] = shard->slots.try_emplace(key);
   if (!inserted) {
     // Lost an open race; keep the established descriptor (ours closes
@@ -113,7 +117,7 @@ void ChunkStorage::invalidate_path_(std::string_view path) const {
   const std::uint64_t digest = xxhash64(path);
   // Chunk ids of one file spread across shards; sweep them all.
   for (auto& shard : state_->shards) {
-    std::lock_guard lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     std::erase_if(shard.slots, [digest](const auto& kv) {
       return kv.first.first == digest;
     });
@@ -125,14 +129,14 @@ void ChunkStorage::invalidate_chunk_(std::string_view path,
   if (options_.fd_cache_capacity == 0) return;
   const std::uint64_t digest = xxhash64(path);
   auto& shard = state_->shards[mix64(digest ^ chunk_id) % kShards];
-  std::lock_guard lock(shard.mutex);
+  LockGuard lock(shard.mutex);
   shard.slots.erase(std::make_pair(digest, chunk_id));
 }
 
 std::size_t ChunkStorage::fd_cache_open() const {
   std::size_t n = 0;
   for (auto& shard : state_->shards) {
-    std::lock_guard lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     n += shard.slots.size();
   }
   return n;

@@ -30,7 +30,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace gekko::storage {
 
@@ -114,15 +114,18 @@ class ChunkStorage {
   using FdRef = std::shared_ptr<FdHandle>;
 
   struct Shard {
-    std::mutex mutex;
+    /// Shards are leaves acquired one at a time; they share a lockdep
+    /// name/rank (chunk file I/O happens OUTSIDE the shard lock).
+    Mutex mutex{"storage.fd_cache.shard", lockdep::rank::kFdCacheShard};
     struct Slot {
       FdRef fd;
       std::uint64_t tick = 0;  // last-use stamp for LRU eviction
     };
     // (path digest, chunk id) -> slot. Bounded small (capacity/shards),
     // so LRU eviction scans instead of maintaining an intrusive list.
-    std::map<std::pair<std::uint64_t, std::uint64_t>, Slot> slots;
-    std::uint64_t tick = 0;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Slot> slots
+        GEKKO_GUARDED_BY(mutex);
+    std::uint64_t tick GEKKO_GUARDED_BY(mutex) = 0;
   };
   static constexpr std::size_t kShards = 16;
 

@@ -5,20 +5,20 @@
 
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace gekko::task {
 
 template <typename T>
 class EventualState {
  public:
-  void set(T value) {
+  void set(T value) GEKKO_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       assert(!value_.has_value() && "eventual set twice");
       value_.emplace(std::move(value));
     }
@@ -26,32 +26,36 @@ class EventualState {
   }
 
   /// Blocks until set.
-  T wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return value_.has_value(); });
+  T wait() GEKKO_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    cv_.wait(lock,
+             [&]() GEKKO_REQUIRES(mutex_) { return value_.has_value(); });
     return std::move(*value_);
   }
 
   /// Blocks until set or timeout. nullopt on timeout (value stays unset
   /// and may still arrive later; the state is shared_ptr-owned so a late
   /// set() is safe).
-  std::optional<T> wait_for(std::chrono::nanoseconds timeout) {
-    std::unique_lock lock(mutex_);
-    if (!cv_.wait_for(lock, timeout, [&] { return value_.has_value(); })) {
+  std::optional<T> wait_for(std::chrono::nanoseconds timeout)
+      GEKKO_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&]() GEKKO_REQUIRES(mutex_) {
+          return value_.has_value();
+        })) {
       return std::nullopt;
     }
     return std::move(*value_);
   }
 
-  [[nodiscard]] bool ready() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool ready() const GEKKO_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     return value_.has_value();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::optional<T> value_;
+  mutable Mutex mutex_{"task.eventual", lockdep::rank::kEventual};
+  CondVar cv_;
+  std::optional<T> value_ GEKKO_GUARDED_BY(mutex_);
 };
 
 /// Shared handle; copyable between setter and waiter.
@@ -76,26 +80,27 @@ class Latch {
  public:
   explicit Latch(std::size_t count) : remaining_(count) {}
 
-  void count_down() {
-    std::lock_guard lock(mutex_);
+  void count_down() GEKKO_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
     if (remaining_ > 0) --remaining_;
     if (remaining_ == 0) cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return remaining_ == 0; });
+  void wait() GEKKO_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    cv_.wait(lock, [&]() GEKKO_REQUIRES(mutex_) { return remaining_ == 0; });
   }
 
-  bool wait_for(std::chrono::nanoseconds timeout) {
-    std::unique_lock lock(mutex_);
-    return cv_.wait_for(lock, timeout, [&] { return remaining_ == 0; });
+  bool wait_for(std::chrono::nanoseconds timeout) GEKKO_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    return cv_.wait_for(
+        lock, timeout, [&]() GEKKO_REQUIRES(mutex_) { return remaining_ == 0; });
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t remaining_;
+  Mutex mutex_{"task.latch", lockdep::rank::kLatch};
+  CondVar cv_;
+  std::size_t remaining_ GEKKO_GUARDED_BY(mutex_);
 };
 
 }  // namespace gekko::task

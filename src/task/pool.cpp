@@ -1,3 +1,4 @@
+// relaxed-ok: see pool.h — counters only; the queue synchronizes.
 #include "task/pool.h"
 
 #include "common/logging.h"

@@ -1,3 +1,5 @@
+// relaxed-ok: executed/queued tallies are standalone counters; task
+// hand-off synchronizes through the BlockingQueue mutex.
 // Worker pools modeled after Argobots execution streams (xstreams).
 //
 // Margo runs Mercury progress on dedicated xstreams and dispatches RPC

@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 
 #include "baseline/pfs.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "fs/mount.h"
 
 namespace gekko::workload {
@@ -133,7 +133,7 @@ class BaselineAdapter final : public FsAdapter {
     } else if (Status st = pfs_.stat(path).status(); !st.is_ok()) {
       return st;
     }
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     const int fd = next_fd_++;
     handles_[fd] = std::string(path);
     return fd;
@@ -151,7 +151,7 @@ class BaselineAdapter final : public FsAdapter {
     return pfs_.read(*path, offset, out);
   }
   Status close_stream(int fd) override {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return handles_.erase(fd) > 0 ? Status::ok() : Status{Errc::bad_fd};
   }
 
@@ -159,16 +159,16 @@ class BaselineAdapter final : public FsAdapter {
 
  private:
   Result<std::string> handle_path_(int fd) const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = handles_.find(fd);
     if (it == handles_.end()) return Errc::bad_fd;
     return it->second;
   }
 
   baseline::ParallelFileSystem& pfs_;
-  mutable std::mutex mutex_;
-  int next_fd_ = 1;
-  std::map<int, std::string> handles_;
+  mutable Mutex mutex_{"workload.fs_adapter", lockdep::rank::kFsAdapter};
+  int next_fd_ GEKKO_GUARDED_BY(mutex_) = 1;
+  std::map<int, std::string> handles_ GEKKO_GUARDED_BY(mutex_);
 };
 
 }  // namespace gekko::workload

@@ -1,3 +1,5 @@
+// relaxed-ok: per-rank byte/op tallies aggregated after join(); the
+// join is the synchronization point.
 #include "workload/ior.h"
 
 #include <atomic>

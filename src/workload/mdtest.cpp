@@ -1,3 +1,5 @@
+// relaxed-ok: per-rank op tallies aggregated after join(); the join is
+// the synchronization point.
 #include "workload/mdtest.h"
 
 #include <atomic>

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "client/stat_cache.h"
 #include "cluster/cluster.h"
 #include "kv/cache.h"
@@ -13,6 +14,14 @@
 
 namespace gekko {
 namespace {
+
+// Lockdep stays on here as a regression guard: this suite caught two
+// real ordering bugs (Client::stats() calling into the stat cache
+// under stats_mutex_, and preload.alias ranked as non-leaf).
+const bool kLockdepOn = [] {
+  gekko::lockdep::set_enabled(true);
+  return true;
+}();
 
 // ---------- BlockCache ----------
 

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "common/lockdep.h"
 #include "common/metrics.h"
 #include "daemon/daemon.h"
 #include "daemon/metadata_backend.h"
@@ -13,6 +14,13 @@
 
 namespace gekko::daemon {
 namespace {
+
+// Run the suite with the runtime lock-order validator on: daemon/rpc
+// paths take several locks per request, so inversions abort here.
+const bool kLockdepOn = [] {
+  gekko::lockdep::set_enabled(true);
+  return true;
+}();
 
 std::filesystem::path fresh_dir(const char* tag) {
   auto dir = std::filesystem::temp_directory_path() /

@@ -8,8 +8,11 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/fileio.h"
+#include "common/lockdep.h"
 #include "common/rng.h"
 #include "kv/bloom.h"
 #include "kv/block.h"
@@ -24,6 +27,13 @@
 
 namespace gekko::kv {
 namespace {
+
+// The whole suite runs with the runtime lock-order validator on, so
+// any DB-internal ordering regression aborts the offending test.
+const bool kLockdepOn = [] {
+  lockdep::set_enabled(true);
+  return true;
+}();
 
 std::filesystem::path fresh_dir(const char* tag) {
   auto dir = std::filesystem::temp_directory_path() /
@@ -704,6 +714,33 @@ TEST_F(DbTest, BackgroundCompactionMode) {
   }
   open_db(o);  // clean shutdown with background thread + reopen
   EXPECT_EQ(*db_->count_range("/bg/", "/bg0"), 4000u);
+}
+
+// Regression for the op-counter data race found by this PR's
+// annotation pass: puts/gets/deletes were bumped on plain DbStats
+// fields OUTSIDE mutex_ while stats() read them under it — concurrent
+// writers lost increments and raced with the reader. The counters are
+// relaxed atomics now, so the totals must come out exact.
+TEST_F(DbTest, StatsOpCountersExactUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 250;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "/race/" + std::to_string(t) + "/" + std::to_string(i);
+        ASSERT_TRUE(db_->put(key, "v").is_ok());
+        EXPECT_TRUE(db_->get(key).is_ok());
+        (void)db_->stats();  // concurrent reader: raced with ++ pre-fix
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const DbStats s = db_->stats();
+  EXPECT_EQ(s.puts, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.gets, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
 }
 
 // Model-based randomized test: the DB must agree with std::map under a

@@ -1,0 +1,172 @@
+// Runtime lock-order validator tests: ordered acquisition passes,
+// rank inversions and re-entrancy abort (with both acquisition
+// sequences printed), and name->rank registration is race-free when
+// hammered from 8 threads.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/lockdep.h"
+#include "common/thread_annotations.h"
+
+namespace gekko {
+namespace {
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::set_enabled(true);
+    lockdep::reset_for_test();
+  }
+  void TearDown() override { lockdep::reset_for_test(); }
+};
+
+using LockdepDeathTest = LockdepTest;
+
+TEST_F(LockdepTest, OrderedAcquisitionPasses) {
+  Mutex outer{"test.outer", 10};
+  Mutex inner{"test.inner", 20};
+  {
+    LockGuard a(outer);
+    LockGuard b(inner);
+    EXPECT_EQ(lockdep::held_names(),
+              (std::vector<std::string>{"test.outer", "test.inner"}));
+  }
+  EXPECT_TRUE(lockdep::held_names().empty());
+  // The same order again must not trip the observed-edge map.
+  LockGuard a(outer);
+  LockGuard b(inner);
+}
+
+TEST_F(LockdepTest, SharedMutexParticipates) {
+  SharedMutex outer{"test.rw_outer", 10};
+  Mutex inner{"test.rw_inner", 20};
+  SharedLockGuard r(outer);
+  LockGuard w(inner);
+  EXPECT_EQ(lockdep::held_names(),
+            (std::vector<std::string>{"test.rw_outer", "test.rw_inner"}));
+}
+
+TEST_F(LockdepTest, RankRegistryAnswersAfterFirstAcquisition) {
+  Mutex m{"test.registered", 42};
+  { LockGuard g(m); }
+  EXPECT_EQ(lockdep::rank_of("test.registered"), 42);
+  EXPECT_EQ(lockdep::rank_of("test.never_seen"), lockdep::kNoRank);
+}
+
+TEST_F(LockdepDeathTest, InvertedRankOrderAbortsWithSequence) {
+  Mutex low{"test.low", 10};
+  Mutex high{"test.high", 20};
+  EXPECT_DEATH(
+      {
+        LockGuard a(high);
+        LockGuard b(low);  // rank 10 under rank 20: must abort
+      },
+      "lock rank order violated: acquiring 'test\\.low' \\(rank 10\\) "
+      "while holding 'test\\.high' \\(rank 20\\)"
+      ".*test\\.high -> test\\.low");
+}
+
+TEST_F(LockdepDeathTest, ObservedOrderInversionPrintsBothSequences) {
+  // Unranked named locks: only the observed-edge check can catch the
+  // inversion, and it must print the recorded A->B sequence alongside
+  // the offending B->A one.
+  Mutex a{"test.edge_a", lockdep::kNoRank};
+  Mutex b{"test.edge_b", lockdep::kNoRank};
+  {
+    LockGuard ga(a);
+    LockGuard gb(b);  // records edge a->b
+  }
+  EXPECT_DEATH(
+      {
+        LockGuard gb(b);
+        LockGuard ga(a);  // opposite order: must abort
+      },
+      "lock order inverted.*this thread's acquisition sequence:"
+      " -> test\\.edge_b -> test\\.edge_a"
+      ".*previously recorded sequence: -> test\\.edge_a -> "
+      "test\\.edge_b");
+}
+
+TEST_F(LockdepDeathTest, ReentrantAcquisitionAborts) {
+  Mutex m{"test.reentrant", 10};
+  EXPECT_DEATH(
+      {
+        LockGuard a(m);
+        m.lock();  // same mutex, same thread: UB on std::mutex
+      },
+      "re-entrant acquisition of 'test\\.reentrant'");
+}
+
+TEST_F(LockdepDeathTest, ConflictingRankRegistrationAborts) {
+  Mutex first{"test.conflict", 10};
+  { LockGuard g(first); }
+  Mutex second{"test.conflict", 11};  // same name, different rank
+  EXPECT_DEATH({ LockGuard g(second); },
+               "conflicting rank registration for 'test\\.conflict'");
+}
+
+TEST_F(LockdepTest, RankRegistrationRaceFreeUnder8Threads) {
+  // Many instances sharing one name (the cache-shard pattern) locked
+  // concurrently from 8 threads: registration must neither misreport a
+  // conflict nor corrupt the registry.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      lockdep::set_enabled(true);
+      for (int i = 0; i < kIters; ++i) {
+        Mutex shard{"test.race_shard", 30};
+        LockGuard g(shard);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(lockdep::rank_of("test.race_shard"), 30);
+}
+
+TEST_F(LockdepTest, CondVarWaitKeepsHeldState) {
+  // CondVar::wait releases and re-acquires the underlying std::mutex
+  // via adopt_lock; the lockdep held-stack must stay consistent.
+  Mutex m{"test.cv", 10};
+  CondVar cv;
+  bool ready GEKKO_GUARDED_BY(m) = false;
+
+  std::thread signaller([&] {
+    LockGuard g(m);
+    ready = true;
+    cv.notify_all();
+  });
+  {
+    UniqueLock lock(m);
+    cv.wait(lock, [&]() GEKKO_REQUIRES(m) { return ready; });
+    EXPECT_EQ(lockdep::held_names(),
+              (std::vector<std::string>{"test.cv"}));
+  }
+  signaller.join();
+  EXPECT_TRUE(lockdep::held_names().empty());
+}
+
+TEST_F(LockdepTest, TryLockRecordsAndReleases) {
+  Mutex m{"test.trylock", 10};
+  ASSERT_TRUE(m.try_lock());
+  EXPECT_EQ(lockdep::held_names(),
+            (std::vector<std::string>{"test.trylock"}));
+  m.unlock();
+  EXPECT_TRUE(lockdep::held_names().empty());
+}
+
+TEST_F(LockdepTest, DisabledMeansNoTracking) {
+  lockdep::set_enabled(false);
+  Mutex low{"test.off_low", 10};
+  Mutex high{"test.off_high", 20};
+  LockGuard a(high);
+  LockGuard b(low);  // would abort if enabled; must be silent when off
+  EXPECT_TRUE(lockdep::held_names().empty());
+}
+
+}  // namespace
+}  // namespace gekko

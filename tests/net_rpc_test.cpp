@@ -5,6 +5,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "net/fabric.h"
 #include "rpc/engine.h"
 #include "task/future.h"
@@ -12,6 +13,13 @@
 
 namespace gekko {
 namespace {
+
+// Run the suite with the runtime lock-order validator on: daemon/rpc
+// paths take several locks per request, so inversions abort here.
+const bool kLockdepOn = [] {
+  gekko::lockdep::set_enabled(true);
+  return true;
+}();
 
 // ---------- fabric ----------
 

@@ -35,8 +35,12 @@ class PreloadTest : public ::testing::Test {
   }
 
   /// Run `cmd` under the shim; returns the process exit code.
+  /// GEKKO_LOCKDEP=1 keeps the runtime lock-order validator on inside
+  /// the shimmed process — a regression guard for the preload.alias
+  /// rank bug (the alias lock is entered via interposition from
+  /// arbitrary stacks, so it must rank as a leaf; see lockdep.h).
   int run(const std::string& cmd) {
-    const std::string full = "LD_PRELOAD=" + lib_ +
+    const std::string full = "LD_PRELOAD=" + lib_ + " GEKKO_LOCKDEP=1" +
                              " GKFS_MOUNT=/gkfs GKFS_ROOT=" + root_.string() +
                              " " + cmd;
     const int rc = std::system(full.c_str());

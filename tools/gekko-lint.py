@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""gekko-lint: project concurrency invariants clang cannot express.
+
+Run as `ctest -L lint` (or directly: tools/gekko-lint.py [repo-root]).
+Exit 0 = clean, 1 = violations (printed one per line, grep-style).
+
+Rules
+-----
+bare-mutex       std::mutex / std::shared_mutex / std::lock_guard /
+                 std::unique_lock / std::scoped_lock /
+                 std::condition_variable[_any] are forbidden in src/.
+                 Use the annotated wrappers from
+                 src/common/thread_annotations.h (gekko::Mutex,
+                 LockGuard, UniqueLock, CondVar, ...), which carry
+                 Clang Thread Safety capabilities and lockdep
+                 instrumentation. Exempt: thread_annotations.h itself
+                 and lockdep.{h,cpp} (the instrumentation layer), plus
+                 any line tagged `// lint-ok: bare-mutex — <why>`.
+
+relaxed          std::memory_order_relaxed is only allowed in files
+                 that carry a `// relaxed-ok: <justification>` comment
+                 explaining why relaxed ordering is sufficient.
+
+blocking-in-net  sleep_for / sleep( / usleep( / nanosleep( in
+                 src/net/ or src/rpc/ (fabric reader/acceptor threads,
+                 engine progress/handler paths) must be tagged
+                 `// blocking-ok: <why>` on the same line — a sleep on
+                 a progress thread stalls every in-flight RPC.
+
+include-hygiene  every header under src/ starts with #pragma once;
+                 no file includes the same header twice; any file
+                 using the GEKKO_* annotation macros or gekko lock
+                 wrappers includes common/thread_annotations.h itself
+                 (not via a transitive include that may go away).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+BARE_MUTEX = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard"
+    r"|unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b")
+RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+BLOCKING = re.compile(r"\b(sleep_for|sleep\s*\(|usleep\s*\(|nanosleep\s*\()")
+ANNOTATION_USE = re.compile(
+    r"\bGEKKO_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE"
+    r"|RELEASE|EXCLUDES|CAPABILITY|SCOPED_CAPABILITY)\b|"
+    r"\b(gekko::)?(Mutex|SharedMutex|LockGuard|WriteLockGuard"
+    r"|SharedLockGuard|UniqueLock|CondVar)\b")
+INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+
+# The instrumentation layer itself is the only place bare primitives
+# may live.
+BARE_MUTEX_EXEMPT = {
+    "src/common/thread_annotations.h",
+    "src/common/lockdep.h",
+    "src/common/lockdep.cpp",
+}
+
+SOURCE_EXTS = (".h", ".hpp", ".cpp", ".cc")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so tokens inside them don't match."""
+    out, i, n, quote = [], 0, len(line), None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def code_of(line: str) -> str:
+    """The code part of a line: literals blanked, // comment removed."""
+    s = strip_strings(line)
+    cut = s.find("//")
+    return s[:cut] if cut >= 0 else s
+
+
+def lint_file(root: str, rel: str, errors: list[str]) -> None:
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as e:
+        errors.append(f"{rel}: unreadable: {e}")
+        return
+    text = "".join(lines)
+    is_header = rel.endswith((".h", ".hpp"))
+    in_net_layer = rel.startswith(("src/net/", "src/rpc/"))
+    has_relaxed_ok = "// relaxed-ok:" in text
+
+    includes_seen: dict[str, int] = {}
+    uses_annotations = False
+    includes_thread_annotations = False
+    saw_pragma_once = False
+    saw_include_before_pragma = False
+
+    for lineno, raw in enumerate(lines, 1):
+        code = code_of(raw)
+
+        m = INCLUDE.match(raw)
+        if m:
+            inc = m.group(1)
+            if inc in includes_seen:
+                errors.append(
+                    f"{rel}:{lineno}: include-hygiene: duplicate #include "
+                    f"\"{inc}\" (first at line {includes_seen[inc]})")
+            else:
+                includes_seen[inc] = lineno
+            if inc == "common/thread_annotations.h":
+                includes_thread_annotations = True
+            if not saw_pragma_once:
+                saw_include_before_pragma = True
+
+        if re.match(r"^\s*#\s*pragma\s+once\b", raw):
+            saw_pragma_once = True
+
+        if ANNOTATION_USE.search(code):
+            uses_annotations = True
+
+        if BARE_MUTEX.search(code):
+            if rel in BARE_MUTEX_EXEMPT or "lint-ok: bare-mutex" in raw:
+                pass
+            else:
+                errors.append(
+                    f"{rel}:{lineno}: bare-mutex: use the annotated "
+                    f"wrappers from common/thread_annotations.h "
+                    f"(gekko::Mutex/LockGuard/UniqueLock/CondVar) — "
+                    f"{raw.strip()}")
+
+        if RELAXED.search(code) and not has_relaxed_ok:
+            errors.append(
+                f"{rel}:{lineno}: relaxed: memory_order_relaxed without a "
+                f"file-level `// relaxed-ok: <justification>` comment")
+
+        if in_net_layer and BLOCKING.search(code) and \
+                "blocking-ok:" not in raw:
+            errors.append(
+                f"{rel}:{lineno}: blocking-in-net: sleep on a fabric/rpc "
+                f"thread stalls every in-flight RPC; tag the line "
+                f"`// blocking-ok: <why>` if it is genuinely off the "
+                f"progress path — {raw.strip()}")
+
+    if is_header and not saw_pragma_once:
+        errors.append(f"{rel}:1: include-hygiene: header missing #pragma once")
+    if is_header and saw_pragma_once and saw_include_before_pragma:
+        errors.append(
+            f"{rel}:1: include-hygiene: #include before #pragma once")
+    if uses_annotations and not includes_thread_annotations and \
+            rel not in ("src/common/thread_annotations.h",):
+        errors.append(
+            f"{rel}:1: include-hygiene: uses thread-safety annotations or "
+            f"gekko lock wrappers but does not include "
+            f"common/thread_annotations.h directly")
+
+
+def main(argv: list[str]) -> int:
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"gekko-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    checked = 0
+    for dirpath, _dirnames, filenames in sorted(os.walk(src)):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            rel = rel.replace(os.sep, "/")
+            lint_file(root, rel, errors)
+            checked += 1
+
+    for e in errors:
+        print(e)
+    print(f"gekko-lint: {checked} files checked, {len(errors)} violation(s)",
+          file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

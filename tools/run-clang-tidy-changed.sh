@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the C++ files changed on the
+# current branch relative to the merge base with the default branch; falls
+# back to the files touched by HEAD when there is no merge base (e.g. a
+# fresh clone checked out at a single commit).
+#
+# Usage: run-clang-tidy-changed.sh [build-dir]
+#   build-dir: directory containing compile_commands.json
+#              (default: ./build)
+#
+# Exit codes:
+#   0  clean (or nothing to check)
+#   1  clang-tidy reported errors
+#   77 clang-tidy unavailable -> callers (ctest SKIP_RETURN_CODE) treat
+#      this as SKIPPED, not failed. The container image ships gcc only;
+#      the bare-mutex/relaxed/blocking rules still run via gekko-lint.py.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run-clang-tidy-changed: clang-tidy not found; skipping" >&2
+  exit 77
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run-clang-tidy-changed: no compile_commands.json in ${BUILD_DIR};" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+cd "${REPO_ROOT}"
+
+base="$(git merge-base origin/main HEAD 2>/dev/null \
+        || git merge-base main HEAD 2>/dev/null \
+        || true)"
+if [ -n "${base}" ] && [ "${base}" != "$(git rev-parse HEAD)" ]; then
+  changed="$(git diff --name-only --diff-filter=d "${base}" HEAD)"
+else
+  changed="$(git show --name-only --diff-filter=d --format= HEAD)"
+fi
+
+files=()
+while IFS= read -r f; do
+  case "$f" in
+    src/*.cpp|src/*.cc) [ -f "$f" ] && files+=("$f") ;;
+  esac
+done <<< "${changed}"
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run-clang-tidy-changed: no changed C++ sources; nothing to do"
+  exit 0
+fi
+
+echo "run-clang-tidy-changed: checking ${#files[@]} file(s)"
+status=0
+for f in "${files[@]}"; do
+  echo "--- clang-tidy ${f}"
+  clang-tidy -p "${BUILD_DIR}" --quiet "${f}" || status=1
+done
+exit "${status}"
