@@ -6,11 +6,64 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "proto/chunking.h"
 
 namespace gekko::client {
 
 using proto::RpcId;
+
+namespace {
+
+// RAII root span + watchdog for one client entry point. Inherits the
+// thread's context when a trace is already active (rmdir → stat →
+// readdir nest under one trace); otherwise starts a fresh trace when
+// deep tracing is enabled, so every forward() issued inside the scope
+// carries this op's trace id. The slow-op line fires for top-level ops
+// only (nested ops show up inside their root's trace) and keeps
+// working with tracing sampled off — the watchdog needs no collector.
+class OpTrace {
+ public:
+  OpTrace(metrics::Tracer& tracer, const char* span_name,
+          const char* op) noexcept
+      : tracer_(tracer),
+        span_name_(span_name),
+        op_(op),
+        prev_(trace::current()),
+        t0_(metrics::now_ns()) {
+    std::uint64_t trace_id = prev_.trace_id;
+    if (trace_id == 0 && trace::enabled()) trace_id = trace::new_trace_id();
+    if (trace_id != 0) {
+      span_id_ = trace::new_span_id();
+      trace::set_current({trace_id, span_id_});
+    }
+  }
+  ~OpTrace() {
+    const std::uint64_t dur = metrics::now_ns() - t0_;
+    const trace::SpanContext ctx = trace::current();
+    if (span_id_ != 0) {
+      tracer_.record(span_name_, ctx.trace_id, span_id_, prev_.span_id,  // span-name-ok: forwards the literal ctor argument, checked at OpTrace call sites
+                     0, 0, t0_, dur);
+      trace::set_current(prev_);
+    }
+    const std::uint64_t threshold = trace::slow_op_threshold_ns();
+    if (threshold != 0 && dur > threshold && !prev_.active()) {
+      trace::log_slow_op("client", op_, ctx.trace_id, dur);
+    }
+  }
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+ private:
+  metrics::Tracer& tracer_;
+  const char* span_name_;
+  const char* op_;
+  trace::SpanContext prev_;
+  std::uint64_t t0_;
+  std::uint64_t span_id_ = 0;
+};
+
+}  // namespace
 
 std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -62,6 +115,7 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
         case RpcId::read_chunks:
         case RpcId::get_dirents:
         case RpcId::daemon_stat:
+        case RpcId::trace_dump:
           return true;
         default:
           return false;
@@ -97,6 +151,7 @@ Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
 
 Status Client::create(std::string_view path, proto::FileType type,
                       std::uint32_t mode) {
+  OpTrace op(engine_->tracer(), "client.create", "create");
   proto::CreateRequest req;
   req.path = std::string(path);
   req.type = static_cast<std::uint8_t>(type);
@@ -114,6 +169,7 @@ Status Client::create(std::string_view path, proto::FileType type,
 }
 
 Result<proto::Metadata> Client::stat(std::string_view path) {
+  OpTrace op(engine_->tracer(), "client.stat", "stat");
   const std::string key{path};
   if (auto cached = stat_cache_.lookup(key)) {
     m_.stat_cache_hits->inc();
@@ -139,6 +195,7 @@ Result<proto::Metadata> Client::stat(std::string_view path) {
 }
 
 Status Client::remove(std::string_view path) {
+  OpTrace op(engine_->tracer(), "client.remove", "remove");
   size_cache_.forget(std::string(path));
   stat_cache_.invalidate(std::string(path));
   proto::PathRequest req{std::string(path)};
@@ -188,6 +245,7 @@ Status Client::remove_data_everywhere_(std::string_view path) {
 }
 
 Status Client::truncate(std::string_view path, std::uint64_t new_size) {
+  OpTrace op(engine_->tracer(), "client.truncate", "truncate");
   stat_cache_.invalidate(std::string(path));
   proto::TruncateRequest req;
   req.path = std::string(path);
@@ -257,6 +315,7 @@ Status Client::flush_size(std::string_view path) {
 Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
                                   std::span<const std::uint8_t> data) {
   if (data.empty()) return std::size_t{0};
+  OpTrace op(engine_->tracer(), "client.write", "write");
 
   // Split into chunk slices, then group per target daemon.
   const auto extents =
@@ -330,6 +389,7 @@ Result<std::size_t> Client::write(std::string_view path, std::uint64_t offset,
 Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
                                  std::span<std::uint8_t> out) {
   if (out.empty()) return std::size_t{0};
+  OpTrace op(engine_->tracer(), "client.read", "read");
 
   // The file size bounds the read (EOF). One stat to the metadata owner.
   auto md = stat(path);
@@ -403,6 +463,7 @@ Result<std::size_t> Client::read(std::string_view path, std::uint64_t offset,
 // ---------- directories ----------
 
 Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
+  OpTrace op(engine_->tracer(), "client.readdir", "readdir");
   proto::DirentsRequest req{std::string(dir)};
   std::vector<rpc::Engine::PendingCall> calls;
   calls.reserve(daemons_.size());
@@ -438,6 +499,7 @@ Result<std::vector<proto::Dirent>> Client::readdir(std::string_view dir) {
 }
 
 Status Client::rmdir(std::string_view path) {
+  OpTrace op(engine_->tracer(), "client.rmdir", "rmdir");
   auto md = stat(path);
   if (!md) return md.status();
   if (!md->is_directory()) return Errc::not_directory;
@@ -465,6 +527,26 @@ Result<std::vector<proto::DaemonStatResponse>> Client::daemon_stats() {
                          r->size()));
     if (!decoded) return decoded.status();
     out.push_back(*decoded);
+  }
+  return out;
+}
+
+Result<std::vector<proto::TraceDumpResponse>> Client::trace_dumps() {
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::trace_dump), {}));
+  }
+  std::vector<proto::TraceDumpResponse> out;
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) return r.status();
+    auto decoded = proto::TraceDumpResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) return decoded.status();
+    out.push_back(std::move(*decoded));
   }
   return out;
 }

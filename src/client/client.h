@@ -88,6 +88,10 @@ class Client {
 
   // -- cluster -------------------------------------------------------------
   Result<std::vector<proto::DaemonStatResponse>> daemon_stats();
+  /// Drain every daemon's trace ring (trace_dump broadcast). Feed the
+  /// responses plus this process's own Tracer dump to a
+  /// trace::Assembler to get cross-node causal trees.
+  Result<std::vector<proto::TraceDumpResponse>> trace_dumps();
 
   [[nodiscard]] std::uint32_t daemon_count() const noexcept {
     return static_cast<std::uint32_t>(daemons_.size());

@@ -6,6 +6,7 @@
 #include <cctype>
 #include <functional>
 
+#include "common/logging.h"
 #include "common/thread_annotations.h"
 
 namespace gekko::metrics {
@@ -44,6 +45,7 @@ Histogram& Registry::histogram(std::string_view name) {
 Snapshot Registry::snapshot() const {
   LockGuard lock(mutex_);
   Snapshot s;
+  s.captured_ns = now_ns();
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
@@ -179,7 +181,9 @@ std::string Snapshot::to_json() const {
   std::string out;
   out.reserve(256 + 48 * (counters.size() + gauges.size()) +
               96 * histograms.size());
-  out += "{\"counters\":{";
+  out += "{\"node_id\":" + std::to_string(node_id) +
+         ",\"captured_ns\":" + std::to_string(captured_ns) +
+         ",\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : counters) {
     if (!first) out += ',';
@@ -220,8 +224,29 @@ Result<Snapshot> Snapshot::from_json(std::string_view json) {
   std::string key;
   if (!p.consume('{')) return Errc::corruption;
 
+  if (!p.string(&key)) return Errc::corruption;
+
+  // Optional provenance stamp ("node_id","captured_ns") before
+  // "counters"; absent in pre-stamp JSON, so tolerate either shape.
+  if (key == "node_id") {
+    std::int64_t v = 0;
+    if (!p.consume(':') || !p.integer(&v) || !p.consume(',') ||
+        !p.string(&key)) {
+      return Errc::corruption;
+    }
+    s.node_id = static_cast<std::uint32_t>(v);
+  }
+  if (key == "captured_ns") {
+    std::int64_t v = 0;
+    if (!p.consume(':') || !p.integer(&v) || !p.consume(',') ||
+        !p.string(&key)) {
+      return Errc::corruption;
+    }
+    s.captured_ns = static_cast<std::uint64_t>(v);
+  }
+
   // "counters"
-  if (!p.string(&key) || key != "counters" || !p.consume(':')) {
+  if (key != "counters" || !p.consume(':')) {
     return Errc::corruption;
   }
   if (!parse_int_object(p, [&](std::string name, std::int64_t v) {
@@ -283,14 +308,20 @@ std::size_t round_up_pow2(std::size_t n) {
 Tracer::Tracer(std::size_t capacity)
     : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {}
 
-void Tracer::record(std::uint64_t trace_id, const char* name,
-                    std::uint16_t rpc_id, std::uint64_t start_ns,
+void Tracer::record(const char* name, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_span_id,
+                    std::uint16_t rpc_id, std::uint32_t attempt,
+                    std::uint64_t start_ns,
                     std::uint64_t duration_ns) noexcept {
   const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[idx & mask_];
   slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_span_id.store(parent_span_id, std::memory_order_relaxed);
   slot.name.store(name, std::memory_order_relaxed);
   slot.rpc_id.store(rpc_id, std::memory_order_relaxed);
+  slot.attempt.store(attempt, std::memory_order_relaxed);
+  slot.thread.store(log::thread_number(), std::memory_order_relaxed);
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
   // Publish last: a dump observing this seq sees plausible fields (a
@@ -305,14 +336,21 @@ std::vector<TraceSpan> Tracer::dump() const {
   };
   std::vector<Numbered> present;
   present.reserve(slots_.size());
+  const std::uint32_t node = node_id();
   for (const Slot& slot : slots_) {
     const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
     if (seq == 0) continue;  // never written
     TraceSpan span;
     span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    span.span_id = slot.span_id.load(std::memory_order_relaxed);
+    span.parent_span_id =
+        slot.parent_span_id.load(std::memory_order_relaxed);
+    span.node_id = node;
     span.name = slot.name.load(std::memory_order_relaxed);
     span.rpc_id = static_cast<std::uint16_t>(
         slot.rpc_id.load(std::memory_order_relaxed));
+    span.attempt = slot.attempt.load(std::memory_order_relaxed);
+    span.thread = slot.thread.load(std::memory_order_relaxed);
     span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
     span.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
     present.push_back(Numbered{seq, span});

@@ -161,10 +161,17 @@ struct HistogramStats {
 
 /// Point-in-time view of a Registry, serializable to/from JSON. The
 /// JSON shape is the wire format of the daemon_stat telemetry RPC:
-/// {"counters":{...},"gauges":{...},
+/// {"node_id":N,"captured_ns":T,"counters":{...},"gauges":{...},
 ///  "histograms":{"name":{"count":..,"sum":..,"p50":..,"p90":..,
 ///                        "p99":..,"max":..}}}
+/// node_id + captured_ns make offline merges of snapshots from many
+/// daemons unambiguous (which node, and in what order on that node's
+/// monotonic clock). The parser accepts their absence (pre-stamp JSON).
 struct Snapshot {
+  /// 0xffffffff = not stamped (the daemon stamps its endpoint id).
+  std::uint32_t node_id = 0xffffffffu;
+  /// Monotonic (steady-clock) ns at capture on the producing node.
+  std::uint64_t captured_ns = 0;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramStats> histograms;
@@ -216,11 +223,25 @@ class Registry {
 
 /// One captured span of a traced request. `name` must point at a
 /// string literal (or other static-storage string): the tracer stores
-/// the pointer, not a copy, to keep record() allocation-free.
+/// the pointer, not a copy, to keep record() allocation-free (enforced
+/// by gekko-lint's span-name rule).
+///
+/// span_id/parent_span_id make spans causal: a child's parent_span_id
+/// names the span that caused it, possibly on another node (the RPC
+/// engine ships the caller's span id in net::Message::parent_span).
+/// 0 = no parent (a root span). See trace.h for the assembly layer.
 struct TraceSpan {
   std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  /// Stamped by Tracer::dump() from the tracer's node id.
+  std::uint32_t node_id = 0xffffffffu;
   const char* name = "";
   std::uint16_t rpc_id = 0;
+  /// Retry generation of the caller span (0 = first try).
+  std::uint32_t attempt = 0;
+  /// Compact recording-thread id (log::thread_number()).
+  std::uint32_t thread = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
 };
@@ -238,8 +259,13 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  void record(std::uint64_t trace_id, const char* name, std::uint16_t rpc_id,
-              std::uint64_t start_ns, std::uint64_t duration_ns) noexcept;
+  /// `name` first so the literal-name contract is mechanically
+  /// checkable at every call site. The recording thread id is stamped
+  /// here; the node id at dump() (one per tracer, not per span).
+  void record(const char* name, std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent_span_id, std::uint16_t rpc_id,
+              std::uint32_t attempt, std::uint64_t start_ns,
+              std::uint64_t duration_ns) noexcept;
 
   /// Spans currently resident, oldest first. At most capacity() spans:
   /// once the ring wraps, the oldest are overwritten.
@@ -251,6 +277,20 @@ class Tracer {
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Node identity stamped on dumped spans (0xffffffff = unset). The
+  /// engine assigns its fabric endpoint id at construction; first
+  /// assignment wins so a client process keeps its primary endpoint.
+  void set_node_id(std::uint32_t id) noexcept {
+    node_id_.store(id, std::memory_order_relaxed);
+  }
+  void set_node_id_if_unset(std::uint32_t id) noexcept {
+    std::uint32_t unset = 0xffffffffu;
+    node_id_.compare_exchange_strong(unset, id, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t node_id() const noexcept {
+    return node_id_.load(std::memory_order_relaxed);
+  }
+
   static Tracer& global();
 
  private:
@@ -259,8 +299,12 @@ class Tracer {
     /// record() call (monotonic, so dump() can order slots).
     std::atomic<std::uint64_t> seq{0};
     std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent_span_id{0};
     std::atomic<const char*> name{""};
     std::atomic<std::uint32_t> rpc_id{0};
+    std::atomic<std::uint32_t> attempt{0};
+    std::atomic<std::uint32_t> thread{0};
     std::atomic<std::uint64_t> start_ns{0};
     std::atomic<std::uint64_t> duration_ns{0};
   };
@@ -268,6 +312,7 @@ class Tracer {
   std::vector<Slot> slots_;
   std::size_t mask_;
   std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint32_t> node_id_{0xffffffffu};
 };
 
 }  // namespace gekko::metrics

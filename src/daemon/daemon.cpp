@@ -1,3 +1,6 @@
+// relaxed-ok: IoStageNs io/bulk tallies are plain accumulators; the
+// io_pool_ Eventual join that precedes reading them is the
+// synchronization point, so the loads cannot observe torn sums.
 #include "daemon/daemon.h"
 
 #include <chrono>
@@ -6,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "kv/cache.h"
 #include "proto/messages.h"
@@ -112,6 +116,7 @@ void GekkoDaemon::register_handlers_() {
   bind(RpcId::read_chunks, "read_chunks", &GekkoDaemon::on_read_chunks_);
   bind(RpcId::get_dirents, "get_dirents", &GekkoDaemon::on_get_dirents_);
   bind(RpcId::daemon_stat, "daemon_stat", &GekkoDaemon::on_daemon_stat_);
+  bind(RpcId::trace_dump, "trace_dump", &GekkoDaemon::on_trace_dump_);
 }
 
 namespace {
@@ -204,7 +209,8 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_read_chunks_(
 
 Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
                               const proto::ChunkSlice& slice,
-                              const net::Message& msg, bool is_write) {
+                              const net::Message& msg, bool is_write,
+                              IoStageNs& stages) {
   // Grow-only bounce buffer, reused across slices AND requests on this
   // worker. make_unique_for_overwrite skips value-initialization — every
   // byte is overwritten by the bulk pull / chunk read before use
@@ -217,10 +223,17 @@ Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
   }
   const std::span<std::uint8_t> span(buf.get(), slice.length);
 
+  std::uint64_t t = metrics::now_ns();
+  // Stage accounting: `bulk` is time moving bytes across the fabric
+  // (pull/push), `io` is time against the chunk store plus any modeled
+  // device wait. Accumulated per request for the slow-op breakdown.
   if (is_write) {
     // One-sided pull from the client's exposed region (RDMA read).
     GEKKO_RETURN_IF_ERROR(fabric_->bulk_pull(msg.bulk, slice.bulk_offset,
                                              span));
+    std::uint64_t now = metrics::now_ns();
+    stages.bulk.fetch_add(now - t, std::memory_order_relaxed);
+    t = now;
     GEKKO_RETURN_IF_ERROR(data_->write_chunk(
         req.path, slice.chunk_id, slice.offset_in_chunk,
         std::span<const std::uint8_t>(span)));
@@ -240,11 +253,17 @@ Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
                  : options_.device_model->read_time(slice.length, random);
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
+  {
+    const std::uint64_t now = metrics::now_ns();
+    stages.io.fetch_add(now - t, std::memory_order_relaxed);
+    t = now;
+  }
 
   if (!is_write) {
     // One-sided push into the client's buffer (RDMA write).
     GEKKO_RETURN_IF_ERROR(fabric_->bulk_push(
         msg.bulk, slice.bulk_offset, std::span<const std::uint8_t>(span)));
+    stages.bulk.fetch_add(metrics::now_ns() - t, std::memory_order_relaxed);
   }
   return Status::ok();
 }
@@ -265,34 +284,58 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::chunk_io_(
     }
   }
 
+  // The handler thread's span context (the RPC service span): io
+  // tasks run on OTHER threads, so each captures it by value and
+  // re-installs it — every slice becomes a child span of the service
+  // span, carrying the parent RPC's trace id across the pool boundary.
+  const trace::SpanContext ctx = trace::current();
+  IoStageNs stages;
+
   std::uint64_t total = 0;
   if (io_pool_ == nullptr || req->slices.size() < 2) {
     // Serial path: no pool (io_threads=0) or nothing to overlap.
     for (const auto& slice : req->slices) {
-      GEKKO_RETURN_IF_ERROR(slice_io_(*req, slice, msg, is_write));
+      const std::uint64_t t0 = metrics::now_ns();
+      Status st = slice_io_(*req, slice, msg, is_write, stages);
+      if (ctx.active()) {
+        engine_->tracer().record("daemon.io.slice", ctx.trace_id,
+                                 trace::new_span_id(), ctx.span_id,
+                                 msg.rpc_id, 0, t0, metrics::now_ns() - t0);
+      }
+      GEKKO_RETURN_IF_ERROR(st);
       total += slice.length;
     }
+    trace::stage_add("io", stages.io.load(std::memory_order_relaxed));
+    trace::stage_add("bulk", stages.bulk.load(std::memory_order_relaxed));
     return proto::ChunkIoResponse{total}.encode();
   }
 
   // Fan out: one task per slice (the paper's one-ULT-per-chunk-op
-  // model). The handler blocks on the eventuals, so req/msg outlive
-  // every task — ALL eventuals must be awaited even after an error.
+  // model). The handler blocks on the eventuals, so req/msg/stages
+  // outlive every task — ALL eventuals must be awaited even after an
+  // error.
   std::vector<task::Eventual<Status>> done(req->slices.size());
   for (std::size_t i = 0; i < req->slices.size(); ++i) {
     const std::uint64_t posted_ns = metrics::now_ns();
     auto ev = done[i];
-    const bool queued =
-        io_pool_->post([this, &r = *req, &msg, i, is_write, posted_ns, ev] {
-          io_queue_->record(metrics::now_ns() - posted_ns);
-          const std::uint64_t t0 = metrics::now_ns();
-          Status st = slice_io_(r, r.slices[i], msg, is_write);
-          // Record before set(): once the last eventual fires the
-          // handler may respond, and a caller snapshotting the registry
-          // right after the RPC must already see every sample.
-          io_service_->record(metrics::now_ns() - t0);
-          ev.set(std::move(st));
-        });
+    const bool queued = io_pool_->post([this, &r = *req, &msg, &stages, i,
+                                        is_write, posted_ns, ctx, ev] {
+      io_queue_->record(metrics::now_ns() - posted_ns);
+      const std::uint64_t t0 = metrics::now_ns();
+      trace::ContextGuard guard(ctx);
+      Status st = slice_io_(r, r.slices[i], msg, is_write, stages);
+      const std::uint64_t t1 = metrics::now_ns();
+      if (ctx.active()) {
+        engine_->tracer().record("daemon.io.slice", ctx.trace_id,
+                                 trace::new_span_id(), ctx.span_id,
+                                 msg.rpc_id, 0, t0, t1 - t0);
+      }
+      // Record before set(): once the last eventual fires the
+      // handler may respond, and a caller snapshotting the registry
+      // right after the RPC must already see every sample.
+      io_service_->record(t1 - t0);
+      ev.set(std::move(st));
+    });
     if (!queued) ev.set(Status{Errc::again, "io pool shut down"});
   }
 
@@ -301,6 +344,11 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::chunk_io_(
     Status s = done[i].wait();
     if (first.is_ok() && !s.is_ok()) first = std::move(s);
   }
+  // Fold the per-request io/bulk totals into this handler thread's
+  // stage pad: the engine's slow-op line then shows queue/service/io/
+  // bulk for this op without any cross-thread logging.
+  trace::stage_add("io", stages.io.load(std::memory_order_relaxed));
+  trace::stage_add("bulk", stages.bulk.load(std::memory_order_relaxed));
   GEKKO_RETURN_IF_ERROR(first);
   for (const auto& slice : req->slices) total += slice.length;
   return proto::ChunkIoResponse{total}.encode();
@@ -330,6 +378,23 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_daemon_stat_(
   resp.bytes_written = cs.bytes_written;
   resp.bytes_read = cs.bytes_read;
   resp.metrics_json = metrics_json();
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_trace_dump_(
+    const net::Message& msg) {
+  (void)msg;
+  proto::TraceDumpResponse resp;
+  metrics::Tracer& tracer = engine_->tracer();
+  resp.node_id = static_cast<std::uint32_t>(engine_->endpoint());
+  resp.capture_ns = metrics::now_ns();
+  resp.recorded = tracer.recorded();
+  resp.capacity = tracer.capacity();
+  const std::vector<metrics::TraceSpan> spans = tracer.dump();
+  resp.spans.reserve(spans.size());
+  for (const metrics::TraceSpan& s : spans) {
+    resp.spans.push_back(trace::to_span(s));
+  }
   return resp.encode();
 }
 
@@ -381,7 +446,11 @@ void GekkoDaemon::publish_backend_metrics_() {
 
 std::string GekkoDaemon::metrics_json() {
   publish_backend_metrics_();
-  return registry_->snapshot().to_json();
+  metrics::Snapshot snap = registry_->snapshot();
+  // Provenance stamp: which daemon produced this snapshot (offline
+  // merges of several daemons' dumps stay attributable).
+  snap.node_id = static_cast<std::uint32_t>(engine_->endpoint());
+  return snap.to_json();
 }
 
 }  // namespace gekko::daemon

@@ -109,13 +109,22 @@ class GekkoDaemon {
   /// slice), joins, and aggregates bytes/first-error in slice order.
   Result<std::vector<std::uint8_t>> chunk_io_(const net::Message& msg,
                                               bool is_write);
+  /// Per-request io/bulk time, accumulated across slice tasks (atomics:
+  /// slices run on parallel io workers) and folded into the handler
+  /// thread's slow-op stage pad after the join.
+  struct IoStageNs {
+    std::atomic<std::uint64_t> io{0};
+    std::atomic<std::uint64_t> bulk{0};
+  };
   /// One slice: bulk_pull→write_chunk or read_chunk→bulk_push through a
   /// grow-only thread-local bounce buffer.
   Status slice_io_(const proto::ChunkIoRequest& req,
                    const proto::ChunkSlice& slice, const net::Message& msg,
-                   bool is_write);
+                   bool is_write, IoStageNs& stages);
   Result<std::vector<std::uint8_t>> on_get_dirents_(const net::Message& msg);
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
+  /// Drain the span ring for the cross-node trace collector.
+  Result<std::vector<std::uint8_t>> on_trace_dump_(const net::Message& msg);
 
   DaemonOptions options_;
   metrics::Registry* registry_ = nullptr;  // resolved in start()

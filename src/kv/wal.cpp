@@ -6,6 +6,7 @@
 #include "common/codec.h"
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace gekko::kv {
 
@@ -23,6 +24,9 @@ Result<WalWriter> WalWriter::create(const std::filesystem::path& path) {
 
 Status WalWriter::append(SequenceNumber first_seq,
                          std::string_view batch_bytes, bool sync) {
+  // Traced touch point: a slow metadata op shows whether the WAL
+  // append (and its optional fsync) is the culprit.
+  trace::ScopedSpan span(metrics::Tracer::global(), "kv.wal.append");
   std::vector<std::uint8_t> header(kHeaderSize);
   const auto len = static_cast<std::uint32_t>(batch_bytes.size());
 

@@ -240,8 +240,8 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
     std::uint32_t frame_len;
     std::memcpy(&frame_len, len_buf, 4);
     // min: empty payload, no bulk (kind+rpc_id+seq+source+trace_id+
-    // str-len+bulk_mode = 1+2+8+4+8+1+1 = 25)
-    if (frame_len < 25 || frame_len > options_.max_frame_bytes) break;
+    // parent_span+str-len+bulk_mode = 1+2+8+4+8+8+1+1 = 33)
+    if (frame_len < 33 || frame_len > options_.max_frame_bytes) break;
 
     std::vector<std::uint8_t> frame(frame_len);
     if (!read_all(conn->fd, frame.data(), frame.size()).is_ok()) break;
@@ -254,10 +254,11 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
     auto seq = dec.u64();
     auto source = dec.u32();
     auto trace_id = dec.u64();
+    auto parent_span = dec.u64();
     auto payload = dec.str();
     auto bulk_mode = dec.u8();
-    if (!kind || !rpc_id || !seq || !source || !trace_id || !payload ||
-        !bulk_mode) {
+    if (!kind || !rpc_id || !seq || !source || !trace_id || !parent_span ||
+        !payload || !bulk_mode) {
       break;
     }
 
@@ -267,6 +268,7 @@ void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
     msg.seq = *seq;
     msg.source = *source;
     msg.trace_id = *trace_id;
+    msg.parent_span = *parent_span;
     msg.payload.assign(payload->begin(), payload->end());
 
     BulkRegion writable_bulk;
@@ -435,6 +437,7 @@ Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
   enc.u64(msg.seq);
   enc.u32(self_);
   enc.u64(msg.trace_id);
+  enc.u64(msg.parent_span);
   enc.str(std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
                            msg.payload.size()));
 

@@ -12,6 +12,7 @@
 
 #include "common/codec.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "proto/metadata.h"
 
 namespace gekko::proto {
@@ -28,6 +29,7 @@ enum class RpcId : std::uint16_t {
   read_chunks = 9,
   get_dirents = 10,
   daemon_stat = 11,
+  trace_dump = 12,
 };
 
 inline constexpr std::uint16_t to_wire(RpcId id) {
@@ -49,6 +51,7 @@ inline std::string rpc_name(std::uint16_t id) {
     case RpcId::read_chunks: return "read_chunks";
     case RpcId::get_dirents: return "get_dirents";
     case RpcId::daemon_stat: return "daemon_stat";
+    case RpcId::trace_dump: return "trace_dump";
   }
   return "";
 }
@@ -333,6 +336,91 @@ struct DaemonStatResponse {
     r.bytes_written = *d;
     r.bytes_read = *e;
     r.metrics_json = std::string(*j);
+    return r;
+  }
+};
+
+// ---------- trace collection ----------
+
+/// One daemon's span ring, drained for cross-node assembly. The
+/// request has no payload. recorded/capacity let the collector report
+/// ring-wrap loss (recorded > capacity ⇒ oldest spans overwritten).
+/// capture_ns is the daemon's steady clock at dump time: a collector
+/// on another HOST derives the per-node clock offset from it before
+/// merging (same-host processes share CLOCK_MONOTONIC, offset 0).
+struct TraceDumpResponse {
+  std::uint32_t node_id = 0;
+  std::uint64_t capture_ns = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t capacity = 0;
+  std::vector<trace::Span> spans;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u32(node_id);
+    enc.u64(capture_ns);
+    enc.u64(recorded);
+    enc.u64(capacity);
+    enc.varint(spans.size());
+    for (const trace::Span& s : spans) {
+      enc.u64(s.trace_id);
+      enc.u64(s.span_id);
+      enc.u64(s.parent_span_id);
+      enc.u32(s.node_id);
+      enc.str(s.name);
+      enc.u16(s.rpc_id);
+      enc.u32(s.attempt);
+      enc.u32(s.thread);
+      enc.u64(s.start_ns);
+      enc.u64(s.duration_ns);
+    }
+    return buf;
+  }
+  static Result<TraceDumpResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    TraceDumpResponse r;
+    auto node = dec.u32();
+    auto capture = dec.u64();
+    auto recorded = dec.u64();
+    auto capacity = dec.u64();
+    auto count = dec.varint();
+    if (!node || !capture || !recorded || !capacity || !count) {
+      return Errc::corruption;
+    }
+    r.node_id = *node;
+    r.capture_ns = *capture;
+    r.recorded = *recorded;
+    r.capacity = *capacity;
+    r.spans.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      trace::Span s;
+      auto trace_id = dec.u64();
+      auto span_id = dec.u64();
+      auto parent = dec.u64();
+      auto span_node = dec.u32();
+      auto name = dec.str();
+      auto rpc = dec.u16();
+      auto attempt = dec.u32();
+      auto thread = dec.u32();
+      auto start = dec.u64();
+      auto dur = dec.u64();
+      if (!trace_id || !span_id || !parent || !span_node || !name || !rpc ||
+          !attempt || !thread || !start || !dur) {
+        return Errc::corruption;
+      }
+      s.trace_id = *trace_id;
+      s.span_id = *span_id;
+      s.parent_span_id = *parent;
+      s.node_id = *span_node;
+      s.name = std::string(*name);
+      s.rpc_id = *rpc;
+      s.attempt = *attempt;
+      s.thread = *thread;
+      s.start_ns = *start;
+      s.duration_ns = *dur;
+      r.spans.push_back(std::move(s));
+    }
     return r;
   }
 };

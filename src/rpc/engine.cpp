@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 
 namespace gekko::rpc {
 namespace {
@@ -36,6 +37,9 @@ Engine::Engine(net::Fabric& fabric, EngineOptions options)
   auto [id, inbox] = fabric_.register_endpoint();
   self_ = id;
   inbox_ = std::move(inbox);
+  // The process's first engine names the node for trace spans (a
+  // daemon's daemon id, a client's salted endpoint id).
+  tracer_->set_node_id_if_unset(static_cast<std::uint32_t>(self_));
   progress_ = std::thread([this] { progress_loop_(); });
 }
 
@@ -114,6 +118,12 @@ Result<std::vector<std::uint8_t>> Engine::forward(
           ? options_.max_attempts
           : 1;
   std::chrono::milliseconds backoff = options_.retry_backoff;
+  // All attempts of one logical call share one trace id (from the
+  // caller's context if a client op span is active, else minted by the
+  // first begin); each re-send is a fresh caller span tagged attempt=N
+  // so assembled trees show the retries instead of orphan traces.
+  const trace::SpanContext ctx = trace::current();
+  std::uint64_t trace_id = ctx.trace_id;
   for (std::uint32_t attempt = 0;; ++attempt) {
     const bool last = attempt + 1 >= attempts;
     std::vector<std::uint8_t> body;
@@ -122,7 +132,10 @@ Result<std::vector<std::uint8_t>> Engine::forward(
     } else {
       body = payload;  // keep a copy while retries remain
     }
-    PendingCall call = begin_forward(dest, rpc_id, std::move(body), bulk);
+    PendingCall call = begin_forward_traced_(dest, rpc_id, std::move(body),
+                                             bulk, trace_id, ctx.span_id,
+                                             attempt);
+    trace_id = call.trace_id;
     auto result = finish(call, per_attempt);
     if (result.is_ok() || last || !transient(result.code())) return result;
     retries_.fetch_add(1, std::memory_order_relaxed);
@@ -154,14 +167,36 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
                                           std::uint16_t rpc_id,
                                           std::vector<std::uint8_t> payload,
                                           net::BulkRegion bulk) {
+  // Continue the calling thread's trace when one is active (client op
+  // fan-out: every per-daemon call shares the op's trace id and
+  // parents under its span).
+  const trace::SpanContext ctx = trace::current();
+  return begin_forward_traced_(dest, rpc_id, std::move(payload),
+                               std::move(bulk), ctx.trace_id, ctx.span_id,
+                               /*attempt=*/0);
+}
+
+Engine::PendingCall Engine::begin_forward_traced_(
+    net::EndpointId dest, std::uint16_t rpc_id,
+    std::vector<std::uint8_t> payload, net::BulkRegion bulk,
+    std::uint64_t trace_id, std::uint64_t parent_span_id,
+    std::uint32_t attempt) {
   PendingCall call;
   call.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   call.rpc_id = rpc_id;
-  // Trace id: unique per attempt (seq is engine-unique, self_ makes it
-  // process-unique on a shared fabric). Forced non-zero: 0 = untraced.
-  call.trace_id =
-      mix64((static_cast<std::uint64_t>(self_) << 32) ^ call.seq);
-  if (call.trace_id == 0) call.trace_id = 1;
+  if (trace_id != 0) {
+    call.trace_id = trace_id;
+  } else {
+    // Fresh trace: unique per call (seq is engine-unique, self_ makes
+    // it process-unique on a shared fabric). Forced non-zero: 0 =
+    // untraced.
+    call.trace_id =
+        mix64((static_cast<std::uint64_t>(self_) << 32) ^ call.seq);
+    if (call.trace_id == 0) call.trace_id = 1;
+  }
+  call.span_id = trace::new_span_id();
+  call.parent_span_id = parent_span_id;
+  call.attempt = attempt;
   call.start_ns = metrics::now_ns();
   call.metrics = caller_metrics_for_(rpc_id);
   call.metrics->sent->inc();
@@ -177,6 +212,7 @@ Engine::PendingCall Engine::begin_forward(net::EndpointId dest,
   msg.rpc_id = rpc_id;
   msg.seq = call.seq;
   msg.trace_id = call.trace_id;
+  msg.parent_span = call.span_id;  // serving-side spans parent here
   msg.source = self_;
   msg.payload = std::move(payload);
   msg.bulk = bulk;
@@ -212,8 +248,9 @@ Result<std::vector<std::uint8_t>> Engine::finish(
     const std::uint64_t dur = metrics::now_ns() - call.start_ns;
     cm->inflight->sub(1);
     cm->latency->record(dur);
-    tracer_->record(call.trace_id, "rpc.caller", call.rpc_id, call.start_ns,
-                    dur);
+    tracer_->record("rpc.caller", call.trace_id, call.span_id,
+                    call.parent_span_id, call.rpc_id, call.attempt,
+                    call.start_ns, dur);
     if (!result.has_value()) {
       cm->timeouts->inc();
       cm->errors->inc();
@@ -248,12 +285,14 @@ void Engine::progress_loop_() {
 void Engine::dispatch_request_(net::Message msg) {
   Handler handler;
   std::shared_ptr<HandlerMetrics> hm;
+  std::string rpc_label;
   {
     LockGuard lock(rpc_mutex_);
     auto it = rpcs_.find(msg.rpc_id);
     if (it != rpcs_.end()) {
       handler = it->second.handler;
       hm = it->second.metrics;
+      rpc_label = it->second.name;
     }
   }
   if (!handler) {
@@ -272,23 +311,49 @@ void Engine::dispatch_request_(net::Message msg) {
   const std::uint64_t t_enq = metrics::now_ns();
   auto shared_msg = std::make_shared<net::Message>(std::move(msg));
   const bool posted = handler_pool_.post([this, handler = std::move(handler),
-                                          hm, t_enq, shared_msg] {
+                                          hm, t_enq, shared_msg,
+                                          rpc_label = std::move(rpc_label)] {
     // Attribute queueing (progress thread → handler pool pickup) and
     // service time separately: a slow op whose queue span dominates is
     // starved for handler threads, not slow to serve.
     const std::uint64_t t_start = metrics::now_ns();
     hm->queue->record(t_start - t_enq);
     hm->inflight->add(1);
-    auto result = handler(*shared_msg);
+    // The service span is minted before the handler runs so the
+    // handler's own child spans (io slices, storage, WAL) can parent
+    // under it via the thread-local context. Handlers that fan work to
+    // other threads deposit per-stage times for the watchdog line.
+    const std::uint64_t service_span = trace::new_span_id();
+    trace::stages_reset();
+    trace::stage_add("queue", t_start - t_enq);
+    Result<std::vector<std::uint8_t>> result = [&] {
+      trace::ContextGuard guard(
+          trace::enabled()
+              ? trace::SpanContext{shared_msg->trace_id, service_span}
+              : trace::SpanContext{});
+      return handler(*shared_msg);
+    }();
     const std::uint64_t t_done = metrics::now_ns();
     hm->inflight->sub(1);
     hm->latency->record(t_done - t_start);
     hm->handled->inc();
     if (!result.is_ok()) hm->errors->inc();
-    tracer_->record(shared_msg->trace_id, "rpc.queue", shared_msg->rpc_id,
-                    t_enq, t_start - t_enq);
-    tracer_->record(shared_msg->trace_id, "rpc.service", shared_msg->rpc_id,
-                    t_start, t_done - t_start);
+    tracer_->record("rpc.queue", shared_msg->trace_id, trace::new_span_id(),
+                    shared_msg->parent_span, shared_msg->rpc_id, 0, t_enq,
+                    t_start - t_enq);
+    tracer_->record("rpc.service", shared_msg->trace_id, service_span,
+                    shared_msg->parent_span, shared_msg->rpc_id, 0, t_start,
+                    t_done - t_start);
+    // Serving-side slow-op watchdog: one line with the queue/service
+    // split plus whatever stages the handler deposited (io, bulk).
+    const std::uint64_t threshold = trace::slow_op_threshold_ns();
+    if (threshold != 0 && t_done - t_enq > threshold) {
+      trace::log_slow_op(options_.name.c_str(),
+                         rpc_label.empty() ? rpc_name_(shared_msg->rpc_id)
+                                           : rpc_label,
+                         shared_msg->trace_id, t_done - t_enq,
+                         {{"service", t_done - t_start}});
+    }
     net::Message resp;
     resp.kind = net::MessageKind::response;
     resp.seq = shared_msg->seq;

@@ -107,7 +107,18 @@ class Engine {
     task::Eventual<Result<std::vector<std::uint8_t>>> eventual;
     Status send_status = Status::ok();
     /// Trace id stamped on the request (and echoed by the response).
+    /// Inherited from the calling thread's trace::current() when one is
+    /// active (so a client op's fan-out shares one trace); fresh
+    /// otherwise. Retries reuse it (attempt tags the re-sends).
     std::uint64_t trace_id = 0;
+    /// This call's caller-span id; shipped as Message::parent_span so
+    /// serving-side spans parent under it.
+    std::uint64_t span_id = 0;
+    /// Span the caller span itself parents under (the client op span),
+    /// 0 for a root.
+    std::uint64_t parent_span_id = 0;
+    /// Retry generation (0 = first send).
+    std::uint32_t attempt = 0;
     std::uint16_t rpc_id = 0;
     std::uint64_t start_ns = 0;
     /// Non-null while the call is accountable: begin_forward() bumps
@@ -155,6 +166,8 @@ class Engine {
   /// The metric sink this engine records into (options.registry, or
   /// the global registry when unset).
   [[nodiscard]] metrics::Registry& registry() noexcept { return *registry_; }
+  /// The span sink (options.tracer, or Tracer::global() when unset).
+  [[nodiscard]] metrics::Tracer& tracer() noexcept { return *tracer_; }
 
   struct CallerMetrics {
     metrics::Counter* sent;
@@ -178,6 +191,16 @@ class Engine {
   void progress_loop_();
   [[nodiscard]] std::chrono::milliseconds jittered_(
       std::chrono::milliseconds base, std::uint64_t seed) const;
+  /// begin_forward with explicit trace lineage: `trace_id` 0 mints a
+  /// fresh one; non-zero continues an existing trace (retries, fan-out
+  /// under a client op span).
+  PendingCall begin_forward_traced_(net::EndpointId dest,
+                                    std::uint16_t rpc_id,
+                                    std::vector<std::uint8_t> payload,
+                                    net::BulkRegion bulk,
+                                    std::uint64_t trace_id,
+                                    std::uint64_t parent_span_id,
+                                    std::uint32_t attempt);
   void dispatch_request_(net::Message msg);
   void complete_response_(net::Message msg);
   CallerMetrics* caller_metrics_for_(std::uint16_t rpc_id);

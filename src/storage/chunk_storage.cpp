@@ -15,6 +15,7 @@
 
 #include "common/fileio.h"
 #include "common/hash.h"
+#include "common/trace.h"
 
 namespace gekko::storage {
 namespace {
@@ -161,6 +162,7 @@ Status ChunkStorage::write_chunk(std::string_view path,
   if (offset + data.size() > chunk_size_) {
     return Status{Errc::invalid_argument, "write crosses chunk boundary"};
   }
+  trace::ScopedSpan span(metrics::Tracer::global(), "storage.write_chunk");
   auto fd = acquire_fd_(path, chunk_id, /*create=*/true);
   if (!fd) return fd.status();
   std::size_t done = 0;
@@ -190,6 +192,7 @@ Result<std::size_t> ChunkStorage::read_chunk(std::string_view path,
   if (offset + out.size() > chunk_size_) {
     return Status{Errc::invalid_argument, "read crosses chunk boundary"};
   }
+  trace::ScopedSpan span(metrics::Tracer::global(), "storage.read_chunk");
   std::memset(out.data(), 0, out.size());
 
   auto fd = acquire_fd_(path, chunk_id, /*create=*/false);

@@ -138,6 +138,57 @@ TEST_F(FaultInjectionTest, IdempotentRetryRecoversFromDrops) {
   EXPECT_EQ(client_->retries(), 2u);
 }
 
+TEST_F(FaultInjectionTest, RetriesReuseTraceIdWithFreshAttemptSpans) {
+  // Tracing contract for the retry path: every re-send is a NEW
+  // rpc.caller span (so per-attempt latency is visible) but all
+  // attempts carry the ORIGINAL trace id — the assembled tree shows
+  // one op with three attempts, not three unrelated ops.
+  metrics::Tracer tracer(64);
+  rpc::EngineOptions opts;
+  opts.rpc_timeout = 100ms;
+  opts.max_attempts = 4;
+  opts.retry_backoff = 5ms;
+  opts.retryable = [](std::uint16_t id) { return id == kEchoRpc; };
+  opts.tracer = &tracer;
+  make_client(opts);
+
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+  client_fabric_->set_fault_injector(std::make_shared<CallbackFaultInjector>(
+      [dropped](net::EndpointId, const net::Message& msg) {
+        FaultAction a;
+        if (msg.kind == net::MessageKind::request &&
+            msg.rpc_id == kEchoRpc && dropped->fetch_add(1) < 2) {
+          a.drop = true;
+        }
+        return a;
+      }));
+
+  auto r = client_->forward(0, kEchoRpc, {9});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(client_->retries(), 2u);
+
+  std::vector<metrics::TraceSpan> callers;
+  for (const auto& s : tracer.dump()) {
+    if (std::string_view(s.name) == "rpc.caller" && s.rpc_id == kEchoRpc) {
+      callers.push_back(s);
+    }
+  }
+  ASSERT_EQ(callers.size(), 3u);  // 2 dropped attempts + 1 success
+  for (std::size_t i = 0; i < callers.size(); ++i) {
+    // dump() is oldest-first, so attempt numbers come out in order.
+    EXPECT_EQ(callers[i].attempt, i) << i;
+    EXPECT_EQ(callers[i].trace_id, callers[0].trace_id) << i;
+    EXPECT_NE(callers[i].span_id, 0u) << i;
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NE(callers[i].span_id, callers[j].span_id) << i << "," << j;
+    }
+  }
+  // The engine caches a reference to the tracer; drop it before the
+  // local sink goes out of scope.
+  client_.reset();
+  client_fabric_.reset();
+}
+
 TEST_F(FaultInjectionTest, RetryAndTimeoutCountersTrackInjectedFaults) {
   // The observability contract for fault handling: every timed-out
   // attempt shows up in rpc.timeouts, every re-send in rpc.retries —

@@ -106,11 +106,17 @@ TEST(MetricsTest, SnapshotJsonRoundTrip) {
   auto& h = reg.histogram("h.latency");
   for (std::uint64_t v = 0; v < 1000; ++v) h.record(v);
 
-  const auto snap = reg.snapshot();
+  auto snap = reg.snapshot();
+  // snapshot() stamps the capture time; the node id is stamped by
+  // whoever serves the snapshot (the daemon's endpoint id).
+  EXPECT_GT(snap.captured_ns, 0u);
+  snap.node_id = 7;
   const std::string json = snap.to_json();
   auto parsed = metrics::Snapshot::from_json(json);
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
 
+  EXPECT_EQ(parsed->node_id, 7u);
+  EXPECT_EQ(parsed->captured_ns, snap.captured_ns);
   EXPECT_EQ(parsed->counters, snap.counters);
   EXPECT_EQ(parsed->gauges, snap.gauges);
   ASSERT_EQ(parsed->histograms.size(), snap.histograms.size());
@@ -123,6 +129,12 @@ TEST(MetricsTest, SnapshotJsonRoundTrip) {
   EXPECT_EQ(back.p99, orig.p99);
   EXPECT_EQ(back.max, orig.max);
 
+  // Pre-node_id snapshots (older daemons) must still parse.
+  auto legacy = metrics::Snapshot::from_json(
+      "{\"counters\":{\"x\":1},\"gauges\":{},\"histograms\":{}}");
+  ASSERT_TRUE(legacy.is_ok()) << legacy.status().to_string();
+  EXPECT_EQ(legacy->counter_or("x"), 1u);
+
   // Malformed input must fail cleanly, not crash or mis-parse.
   EXPECT_FALSE(metrics::Snapshot::from_json("").is_ok());
   EXPECT_FALSE(metrics::Snapshot::from_json("{").is_ok());
@@ -133,20 +145,28 @@ TEST(MetricsTest, SnapshotJsonRoundTrip) {
 TEST(MetricsTest, TracerRingBufferWraparound) {
   metrics::Tracer tracer(8);
   EXPECT_EQ(tracer.capacity(), 8u);
+  tracer.set_node_id(5);
   constexpr std::uint64_t kSpans = 20;
   for (std::uint64_t i = 0; i < kSpans; ++i) {
-    tracer.record(/*trace_id=*/100 + i, "test.span",
-                  /*rpc_id=*/static_cast<std::uint16_t>(i),
+    tracer.record("test.span", /*trace_id=*/100 + i, /*span_id=*/1000 + i,
+                  /*parent_span_id=*/i, /*rpc_id=*/
+                  static_cast<std::uint16_t>(i), /*attempt=*/
+                  static_cast<std::uint32_t>(i % 3),
                   /*start_ns=*/i * 10, /*duration_ns=*/i);
   }
   EXPECT_EQ(tracer.recorded(), kSpans);
 
   const auto spans = tracer.dump();
   ASSERT_EQ(spans.size(), tracer.capacity());
-  // Ring keeps the newest `capacity` spans, oldest first.
+  // Ring keeps the newest `capacity` spans, oldest first, and every
+  // causal field must survive the wrap.
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const std::uint64_t logical = kSpans - tracer.capacity() + i;
     EXPECT_EQ(spans[i].trace_id, 100 + logical) << "slot " << i;
+    EXPECT_EQ(spans[i].span_id, 1000 + logical);
+    EXPECT_EQ(spans[i].parent_span_id, logical);
+    EXPECT_EQ(spans[i].attempt, logical % 3);
+    EXPECT_EQ(spans[i].node_id, 5u);
     EXPECT_EQ(spans[i].duration_ns, logical);
     EXPECT_STREQ(spans[i].name, "test.span");
   }
@@ -156,7 +176,10 @@ TEST(MetricsTest, TracerRingBufferWraparound) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     std::uint64_t i = kSpans;
-    while (!stop.load()) tracer.record(i++, "test.span2", 1, 0, 1);
+    while (!stop.load()) {
+      tracer.record("test.span2", i, i + 1, 0, 1, 0, 0, 1);
+      ++i;
+    }
   });
   for (int i = 0; i < 100; ++i) {
     EXPECT_LE(tracer.dump().size(), tracer.capacity());
@@ -236,14 +259,28 @@ TEST(MetricsTest, TracerCapturesQueueServiceAndCallerSpans) {
   }
   ASSERT_TRUE(saw_queue);
   EXPECT_NE(trace_id, 0u);
+  std::uint64_t caller_span = 0;
   for (const auto& s : spans) {
     if (s.trace_id != trace_id) continue;
-    if (std::string_view(s.name) == "rpc.service") saw_service = true;
-    if (std::string_view(s.name) == "rpc.caller") saw_caller = true;
+    if (std::string_view(s.name) == "rpc.caller") {
+      saw_caller = true;
+      caller_span = s.span_id;
+      EXPECT_NE(s.span_id, 0u);
+    }
     EXPECT_EQ(s.rpc_id, 3u);
   }
+  ASSERT_TRUE(saw_caller);
+  // Serving-side spans parent under the caller span shipped in the
+  // message header — the cross-process causal edge.
+  for (const auto& s : spans) {
+    if (s.trace_id != trace_id) continue;
+    if (std::string_view(s.name) == "rpc.service" ||
+        std::string_view(s.name) == "rpc.queue") {
+      if (std::string_view(s.name) == "rpc.service") saw_service = true;
+      EXPECT_EQ(s.parent_span_id, caller_span) << s.name;
+    }
+  }
   EXPECT_TRUE(saw_service);
-  EXPECT_TRUE(saw_caller);
 }
 
 class MetricsClusterTest : public ::testing::Test {
@@ -447,6 +484,10 @@ TEST_F(GkfsTopTest, RendersPerNodeTableForRealDaemonProcesses) {
       ASSERT_TRUE(resp.is_ok());
       auto snap = metrics::Snapshot::from_json(resp->metrics_json);
       ASSERT_TRUE(snap.is_ok()) << resp->metrics_json;
+      // Snapshots from a real daemon are stamped with the node that
+      // captured them and a monotonic capture time.
+      EXPECT_EQ(snap->node_id, id);
+      EXPECT_GT(snap->captured_ns, 0u);
       for (const char* g :
            {"storage.fd_cache.hits", "storage.fd_cache.misses",
             "storage.fd_cache.evictions", "storage.fd_cache.open"}) {

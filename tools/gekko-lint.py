@@ -32,6 +32,16 @@ include-hygiene  every header under src/ starts with #pragma once;
                  using the GEKKO_* annotation macros or gekko lock
                  wrappers includes common/thread_annotations.h itself
                  (not via a transitive include that may go away).
+
+span-name        span names handed to the tracer must be string
+                 literals: TraceSpan::name stores the pointer, never a
+                 copy, so a dynamically built name dangles once the
+                 ring outlives the caller. Checked at Tracer record()
+                 call sites (first argument must be a quoted literal)
+                 and at trace::ScopedSpan / OpTrace construction sites
+                 (the call must carry a literal). Forwarding helpers
+                 that re-emit a literal received as a parameter tag the
+                 line `// span-name-ok: <why>`.
 """
 
 from __future__ import annotations
@@ -51,6 +61,15 @@ ANNOTATION_USE = re.compile(
     r"\b(gekko::)?(Mutex|SharedMutex|LockGuard|WriteLockGuard"
     r"|SharedLockGuard|UniqueLock|CondVar)\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+# A record() call on a tracer-ish receiver: `tracer.record(`,
+# `tracer_->record(`, `engine_->tracer().record(`,
+# `Tracer::global().record(`. Histogram/counter record() calls have
+# non-tracer receivers and are not matched.
+SPAN_RECORD = re.compile(
+    r"(?:\b[Tt]racer\w*(?:\(\))?(?:\.|->)|\bTracer::global\(\)\.)"
+    r"record\s*\(")
+# A ScopedSpan/OpTrace RAII span being constructed (named variable).
+SPAN_SCOPED = re.compile(r"\b(?:ScopedSpan|OpTrace)\s+\w+\s*\(")
 
 # The instrumentation layer itself is the only place bare primitives
 # may live.
@@ -149,6 +168,21 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
             errors.append(
                 f"{rel}:{lineno}: relaxed: memory_order_relaxed without a "
                 f"file-level `// relaxed-ok: <justification>` comment")
+
+        if "span-name-ok:" not in raw:
+            m = SPAN_RECORD.search(code)
+            if m and not code[m.end():].lstrip().startswith('"'):
+                errors.append(
+                    f"{rel}:{lineno}: span-name: tracer record() must be "
+                    f"called with a string-literal span name (TraceSpan "
+                    f"stores the pointer); tag forwarding helpers "
+                    f"`// span-name-ok: <why>` — {raw.strip()}")
+            m = SPAN_SCOPED.search(code)
+            if m and '"' not in code[m.end():]:
+                errors.append(
+                    f"{rel}:{lineno}: span-name: ScopedSpan/OpTrace must "
+                    f"be constructed with a string-literal span name — "
+                    f"{raw.strip()}")
 
         if in_net_layer and BLOCKING.search(code) and \
                 "blocking-ok:" not in raw:

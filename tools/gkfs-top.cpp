@@ -8,19 +8,27 @@
 // exactly the situation an operator runs gkfs-top to diagnose.
 //
 //   gkfs-top <hostfile> [interval-seconds] [iterations]
+//   gkfs-top <hostfile> --traces [K] [--chrome-trace out.json]
 //
 // interval-seconds defaults to 2 (0 = poll back-to-back); iterations
-// defaults to 0 = run until interrupted.
+// defaults to 0 = run until interrupted. --traces switches to a
+// one-shot trace view: drain every daemon's span ring (trace_dump),
+// assemble cross-node causal trees, and print the K (default 10)
+// slowest by end-to-end latency; --chrome-trace additionally writes
+// Chrome Trace Event JSON for about://tracing / Perfetto.
 #include <charconv>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "net/socket_fabric.h"
 #include "proto/messages.h"
 #include "rpc/engine.h"
@@ -73,29 +81,99 @@ std::int64_t total_inflight(const gekko::metrics::Snapshot& snap) {
   return total;
 }
 
+/// One-shot --traces view: drain every daemon's span ring, assemble,
+/// print the K slowest traces (and optionally the Chrome JSON).
+int run_traces(gekko::rpc::Engine& engine,
+               const std::vector<gekko::net::EndpointId>& daemons,
+               std::size_t top_k, const char* chrome_out) {
+  gekko::trace::Assembler assembler;
+  std::size_t reachable = 0;
+  for (const auto id : daemons) {
+    auto r = engine.forward(
+        id, gekko::proto::to_wire(gekko::proto::RpcId::trace_dump), {});
+    if (!r) {
+      std::printf("node %u: down\n", id);
+      continue;
+    }
+    auto resp = gekko::proto::TraceDumpResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!resp) {
+      std::printf("node %u: bad-response\n", id);
+      continue;
+    }
+    ++reachable;
+    assembler.add_spans(resp->spans, /*clock_offset_ns=*/0);
+  }
+  if (reachable == 0) {
+    std::fprintf(stderr, "gkfs-top: no daemon reachable\n");
+    return 1;
+  }
+  const auto trees = assembler.assemble();
+  std::printf("%zu spans in %zu traces across %zu nodes\n",
+              assembler.span_count(), trees.size(), reachable);
+  if (chrome_out != nullptr) {
+    const std::string json = gekko::trace::to_chrome_json(trees);
+    std::ofstream out(chrome_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "gkfs-top: cannot write %s\n", chrome_out);
+      return 1;
+    }
+    out << json;
+    std::printf("wrote Chrome Trace JSON to %s\n", chrome_out);
+  }
+  for (const auto& tree : assembler.slowest(top_k)) {
+    std::fputs(
+        gekko::trace::format_trace(tree, gekko::proto::rpc_name).c_str(),
+        stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: gkfs-top <hostfile> [interval-seconds] "
-                 "[iterations]\n");
-    return 2;
-  }
+  const char* hostfile = nullptr;
+  const char* chrome_out = nullptr;
+  bool traces_mode = false;
+  std::uint32_t top_k = 10;
   std::uint32_t interval = 2;
   std::uint32_t iterations = 0;
-  if (argc > 2 && !parse_u32(argv[2], &interval)) {
-    std::fprintf(stderr, "gkfs-top: bad interval '%s'\n", argv[2]);
-    return 2;
+  std::uint32_t positional = 0;
+  bool bad_args = false;
+  for (int i = 1; i < argc && !bad_args; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--traces") {
+      traces_mode = true;
+      // Optional K operand.
+      if (i + 1 < argc && parse_u32(argv[i + 1], &top_k)) ++i;
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      bad_args = true;
+    } else if (positional == 0) {
+      hostfile = argv[i];
+      ++positional;
+    } else if (positional == 1 && parse_u32(argv[i], &interval)) {
+      ++positional;
+    } else if (positional == 2 && parse_u32(argv[i], &iterations)) {
+      ++positional;
+    } else {
+      bad_args = true;
+    }
   }
-  if (argc > 3 && !parse_u32(argv[3], &iterations)) {
-    std::fprintf(stderr, "gkfs-top: bad iterations '%s'\n", argv[3]);
+  if (bad_args || hostfile == nullptr) {
+    std::fprintf(stderr,
+                 "usage: gkfs-top <hostfile> [interval-seconds] "
+                 "[iterations]\n"
+                 "       gkfs-top <hostfile> --traces [K] "
+                 "[--chrome-trace out.json]\n");
     return 2;
   }
 
   // Client role: connect-only endpoint, no listener.
   auto fabric = gekko::net::SocketFabric::create(
-      argv[1], gekko::net::SocketFabricOptions{});
+      hostfile, gekko::net::SocketFabricOptions{});
   if (!fabric) {
     std::fprintf(stderr, "gkfs-top: fabric: %s\n",
                  fabric.status().to_string().c_str());
@@ -109,6 +187,9 @@ int main(int argc, char** argv) {
   gekko::rpc::Engine engine(**fabric, eopts);
 
   const auto daemons = (*fabric)->daemon_ids();
+  if (traces_mode || chrome_out != nullptr) {
+    return run_traces(engine, daemons, top_k, chrome_out);
+  }
   std::map<gekko::net::EndpointId, std::uint64_t> prev_ops;
 
   for (std::uint32_t iter = 0; iterations == 0 || iter < iterations;
