@@ -23,7 +23,7 @@
 
 #include "cluster/cluster.h"
 #include "common/units.h"
-#include "net/socket_fabric.h"
+#include "net/transport.h"
 
 using namespace gekko;
 
@@ -63,12 +63,13 @@ Result<std::vector<std::uint8_t>> read_whole(fs::Mount& mnt,
 
 int main(int argc, char** argv) {
   std::unique_ptr<cluster::Cluster> cluster;
-  std::unique_ptr<net::SocketFabric> socket_fabric;
+  std::unique_ptr<net::HostedFabric> socket_fabric;
   std::unique_ptr<fs::Mount> mnt;
 
   if (argc > 2 && std::string(argv[1]) == "--attach") {
-    // Attached mode: talk to running gkfsd processes over sockets.
-    auto fabric = net::SocketFabric::create(argv[2], {});
+    // Attached mode: talk to running gkfsd processes over Unix
+    // sockets or TCP, per the hostfile's addresses.
+    auto fabric = net::make_fabric(argv[2], {});
     if (!fabric) {
       std::fprintf(stderr, "attach failed: %s\n",
                    fabric.status().to_string().c_str());

@@ -16,13 +16,25 @@
 #include "daemon/daemon.h"
 #include "fs/mount.h"
 #include "net/fabric.h"
+#include "net/transport.h"
 
 namespace gekko::cluster {
+
+/// What the cluster's daemons and mounts talk over.
+enum class ClusterTransport {
+  loopback,  // one shared in-process LoopbackFabric (the default)
+  uds,       // one SocketFabric per daemon/mount over Unix sockets
+  tcp,       // one TcpFabric per daemon/mount over real TCP + epoll
+};
 
 struct ClusterOptions {
   std::uint32_t nodes = 4;
   std::filesystem::path root;  // one subdir per daemon is created
   daemon::DaemonOptions daemon_options;
+  /// Hosted transports write a hostfile under root/"net" and give each
+  /// daemon and each mount its own fabric instance — the whole stack
+  /// runs over real sockets while staying in one process.
+  ClusterTransport transport = ClusterTransport::loopback;
 };
 
 class Cluster {
@@ -41,10 +53,15 @@ class Cluster {
   void stop_daemon(std::uint32_t daemon_id);
 
   /// Restart a previously stopped daemon over its persisted state.
-  /// Note: the restarted daemon gets a NEW endpoint; existing mounts
-  /// keep addressing the dead one (create fresh mounts after restart).
+  /// Loopback: the restarted daemon gets a NEW endpoint; existing
+  /// mounts keep addressing the dead one (create fresh mounts after
+  /// restart). Hosted transports: the daemon re-binds its hostfile
+  /// address, so existing mounts recover by redialing.
   Status restart_daemon(std::uint32_t daemon_id);
 
+  /// The shared in-process fabric (fault plans/injectors hang off it).
+  /// Meaningful only for ClusterTransport::loopback; hosted transports
+  /// give every daemon and mount its own fabric.
   [[nodiscard]] net::LoopbackFabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return static_cast<std::uint32_t>(daemons_.size());
@@ -60,8 +77,18 @@ class Cluster {
  private:
   explicit Cluster(ClusterOptions options) : options_(std::move(options)) {}
 
+  Result<std::unique_ptr<net::HostedFabric>> make_daemon_fabric_(
+      std::uint32_t daemon_id);
+
   ClusterOptions options_;
   net::LoopbackFabric fabric_;
+  std::filesystem::path hostfile_;  // hosted transports only
+  /// Hosted transports: daemon_fabrics_[i] carries daemon i, and each
+  /// mount() gets its own client fabric (one endpoint per hosted
+  /// fabric). Both are cluster-owned: mounts must not outlive the
+  /// cluster, same contract as the loopback fabric_.
+  std::vector<std::unique_ptr<net::HostedFabric>> daemon_fabrics_;
+  std::vector<std::unique_ptr<net::HostedFabric>> client_fabrics_;
   std::vector<std::unique_ptr<daemon::GekkoDaemon>> daemons_;
   std::chrono::nanoseconds bootstrap_time_{0};
 };

@@ -60,8 +60,14 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
   if (rpc_opts.name == "engine") rpc_opts.name = "gkfs-daemon";
   if (rpc_opts.registry == nullptr) rpc_opts.registry = d->registry_;
   if (!rpc_opts.rpc_name) rpc_opts.rpc_name = proto::rpc_name;
+  // Paused: the listener binds here (clients may connect and queue
+  // requests) but nothing dispatches until every handler is in place —
+  // otherwise a fast client can have its first rpc bounced with
+  // not_supported during daemon startup.
+  rpc_opts.start_paused = true;
   d->engine_ = std::make_unique<rpc::Engine>(fabric, rpc_opts);
   d->register_handlers_();
+  d->engine_->start();
   GEKKO_INFO("daemon") << "daemon up at endpoint " << d->engine_->endpoint()
                        << " root=" << root.string();
   return d;

@@ -1,0 +1,224 @@
+// relaxed-ok: the per-call instance counter only needs uniqueness,
+// not ordering — each fetch_add returns a distinct value regardless
+// of which thread observes it first.
+#include "net/frame_codec.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+
+#include "common/codec.h"
+#include "common/hash.h"
+
+namespace gekko::net::wire {
+
+void EncodedFrame::append_iov(std::vector<iovec>* iov) const {
+  iov->push_back({const_cast<std::uint8_t*>(len_buf), kLenPrefixBytes});
+  std::size_t pos = 0;
+  for (const auto& seg : ext) {
+    if (seg.after > pos) {
+      iov->push_back({const_cast<std::uint8_t*>(scratch.data() + pos),
+                      seg.after - pos});
+      pos = seg.after;
+    }
+    iov->push_back({const_cast<std::uint8_t*>(seg.ptr), seg.len});
+  }
+  if (pos < scratch.size()) {
+    iov->push_back(
+        {const_cast<std::uint8_t*>(scratch.data() + pos), scratch.size() - pos});
+  }
+}
+
+void EncodedFrame::flatten_into(std::vector<std::uint8_t>* out) const {
+  out->reserve(out->size() + wire_bytes());
+  out->insert(out->end(), len_buf, len_buf + kLenPrefixBytes);
+  std::size_t pos = 0;
+  for (const auto& seg : ext) {
+    if (seg.after > pos) {
+      out->insert(out->end(), scratch.data() + pos, scratch.data() + seg.after);
+      pos = seg.after;
+    }
+    out->insert(out->end(), seg.ptr, seg.ptr + seg.len);
+  }
+  out->insert(out->end(), scratch.data() + pos,
+              scratch.data() + scratch.size());
+}
+
+Result<EncodedFrame> encode_frame(const Message& msg,
+                                  const BulkRegion* bulk_out,
+                                  EndpointId self,
+                                  std::uint32_t max_frame_bytes) {
+  EncodedFrame f;
+  Encoder enc(&f.scratch);
+
+  // External (not-copied) payload segments, spliced into the stream
+  // after the first `after` scratch bytes. Recorded as offsets because
+  // scratch may reallocate while encoding continues.
+  std::size_t ext_bytes = 0;
+  auto emit_bulk = [&](const std::uint8_t* ptr, std::size_t len) {
+    enc.varint(len);  // str framing: the length prefix stays in scratch
+    if (len > 0) {
+      f.ext.push_back({f.scratch.size(), ptr, len});
+      ext_bytes += len;
+    }
+  };
+
+  enc.u8(static_cast<std::uint8_t>(msg.kind));
+  enc.u16(msg.rpc_id);
+  enc.u64(msg.seq);
+  enc.u32(self);
+  enc.u64(msg.trace_id);
+  enc.u64(msg.parent_span);
+  enc.str(std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
+                           msg.payload.size()));
+
+  if (bulk_out != nullptr && bulk_out->valid()) {
+    enc.u8(kBulkResponseData);
+    const auto* ranges = bulk_out->dirty_ranges();
+    enc.varint(ranges != nullptr ? ranges->size() : 0);
+    if (ranges != nullptr) {
+      for (const auto& [off, len] : *ranges) {
+        enc.u64(off);
+        emit_bulk(bulk_out->read_ptr() + off, static_cast<std::size_t>(len));
+      }
+    }
+  } else if (msg.bulk.valid() && msg.bulk.writable()) {
+    enc.u8(kBulkWritableSize);
+    enc.u64(msg.bulk.size());
+  } else if (msg.bulk.valid()) {
+    enc.u8(kBulkReadData);
+    emit_bulk(msg.bulk.read_ptr(), msg.bulk.size());
+  } else {
+    enc.u8(kBulkNone);
+  }
+
+  // Validate on the send side: an oversized frame must fail HERE with
+  // overflow, not trip the receiver's limit and silently kill the
+  // peer's view of this connection. The check covers the total on-wire
+  // frame size, scratch plus gathered bulk.
+  f.frame_len = f.scratch.size() + ext_bytes;
+  if (f.frame_len > max_frame_bytes) {
+    return Status{Errc::overflow,
+                  "frame of " + std::to_string(f.frame_len) +
+                      " bytes exceeds max_frame_bytes " +
+                      std::to_string(max_frame_bytes)};
+  }
+  const auto frame_len32 = static_cast<std::uint32_t>(f.frame_len);
+  std::memcpy(f.len_buf, &frame_len32, kLenPrefixBytes);
+  return f;
+}
+
+Status decode_frame(std::span<const std::uint8_t> frame,
+                    std::uint32_t max_frame_bytes, DecodedFrame* out) {
+  Decoder dec(frame.data(), frame.size());
+  auto kind = dec.u8();
+  auto rpc_id = dec.u16();
+  auto seq = dec.u64();
+  auto source = dec.u32();
+  auto trace_id = dec.u64();
+  auto parent_span = dec.u64();
+  auto payload = dec.str();
+  auto bulk_mode = dec.u8();
+  if (!kind || !rpc_id || !seq || !source || !trace_id || !parent_span ||
+      !payload || !bulk_mode) {
+    return Status{Errc::corruption, "truncated frame header"};
+  }
+
+  Message& msg = out->msg;
+  msg.kind = static_cast<MessageKind>(*kind);
+  msg.rpc_id = *rpc_id;
+  msg.seq = *seq;
+  msg.source = *source;
+  msg.trace_id = *trace_id;
+  msg.parent_span = *parent_span;
+  msg.payload.assign(payload->begin(), payload->end());
+
+  out->bulk_mode = *bulk_mode;
+  out->ranges.clear();
+  switch (*bulk_mode) {
+    case kBulkNone:
+      break;
+    case kBulkReadData: {
+      auto bytes = dec.str();
+      if (!bytes) return Status{Errc::corruption, "truncated bulk data"};
+      msg.bulk = BulkRegion::adopt(
+          std::vector<std::uint8_t>(bytes->begin(), bytes->end()),
+          /*writable=*/false);
+      break;
+    }
+    case kBulkWritableSize: {
+      auto size = dec.u64();
+      if (!size) return Status{Errc::corruption, "truncated writable size"};
+      // The announced size allocates a buffer on OUR side; a hostile
+      // peer must not be able to demand more than a frame may carry.
+      if (*size > max_frame_bytes) {
+        return Status{Errc::corruption, "oversized writable-bulk size"};
+      }
+      msg.bulk = BulkRegion::adopt(
+          std::vector<std::uint8_t>(static_cast<std::size_t>(*size), 0),
+          /*writable=*/true);
+      break;
+    }
+    case kBulkResponseData: {
+      auto count = dec.varint();
+      if (!count) return Status{Errc::corruption, "truncated range count"};
+      // Each range costs >= 2 wire bytes; a count beyond what the
+      // frame could possibly hold is rejected before reserving.
+      if (*count > frame.size()) {
+        return Status{Errc::corruption, "range count exceeds frame"};
+      }
+      out->ranges.reserve(static_cast<std::size_t>(*count));
+      for (std::uint64_t r = 0; r < *count; ++r) {
+        auto off = dec.u64();
+        auto bytes = dec.str();
+        if (!off || !bytes) {
+          return Status{Errc::corruption, "truncated response range"};
+        }
+        out->ranges.push_back(
+            {*off, reinterpret_cast<const std::uint8_t*>(bytes->data()),
+             bytes->size()});
+      }
+      break;
+    }
+    default:
+      return Status{Errc::corruption, "unknown bulk mode"};
+  }
+  return Status::ok();
+}
+
+Status apply_response_ranges(const BulkRegion& region,
+                             const std::vector<ResponseRange>& ranges) {
+  // Validate EVERY range before writing any byte: a response that is
+  // even partially out of bounds is corrupt and must not leave a
+  // half-applied region behind.
+  for (const auto& r : ranges) {
+    if (!range_in_bounds(r.offset, r.len, region.size())) {
+      return Status{Errc::corruption, "response range out of bounds"};
+    }
+  }
+  for (const auto& r : ranges) {
+    std::memcpy(region.write_ptr() + r.offset, r.data, r.len);
+  }
+  return Status::ok();
+}
+
+EndpointId derive_client_endpoint_id() {
+  static const std::uint32_t salt = [] {
+    std::random_device rd;
+    return static_cast<std::uint32_t>(rd());
+  }();
+  // Per-call counter: several client fabrics in ONE process (bench
+  // harnesses, fan-in tests) must not share an endpoint id, or the
+  // daemon's (source, seq) reply keys collide and responses cross-route
+  // between them. salt+pid alone is only unique per process.
+  static std::atomic<std::uint32_t> instance{0};
+  const std::uint32_t n = instance.fetch_add(1, std::memory_order_relaxed);
+  const auto mixed = static_cast<std::uint32_t>(
+      mix64((static_cast<std::uint64_t>(salt ^ n) << 32) |
+            static_cast<std::uint32_t>(::getpid())));
+  return kClientEndpointBase | (mixed & kClientEndpointMask);
+}
+
+}  // namespace gekko::net::wire

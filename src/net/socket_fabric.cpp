@@ -9,39 +9,14 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <charconv>
 #include <cstring>
-#include <random>
 #include <thread>
 
-#include "common/codec.h"
 #include "common/fileio.h"
-#include "common/hash.h"
 #include "common/logging.h"
 
 namespace gekko::net {
 namespace {
-
-constexpr std::uint8_t kBulkNone = 0;
-constexpr std::uint8_t kBulkReadData = 1;
-constexpr std::uint8_t kBulkWritableSize = 2;
-constexpr std::uint8_t kBulkResponseData = 3;
-
-/// Client endpoint ids live in the high half of the id space (see
-/// address.h). The pid is mixed with a per-process random salt: bare
-/// pids fit in ~22 bits and recycle, so two client processes (or one
-/// client restarted) could otherwise claim the same id and have the
-/// daemon cross-route their replies.
-EndpointId client_endpoint_id() {
-  static const std::uint32_t salt = [] {
-    std::random_device rd;
-    return static_cast<std::uint32_t>(rd());
-  }();
-  const auto mixed = static_cast<std::uint32_t>(
-      mix64((static_cast<std::uint64_t>(salt) << 32) |
-            static_cast<std::uint32_t>(::getpid())));
-  return kClientEndpointBase | (mixed & kClientEndpointMask);
-}
 
 #ifndef IOV_MAX
 #define IOV_MAX 1024
@@ -116,35 +91,9 @@ Result<std::unique_ptr<SocketFabric>> SocketFabric::create(
   if (!content) return content.status();
 
   std::unique_ptr<SocketFabric> fabric(new SocketFabric(options));
-  std::size_t pos = 0;
-  while (pos < content->size()) {
-    std::size_t eol = content->find('\n', pos);
-    if (eol == std::string::npos) eol = content->size();
-    const std::string line = content->substr(pos, eol - pos);
-    pos = eol + 1;
-    if (line.empty() || line[0] == '#') continue;
-    const auto space = line.find(' ');
-    if (space == std::string::npos) {
-      return Status{Errc::invalid_argument, "bad hostfile line: " + line};
-    }
-    // from_chars, not stoul: a Result-returning factory must not throw
-    // on garbage or out-of-range ids.
-    EndpointId id = 0;
-    const char* first = line.data();
-    const char* last = first + space;
-    const auto [ptr, ec] = std::from_chars(first, last, id);
-    if (ec != std::errc() || ptr != last) {
-      return Status{Errc::invalid_argument, "bad hostfile id: " + line};
-    }
-    if (id >= kClientEndpointBase) {
-      return Status{Errc::invalid_argument,
-                    "hostfile id in client id-space: " + line};
-    }
-    fabric->hosts_[id] = line.substr(space + 1);
-  }
-  if (fabric->hosts_.empty()) {
-    return Status{Errc::invalid_argument, "empty hostfile"};
-  }
+  auto hosts = parse_hostfile(*content);
+  if (!hosts) return hosts.status();
+  fabric->hosts_ = std::move(*hosts);
   if (options.self_id != kInvalidEndpoint &&
       !fabric->hosts_.contains(options.self_id)) {
     return Status{Errc::invalid_argument, "self_id not in hostfile"};
@@ -181,10 +130,16 @@ SocketFabric::register_endpoint() {
     self_ = options_.self_id;
     if (Status st = start_listener_(); !st.is_ok()) {
       GEKKO_ERROR("net.socket") << "listener failed: " << st.to_string();
+      // Roll the registration back entirely: a retry after the caller
+      // fixes the cause (stale socket dir, permissions) must see the
+      // real error again, not the "second endpoint" guard tripping on
+      // the inbox this failed attempt left behind.
+      inbox_.reset();
+      self_ = kInvalidEndpoint;
       return {kInvalidEndpoint, nullptr};
     }
   } else {
-    self_ = client_endpoint_id();
+    self_ = wire::derive_client_endpoint_id();
   }
   return {self_, inbox_};
 }
@@ -195,20 +150,27 @@ Status SocketFabric::start_listener_() {
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status{Errc::io_error, "socket()"};
+  // Failure must not leak the fd nor leave listen_fd_ pointing at a
+  // half-configured socket a later shutdown_() would close again.
+  const auto fail = [this](Status st) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  };
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
-    return Status{Errc::invalid_argument, "socket path too long: " + path};
+    return fail(Status{Errc::invalid_argument, "socket path too long: " + path});
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    return Status{Errc::io_error,
-                  "bind " + path + ": " + std::strerror(errno)};
+    return fail(Status{Errc::io_error,
+                       "bind " + path + ": " + std::strerror(errno)});
   }
   if (::listen(listen_fd_, 64) != 0) {
-    return Status{Errc::io_error, "listen()"};
+    return fail(Status{Errc::io_error, "listen()"});
   }
   // The fd is captured by value: shutdown_() closes and overwrites
   // listen_fd_ concurrently, so the loop must never read the member.
@@ -226,121 +188,95 @@ void SocketFabric::accept_loop_(int listen_fd) {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
+      // The reader thread is assigned BEFORE the connection becomes
+      // visible in incoming_, and both happen under conn_mutex_: a
+      // concurrent shutdown_() that snapshots the maps either sees
+      // the connection with a joinable reader, or does not see it yet
+      // (and then the acceptor join covers it). Publishing first let
+      // shutdown_() skip the join and free the fabric under a reader
+      // that was still starting.
       LockGuard lock(conn_mutex_);
+      conn->reader = std::thread([this, conn] { reader_loop_(conn); });
       incoming_.push_back(conn);
     }
-    conn->reader = std::thread([this, conn] { reader_loop_(conn); });
   }
 }
 
 void SocketFabric::reader_loop_(std::shared_ptr<Connection> conn) {
   for (;;) {
-    std::uint8_t len_buf[4];
-    if (!read_all(conn->fd, len_buf, 4).is_ok()) break;
+    std::uint8_t len_buf[wire::kLenPrefixBytes];
+    if (!read_all(conn->fd, len_buf, sizeof(len_buf)).is_ok()) break;
     std::uint32_t frame_len;
-    std::memcpy(&frame_len, len_buf, 4);
-    // min: empty payload, no bulk (kind+rpc_id+seq+source+trace_id+
-    // parent_span+str-len+bulk_mode = 1+2+8+4+8+8+1+1 = 33)
-    if (frame_len < 33 || frame_len > options_.max_frame_bytes) break;
+    std::memcpy(&frame_len, len_buf, sizeof(len_buf));
+    if (frame_len < wire::kMinFrameBytes ||
+        frame_len > options_.max_frame_bytes) {
+      break;
+    }
 
     std::vector<std::uint8_t> frame(frame_len);
     if (!read_all(conn->fd, frame.data(), frame.size()).is_ok()) break;
     m_.frames_in->inc();
-    m_.bytes_in->inc(4 + frame.size());
+    m_.bytes_in->inc(wire::kLenPrefixBytes + frame.size());
 
-    Decoder dec(frame);
-    auto kind = dec.u8();
-    auto rpc_id = dec.u16();
-    auto seq = dec.u64();
-    auto source = dec.u32();
-    auto trace_id = dec.u64();
-    auto parent_span = dec.u64();
-    auto payload = dec.str();
-    auto bulk_mode = dec.u8();
-    if (!kind || !rpc_id || !seq || !source || !trace_id || !parent_span ||
-        !payload || !bulk_mode) {
+    wire::DecodedFrame decoded;
+    if (!wire::decode_frame(frame, options_.max_frame_bytes, &decoded)
+             .is_ok()) {
       break;
     }
-
-    Message msg;
-    msg.kind = static_cast<MessageKind>(*kind);
-    msg.rpc_id = *rpc_id;
-    msg.seq = *seq;
-    msg.source = *source;
-    msg.trace_id = *trace_id;
-    msg.parent_span = *parent_span;
-    msg.payload.assign(payload->begin(), payload->end());
-
-    BulkRegion writable_bulk;
-    switch (*bulk_mode) {
-      case kBulkNone:
-        break;
-      case kBulkReadData: {
-        auto bytes = dec.str();
-        if (!bytes) goto done;
-        msg.bulk = BulkRegion::adopt(
-            std::vector<std::uint8_t>(bytes->begin(), bytes->end()),
-            /*writable=*/false);
-        break;
-      }
-      case kBulkWritableSize: {
-        auto size = dec.u64();
-        if (!size || *size > options_.max_frame_bytes) goto done;
-        msg.bulk = BulkRegion::adopt(
-            std::vector<std::uint8_t>(static_cast<std::size_t>(*size), 0),
-            /*writable=*/true);
-        writable_bulk = msg.bulk;
-        break;
-      }
-      case kBulkResponseData: {
-        // Response carrying dirty ranges for one of OUR pending
-        // writable regions: apply them before delivery. Fan-out reads
-        // have SEVERAL responses filling disjoint parts of one region,
-        // so only written ranges travel.
-        auto count = dec.varint();
-        if (!count) goto done;
-        // bulk_mutex_ held across the whole application: cancel(seq)
-        // also takes it, so once a cancel returns no byte of this
-        // response can land in the caller's buffer.
-        LockGuard lock(bulk_mutex_);
-        auto it = pending_writable_.find(msg.seq);
-        for (std::uint64_t r = 0; r < *count; ++r) {
-          auto off = dec.u64();
-          auto bytes = dec.str();
-          if (!off || !bytes) goto done;
-          if (it != pending_writable_.end() &&
-              *off + bytes->size() <= it->second.region.size()) {
-            std::memcpy(it->second.region.write_ptr() + *off, bytes->data(),
-                        bytes->size());
-          }
-        }
-        if (it != pending_writable_.end()) pending_writable_.erase(it);
-        break;
-      }
-      default:
-        goto done;
-    }
-
-    if (msg.kind == MessageKind::request) {
-      // Stash the reply route (and the adopted writable buffer, whose
-      // contents must travel back).
-      PendingReply reply;
-      reply.conn = conn;
-      reply.writable_bulk = std::move(writable_bulk);
-      LockGuard lock(reply_mutex_);
-      pending_replies_[ReplyKey{msg.source, msg.seq}] = std::move(reply);
-    } else {
-      // Clean any stale pending-writable entry (response w/o bulk).
-      LockGuard lock(bulk_mutex_);
-      pending_writable_.erase(msg.seq);
-    }
-
-    if (!inbox_ || !inbox_->push(std::move(msg))) break;
+    if (!deliver_frame_(conn, std::move(decoded))) break;
   }
-done:
   ::shutdown(conn->fd, SHUT_RDWR);
   conn->dead.store(true, std::memory_order_release);
   evict_(conn);
+}
+
+bool SocketFabric::deliver_frame_(const std::shared_ptr<Connection>& conn,
+                                  wire::DecodedFrame decoded) {
+  Message msg = std::move(decoded.msg);
+  BulkRegion writable_bulk;
+  if (decoded.bulk_mode == wire::kBulkWritableSize) writable_bulk = msg.bulk;
+
+  if (decoded.bulk_mode == wire::kBulkResponseData) {
+    // Response carrying dirty ranges for one of OUR pending writable
+    // regions: apply them before delivery. Fan-out reads have SEVERAL
+    // responses filling disjoint parts of one region, so only written
+    // ranges travel.
+    //
+    // bulk_mutex_ held across the whole application: cancel(seq) also
+    // takes it, so once a cancel returns no byte of this response can
+    // land in the caller's buffer.
+    LockGuard lock(bulk_mutex_);
+    auto it = pending_writable_.find(msg.seq);
+    if (it != pending_writable_.end()) {
+      if (!wire::apply_response_ranges(it->second.region, decoded.ranges)
+               .is_ok()) {
+        // A range outside the region it was handed is a corrupt or
+        // hostile peer: kill the connection instead of silently
+        // skipping the range (the caller would read stale bytes and
+        // never learn).
+        return false;
+      }
+      pending_writable_.erase(it);
+    }
+    // No pending entry (cancelled or timed out): ranges are dropped —
+    // the caller already reclaimed the buffer.
+  }
+
+  if (msg.kind == MessageKind::request) {
+    // Stash the reply route (and the adopted writable buffer, whose
+    // contents must travel back).
+    PendingReply reply;
+    reply.conn = conn;
+    reply.writable_bulk = std::move(writable_bulk);
+    LockGuard lock(reply_mutex_);
+    pending_replies_[ReplyKey{msg.source, msg.seq}] = std::move(reply);
+  } else {
+    // Clean any stale pending-writable entry (response w/o bulk).
+    LockGuard lock(bulk_mutex_);
+    pending_writable_.erase(msg.seq);
+  }
+
+  return inbox_ && inbox_->push(std::move(msg));
 }
 
 void SocketFabric::park_zombie_locked_(
@@ -405,101 +341,24 @@ void SocketFabric::cancel(std::uint64_t seq) {
 
 Status SocketFabric::write_frame_(Connection& conn, const Message& msg,
                                   const BulkRegion* bulk_out) {
-  // Zero-copy framing: only header/metadata bytes (including the varint
-  // length prefixes of bulk strings) are built in the scratch buffer.
-  // Bulk payload bytes are gathered straight out of the exposed region
-  // by sendmsg, so an N-MiB transfer never transits a temporary frame.
-  // The byte stream is identical to what a single flat encode produces
-  // — the receiver is unchanged.
-  std::vector<std::uint8_t> scratch;
-  Encoder enc(&scratch);
+  // Zero-copy framing (wire::encode_frame): only header/metadata bytes
+  // are built in the scratch buffer; bulk payload bytes are gathered
+  // straight out of the exposed region by sendmsg, so an N-MiB
+  // transfer never transits a temporary frame.
+  auto frame = wire::encode_frame(msg, bulk_out, self_,
+                                  options_.max_frame_bytes);
+  if (!frame) return frame.status();
 
-  // External (not-copied) payload segments, spliced into the stream
-  // after the first `after` scratch bytes. Recorded as offsets because
-  // scratch may reallocate while encoding continues.
-  struct ExtSegment {
-    std::size_t after;
-    const std::uint8_t* ptr;
-    std::size_t len;
-  };
-  std::vector<ExtSegment> ext;
-  std::size_t ext_bytes = 0;
-  auto emit_bulk = [&](const std::uint8_t* ptr, std::size_t len) {
-    enc.varint(len);  // str framing: the length prefix stays in scratch
-    if (len > 0) {
-      ext.push_back({scratch.size(), ptr, len});
-      ext_bytes += len;
-    }
-  };
-
-  enc.u8(static_cast<std::uint8_t>(msg.kind));
-  enc.u16(msg.rpc_id);
-  enc.u64(msg.seq);
-  enc.u32(self_);
-  enc.u64(msg.trace_id);
-  enc.u64(msg.parent_span);
-  enc.str(std::string_view(reinterpret_cast<const char*>(msg.payload.data()),
-                           msg.payload.size()));
-
-  if (bulk_out != nullptr && bulk_out->valid()) {
-    enc.u8(kBulkResponseData);
-    const auto* ranges = bulk_out->dirty_ranges();
-    enc.varint(ranges != nullptr ? ranges->size() : 0);
-    if (ranges != nullptr) {
-      for (const auto& [off, len] : *ranges) {
-        enc.u64(off);
-        emit_bulk(bulk_out->read_ptr() + off, static_cast<std::size_t>(len));
-      }
-    }
-  } else if (msg.bulk.valid() && msg.bulk.writable()) {
-    enc.u8(kBulkWritableSize);
-    enc.u64(msg.bulk.size());
-  } else if (msg.bulk.valid()) {
-    enc.u8(kBulkReadData);
-    emit_bulk(msg.bulk.read_ptr(), msg.bulk.size());
-  } else {
-    enc.u8(kBulkNone);
-  }
-
-  // Validate on the send side: an oversized frame must fail HERE with
-  // overflow, not trip the receiver's limit and silently kill the
-  // peer's view of this connection. The check covers the total on-wire
-  // frame size, scratch plus gathered bulk.
-  const std::size_t frame_len = scratch.size() + ext_bytes;
-  if (frame_len > options_.max_frame_bytes) {
-    return Status{Errc::overflow,
-                  "frame of " + std::to_string(frame_len) +
-                      " bytes exceeds max_frame_bytes " +
-                      std::to_string(options_.max_frame_bytes)};
-  }
-
-  std::uint8_t len_buf[4];
-  const auto frame_len32 = static_cast<std::uint32_t>(frame_len);
-  std::memcpy(len_buf, &frame_len32, 4);
-
-  // Materialize the iovec list only now: scratch's storage is stable
-  // once encoding is complete.
   std::vector<iovec> iov;
-  iov.reserve(ext.size() * 2 + 2);
-  iov.push_back({len_buf, 4});
-  std::size_t pos = 0;
-  for (const auto& seg : ext) {
-    if (seg.after > pos) {
-      iov.push_back({scratch.data() + pos, seg.after - pos});
-      pos = seg.after;
-    }
-    iov.push_back({const_cast<std::uint8_t*>(seg.ptr), seg.len});
-  }
-  if (pos < scratch.size()) {
-    iov.push_back({scratch.data() + pos, scratch.size() - pos});
-  }
+  iov.reserve(frame->segment_count() * 2 + 2);
+  frame->append_iov(&iov);
 
   LockGuard lock(conn.write_mutex);
   Status st = writev_all(conn.fd, iov);
   if (st.is_ok()) {
     m_.frames_out->inc();
-    m_.bytes_out->inc(4 + frame_len);
-    m_.writev_segments->inc(ext.size());
+    m_.bytes_out->inc(frame->wire_bytes());
+    m_.writev_segments->inc(frame->segment_count());
   }
   return st;
 }
@@ -519,10 +378,17 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     return Status{Errc::disconnected, "unknown endpoint id"};
   }
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return Status{Errc::io_error, "socket()"};
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
+  // Same length check as the listener side: silently truncating would
+  // dial a wrong (likely nonexistent) socket and report the confusing
+  // connect error instead of the actual misconfiguration.
+  if (host->second.size() >= sizeof(addr.sun_path)) {
+    return Status{Errc::invalid_argument,
+                  "socket path too long: " + host->second};
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status{Errc::io_error, "socket()"};
   std::strncpy(addr.sun_path, host->second.c_str(),
                sizeof(addr.sun_path) - 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {

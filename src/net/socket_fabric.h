@@ -25,6 +25,8 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "net/fabric.h"
+#include "net/frame_codec.h"
+#include "net/transport.h"
 
 namespace gekko::net {
 
@@ -40,7 +42,7 @@ struct SocketFabricOptions {
   std::uint32_t max_frame_bytes = 1u << 30;
 };
 
-class SocketFabric final : public Fabric {
+class SocketFabric final : public HostedFabric {
  public:
   /// Parse a hostfile and construct a fabric for one process.
   static Result<std::unique_ptr<SocketFabric>> create(
@@ -70,7 +72,7 @@ class SocketFabric final : public Fabric {
   [[nodiscard]] TrafficStats stats() const override;
 
   /// Endpoint ids of all daemons listed in the hostfile, ascending.
-  [[nodiscard]] std::vector<EndpointId> daemon_ids() const {
+  [[nodiscard]] std::vector<EndpointId> daemon_ids() const override {
     std::vector<EndpointId> out;
     out.reserve(hosts_.size());
     for (const auto& [id, path] : hosts_) out.push_back(id);
@@ -100,6 +102,11 @@ class SocketFabric final : public Fabric {
   Status start_listener_();
   void accept_loop_(int listen_fd);
   void reader_loop_(std::shared_ptr<Connection> conn);
+  /// Route one decoded frame: apply response bulk (killing the
+  /// connection on out-of-range ranges), stash the reply route, push
+  /// to the inbox. False = connection must die.
+  bool deliver_frame_(const std::shared_ptr<Connection>& conn,
+                      wire::DecodedFrame decoded);
   Result<std::shared_ptr<Connection>> connect_to_(EndpointId dest);
   Status write_frame_(Connection& conn, const Message& msg,
                       const BulkRegion* bulk_out);

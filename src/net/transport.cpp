@@ -1,0 +1,135 @@
+#include "net/transport.h"
+
+#include <charconv>
+
+#include "common/fileio.h"
+#include "net/address.h"
+#include "net/socket_fabric.h"
+#include "net/tcp_fabric.h"
+
+namespace gekko::net {
+
+Result<Transport> parse_transport(std::string_view name) {
+  if (name == "auto") return Transport::autodetect;
+  if (name == "uds") return Transport::uds;
+  if (name == "tcp") return Transport::tcp;
+  return Status{Errc::invalid_argument,
+                "unknown transport (want auto|uds|tcp): " + std::string(name)};
+}
+
+const char* transport_name(Transport t) noexcept {
+  switch (t) {
+    case Transport::autodetect:
+      return "auto";
+    case Transport::uds:
+      return "uds";
+    case Transport::tcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+bool looks_like_tcp_address(std::string_view address) {
+  if (address.find('/') != std::string_view::npos) return false;
+  const auto colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return false;
+  }
+  const std::string_view port = address.substr(colon + 1);
+  std::uint16_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port.data(), port.data() + port.size(), value);
+  return ec == std::errc{} && ptr == port.data() + port.size();
+}
+
+Result<std::map<EndpointId, std::string>> parse_hostfile(
+    const std::string& content) {
+  std::map<EndpointId, std::string> hosts;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status{Errc::invalid_argument, "bad hostfile line: " + line};
+    }
+    // from_chars, not stoul: a Result-returning factory must not throw
+    // on garbage or out-of-range ids.
+    EndpointId id = 0;
+    const char* first = line.data();
+    const char* last = first + space;
+    const auto [ptr, ec] = std::from_chars(first, last, id);
+    if (ec != std::errc() || ptr != last) {
+      return Status{Errc::invalid_argument, "bad hostfile id: " + line};
+    }
+    if (id >= kClientEndpointBase) {
+      return Status{Errc::invalid_argument,
+                    "hostfile id in client id-space: " + line};
+    }
+    hosts[id] = line.substr(space + 1);
+  }
+  if (hosts.empty()) {
+    return Status{Errc::invalid_argument, "empty hostfile"};
+  }
+  return hosts;
+}
+
+Result<std::unique_ptr<HostedFabric>> make_fabric(
+    const std::filesystem::path& hostfile, const MakeFabricOptions& options) {
+  auto content = io::read_file(hostfile);
+  if (!content) return content.status();
+  auto hosts = parse_hostfile(*content);
+  if (!hosts) return hosts.status();
+
+  Transport transport = options.transport;
+  if (transport == Transport::autodetect) {
+    // TCP only when EVERY address reads as host:port; a mixed hostfile
+    // lands on UDS and fails loudly at the first socket-path connect.
+    transport = Transport::tcp;
+    for (const auto& [id, address] : *hosts) {
+      if (!looks_like_tcp_address(address)) {
+        transport = Transport::uds;
+        break;
+      }
+    }
+  } else {
+    // An explicit transport that contradicts the hostfile is a
+    // misconfiguration; fail it here with the offending address rather
+    // than at connect time with a confusing resolve/ENOENT error.
+    for (const auto& [id, address] : *hosts) {
+      const bool is_tcp = looks_like_tcp_address(address);
+      if (transport == Transport::tcp && !is_tcp) {
+        return Status{Errc::invalid_argument,
+                      "hostfile address is not host:port: " + address};
+      }
+      if (transport == Transport::uds && is_tcp) {
+        return Status{Errc::invalid_argument,
+                      "hostfile address is not a socket path: " + address};
+      }
+    }
+  }
+
+  if (transport == Transport::tcp) {
+    TcpFabricOptions topt;
+    topt.self_id = options.self_id;
+    topt.max_frame_bytes = options.max_frame_bytes;
+    if (options.tcp_event_loops != 0) {
+      topt.event_loops = options.tcp_event_loops;
+    }
+    auto fabric = TcpFabric::create(hostfile, topt);
+    if (!fabric) return fabric.status();
+    return std::unique_ptr<HostedFabric>(std::move(*fabric));
+  }
+  SocketFabricOptions sopt;
+  sopt.self_id = options.self_id;
+  sopt.max_frame_bytes = options.max_frame_bytes;
+  auto fabric = SocketFabric::create(hostfile, sopt);
+  if (!fabric) return fabric.status();
+  return std::unique_ptr<HostedFabric>(std::move(*fabric));
+}
+
+}  // namespace gekko::net

@@ -1,0 +1,76 @@
+// Transport selection for hostfile-based fabrics.
+//
+// A deployment picks its transport through the hostfile: each line is
+// "<endpoint-id> <address>", where the address is either a Unix-domain
+// socket path (starts with '/' or '.') or a TCP "host:port". All lines
+// of one hostfile must use the same address family — daemons and
+// clients sharing a hostfile must land on the same transport.
+//
+// make_fabric() sniffs the hostfile (or honors an explicit Transport)
+// and constructs the matching fabric. Everything above the transport —
+// the rpc::Engine, redial/eviction/FaultInjector machinery, trace-id
+// propagation — is keyed off net::Fabric and works unchanged on both.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "net/fabric.h"
+
+namespace gekko::net {
+
+/// A Fabric whose peers come from a hostfile: daemon ids are dense
+/// [0, n) and enumerable without a directory service. SocketFabric
+/// (UDS) and TcpFabric both implement this.
+class HostedFabric : public Fabric {
+ public:
+  /// Endpoint ids of all daemons listed in the hostfile, ascending.
+  [[nodiscard]] virtual std::vector<EndpointId> daemon_ids() const = 0;
+};
+
+enum class Transport {
+  autodetect,  // sniff from the hostfile's address syntax
+  uds,         // Unix-domain sockets (SocketFabric)
+  tcp,         // TCP with an epoll event loop (TcpFabric)
+};
+
+/// "auto" | "uds" | "tcp" (what gkfsd's --transport flag accepts).
+Result<Transport> parse_transport(std::string_view name);
+[[nodiscard]] const char* transport_name(Transport t) noexcept;
+
+/// True if `address` reads as "host:port" (a numeric port after the
+/// last ':', no '/' anywhere) rather than a filesystem socket path.
+[[nodiscard]] bool looks_like_tcp_address(std::string_view address);
+
+/// Parse hostfile content into id -> address. Rejects ids that are
+/// garbage, out of range, or inside the client id-space, and lines
+/// without an address. Blank lines and '#' comments are skipped.
+Result<std::map<EndpointId, std::string>> parse_hostfile(
+    const std::string& content);
+
+struct MakeFabricOptions {
+  /// Daemon role: serve on the hostfile entry for `self_id`.
+  /// Client role (kInvalidEndpoint): connect-only.
+  EndpointId self_id = kInvalidEndpoint;
+  /// See SocketFabricOptions::max_frame_bytes.
+  std::uint32_t max_frame_bytes = 1u << 30;
+  Transport transport = Transport::autodetect;
+  /// TCP only: epoll event-loop threads (0 = default).
+  std::size_t tcp_event_loops = 0;
+};
+
+/// Read + parse the hostfile and construct the matching fabric.
+/// Transport::autodetect picks TCP when every address looks like
+/// "host:port", UDS otherwise; an explicit transport that contradicts
+/// the hostfile's addresses fails here with invalid_argument naming
+/// the offending address.
+Result<std::unique_ptr<HostedFabric>> make_fabric(
+    const std::filesystem::path& hostfile, const MakeFabricOptions& options);
+
+}  // namespace gekko::net

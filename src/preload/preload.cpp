@@ -52,7 +52,7 @@
 #include "cluster/cluster.h"
 #include "common/thread_annotations.h"
 #include "fs/mount.h"
-#include "net/socket_fabric.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -94,7 +94,7 @@ using openat_fn = int (*)(int, const char*, int, ...);
 struct ShimState {
   std::string mount_prefix;  // e.g. "/gkfs"
   std::unique_ptr<gekko::cluster::Cluster> cluster;        // embedded mode
-  std::unique_ptr<gekko::net::SocketFabric> socket_fabric;  // attached mode
+  std::unique_ptr<gekko::net::HostedFabric> socket_fabric;  // attached mode
   std::unique_ptr<gekko::fs::Mount> mount;
   bool enabled = false;
   // dup2(gkfs_fd, n) aliases a LOW (kernel-range) fd to a GekkoFS fd —
@@ -121,9 +121,9 @@ void init_shim() {
 
   if (const char* hostfile = ::getenv("GKFS_HOSTFILE")) {
     // ATTACHED mode: connect to running gkfsd daemon processes over
-    // Unix sockets (concurrent client processes are safe — the daemons
-    // own all state).
-    auto fabric = gekko::net::SocketFabric::create(hostfile, {});
+    // Unix sockets or TCP, per the hostfile's addresses (concurrent
+    // client processes are safe — the daemons own all state).
+    auto fabric = gekko::net::make_fabric(hostfile, {});
     if (!fabric) {
       std::fprintf(stderr, "[gkfs-preload] hostfile: %s\n",
                    fabric.status().to_string().c_str());

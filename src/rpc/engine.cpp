@@ -40,6 +40,13 @@ Engine::Engine(net::Fabric& fabric, EngineOptions options)
   // The process's first engine names the node for trace spans (a
   // daemon's daemon id, a client's salted endpoint id).
   tracer_->set_node_id_if_unset(static_cast<std::uint32_t>(self_));
+  if (!options_.start_paused) {
+    progress_ = std::thread([this] { progress_loop_(); });
+  }
+}
+
+void Engine::start() {
+  if (stopped_.load() || progress_.joinable()) return;
   progress_ = std::thread([this] { progress_loop_(); });
 }
 

@@ -69,6 +69,13 @@ struct EngineOptions {
   /// (`rpc.caller.<name>.sent` etc.). Unset = "id<N>". The handler
   /// side gets its names from register_rpc().
   std::function<std::string(std::uint16_t)> rpc_name;
+  /// Bind the endpoint in the constructor but hold back dispatch until
+  /// start(). Servers that register_rpc() after construction use this
+  /// to close the accept-before-handlers window: without it a client
+  /// that connects the moment the listener appears can have a valid
+  /// request bounced with not_supported. Early frames queue in the
+  /// fabric inbox and dispatch on start().
+  bool start_paused = false;
 };
 
 class Engine {
@@ -82,6 +89,11 @@ class Engine {
   /// Register a handler for an RPC id. Must happen before requests for
   /// that id arrive; re-registration replaces (single-threaded setup).
   void register_rpc(std::uint16_t rpc_id, std::string name, Handler handler);
+
+  /// Begin dispatching when constructed with start_paused. Call once
+  /// from the constructing thread after registration; no-op when the
+  /// engine already runs or has shut down.
+  void start();
 
   /// Send a request and block for the response payload.
   /// Errc::timed_out if no response within the deadline;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/lockdep.h"
@@ -317,6 +318,27 @@ TEST_F(RpcTest, PipelinedBeginFinish) {
     ASSERT_TRUE(r.is_ok());
     EXPECT_EQ((*r)[0], i);
   }
+}
+
+// Regression for the daemon startup window: the listener binds before
+// handlers exist, so a fast client's first rpc used to bounce with
+// not_supported. With start_paused the early request queues in the
+// inbox and dispatches once the owner calls start().
+TEST_F(RpcTest, StartPausedHoldsDispatchUntilHandlersRegistered) {
+  rpc::Engine server(fabric_, {.name = "server", .start_paused = true});
+  rpc::Engine client(fabric_, {.name = "client"});
+
+  // Sent while the server accepts traffic but has no handlers yet.
+  auto call = client.begin_forward(server.endpoint(), 1, {7});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  server.register_rpc(1, "echo", [](const net::Message& msg) {
+    return Result<std::vector<std::uint8_t>>(msg.payload);
+  });
+  server.start();
+  auto r = client.finish(call);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ((*r)[0], 7);
 }
 
 }  // namespace

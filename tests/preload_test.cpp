@@ -10,13 +10,35 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
 
+/// The sanitizer runtime the test binary itself runs under, found via
+/// /proc/self/maps. An ASan-instrumented shim can only be preloaded
+/// into an uninstrumented binary (cp, cat, ...) if the runtime comes
+/// first in LD_PRELOAD — the loader error says exactly that.
+[[maybe_unused]] std::string mapped_runtime(const std::string& needle) {
+  std::ifstream maps("/proc/self/maps");
+  std::string line;
+  while (std::getline(maps, line)) {
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) continue;
+    const auto start = line.rfind(' ', pos);
+    if (start == std::string::npos) continue;
+    return line.substr(start + 1);
+  }
+  return {};
+}
+
 class PreloadTest : public ::testing::Test {
  protected:
   void SetUp() override {
+#if defined(__SANITIZE_THREAD__)
+    GTEST_SKIP() << "TSan cannot be injected into uninstrumented "
+                    "system binaries via LD_PRELOAD";
+#endif
     lib_ = GKFS_PRELOAD_LIB;
     if (!std::filesystem::exists(lib_)) {
       GTEST_SKIP() << "preload library not built: " << lib_;
@@ -40,7 +62,19 @@ class PreloadTest : public ::testing::Test {
   /// rank bug (the alias lock is entered via interposition from
   /// arbitrary stacks, so it must rank as a leaf; see lockdep.h).
   int run(const std::string& cmd) {
-    const std::string full = "LD_PRELOAD=" + lib_ + " GEKKO_LOCKDEP=1" +
+    std::string preload = lib_;
+    std::string san_env;
+#if defined(__SANITIZE_ADDRESS__)
+    // The shim is ASan-instrumented, so the ASan runtime must be the
+    // first preloaded object in the (uninstrumented) system binary.
+    // Leak checking cp/cat is not the point of this test — the shim's
+    // process-lifetime mount/fabric singletons would dominate.
+    const std::string asan = mapped_runtime("libasan");
+    if (!asan.empty()) preload = asan + ":" + preload;
+    san_env = " ASAN_OPTIONS=detect_leaks=0:verify_asan_link_order=0";
+#endif
+    const std::string full = "LD_PRELOAD=" + preload + " GEKKO_LOCKDEP=1" +
+                             san_env +
                              " GKFS_MOUNT=/gkfs GKFS_ROOT=" + root_.string() +
                              " " + cmd;
     const int rc = std::system(full.c_str());
@@ -89,6 +123,13 @@ TEST_F(PreloadTest, MkdirLsStatRm) {
 }
 
 TEST_F(PreloadTest, DdBothDirections) {
+#if defined(__SANITIZE_ADDRESS__)
+  // dd calls aligned_alloc(4096, bs) with bs not a multiple of the
+  // alignment — fine under glibc, UB per C11 — and ASan's allocator
+  // hard-aborts on it. Nothing to do with the shim; the other system
+  // binaries keep covering the interposition path under ASan.
+  GTEST_SKIP() << "dd's aligned_alloc use trips ASan's allocator";
+#endif
   const auto src = scratch_ / "block.bin";
   std::ofstream(src) << std::string(3000, 'G');
 

@@ -4,20 +4,91 @@
 // gkfsd daemons.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
+#include <functional>
+#include <optional>
+#include <thread>
 
 #include "client/client.h"
+#include "common/codec.h"
 #include "common/metrics.h"
 #include "daemon/daemon.h"
 #include "fs/mount.h"
+#include "net/frame_codec.h"
 #include "net/socket_fabric.h"
 #include "rpc/engine.h"
 
 namespace gekko {
 namespace {
+
+// --- raw-socket helpers for the hostile-peer tests ---------------------
+
+int dial_uds(const std::filesystem::path& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, buf + off, len - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Builds a complete wire frame (length prefix + body) whose header is
+// well-formed; `bulk` appends the hostile bulk section.
+std::vector<std::uint8_t> hostile_frame(
+    net::MessageKind kind, std::uint64_t seq, std::uint32_t source,
+    const std::function<void(Encoder&)>& bulk) {
+  std::vector<std::uint8_t> body;
+  Encoder enc(&body);
+  enc.u8(static_cast<std::uint8_t>(kind));
+  enc.u16(7);  // rpc id — irrelevant, the frame dies in the fabric
+  enc.u64(seq);
+  enc.u32(source);
+  enc.u64(0);  // trace id
+  enc.u64(0);  // parent span
+  enc.str("");
+  bulk(enc);
+  std::vector<std::uint8_t> out(net::wire::kLenPrefixBytes);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  std::memcpy(out.data(), &len, sizeof(len));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::uint64_t wait_for_increase(metrics::Counter& c, std::uint64_t floor) {
+  for (int i = 0; i < 2000 && c.value() <= floor; ++i) ::usleep(1000);
+  return c.value();
+}
 
 class SocketFabricTest : public ::testing::Test {
  protected:
@@ -316,6 +387,12 @@ TEST_F(SocketFabricTest, DaemonRestartRecovery) {
   // Kill a daemon process out from under a live client, restart it on
   // the same data root, and verify the client's idempotent calls
   // (stat/read) recover transparently via reconnect + retry.
+#if defined(__SANITIZE_THREAD__)
+  // The restart forks while the parent's client fabric threads run;
+  // the child then starts its own threads, which TSan hard-rejects
+  // ("starting new threads after multi-threaded fork").
+  GTEST_SKIP() << "fork+threads unsupported under TSan";
+#endif
   auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
   ASSERT_TRUE(hostfile.is_ok());
   const auto sock = dir_ / "gkfsd.0.sock";
@@ -392,6 +469,214 @@ TEST_F(SocketFabricTest, DaemonRestartRecovery) {
 
   ::kill(daemon_pid, SIGKILL);
   ::waitpid(daemon_pid, &status, 0);
+}
+
+// --- hostile-peer / malformed-frame suite ------------------------------
+//
+// A fabric listener is reachable by anything that can open its socket;
+// a malformed frame must kill ONLY the offending connection, never the
+// listener and never another client's session.
+
+class MalformedFrameTest : public SocketFabricTest {
+ protected:
+  // Server fabric + echo engine at id 0, listening on dir_'s hostfile.
+  void start_server() {
+    auto hostfile = net::SocketFabric::write_hostfile(dir_, 1);
+    ASSERT_TRUE(hostfile.is_ok());
+    hostfile_ = *hostfile;
+    auto fabric = net::SocketFabric::create(
+        hostfile_, net::SocketFabricOptions{.self_id = 0});
+    ASSERT_TRUE(fabric.is_ok());
+    server_fabric_ = std::move(*fabric);
+    server_ = std::make_unique<rpc::Engine>(
+        *server_fabric_, rpc::EngineOptions{.name = "hostile-server"});
+    server_->register_rpc(1, "echo", [](const net::Message& msg) {
+      return Result<std::vector<std::uint8_t>>(msg.payload);
+    });
+  }
+
+  // The listener must survive a hostile peer: a fresh, well-behaved
+  // client still gets service afterwards.
+  void expect_server_alive() {
+    auto client_fabric = net::SocketFabric::create(hostfile_, {});
+    ASSERT_TRUE(client_fabric.is_ok());
+    rpc::Engine client(**client_fabric,
+                       rpc::EngineOptions{.name = "post-attack-client"});
+    auto resp = client.forward(0, 1, {42});
+    ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+    EXPECT_EQ((*resp)[0], 42);
+  }
+
+  void expect_frame_evicts(const std::vector<std::uint8_t>& frame) {
+    auto& evictions =
+        metrics::Registry::global().counter("net.socket.evictions");
+    const auto before = evictions.value();
+    const int fd = dial_uds(dir_ / "gkfsd.0.sock");
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, frame));
+    EXPECT_GT(wait_for_increase(evictions, before), before)
+        << "hostile frame did not evict the connection";
+    ::close(fd);
+    expect_server_alive();
+  }
+
+  std::filesystem::path hostfile_;
+  std::unique_ptr<net::SocketFabric> server_fabric_;
+  std::unique_ptr<rpc::Engine> server_;
+};
+
+TEST_F(MalformedFrameTest, TruncatedBulkSectionEvictsPeer) {
+  start_server();
+  // Announces inline bulk data, then ends the frame before the byte
+  // string: decode must fail as corruption, not read past the buffer.
+  expect_frame_evicts(
+      hostile_frame(net::MessageKind::request, 1, 0x40000001,
+                    [](Encoder& e) { e.u8(net::wire::kBulkReadData); }));
+}
+
+TEST_F(MalformedFrameTest, TruncatedResponseRangeEvictsPeer) {
+  start_server();
+  // Claims 3 response ranges but carries only a partial first one.
+  expect_frame_evicts(hostile_frame(net::MessageKind::response, 1,
+                                    0x40000002, [](Encoder& e) {
+                                      e.u8(net::wire::kBulkResponseData);
+                                      e.varint(3);
+                                      e.u64(0);  // offset, then no data
+                                    }));
+}
+
+TEST_F(MalformedFrameTest, OversizedWritableSizeEvictsPeer) {
+  start_server();
+  // A writable-bulk announcement allocates a buffer on the RECEIVER;
+  // a hostile 2^63-byte demand must be rejected before the allocation,
+  // not tip the daemon over.
+  expect_frame_evicts(hostile_frame(
+      net::MessageKind::request, 1, 0x40000003, [](Encoder& e) {
+        e.u8(net::wire::kBulkWritableSize);
+        e.u64(std::uint64_t{1} << 63);
+      }));
+}
+
+TEST_F(MalformedFrameTest, UnknownBulkModeEvictsPeer) {
+  start_server();
+  expect_frame_evicts(hostile_frame(net::MessageKind::request, 1, 0x40000004,
+                                    [](Encoder& e) { e.u8(0xEE); }));
+}
+
+TEST_F(SocketFabricTest, WrappingResponseRangeEvictsHostileServer) {
+  // Hand-rolled hostile "daemon": accepts the client's request and
+  // replies with a response-data range whose offset sits just below
+  // 2^64, so offset + len wraps past zero. An `off + len > size` bounds
+  // check overflows and accepts it — memcpy would then scribble at
+  // write_ptr() + (2^64 - 16). The overflow-safe check rejects the
+  // range and kills the connection before a single byte lands.
+  const auto sock = dir_ / "fake.sock";
+  const auto hostfile = dir_ / "hosts.txt";
+  ASSERT_TRUE(
+      io::write_file_atomic(hostfile, "0 " + sock.string() + "\n").is_ok());
+
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  auto client_fabric = net::SocketFabric::create(hostfile, {});
+  ASSERT_TRUE(client_fabric.is_ok());
+  rpc::Engine client(
+      **client_fabric,
+      rpc::EngineOptions{.rpc_timeout = std::chrono::milliseconds(2000),
+                         .name = "wrap-victim"});
+
+  auto& evictions =
+      metrics::Registry::global().counter("net.socket.evictions");
+  const auto before = evictions.value();
+
+  std::vector<std::uint8_t> sink(4096, 0);
+  std::optional<Result<std::vector<std::uint8_t>>> resp;
+  std::thread caller([&] {
+    resp = client.forward(0, 7, {}, net::BulkRegion::expose_write(sink));
+  });
+
+  const int cfd = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(cfd, 0);
+  // Read the request to learn its seq, so the hostile response matches
+  // the client's pending writable region.
+  std::uint8_t len_buf[net::wire::kLenPrefixBytes];
+  ASSERT_TRUE(recv_all(cfd, len_buf, sizeof(len_buf)));
+  std::uint32_t req_len = 0;
+  std::memcpy(&req_len, len_buf, sizeof(req_len));
+  std::vector<std::uint8_t> req(req_len);
+  ASSERT_TRUE(recv_all(cfd, req.data(), req.size()));
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, req.data() + 3, sizeof(seq));  // [kind u8][rpc u16][seq]
+
+  ASSERT_TRUE(send_all(
+      cfd, hostile_frame(net::MessageKind::response, seq, 0,
+                         [](Encoder& e) {
+                           e.u8(net::wire::kBulkResponseData);
+                           e.varint(1);
+                           e.u64(~std::uint64_t{0} - 15);  // off + 32 wraps
+                           e.str(std::string(32, 'X'));
+                         })));
+
+  caller.join();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->is_ok());
+  EXPECT_GT(wait_for_increase(evictions, before), before);
+  // No byte of the wrapping range may have landed anywhere in the
+  // region (a partial apply would leave 'X' bytes behind).
+  for (std::size_t i = 0; i < sink.size(); ++i) ASSERT_EQ(sink[i], 0u) << i;
+
+  ::close(cfd);
+  ::close(lfd);
+}
+
+TEST_F(SocketFabricTest, ListenerFailureRollsBackRegistration) {
+  // First registration fails (socket dir does not exist); after the
+  // caller fixes the cause, a retry on the SAME fabric must see the
+  // listener start — not the one-endpoint-per-fabric guard tripping on
+  // state the failed attempt left behind.
+  const auto missing = dir_ / "not-yet" / "d0.sock";
+  const auto hostfile = dir_ / "hosts.txt";
+  ASSERT_TRUE(
+      io::write_file_atomic(hostfile, "0 " + missing.string() + "\n")
+          .is_ok());
+  auto fabric = net::SocketFabric::create(
+      hostfile, net::SocketFabricOptions{.self_id = 0});
+  ASSERT_TRUE(fabric.is_ok()) << fabric.status().to_string();
+
+  auto [id1, inbox1] = (*fabric)->register_endpoint();
+  EXPECT_EQ(id1, net::kInvalidEndpoint);
+  EXPECT_EQ(inbox1, nullptr);
+
+  ASSERT_TRUE(io::ensure_dir(dir_ / "not-yet").is_ok());
+  auto [id2, inbox2] = (*fabric)->register_endpoint();
+  EXPECT_EQ(id2, 0u);
+  EXPECT_NE(inbox2, nullptr);
+}
+
+TEST_F(SocketFabricTest, OverlongSocketPathFailsCleanly) {
+  // sun_path is ~108 bytes; a longer configured path must surface as
+  // invalid_argument on dial, not be silently truncated into a connect
+  // to some other socket.
+  const std::string long_path =
+      (dir_ / std::string(150, 'a')).string();
+  const auto hostfile = dir_ / "hosts.txt";
+  ASSERT_TRUE(
+      io::write_file_atomic(hostfile, "0 " + long_path + "\n").is_ok());
+  auto fabric = net::SocketFabric::create(hostfile, {});
+  ASSERT_TRUE(fabric.is_ok());
+  auto [id, inbox] = (*fabric)->register_endpoint();
+  ASSERT_NE(inbox, nullptr);
+  net::Message msg;
+  msg.kind = net::MessageKind::request;
+  msg.rpc_id = 1;
+  msg.seq = 1;
+  auto st = (*fabric)->send(0, std::move(msg));
+  EXPECT_EQ(st.code(), Errc::invalid_argument) << st.to_string();
 }
 
 }  // namespace

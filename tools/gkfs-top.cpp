@@ -29,7 +29,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
-#include "net/socket_fabric.h"
+#include "net/transport.h"
 #include "proto/messages.h"
 #include "rpc/engine.h"
 
@@ -172,8 +172,7 @@ int main(int argc, char** argv) {
   }
 
   // Client role: connect-only endpoint, no listener.
-  auto fabric = gekko::net::SocketFabric::create(
-      hostfile, gekko::net::SocketFabricOptions{});
+  auto fabric = gekko::net::make_fabric(hostfile, {});
   if (!fabric) {
     std::fprintf(stderr, "gkfs-top: fabric: %s\n",
                  fabric.status().to_string().c_str());

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "common/trace.h"
-#include "net/socket_fabric.h"
+#include "net/transport.h"
 #include "proto/messages.h"
 #include "rpc/engine.h"
 
@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
   }
 
   // Client role: connect-only endpoint, no listener.
-  auto fabric = gekko::net::SocketFabric::create(
-      hostfile, gekko::net::SocketFabricOptions{});
+  auto fabric = gekko::net::make_fabric(hostfile, {});
   if (!fabric) {
     std::fprintf(stderr, "gkfs-trace: fabric: %s\n",
                  fabric.status().to_string().c_str());

@@ -7,10 +7,14 @@
 // cluster: Mercury addresses).
 //
 //   gkfsd <hostfile> <self-id> <data-root> [chunk-size-bytes]
-//         [--io-threads <n>]
+//         [--io-threads <n>] [--transport auto|uds|tcp]
 //
 // --io-threads sizes the daemon's chunk-I/O pool (0 = serial in-handler
 // I/O); the default matches DaemonOptions::io_threads.
+//
+// --transport picks the fabric: "uds" for Unix-domain sockets, "tcp"
+// for TCP with the epoll event loop, "auto" (the default) sniffs the
+// hostfile — "host:port" addresses mean TCP, socket paths mean UDS.
 //
 // Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
 // lives under <data-root> and survives restarts.
@@ -27,7 +31,7 @@
 #include <vector>
 
 #include "daemon/daemon.h"
-#include "net/socket_fabric.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   std::vector<const char*> positional;
   bool have_io_threads = false;
   std::uint32_t io_threads = 0;
+  gekko::net::Transport transport = gekko::net::Transport::autodetect;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--io-threads") == 0) {
       if (i + 1 >= argc || !parse_u32(argv[i + 1], &io_threads)) {
@@ -62,6 +67,18 @@ int main(int argc, char** argv) {
       }
       have_io_threads = true;
       ++i;
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      auto parsed = i + 1 < argc
+                        ? gekko::net::parse_transport(argv[i + 1])
+                        : gekko::Result<gekko::net::Transport>(
+                              gekko::Status{gekko::Errc::invalid_argument,
+                                            "missing value"});
+      if (!parsed) {
+        std::fprintf(stderr, "gkfsd: bad --transport value\n");
+        return 2;
+      }
+      transport = *parsed;
+      ++i;
     } else {
       positional.push_back(argv[i]);
     }
@@ -69,7 +86,8 @@ int main(int argc, char** argv) {
   if (positional.size() < 3 || positional.size() > 4) {
     std::fprintf(stderr,
                  "usage: gkfsd <hostfile> <self-id> <data-root> "
-                 "[chunk-size-bytes] [--io-threads <n>]\n");
+                 "[chunk-size-bytes] [--io-threads <n>] "
+                 "[--transport auto|uds|tcp]\n");
     return 2;
   }
   const char* hostfile = positional[0];
@@ -80,9 +98,10 @@ int main(int argc, char** argv) {
   }
   const char* root = positional[2];
 
-  gekko::net::SocketFabricOptions fopts;
+  gekko::net::MakeFabricOptions fopts;
   fopts.self_id = self_id;
-  auto fabric = gekko::net::SocketFabric::create(hostfile, fopts);
+  fopts.transport = transport;
+  auto fabric = gekko::net::make_fabric(hostfile, fopts);
   if (!fabric) {
     std::fprintf(stderr, "gkfsd: fabric: %s\n",
                  fabric.status().to_string().c_str());
