@@ -40,6 +40,9 @@ echo "== check.sh: lint gate (ctest -L lint)"
 echo "== check.sh: sanitize-labeled suites"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L sanitize --output-on-failure)
 
+echo "== check.sh: telemetry suite (ctest -L telemetry)"
+(cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L telemetry --output-on-failure)
+
 echo "== check.sh: full test suite (lockdep on)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest --output-on-failure)
 

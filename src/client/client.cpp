@@ -551,6 +551,60 @@ Result<std::vector<proto::TraceDumpResponse>> Client::trace_dumps() {
   return out;
 }
 
+std::vector<std::optional<proto::HeartbeatResponse>> Client::heartbeats(
+    std::chrono::milliseconds timeout) {
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(
+        engine_->begin_forward(ep, proto::to_wire(RpcId::heartbeat), {}));
+  }
+  std::vector<std::optional<proto::HeartbeatResponse>> out;
+  out.reserve(calls.size());
+  for (auto& call : calls) {
+    auto r = timeout.count() > 0 ? engine_->finish(call, timeout)
+                                 : engine_->finish(call);
+    if (!r) {
+      out.push_back(std::nullopt);
+      continue;
+    }
+    auto decoded = proto::HeartbeatResponse::decode(std::string_view(
+        reinterpret_cast<const char*>(r->data()), r->size()));
+    out.push_back(decoded.is_ok()
+                      ? std::optional<proto::HeartbeatResponse>(*decoded)
+                      : std::nullopt);
+  }
+  return out;
+}
+
+std::vector<std::optional<proto::MetricHistoryResponse>>
+Client::metric_histories(std::string_view prefix,
+                         std::chrono::milliseconds timeout) {
+  proto::MetricHistoryRequest req{std::string(prefix)};
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::metric_history), req.encode()));
+  }
+  std::vector<std::optional<proto::MetricHistoryResponse>> out;
+  out.reserve(calls.size());
+  for (auto& call : calls) {
+    auto r = timeout.count() > 0 ? engine_->finish(call, timeout)
+                                 : engine_->finish(call);
+    if (!r) {
+      out.push_back(std::nullopt);
+      continue;
+    }
+    auto decoded = proto::MetricHistoryResponse::decode(std::string_view(
+        reinterpret_cast<const char*>(r->data()), r->size()));
+    out.push_back(decoded.is_ok() ? std::optional<proto::MetricHistoryResponse>(
+                                        std::move(*decoded))
+                                  : std::nullopt);
+  }
+  return out;
+}
+
 ClientStats Client::stats() const {
   ClientStats s;
   {

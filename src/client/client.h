@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -92,6 +93,18 @@ class Client {
   /// responses plus this process's own Tracer dump to a
   /// trace::Assembler to get cross-node causal trees.
   Result<std::vector<proto::TraceDumpResponse>> trace_dumps();
+  /// One concurrent heartbeat round, one slot per daemon (daemon-id
+  /// order). nullopt = that daemon missed (timeout/disconnect/garbage)
+  /// — unlike daemon_stats(), one dead daemon does NOT fail the round;
+  /// partial liveness is the entire point. `timeout` zero uses the
+  /// engine's rpc_timeout.
+  std::vector<std::optional<proto::HeartbeatResponse>> heartbeats(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{0});
+  /// Drain every daemon's metric_history rings (prefix-filtered
+  /// server-side). Same partial-result contract as heartbeats().
+  std::vector<std::optional<proto::MetricHistoryResponse>> metric_histories(
+      std::string_view prefix = {},
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{0});
 
   [[nodiscard]] std::uint32_t daemon_count() const noexcept {
     return static_cast<std::uint32_t>(daemons_.size());

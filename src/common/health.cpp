@@ -1,0 +1,131 @@
+#include "common/health.h"
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace gekko::health {
+
+const char* state_name(State s) noexcept {
+  switch (s) {
+    case State::alive: return "alive";
+    case State::suspect: return "suspect";
+    case State::dead: return "dead";
+  }
+  return "unknown";
+}
+
+Tracker::Tracker(Thresholds thresholds, metrics::Registry* registry)
+    : thresholds_(thresholds) {
+  if (thresholds_.suspect_after == 0) thresholds_.suspect_after = 1;
+  if (thresholds_.dead_after <= thresholds_.suspect_after) {
+    thresholds_.dead_after = thresholds_.suspect_after + 1;
+  }
+  metrics::Registry& reg =
+      registry != nullptr ? *registry : metrics::Registry::global();
+  to_alive_ = &reg.counter("health.transitions.alive");
+  to_suspect_ = &reg.counter("health.transitions.suspect");
+  to_dead_ = &reg.counter("health.transitions.dead");
+  g_alive_ = &reg.gauge("health.nodes.alive");
+  g_suspect_ = &reg.gauge("health.nodes.suspect");
+  g_dead_ = &reg.gauge("health.nodes.dead");
+}
+
+void Tracker::track(std::uint32_t node) {
+  LockGuard lock(mutex_);
+  if (nodes_.try_emplace(node).second) publish_gauges_();
+}
+
+State Tracker::record_ok(std::uint32_t node, std::uint64_t now_ns) {
+  LockGuard lock(mutex_);
+  Node& n = nodes_[node];
+  n.h.probes++;
+  n.h.last_probe_ns = now_ns;
+  n.h.last_ok_ns = now_ns;
+  // Transition first so the recovery log can report how many misses it
+  // took; the streak resets either way.
+  if (n.h.state != State::alive) set_state_(n, node, State::alive);
+  n.h.consecutive_misses = 0;
+  return n.h.state;
+}
+
+State Tracker::record_miss(std::uint32_t node, std::uint64_t now_ns) {
+  LockGuard lock(mutex_);
+  Node& n = nodes_[node];
+  n.h.probes++;
+  n.h.last_probe_ns = now_ns;
+  ++n.h.consecutive_misses;
+  if (n.h.consecutive_misses >= thresholds_.dead_after) {
+    if (n.h.state != State::dead) set_state_(n, node, State::dead);
+  } else if (n.h.consecutive_misses >= thresholds_.suspect_after) {
+    if (n.h.state == State::alive) set_state_(n, node, State::suspect);
+  }
+  return n.h.state;
+}
+
+State Tracker::state_of(std::uint32_t node) const {
+  LockGuard lock(mutex_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? State::alive : it->second.h.state;
+}
+
+NodeHealth Tracker::health_of(std::uint32_t node) const {
+  LockGuard lock(mutex_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? NodeHealth{} : it->second.h;
+}
+
+std::map<std::uint32_t, NodeHealth> Tracker::all() const {
+  LockGuard lock(mutex_);
+  std::map<std::uint32_t, NodeHealth> out;
+  for (const auto& [id, n] : nodes_) out[id] = n.h;
+  return out;
+}
+
+std::size_t Tracker::count(State s) const {
+  LockGuard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node.h.state == s) ++n;
+  }
+  return n;
+}
+
+void Tracker::set_state_(Node& n, std::uint32_t node, State to) {
+  const State from = n.h.state;
+  n.h.state = to;
+  ++n.h.transitions;
+  switch (to) {
+    case State::alive: to_alive_->inc(); break;
+    case State::suspect: to_suspect_->inc(); break;
+    case State::dead: to_dead_->inc(); break;
+  }
+  publish_gauges_();
+  // Degradations warn, recoveries inform — operators tail for "dead".
+  if (to == State::alive) {
+    GEKKO_INFO("health") << "node " << node << " " << state_name(from)
+                         << " -> " << state_name(to) << " (recovered after "
+                         << n.h.consecutive_misses << " misses)";
+  } else {
+    GEKKO_WARN("health") << "node " << node << " " << state_name(from)
+                         << " -> " << state_name(to) << " ("
+                         << n.h.consecutive_misses << " consecutive misses)";
+  }
+}
+
+void Tracker::publish_gauges_() {
+  std::int64_t alive = 0;
+  std::int64_t suspect = 0;
+  std::int64_t dead = 0;
+  for (const auto& [id, node] : nodes_) {
+    switch (node.h.state) {
+      case State::alive: ++alive; break;
+      case State::suspect: ++suspect; break;
+      case State::dead: ++dead; break;
+    }
+  }
+  g_alive_->set(alive);
+  g_suspect_->set(suspect);
+  g_dead_->set(dead);
+}
+
+}  // namespace gekko::health

@@ -1,0 +1,109 @@
+// gekko::health — per-daemon liveness state machine.
+//
+// The failure-detection primitive the replication/repair work will
+// consume (ROADMAP "Replication + online repair"): a Tracker holds one
+// state per monitored node and advances it on heartbeat outcomes fed
+// by whoever probes (rpc::HeartbeatMonitor, gkfs-mon):
+//
+//     alive --miss×suspect_after--> suspect --miss×dead_after--> dead
+//       ^                              |                           |
+//       +------------- ok (redial succeeded) ---------------------+
+//
+// Thresholds count CONSECUTIVE misses from the last success, so the
+// suspect->dead edge is "dead_after total misses", not "dead_after
+// more after suspect". Any successful probe snaps the node back to
+// alive from either degraded state (Mercury's model: the transport
+// redials transparently, so one good response IS recovery).
+//
+// Every transition is exported twice: a log line (operator tail) and
+// metric families (health.transitions.<state> counters plus
+// health.nodes.<state> gauges) so Prometheus scrapes and gkfs-mon see
+// the same truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/thread_annotations.h"
+
+namespace gekko::health {
+
+enum class State : std::uint8_t {
+  alive = 0,
+  suspect = 1,
+  dead = 2,
+};
+
+[[nodiscard]] const char* state_name(State s) noexcept;
+
+struct Thresholds {
+  /// Consecutive misses that demote alive -> suspect.
+  std::uint32_t suspect_after = 2;
+  /// Consecutive misses that demote (alive|suspect) -> dead.
+  /// Clamped to > suspect_after.
+  std::uint32_t dead_after = 4;
+};
+
+struct NodeHealth {
+  State state = State::alive;
+  std::uint32_t consecutive_misses = 0;
+  std::uint64_t probes = 0;       // total outcomes recorded
+  std::uint64_t transitions = 0;  // state changes observed
+  std::uint64_t last_ok_ns = 0;   // steady clock of last success, 0 = never
+  std::uint64_t last_probe_ns = 0;
+};
+
+/// Thread-safe liveness registry. record_ok/record_miss are the only
+/// inputs; they return the state AFTER the outcome is applied.
+class Tracker {
+ public:
+  /// `registry` sinks the transition counters and per-state gauges;
+  /// nullptr = metrics::Registry::global().
+  explicit Tracker(Thresholds thresholds = {},
+                   metrics::Registry* registry = nullptr);
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  /// Start tracking `node` (idempotent). New nodes begin alive: a
+  /// deployment's daemons are presumed up until a probe says otherwise.
+  void track(std::uint32_t node);
+
+  State record_ok(std::uint32_t node,
+                  std::uint64_t now_ns = metrics::now_ns());
+  State record_miss(std::uint32_t node,
+                    std::uint64_t now_ns = metrics::now_ns());
+
+  [[nodiscard]] State state_of(std::uint32_t node) const;
+  [[nodiscard]] NodeHealth health_of(std::uint32_t node) const;
+  [[nodiscard]] std::map<std::uint32_t, NodeHealth> all() const;
+  [[nodiscard]] std::size_t count(State s) const;
+  [[nodiscard]] const Thresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  struct Node {
+    NodeHealth h;
+  };
+
+  void set_state_(Node& n, std::uint32_t node, State to)
+      GEKKO_REQUIRES(mutex_);
+  void publish_gauges_() GEKKO_REQUIRES(mutex_);
+
+  Thresholds thresholds_;
+  // Cached metric refs: transitions INTO each state, and current node
+  // counts per state (interned once in the ctor, bumped lock-free).
+  metrics::Counter* to_alive_;
+  metrics::Counter* to_suspect_;
+  metrics::Counter* to_dead_;
+  metrics::Gauge* g_alive_;
+  metrics::Gauge* g_suspect_;
+  metrics::Gauge* g_dead_;
+  mutable Mutex mutex_{"health.tracker", lockdep::rank::kHealth};
+  std::map<std::uint32_t, Node> nodes_ GEKKO_GUARDED_BY(mutex_);
+};
+
+}  // namespace gekko::health

@@ -49,6 +49,8 @@ inline constexpr int kClientStats = 140;    // client op counters
 inline constexpr int kEngineRpcTable = 200; // handler registration table
 inline constexpr int kEngineMetrics = 210;  // caller-metrics slot fill
 inline constexpr int kEnginePending = 220;  // in-flight forward map
+inline constexpr int kHeartbeat = 250;      // heartbeat monitor lifecycle
+                                            // (probes run with it DROPPED)
 // -- fabric / transport --
 inline constexpr int kFabricInjector = 300; // fault-injector slot
 inline constexpr int kLoopback = 310;       // loopback inbox table
@@ -65,6 +67,7 @@ inline constexpr int kSocketWrite = 350;    // per-connection write lock
 inline constexpr int kTcpOut = 352;         // tcp per-connection send queue
 inline constexpr int kSocketStats = 360;    // traffic counters
 inline constexpr int kTcpStats = 362;       // tcp traffic counters
+inline constexpr int kHttpExporter = 366;   // /metrics http listener state
 inline constexpr int kBulkDirty = 370;      // BulkRegion dirty ranges
 // -- baseline --
 inline constexpr int kPfsMds = 400;         // baseline PFS namespace
@@ -83,6 +86,11 @@ inline constexpr int kLatch = 820;          // fan-out latches
 // inside, so it must rank as a leaf. Lockdep caught the original
 // rank-110 placement aborting under preload_test.
 inline constexpr int kPreloadAlias = 830;   // preload fd-alias table (leaf)
+inline constexpr int kHealth = 860;         // health tracker state machine
+                                            // (logs + bumps cached metrics
+                                            // under it; acquires kLog only)
+inline constexpr int kMetricsSampler = 870; // sampler stop/tick state
+inline constexpr int kMetricsHistory = 880; // per-family sample rings
 inline constexpr int kMetricsRegistry = 900;// metric name interning
 inline constexpr int kLog = 950;            // log line emission (leaf)
 }  // namespace rank

@@ -62,6 +62,13 @@ Snapshot Registry::snapshot() const {
   return s;
 }
 
+std::map<std::string, LatencyHistogram> Registry::histograms_full() const {
+  LockGuard lock(mutex_);
+  std::map<std::string, LatencyHistogram> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->materialize();
+  return out;
+}
+
 Registry& Registry::global() {
   static Registry* g = new Registry();  // never destroyed: recorders may
                                         // outlive static teardown order

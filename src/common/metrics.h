@@ -206,6 +206,13 @@ class Registry {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Full bucket-resolution copy of every histogram. Snapshot carries
+  /// only quantile digests; Prometheus exposition needs the cumulative
+  /// buckets themselves (prometheus.h renders them as `_bucket`
+  /// series).
+  [[nodiscard]] std::map<std::string, LatencyHistogram>
+  histograms_full() const;
+
   /// Process-wide default registry (daemons, tools, benches).
   static Registry& global();
 

@@ -1,0 +1,205 @@
+#include "common/metrics_history.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/thread_annotations.h"
+
+namespace gekko::metrics {
+
+double rate_per_sec(const SamplePoint& prev, const SamplePoint& cur) noexcept {
+  if (cur.captured_ns <= prev.captured_ns) return 0.0;
+  if (cur.value < prev.value) return 0.0;  // producer restart, not -rate
+  const double dv = static_cast<double>(cur.value - prev.value);
+  const double dt_s =
+      static_cast<double>(cur.captured_ns - prev.captured_ns) / 1e9;
+  return dv / dt_s;
+}
+
+std::uint64_t monotonic_delta(const SamplePoint& prev,
+                              const SamplePoint& cur) noexcept {
+  if (cur.value < prev.value) return 0;
+  return static_cast<std::uint64_t>(cur.value - prev.value);
+}
+
+std::uint64_t monotonic_delta(std::uint64_t prev, std::uint64_t cur) noexcept {
+  return cur < prev ? 0 : cur - prev;
+}
+
+// ---------- FamilyHistory ----------
+
+std::vector<SamplePoint> FamilyHistory::samples() const {
+  std::vector<SamplePoint> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(recorded_ - n + i) % ring_.size()]);
+  }
+  return out;
+}
+
+double FamilyHistory::latest_rate() const noexcept {
+  if (size() < 2) return 0.0;
+  return rate_per_sec(back(1), back(0));
+}
+
+double FamilyHistory::window_rate() const noexcept {
+  const std::size_t n = size();
+  if (n < 2) return 0.0;
+  // Per-interval deltas so a mid-window reset zeroes one interval only.
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    total += monotonic_delta(back(n - i), back(n - 1 - i));
+  }
+  const std::uint64_t t0 = back(n - 1).captured_ns;
+  const std::uint64_t t1 = back(0).captured_ns;
+  if (t1 <= t0) return 0.0;
+  return static_cast<double>(total) * 1e9 / static_cast<double>(t1 - t0);
+}
+
+// ---------- History ----------
+
+void History::add_snapshot(const Snapshot& snap) {
+  LockGuard lock(mutex_);
+  auto put = [&](const std::string& name, std::int64_t v) {
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+      it = families_.emplace(name, FamilyHistory(capacity_)).first;
+    }
+    it->second.append(SamplePoint{snap.captured_ns, v});
+  };
+  for (const auto& [name, v] : snap.counters) {
+    put(name, static_cast<std::int64_t>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) put(name, v);
+  for (const auto& [name, h] : snap.histograms) {
+    put(name + ".count", static_cast<std::int64_t>(h.count));
+    put(name + ".sum", static_cast<std::int64_t>(h.sum));
+  }
+}
+
+void History::append(std::string_view family, SamplePoint p) {
+  LockGuard lock(mutex_);
+  auto it = families_.find(family);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(family), FamilyHistory(capacity_))
+             .first;
+  }
+  it->second.append(p);
+}
+
+std::size_t History::family_count() const {
+  LockGuard lock(mutex_);
+  return families_.size();
+}
+
+History::FamilyView History::family(std::string_view name) const {
+  LockGuard lock(mutex_);
+  FamilyView v;
+  v.capacity = capacity_;
+  auto it = families_.find(name);
+  if (it == families_.end()) return v;
+  v.recorded = it->second.recorded();
+  v.capacity = it->second.capacity();
+  v.samples = it->second.samples();
+  return v;
+}
+
+std::map<std::string, History::FamilyView> History::families(
+    std::string_view prefix) const {
+  LockGuard lock(mutex_);
+  std::map<std::string, FamilyView> out;
+  for (const auto& [name, fh] : families_) {
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    FamilyView v;
+    v.recorded = fh.recorded();
+    v.capacity = fh.capacity();
+    v.samples = fh.samples();
+    out.emplace(name, std::move(v));
+  }
+  return out;
+}
+
+double History::latest_rate(std::string_view family) const {
+  LockGuard lock(mutex_);
+  auto it = families_.find(family);
+  if (it == families_.end()) return 0.0;
+  return it->second.latest_rate();
+}
+
+// ---------- Sampler ----------
+
+std::uint32_t sample_interval_ms_from_env(std::uint32_t fallback) noexcept {
+  const char* env = std::getenv("GEKKO_SAMPLE_MS");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::uint32_t v = 0;
+  const char* last = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, last, v);
+  if (ec != std::errc() || ptr != last) return fallback;
+  return v;
+}
+
+Sampler::Sampler(Registry& registry, SamplerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      history_(options_.retention),
+      tick_counter_(&registry.counter("metrics.sampler.ticks")) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (options_.interval_ms == 0) return;
+  {
+    LockGuard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { loop_(); });
+}
+
+void Sampler::stop() {
+  {
+    UniqueLock lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    LockGuard lock(mutex_);
+    running_ = false;
+  }
+  // Final sample: the history always reflects the process's last state
+  // (a tool polling right after shutdown still sees the full run).
+  sample_once();
+}
+
+void Sampler::sample_once() {
+  if (options_.pre_sample) options_.pre_sample();
+  history_.add_snapshot(registry_.snapshot());
+  tick_counter_->inc();
+  LockGuard lock(mutex_);
+  ++ticks_;
+}
+
+std::uint64_t Sampler::ticks() const noexcept {
+  LockGuard lock(mutex_);
+  return ticks_;
+}
+
+void Sampler::loop_() {
+  for (;;) {
+    sample_once();
+    UniqueLock lock(mutex_);
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this]() GEKKO_REQUIRES(mutex_) { return stop_; });
+    if (stopping) return;
+  }
+}
+
+}  // namespace gekko::metrics

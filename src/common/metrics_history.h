@@ -1,0 +1,209 @@
+// gekko::metrics — time-series history for the Registry.
+//
+// PR 2's Registry answers "what are the totals right now"; this layer
+// answers "what happened over the last few minutes". A Sampler thread
+// periodically snapshots a Registry into fixed-size per-family ring
+// buffers (History), so every daemon carries its own recent history —
+// the input for rate/derivative computation (ops/s, retry rate) that
+// gkfs-mon and gkfs-top render, and the telemetry the future
+// replication/rebalancing work consumes (CFS-style per-shard load).
+//
+// Wrap accounting mirrors TraceDumpResponse: each family tracks
+// `recorded` (samples ever appended) against `capacity`, so a consumer
+// can tell "ring holds everything" from "oldest samples overwritten".
+//
+// Rate semantics (the hard edge cases live here, not in every tool):
+//  - a counter that goes BACKWARDS between samples means the producing
+//    process restarted; the rate for that interval is 0, never a huge
+//    negative spike,
+//  - a non-advancing clock (same capture_ns) yields rate 0,
+//  - gauges use signed deltas (they legitimately go down).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_annotations.h"
+
+namespace gekko::metrics {
+
+/// One observation of one family: value at a monotonic capture time.
+struct SamplePoint {
+  std::uint64_t captured_ns = 0;
+  std::int64_t value = 0;
+};
+
+/// Per-second rate between two samples of a MONOTONIC family
+/// (counters, histogram counts). A reset (cur < prev: the producer
+/// restarted) or a non-advancing clock yields 0.0.
+[[nodiscard]] double rate_per_sec(const SamplePoint& prev,
+                                  const SamplePoint& cur) noexcept;
+
+/// Delta between two samples of a monotonic family; 0 on reset instead
+/// of a wrapped/negative value.
+[[nodiscard]] std::uint64_t monotonic_delta(const SamplePoint& prev,
+                                            const SamplePoint& cur) noexcept;
+
+/// Convenience over raw cumulative values + wall interval (gkfs-top's
+/// poll loop, which has no SamplePoints): per-interval delta with the
+/// same reset-to-zero semantics.
+[[nodiscard]] std::uint64_t monotonic_delta(std::uint64_t prev,
+                                            std::uint64_t cur) noexcept;
+
+/// Fixed-capacity ring of SamplePoints for one metric family.
+/// Single-writer (the Sampler) — History serializes access.
+class FamilyHistory {
+ public:
+  explicit FamilyHistory(std::size_t capacity) : ring_(capacity) {}
+
+  void append(SamplePoint p) {
+    ring_[recorded_ % ring_.size()] = p;
+    ++recorded_;
+  }
+
+  /// Samples ever appended (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+  }
+
+  /// Resident samples, oldest first.
+  [[nodiscard]] std::vector<SamplePoint> samples() const;
+
+  /// Newest sample; `back(1)` the one before it. Caller checks size().
+  [[nodiscard]] const SamplePoint& back(std::size_t ago = 0) const {
+    return ring_[(recorded_ - 1 - ago) % ring_.size()];
+  }
+
+  /// Rate over the newest pair of samples (0.0 with fewer than 2).
+  [[nodiscard]] double latest_rate() const noexcept;
+  /// Rate over the whole resident window (0.0 with fewer than 2).
+  /// Computed as the sum of per-interval deltas — a mid-window counter
+  /// reset contributes 0 for its interval instead of poisoning the
+  /// whole window.
+  [[nodiscard]] double window_rate() const noexcept;
+
+ private:
+  std::vector<SamplePoint> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Thread-safe collection of per-family rings. The Sampler appends;
+/// the metric_history RPC handler and tools read.
+class History {
+ public:
+  explicit History(std::size_t capacity_per_family = 128)
+      : capacity_(capacity_per_family < 2 ? 2 : capacity_per_family) {}
+
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  /// Fold one Registry snapshot in: counters and gauges verbatim, each
+  /// histogram as two derived monotonic families `<name>.count` and
+  /// `<name>.sum` (rates of those give ops/s and time-spent/s; the
+  /// quantile digests are point-in-time and stay snapshot-only).
+  void add_snapshot(const Snapshot& snap);
+
+  /// Direct append (tests, and samplers with custom folding).
+  void append(std::string_view family, SamplePoint p);
+
+  [[nodiscard]] std::size_t capacity_per_family() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t family_count() const;
+
+  /// Copy of one family's ring state; empty-ring copy if never seen.
+  struct FamilyView {
+    std::uint64_t recorded = 0;
+    std::uint64_t capacity = 0;
+    std::vector<SamplePoint> samples;  // oldest first
+  };
+  [[nodiscard]] FamilyView family(std::string_view name) const;
+
+  /// Views of every family whose name starts with `prefix` ("" = all),
+  /// sorted by name (the metric_history RPC payload).
+  [[nodiscard]] std::map<std::string, FamilyView> families(
+      std::string_view prefix = {}) const;
+
+  /// Rate over the newest sample pair of `family` (0.0 if unknown or
+  /// under-filled).
+  [[nodiscard]] double latest_rate(std::string_view family) const;
+
+ private:
+  std::size_t capacity_;
+  mutable Mutex mutex_{"metrics.history", lockdep::rank::kMetricsHistory};
+  std::map<std::string, FamilyHistory, std::less<>> families_
+      GEKKO_GUARDED_BY(mutex_);
+};
+
+/// GEKKO_SAMPLE_MS, or `fallback` when unset/garbage. 0 disables the
+/// sampler.
+[[nodiscard]] std::uint32_t sample_interval_ms_from_env(
+    std::uint32_t fallback) noexcept;
+
+struct SamplerOptions {
+  /// Snapshot period. 0 = sampler disabled (start() is a no-op).
+  std::uint32_t interval_ms = 1000;
+  /// Ring capacity per family (wrap accounting tells readers when the
+  /// window was exceeded).
+  std::size_t retention = 128;
+  /// Invoked before each snapshot, OUTSIDE every sampler lock — the
+  /// daemon republishes backend absolutes (storage/kv gauges) here so
+  /// the history sees them move.
+  std::function<void()> pre_sample;
+};
+
+/// Periodic Registry → History pump on its own thread. start()/stop()
+/// lifecycle; sampling cost is one Registry::snapshot() per tick
+/// (mutex-protected map walk, off every hot path).
+class Sampler {
+ public:
+  Sampler(Registry& registry, SamplerOptions options = {});
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Launch the sampling thread (no-op when interval_ms == 0 or
+  /// already running).
+  void start();
+  /// Stop and join. Idempotent.
+  void stop();
+
+  /// Take one sample synchronously (tests; also used by stop() so the
+  /// history always contains a final sample).
+  void sample_once();
+
+  [[nodiscard]] History& history() noexcept { return history_; }
+  [[nodiscard]] const History& history() const noexcept { return history_; }
+  [[nodiscard]] std::uint32_t interval_ms() const noexcept {
+    return options_.interval_ms;
+  }
+  /// Samples taken so far (ticks × families is the history growth).
+  [[nodiscard]] std::uint64_t ticks() const noexcept;
+
+ private:
+  void loop_();
+
+  Registry& registry_;
+  SamplerOptions options_;
+  History history_;
+  metrics::Counter* tick_counter_;  // metrics.sampler.ticks
+  mutable Mutex mutex_{"metrics.sampler", lockdep::rank::kMetricsSampler};
+  CondVar cv_;
+  bool stop_ GEKKO_GUARDED_BY(mutex_) = false;
+  bool running_ GEKKO_GUARDED_BY(mutex_) = false;
+  std::uint64_t ticks_ GEKKO_GUARDED_BY(mutex_) = 0;
+  std::thread thread_;
+};
+
+}  // namespace gekko::metrics

@@ -1,0 +1,395 @@
+#include "common/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace gekko::prom {
+namespace {
+
+bool valid_name_start(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool valid_name_char(char c) noexcept {
+  return valid_name_start(c) || (c >= '0' && c <= '9');
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{a="1",le="250"}` or "" when there are no labels. `extra_key` (if
+/// non-empty) is merged into sort position with the base labels.
+std::string label_block(const std::map<std::string, std::string>& base,
+                        std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (base.empty() && extra_key.empty()) return {};
+  std::map<std::string, std::string> all = base;
+  if (!extra_key.empty()) all[std::string(extra_key)] = extra_value;
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : all) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string u64str(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string mangle(std::string_view name) {
+  std::string out;
+  constexpr std::string_view kPrefix = "gekko_";
+  if (name.substr(0, kPrefix.size()) != kPrefix) out = kPrefix;
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out += valid_name_char(c) && c != ':' ? c : '_';
+  }
+  if (out.empty() || !valid_name_start(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string_view family_type_name(FamilyType t) noexcept {
+  switch (t) {
+    case FamilyType::counter: return "counter";
+    case FamilyType::gauge: return "gauge";
+    case FamilyType::histogram: return "histogram";
+    case FamilyType::untyped: return "untyped";
+  }
+  return "untyped";
+}
+
+std::string render(const metrics::Registry& registry,
+                   const RenderOptions& opts) {
+  const metrics::Snapshot snap = registry.snapshot();
+  const auto hists = registry.histograms_full();
+  const std::string labels = label_block(opts.labels);
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string m = mangle(name);
+    out += "# TYPE " + m + " counter\n";
+    out += m + labels + " " + u64str(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string m = mangle(name);
+    out += "# TYPE " + m + " gauge\n";
+    out += m + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : hists) {
+    const std::string m = mangle(name);
+    out += "# TYPE " + m + " histogram\n";
+    // Cumulative buckets: only boundaries where the count advances,
+    // so the series stays small despite 1024 raw buckets. +Inf is
+    // mandatory and always equals _count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t b = hist.bucket_count(i);
+      if (b == 0) continue;
+      cumulative += b;
+      out += m + "_bucket" +
+             label_block(opts.labels, "le",
+                         u64str(LatencyHistogram::upper_bound_of(i))) +
+             " " + u64str(cumulative) + "\n";
+    }
+    out += m + "_bucket" + label_block(opts.labels, "le", "+Inf") + " " +
+           u64str(hist.count()) + "\n";
+    out += m + "_sum" + labels + " " + u64str(hist.sum()) + "\n";
+    out += m + "_count" + labels + " " + u64str(hist.count()) + "\n";
+  }
+  return out;
+}
+
+double Exposition::value_or(std::string_view family, double fallback) const {
+  const Family* f = find(family);
+  if (f == nullptr) return fallback;
+  for (const auto& s : f->samples) {
+    if (s.name == f->name) return s.value;
+  }
+  return fallback;
+}
+
+namespace {
+
+Status parse_error(std::size_t line, std::string msg) {
+  return Status{Errc::corruption,
+                "line " + std::to_string(line) + ": " + std::move(msg)};
+}
+
+/// One parsed line-in-progress cursor.
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool eof() const noexcept { return pos >= s.size(); }
+  [[nodiscard]] char peek() const noexcept { return eof() ? '\0' : s[pos]; }
+  void skip_spaces() noexcept {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+};
+
+bool read_name(Cursor& c, std::string& out) {
+  if (c.eof() || !valid_name_start(c.peek())) return false;
+  const std::size_t start = c.pos;
+  while (!c.eof() && valid_name_char(c.peek())) ++c.pos;
+  out.assign(c.s.substr(start, c.pos - start));
+  return true;
+}
+
+Status read_labels(Cursor& c, std::size_t line,
+                   std::map<std::string, std::string>& out) {
+  ++c.pos;  // consume '{'
+  c.skip_spaces();
+  if (c.peek() == '}') {
+    ++c.pos;
+    return Status::ok();
+  }
+  while (true) {
+    std::string key;
+    if (!read_name(c, key)) return parse_error(line, "bad label name");
+    if (c.peek() != '=') return parse_error(line, "expected '=' after label");
+    ++c.pos;
+    if (c.peek() != '"') return parse_error(line, "label value not quoted");
+    ++c.pos;
+    std::string value;
+    while (!c.eof() && c.peek() != '"') {
+      char ch = c.peek();
+      if (ch == '\\') {
+        ++c.pos;
+        if (c.eof()) return parse_error(line, "dangling escape");
+        const char esc = c.peek();
+        if (esc == 'n') {
+          ch = '\n';
+        } else if (esc == '\\' || esc == '"') {
+          ch = esc;
+        } else {
+          return parse_error(line, "bad escape in label value");
+        }
+      }
+      value += ch;
+      ++c.pos;
+    }
+    if (c.eof()) return parse_error(line, "unterminated label value");
+    ++c.pos;  // closing quote
+    if (!out.emplace(std::move(key), std::move(value)).second) {
+      return parse_error(line, "duplicate label");
+    }
+    c.skip_spaces();
+    if (c.peek() == ',') {
+      ++c.pos;
+      c.skip_spaces();
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.pos;
+      return Status::ok();
+    }
+    return parse_error(line, "expected ',' or '}' in labels");
+  }
+}
+
+Status read_value(Cursor& c, std::size_t line, double& out) {
+  c.skip_spaces();
+  if (c.eof()) return parse_error(line, "missing sample value");
+  const std::string token(c.s.substr(c.pos));
+  if (token == "+Inf" || token == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return Status::ok();
+  }
+  if (token == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return Status::ok();
+  }
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  if (end == token.c_str()) return parse_error(line, "bad sample value");
+  while (*end == ' ' || *end == '\t') ++end;
+  // A trailing integer would be a timestamp; we never emit them and
+  // reject them to keep the round-trip exact.
+  if (*end != '\0') return parse_error(line, "trailing junk after value");
+  return Status::ok();
+}
+
+/// Base family for a sample name: exact family match wins; otherwise a
+/// histogram suffix (_bucket/_sum/_count) stripped down to a declared
+/// histogram family.
+const std::string* base_family(
+    const std::map<std::string, Family>& families, const std::string& name,
+    const std::map<std::string, std::string>& suffix_index) {
+  if (families.count(name) != 0) return &families.find(name)->first;
+  auto it = suffix_index.find(name);
+  return it == suffix_index.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+Result<Exposition> parse(std::string_view text) {
+  Exposition expo;
+  // sample-name -> base histogram family, built as TYPE lines arrive.
+  std::map<std::string, std::string> suffix_index;
+  // Last line each family was touched on, so the histogram post-pass
+  // can still report "line N: ..." context.
+  std::map<std::string, std::size_t> family_line;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      Cursor c{line, 1};
+      c.skip_spaces();
+      std::string keyword;
+      if (!read_name(c, keyword)) continue;  // bare comment
+      if (keyword == "HELP") continue;
+      if (keyword != "TYPE") continue;  // other comments are legal
+      c.skip_spaces();
+      std::string fam_name;
+      if (!read_name(c, fam_name)) {
+        return parse_error(line_no, "bad family name in # TYPE");
+      }
+      c.skip_spaces();
+      std::string type_name;
+      if (!read_name(c, type_name)) {
+        return parse_error(line_no, "missing type in # TYPE");
+      }
+      FamilyType type;
+      if (type_name == "counter") {
+        type = FamilyType::counter;
+      } else if (type_name == "gauge") {
+        type = FamilyType::gauge;
+      } else if (type_name == "histogram") {
+        type = FamilyType::histogram;
+      } else if (type_name == "untyped" || type_name == "summary") {
+        type = FamilyType::untyped;
+      } else {
+        return parse_error(line_no, "unknown type '" + type_name + "'");
+      }
+      auto [it, inserted] = expo.families.try_emplace(fam_name);
+      if (!inserted) {
+        return parse_error(line_no, "duplicate # TYPE for '" + fam_name + "'");
+      }
+      it->second.name = fam_name;
+      it->second.type = type;
+      family_line[fam_name] = line_no;
+      if (type == FamilyType::histogram) {
+        for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+          suffix_index.emplace(fam_name + suffix, fam_name);
+        }
+      }
+      continue;
+    }
+
+    // Sample line.
+    Cursor c{line, 0};
+    Sample sample;
+    if (!read_name(c, sample.name)) {
+      return parse_error(line_no, "bad sample name");
+    }
+    if (c.peek() == '{') {
+      GEKKO_RETURN_IF_ERROR(read_labels(c, line_no, sample.labels));
+    }
+    GEKKO_RETURN_IF_ERROR(read_value(c, line_no, sample.value));
+    const std::string* base =
+        base_family(expo.families, sample.name, suffix_index);
+    if (base == nullptr) {
+      return parse_error(line_no,
+                         "sample '" + sample.name + "' has no # TYPE");
+    }
+    family_line[*base] = line_no;
+    expo.families[*base].samples.push_back(std::move(sample));
+  }
+
+  // Histogram semantics: cumulative buckets ending in +Inf == _count.
+  for (const auto& [fam_name, fam] : expo.families) {
+    if (fam.type != FamilyType::histogram) continue;
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_cum = -1.0;
+    double inf_value = -1.0;
+    double count_value = -1.0;
+    bool have_sum = false;
+    const std::string bucket_name = fam_name + "_bucket";
+    for (const auto& s : fam.samples) {
+      if (s.name == bucket_name) {
+        auto le_it = s.labels.find("le");
+        if (le_it == s.labels.end()) {
+          return parse_error(
+              family_line[fam_name],
+              fam_name + ": bucket sample without le label");
+        }
+        double le;
+        if (le_it->second == "+Inf" || le_it->second == "Inf") {
+          le = std::numeric_limits<double>::infinity();
+        } else {
+          char* end = nullptr;
+          le = std::strtod(le_it->second.c_str(), &end);
+          if (end == le_it->second.c_str() || *end != '\0') {
+            return parse_error(
+                family_line[fam_name], fam_name + ": bad le value");
+          }
+        }
+        if (le <= prev_le) {
+          return parse_error(
+              family_line[fam_name], fam_name + ": le bounds not increasing");
+        }
+        if (s.value < prev_cum) {
+          return parse_error(
+              family_line[fam_name], fam_name + ": buckets not cumulative");
+        }
+        prev_le = le;
+        prev_cum = s.value;
+        if (std::isinf(le)) inf_value = s.value;
+      } else if (s.name == fam_name + "_count") {
+        count_value = s.value;
+      } else if (s.name == fam_name + "_sum") {
+        have_sum = true;
+      }
+    }
+    if (inf_value < 0.0) {
+      return parse_error(
+          family_line[fam_name], fam_name + ": missing +Inf bucket");
+    }
+    if (count_value < 0.0) {
+      return parse_error(
+          family_line[fam_name], fam_name + ": missing _count");
+    }
+    if (!have_sum) {
+      return parse_error(
+          family_line[fam_name], fam_name + ": missing _sum");
+    }
+    if (inf_value != count_value) {
+      return parse_error(
+          family_line[fam_name], fam_name + ": +Inf bucket != _count");
+    }
+  }
+  return expo;
+}
+
+}  // namespace gekko::prom

@@ -1,0 +1,93 @@
+// gekko::prom — Prometheus text exposition (render + strict parse).
+//
+// The daemon's /metrics endpoint (net::HttpExporter) serves render():
+// every Registry counter, gauge, and histogram in the Prometheus
+// text format, version 0.0.4. Internal metric names are dot-separated
+// (`rpc.caller.stat.sent`); Prometheus requires `[a-zA-Z_:][a-zA-Z0-9_:]*`,
+// so mangle() rewrites dots to underscores and prepends `gekko_`
+// (`gekko_rpc_caller_stat_sent`). Histograms export the full
+// LatencyHistogram bucket resolution as CUMULATIVE `_bucket{le="..."}`
+// series (only occupied buckets, plus the mandatory `le="+Inf"`),
+// followed by `_sum` and `_count` — the shape every Prometheus server
+// and histogram_quantile() expects.
+//
+// parse() is the strict inverse used by gkfs-mon and the round-trip
+// tests. It validates, not just tokenizes:
+//  - every sample's family must be declared by a preceding # TYPE line,
+//  - one # TYPE per family, with a known type,
+//  - histogram buckets are cumulative (non-decreasing in `le` order)
+//    and end with `le="+Inf"` whose value equals the `_count` sample,
+//  - label syntax is well-formed (quoted values, \\ \" \n escapes).
+// Anything else is Errc::corruption with a line-numbered context, so a
+// drifting exporter fails loudly in CI instead of skewing dashboards.
+//
+// This header is the ONLY place `_bucket` strings may appear outside
+// tests (enforced by gekko-lint's metric-name rule): histogram series
+// must go through render(), never hand-rolled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace gekko::prom {
+
+/// `rpc.caller.stat.sent` -> `gekko_rpc_caller_stat_sent`. Characters
+/// outside [a-zA-Z0-9_] become '_'. Names already starting with
+/// `gekko_` are not double-prefixed.
+[[nodiscard]] std::string mangle(std::string_view name);
+
+struct RenderOptions {
+  /// Labels attached to every sample, e.g. {{"node","3"}}. Rendered
+  /// sorted by key; values are escaped.
+  std::map<std::string, std::string> labels;
+};
+
+/// Render the registry in Prometheus text format. Deterministic output
+/// (families and labels sorted) so tests can compare exactly.
+[[nodiscard]] std::string render(const metrics::Registry& registry,
+                                 const RenderOptions& opts = {});
+
+enum class FamilyType : std::uint8_t { counter, gauge, histogram, untyped };
+
+[[nodiscard]] std::string_view family_type_name(FamilyType t) noexcept;
+
+struct Sample {
+  /// Full sample name as written (`gekko_x`, `gekko_x_bucket`, ...).
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct Family {
+  std::string name;  // base family name from the # TYPE line
+  FamilyType type = FamilyType::untyped;
+  std::vector<Sample> samples;  // in document order
+};
+
+struct Exposition {
+  /// Keyed by base family name. Histogram `_bucket`/`_sum`/`_count`
+  /// samples live under their base family.
+  std::map<std::string, Family> families;
+
+  [[nodiscard]] const Family* find(std::string_view family) const {
+    auto it = families.find(std::string(family));
+    return it == families.end() ? nullptr : &it->second;
+  }
+
+  /// First sample value of `family` whose name is exactly the family
+  /// name (counters/gauges). fallback if absent.
+  [[nodiscard]] double value_or(std::string_view family,
+                                double fallback = 0.0) const;
+};
+
+/// Strict parse; Errc::corruption with "line N: ..." context on any
+/// violation of the format or of histogram cumulativity.
+[[nodiscard]] Result<Exposition> parse(std::string_view text);
+
+}  // namespace gekko::prom

@@ -84,6 +84,11 @@ class LatencyHistogram {
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Raw count of one bucket (Prometheus exposition walks these).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t idx) const noexcept {
+    return idx < kBuckets ? buckets_[idx] : 0;
+  }
   [[nodiscard]] double mean() const noexcept {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
                   : 0.0;

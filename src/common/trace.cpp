@@ -178,6 +178,11 @@ void log_slow_op(
     line += '=';
     append_ms(&line, ns);
   }
+  // Counted as well as logged: gkfs-mon derives a cluster slow-op RATE
+  // from this family, which a log line cannot provide.
+  static metrics::Counter& slow_ops =
+      metrics::Registry::global().counter("trace.slow_ops");
+  slow_ops.inc();
   GEKKO_WARN("trace") << line;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/prometheus.h"
 #include "common/trace.h"
 #include "common/units.h"
 #include "kv/cache.h"
@@ -68,6 +69,49 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
   d->engine_ = std::make_unique<rpc::Engine>(fabric, rpc_opts);
   d->register_handlers_();
   d->engine_->start();
+
+  // Telemetry sampler: periodic Registry -> History pump feeding the
+  // metric_history RPC. pre_sample republishes backend absolutes so
+  // the time series sees storage/kv gauges move between RPC dumps.
+  metrics::SamplerOptions sampler_opts;
+  sampler_opts.interval_ms =
+      d->options_.sample_interval_ms.has_value()
+          ? *d->options_.sample_interval_ms
+          : metrics::sample_interval_ms_from_env(1000);
+  sampler_opts.retention = d->options_.sample_retention;
+  sampler_opts.pre_sample = [daemon = d.get()] {
+    daemon->publish_backend_metrics_();
+  };
+  d->sampler_ = std::make_unique<metrics::Sampler>(*d->registry_,
+                                                   std::move(sampler_opts));
+  d->sampler_->start();
+
+  if (d->options_.metrics_http_port >= 0) {
+    net::HttpExporterOptions http_opts;
+    http_opts.port = static_cast<std::uint16_t>(d->options_.metrics_http_port);
+    http_opts.registry = d->registry_;
+    const std::string node_label =
+        std::to_string(static_cast<std::uint32_t>(d->engine_->endpoint()));
+    auto exporter = net::HttpExporter::create(
+        std::move(http_opts),
+        [daemon = d.get(), node_label](const std::string& path) {
+          if (path == "/metrics") {
+            daemon->publish_backend_metrics_();
+            prom::RenderOptions render_opts;
+            render_opts.labels["node"] = node_label;
+            return net::HttpResponse{
+                200, "text/plain; version=0.0.4; charset=utf-8",
+                prom::render(*daemon->registry_, render_opts)};
+          }
+          if (path == "/healthz") {
+            return net::HttpResponse{200, "text/plain", "ok\n"};
+          }
+          return net::HttpResponse{404, "text/plain", "not found\n"};
+        });
+    if (!exporter) return exporter.status();
+    d->http_ = std::move(*exporter);
+  }
+
   GEKKO_INFO("daemon") << "daemon up at endpoint " << d->engine_->endpoint()
                        << " root=" << root.string();
   return d;
@@ -78,11 +122,15 @@ GekkoDaemon::~GekkoDaemon() { shutdown(); }
 void GekkoDaemon::shutdown() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
-  // Engine first: joining the handler pool waits out every in-flight
-  // chunk handler, and each of those has already joined its own slice
-  // tasks — so by the time the io pool shuts down it is quiescent.
+  // Exporter first (no new scrapes), then the engine: joining the
+  // handler pool waits out every in-flight chunk handler, and each of
+  // those has already joined its own slice tasks — so by the time the
+  // io pool shuts down it is quiescent. The sampler stops last: its
+  // final sample captures the fully-settled counters.
+  if (http_) http_->stop();
   if (engine_) engine_->shutdown();
   if (io_pool_) io_pool_->shutdown();
+  if (sampler_) sampler_->stop();
 }
 
 void GekkoDaemon::register_handlers_() {
@@ -123,6 +171,9 @@ void GekkoDaemon::register_handlers_() {
   bind(RpcId::get_dirents, "get_dirents", &GekkoDaemon::on_get_dirents_);
   bind(RpcId::daemon_stat, "daemon_stat", &GekkoDaemon::on_daemon_stat_);
   bind(RpcId::trace_dump, "trace_dump", &GekkoDaemon::on_trace_dump_);
+  bind(RpcId::heartbeat, "heartbeat", &GekkoDaemon::on_heartbeat_);
+  bind(RpcId::metric_history, "metric_history",
+       &GekkoDaemon::on_metric_history_);
 }
 
 namespace {
@@ -400,6 +451,42 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_trace_dump_(
   resp.spans.reserve(spans.size());
   for (const metrics::TraceSpan& s : spans) {
     resp.spans.push_back(trace::to_span(s));
+  }
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_heartbeat_(
+    const net::Message& msg) {
+  (void)msg;
+  proto::HeartbeatResponse resp;
+  resp.node_id = static_cast<std::uint32_t>(engine_->endpoint());
+  resp.capture_ns = metrics::now_ns();
+  resp.requests_handled = engine_->requests_handled();
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_metric_history_(
+    const net::Message& msg) {
+  auto req = proto::MetricHistoryRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  proto::MetricHistoryResponse resp;
+  resp.node_id = static_cast<std::uint32_t>(engine_->endpoint());
+  resp.captured_ns = metrics::now_ns();
+  resp.interval_ms = sampler_ ? sampler_->interval_ms() : 0;
+  if (sampler_) {
+    const auto views = sampler_->history().families(req->prefix);
+    resp.families.reserve(views.size());
+    for (const auto& [name, view] : views) {
+      proto::MetricFamilyHistory f;
+      f.name = name;
+      f.recorded = view.recorded;
+      f.capacity = view.capacity;
+      f.samples.reserve(view.samples.size());
+      for (const metrics::SamplePoint& p : view.samples) {
+        f.samples.emplace_back(p.captured_ns, p.value);
+      }
+      resp.families.push_back(std::move(f));
+    }
   }
   return resp.encode();
 }

@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "common/metrics_history.h"
 #include "common/result.h"
 #include "daemon/metadata_backend.h"
+#include "net/http_exporter.h"
 #include "kv/options.h"
 #include "net/fabric.h"
 #include "rpc/engine.h"
@@ -50,6 +53,15 @@ struct DaemonOptions {
   /// Metric sink for this daemon (per-op service latencies, kv and
   /// storage internals). nullptr = metrics::Registry::global().
   metrics::Registry* registry = nullptr;
+  /// Telemetry sampler period. Unset = GEKKO_SAMPLE_MS (default
+  /// 1000 ms); 0 disables periodic sampling (the history stays empty
+  /// except for the shutdown sample).
+  std::optional<std::uint32_t> sample_interval_ms;
+  /// Per-family sample-ring capacity (the metric_history window).
+  std::size_t sample_retention = 128;
+  /// Prometheus /metrics HTTP port: -1 = no exporter (default),
+  /// 0 = ephemeral (read back via metrics_http_port()), >0 = fixed.
+  int metrics_http_port = -1;
 };
 
 class GekkoDaemon {
@@ -82,6 +94,14 @@ class GekkoDaemon {
   /// This is the payload of the daemon_stat telemetry RPC and of the
   /// gkfsd SIGUSR1/exit dumps.
   [[nodiscard]] std::string metrics_json();
+
+  /// The telemetry sampler (always constructed; idle when the interval
+  /// is 0). Its History backs the metric_history RPC.
+  [[nodiscard]] metrics::Sampler& sampler() noexcept { return *sampler_; }
+  /// Bound /metrics port, or -1 when the exporter is disabled.
+  [[nodiscard]] int metrics_http_port() const noexcept {
+    return http_ ? static_cast<int>(http_->port()) : -1;
+  }
 
  private:
   GekkoDaemon(DaemonOptions options) : options_(std::move(options)) {}
@@ -125,6 +145,11 @@ class GekkoDaemon {
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
   /// Drain the span ring for the cross-node trace collector.
   Result<std::vector<std::uint8_t>> on_trace_dump_(const net::Message& msg);
+  /// Liveness probe: fixed-size response, no KV/storage touched.
+  Result<std::vector<std::uint8_t>> on_heartbeat_(const net::Message& msg);
+  /// Drain the sampler's ring history (optionally prefix-filtered).
+  Result<std::vector<std::uint8_t>> on_metric_history_(
+      const net::Message& msg);
 
   DaemonOptions options_;
   metrics::Registry* registry_ = nullptr;  // resolved in start()
@@ -138,6 +163,10 @@ class GekkoDaemon {
   metrics::Histogram* io_queue_ = nullptr;    // post → task start
   metrics::Histogram* io_service_ = nullptr;  // task body duration
   net::Fabric* fabric_ = nullptr;
+  /// Periodic Registry → History pump (telemetry time series).
+  std::unique_ptr<metrics::Sampler> sampler_;
+  /// Prometheus /metrics endpoint (options_.metrics_http_port >= 0).
+  std::unique_ptr<net::HttpExporter> http_;
   std::atomic<bool> stopped_{false};
 };
 

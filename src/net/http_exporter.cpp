@@ -1,0 +1,198 @@
+#include "net/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gekko::net {
+namespace {
+
+/// Header cap: a GET for /metrics fits in a fraction of this; anything
+/// larger is a confused or hostile client.
+constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+/// Per-poll wait on the accept loop; bounds stop() join latency.
+constexpr int kAcceptPollMs = 200;
+/// Total budget for reading one request's headers.
+constexpr int kRequestReadMs = 2000;
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpExporter>> HttpExporter::create(
+    HttpExporterOptions options, Handler handler) {
+  if (!handler) return Status{Errc::invalid_argument, "http: null handler"};
+  auto exporter = std::unique_ptr<HttpExporter>(
+      new HttpExporter(std::move(options), std::move(handler)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status{Errc::io_error,
+                  std::string("http: socket: ") + std::strerror(errno)};
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter->options_.port);
+  if (::inet_pton(AF_INET, exporter->options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status{Errc::invalid_argument,
+                  "http: bad bind address " + exporter->options_.bind_address};
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status{Errc::io_error,
+                  std::string("http: bind: ") + std::strerror(err)};
+  }
+  if (::listen(fd, exporter->options_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status{Errc::io_error,
+                  std::string("http: listen: ") + std::strerror(err)};
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status{Errc::io_error,
+                  std::string("http: getsockname: ") + std::strerror(err)};
+  }
+  exporter->listen_fd_ = fd;
+  exporter->port_ = ntohs(bound.sin_port);
+  exporter->thread_ = std::thread([e = exporter.get()] { e->serve_loop_(); });
+  GEKKO_INFO("http") << "metrics exporter listening on "
+                     << exporter->options_.bind_address << ":"
+                     << exporter->port_;
+  return exporter;
+}
+
+HttpExporter::HttpExporter(HttpExporterOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  metrics::Registry& reg =
+      options_.registry != nullptr ? *options_.registry
+                                   : metrics::Registry::global();
+  requests_ = &reg.counter("net.http.requests");
+  errors_ = &reg.counter("net.http.errors");
+  bytes_out_ = &reg.counter("net.http.bytes_out");
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::serve_loop_() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, kAcceptPollMs);
+    if (n <= 0) continue;  // timeout or EINTR: re-check stopping
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    serve_one_(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::serve_one_(int fd) {
+  // Read until the blank line ending the headers (we ignore bodies:
+  // telemetry is GET-only).
+  std::string req;
+  int budget_ms = kRequestReadMs;
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    if (req.size() > kMaxHeaderBytes || budget_ms <= 0) {
+      errors_->inc();
+      return;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, kAcceptPollMs);
+    budget_ms -= kAcceptPollMs;
+    if (n < 0) {
+      errors_->inc();
+      return;
+    }
+    if (n == 0) continue;
+    char buf[2048];
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) {
+      errors_->inc();
+      return;
+    }
+    req.append(buf, static_cast<std::size_t>(got));
+  }
+  requests_->inc();
+
+  // Request line: METHOD SP PATH SP VERSION.
+  HttpResponse resp;
+  const std::size_t line_end = req.find_first_of("\r\n");
+  std::string line = req.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = HttpResponse{400, "text/plain", "bad request\n"};
+  } else {
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    if (method != "GET" && method != "HEAD") {
+      resp = HttpResponse{405, "text/plain", "method not allowed\n"};
+    } else {
+      resp = handler_(path);
+      if (method == "HEAD") resp.body.clear();
+    }
+  }
+  if (resp.status != 200) errors_->inc();
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+      errors_->inc();
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  bytes_out_->inc(out.size());
+}
+
+}  // namespace gekko::net

@@ -1,0 +1,84 @@
+// net::HttpExporter — minimal HTTP/1.1 server for telemetry scrapes.
+//
+// One serve thread, poll()-gated accepts, one request per connection
+// (Connection: close). This is deliberately NOT a general web server:
+// it exists so Prometheus (and gkfs-mon, and curl) can GET /metrics
+// off a daemon without dragging an HTTP library into the build. The
+// request path never touches fabric or engine threads, so a stuck or
+// malicious scraper can at worst stall its own connection (reads are
+// bounded by a poll timeout and an 8 KiB header cap).
+//
+// Lifecycle: create() binds + listens + starts the serve thread (port
+// 0 picks an ephemeral port; port() reports the bound one). stop() —
+// also run by the destructor — flips the stop flag and joins; the
+// poll timeout bounds the join latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace gekko::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+struct HttpExporterOptions {
+  /// TCP port to bind; 0 = pick an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Bind address. Telemetry defaults to loopback; clusters that
+  /// scrape remotely opt into 0.0.0.0 explicitly.
+  std::string bind_address = "127.0.0.1";
+  int listen_backlog = 16;
+  /// Registry for net.http.* counters (nullptr = global).
+  metrics::Registry* registry = nullptr;
+};
+
+class HttpExporter {
+ public:
+  /// Maps a request path ("/metrics") to a response. Runs on the serve
+  /// thread; must not block indefinitely.
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  static Result<std::unique_ptr<HttpExporter>> create(
+      HttpExporterOptions options, Handler handler);
+
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The actually-bound TCP port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Idempotent; joins the serve thread.
+  void stop();
+
+ private:
+  HttpExporter(HttpExporterOptions options, Handler handler);
+
+  void serve_loop_();
+  void serve_one_(int fd);
+
+  HttpExporterOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+
+  // net.http.* counters (cached; bumped lock-free on the serve thread).
+  metrics::Counter* requests_;
+  metrics::Counter* errors_;
+  metrics::Counter* bytes_out_;
+};
+
+}  // namespace gekko::net

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/codec.h"
@@ -30,6 +31,8 @@ enum class RpcId : std::uint16_t {
   get_dirents = 10,
   daemon_stat = 11,
   trace_dump = 12,
+  heartbeat = 13,
+  metric_history = 14,
 };
 
 inline constexpr std::uint16_t to_wire(RpcId id) {
@@ -52,6 +55,8 @@ inline std::string rpc_name(std::uint16_t id) {
     case RpcId::get_dirents: return "get_dirents";
     case RpcId::daemon_stat: return "daemon_stat";
     case RpcId::trace_dump: return "trace_dump";
+    case RpcId::heartbeat: return "heartbeat";
+    case RpcId::metric_history: return "metric_history";
   }
   return "";
 }
@@ -420,6 +425,135 @@ struct TraceDumpResponse {
       s.start_ns = *start;
       s.duration_ns = *dur;
       r.spans.push_back(std::move(s));
+    }
+    return r;
+  }
+};
+
+// ---------- liveness & telemetry history ----------
+
+/// heartbeat: the cheapest possible round trip. The request has no
+/// payload; the response is small and fixed-size so probe latency
+/// measures the network + engine, not serialization. requests_handled
+/// lets a monitor distinguish "idle but alive" from "wedged" across
+/// consecutive probes.
+struct HeartbeatResponse {
+  std::uint32_t node_id = 0;
+  /// Daemon steady clock at response time (same contract as
+  /// TraceDumpResponse::capture_ns).
+  std::uint64_t capture_ns = 0;
+  /// Total RPC requests this daemon has served.
+  std::uint64_t requests_handled = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u32(node_id);
+    enc.u64(capture_ns);
+    enc.u64(requests_handled);
+    return buf;
+  }
+  static Result<HeartbeatResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    HeartbeatResponse r;
+    auto node = dec.u32();
+    auto capture = dec.u64();
+    auto handled = dec.u64();
+    if (!node || !capture || !handled) return Errc::corruption;
+    r.node_id = *node;
+    r.capture_ns = *capture;
+    r.requests_handled = *handled;
+    return r;
+  }
+};
+
+/// metric_history: drain a daemon's in-memory sample rings (the
+/// Sampler's History). `prefix` filters families server-side so a
+/// monitor interested in `rpc.` rates does not ship kv internals.
+struct MetricHistoryRequest {
+  std::string prefix;  // "" = every family
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.str(prefix);
+    return buf;
+  }
+  static Result<MetricHistoryRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    auto p = dec.str();
+    if (!p) return Errc::corruption;
+    return MetricHistoryRequest{std::string(*p)};
+  }
+};
+
+/// One family's ring: recorded/capacity wrap accounting (mirrors
+/// TraceDumpResponse — recorded > capacity ⇒ oldest samples were
+/// overwritten) plus the resident (capture_ns, value) points, oldest
+/// first. Values are signed: counters and histogram-derived series are
+/// non-negative, gauges go negative legitimately.
+struct MetricFamilyHistory {
+  std::string name;
+  std::uint64_t recorded = 0;
+  std::uint64_t capacity = 0;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> samples;
+};
+
+struct MetricHistoryResponse {
+  std::uint32_t node_id = 0;
+  std::uint64_t captured_ns = 0;  // daemon steady clock at drain time
+  std::uint32_t interval_ms = 0;  // sampler period (0 = sampler off)
+  std::vector<MetricFamilyHistory> families;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u32(node_id);
+    enc.u64(captured_ns);
+    enc.u32(interval_ms);
+    enc.varint(families.size());
+    for (const auto& f : families) {
+      enc.str(f.name);
+      enc.u64(f.recorded);
+      enc.u64(f.capacity);
+      enc.varint(f.samples.size());
+      for (const auto& [ns, value] : f.samples) {
+        enc.u64(ns);
+        enc.i64(value);
+      }
+    }
+    return buf;
+  }
+  static Result<MetricHistoryResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    MetricHistoryResponse r;
+    auto node = dec.u32();
+    auto captured = dec.u64();
+    auto interval = dec.u32();
+    auto count = dec.varint();
+    if (!node || !captured || !interval || !count) return Errc::corruption;
+    r.node_id = *node;
+    r.captured_ns = *captured;
+    r.interval_ms = *interval;
+    r.families.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      MetricFamilyHistory f;
+      auto name = dec.str();
+      auto recorded = dec.u64();
+      auto capacity = dec.u64();
+      auto samples = dec.varint();
+      if (!name || !recorded || !capacity || !samples) return Errc::corruption;
+      f.name = std::string(*name);
+      f.recorded = *recorded;
+      f.capacity = *capacity;
+      f.samples.reserve(static_cast<std::size_t>(*samples));
+      for (std::uint64_t j = 0; j < *samples; ++j) {
+        auto ns = dec.u64();
+        auto value = dec.i64();
+        if (!ns || !value) return Errc::corruption;
+        f.samples.emplace_back(*ns, *value);
+      }
+      r.families.push_back(std::move(f));
     }
     return r;
   }

@@ -1,0 +1,131 @@
+#include "rpc/heartbeat.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace gekko::rpc {
+
+std::uint32_t heartbeat_interval_ms_from_env(std::uint32_t fallback) noexcept {
+  const char* env = std::getenv("GEKKO_HEARTBEAT_MS");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::uint32_t v = 0;
+  const char* last = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, last, v);
+  if (ec != std::errc() || ptr != last) return fallback;
+  return v;
+}
+
+HeartbeatMonitor::HeartbeatMonitor(Engine& engine,
+                                   std::vector<net::EndpointId> targets,
+                                   HeartbeatOptions options)
+    : engine_(engine),
+      targets_(std::move(targets)),
+      options_(options),
+      tracker_(options.thresholds, &engine.registry()),
+      probes_(&engine.registry().counter("rpc.heartbeat.probes")),
+      misses_(&engine.registry().counter("rpc.heartbeat.misses")),
+      rtt_(&engine.registry().histogram("rpc.heartbeat.rtt")) {
+  for (const net::EndpointId t : targets_) tracker_.track(t);
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() { stop(); }
+
+void HeartbeatMonitor::start() {
+  if (options_.interval_ms == 0) return;
+  {
+    LockGuard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { loop_(); });
+}
+
+void HeartbeatMonitor::stop() {
+  {
+    UniqueLock lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  LockGuard lock(mutex_);
+  running_ = false;
+}
+
+std::size_t HeartbeatMonitor::probe_now() {
+  // Fire every probe before waiting on any: one slow/dead daemon must
+  // not serialize the round. NO monitor lock is held anywhere near the
+  // engine — mutex_ ranks below the engine's internal locks.
+  struct Probe {
+    net::EndpointId target;
+    Engine::PendingCall call;
+    std::uint64_t sent_ns;
+  };
+  std::vector<Probe> inflight;
+  inflight.reserve(targets_.size());
+  for (const net::EndpointId t : targets_) {
+    const std::uint64_t sent = metrics::now_ns();
+    inflight.push_back(
+        Probe{t,
+              engine_.begin_forward(t, proto::to_wire(proto::RpcId::heartbeat),
+                                    {}),
+              sent});
+  }
+
+  std::size_t ok = 0;
+  for (Probe& p : inflight) {
+    probes_->inc();
+    auto r = engine_.finish(p.call, options_.probe_timeout);
+    std::optional<proto::HeartbeatResponse> resp;
+    if (r.is_ok()) {
+      auto decoded = proto::HeartbeatResponse::decode(std::string_view(
+          reinterpret_cast<const char*>(r->data()), r->size()));
+      if (decoded.is_ok()) resp = *decoded;
+    }
+    if (resp.has_value()) {
+      ++ok;
+      rtt_->record(metrics::now_ns() - p.sent_ns);
+      tracker_.record_ok(p.target);
+      LockGuard lock(mutex_);
+      last_[p.target] = *resp;
+    } else {
+      misses_->inc();
+      tracker_.record_miss(p.target);
+    }
+  }
+  LockGuard lock(mutex_);
+  ++rounds_;
+  return ok;
+}
+
+std::optional<proto::HeartbeatResponse> HeartbeatMonitor::last_response(
+    net::EndpointId target) const {
+  LockGuard lock(mutex_);
+  auto it = last_.find(target);
+  if (it == last_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t HeartbeatMonitor::rounds() const {
+  LockGuard lock(mutex_);
+  return rounds_;
+}
+
+void HeartbeatMonitor::loop_() {
+  for (;;) {
+    probe_now();
+    UniqueLock lock(mutex_);
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this]() GEKKO_REQUIRES(mutex_) { return stop_; });
+    if (stopping) return;
+  }
+}
+
+}  // namespace gekko::rpc

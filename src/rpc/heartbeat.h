@@ -1,0 +1,110 @@
+// rpc::HeartbeatMonitor — active liveness probing over the Engine.
+//
+// Sends the `heartbeat` RPC (proto::RpcId::heartbeat, an empty request
+// answered with a fixed-size HeartbeatResponse) to a set of daemons,
+// either on demand (probe_now(), one synchronous concurrent round —
+// what gkfs-mon drives so miss counts are deterministic) or from a
+// background thread (start(), period GEKKO_HEARTBEAT_MS). Outcomes
+// feed a health::Tracker: the alive → suspect → dead state machine,
+// its transition counters, and the per-state gauges all live there —
+// this class only decides ok/miss per probe.
+//
+// A probe is a MISS when the forward fails (timeout, disconnected) or
+// the response fails to decode; it is OK on any well-formed response.
+// The transport redials transparently, so a daemon restart shows up as
+// misses followed by a successful probe — exactly the recovery edge
+// the Tracker models.
+//
+// Locking: mutex_ (rank kHeartbeat, BELOW every engine lock) guards
+// only lifecycle state and the last-response cache. It is NEVER held
+// across engine calls — probes run unlocked off an immutable target
+// list, which is what makes the low rank safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/health.h"
+#include "common/metrics.h"
+#include "common/thread_annotations.h"
+#include "proto/messages.h"
+#include "rpc/engine.h"
+
+namespace gekko::rpc {
+
+/// GEKKO_HEARTBEAT_MS, or `fallback` when unset/garbage. 0 disables
+/// the background prober (probe_now() still works).
+[[nodiscard]] std::uint32_t heartbeat_interval_ms_from_env(
+    std::uint32_t fallback) noexcept;
+
+struct HeartbeatOptions {
+  /// Background probe period; 0 = no background thread.
+  std::uint32_t interval_ms = 500;
+  /// Per-probe deadline. Short on purpose: a heartbeat that needs
+  /// seconds IS the bad news.
+  std::chrono::milliseconds probe_timeout{250};
+  health::Thresholds thresholds{};
+};
+
+class HeartbeatMonitor {
+ public:
+  /// Probes `targets` through `engine`. The engine must outlive the
+  /// monitor; targets are fixed at construction.
+  HeartbeatMonitor(Engine& engine, std::vector<net::EndpointId> targets,
+                   HeartbeatOptions options = {});
+  ~HeartbeatMonitor();
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+  /// Launch the background prober (no-op when interval_ms == 0 or
+  /// already running).
+  void start();
+  /// Stop and join. Idempotent.
+  void stop();
+
+  /// One synchronous probe round: all targets concurrently, block for
+  /// every outcome, feed the tracker. Returns how many answered OK.
+  std::size_t probe_now();
+
+  [[nodiscard]] health::Tracker& tracker() noexcept { return tracker_; }
+  [[nodiscard]] const health::Tracker& tracker() const noexcept {
+    return tracker_;
+  }
+  [[nodiscard]] const std::vector<net::EndpointId>& targets() const noexcept {
+    return targets_;
+  }
+  /// Most recent successful response from `target`, if any ever.
+  [[nodiscard]] std::optional<proto::HeartbeatResponse> last_response(
+      net::EndpointId target) const;
+  /// Probe rounds completed (probe_now() calls, from any driver).
+  [[nodiscard]] std::uint64_t rounds() const;
+
+ private:
+  void loop_();
+
+  Engine& engine_;
+  std::vector<net::EndpointId> targets_;
+  HeartbeatOptions options_;
+  health::Tracker tracker_;
+
+  // rpc.heartbeat.* (engine registry; cached, bumped lock-free).
+  metrics::Counter* probes_;
+  metrics::Counter* misses_;
+  metrics::Histogram* rtt_;  // successful-probe round trip, ns
+
+  mutable Mutex mutex_{"rpc.heartbeat", lockdep::rank::kHeartbeat};
+  CondVar cv_;
+  bool stop_ GEKKO_GUARDED_BY(mutex_) = false;
+  bool running_ GEKKO_GUARDED_BY(mutex_) = false;
+  std::uint64_t rounds_ GEKKO_GUARDED_BY(mutex_) = 0;
+  std::map<net::EndpointId, proto::HeartbeatResponse> last_
+      GEKKO_GUARDED_BY(mutex_);
+  std::thread thread_;
+};
+
+}  // namespace gekko::rpc

@@ -33,6 +33,18 @@ include-hygiene  every header under src/ starts with #pragma once;
                  wrappers includes common/thread_annotations.h itself
                  (not via a transitive include that may go away).
 
+metric-name      metric family names handed to Registry
+                 counter()/gauge()/histogram() as full string literals
+                 must be lowercase dot-separated
+                 (`^[a-z0-9_]+(\\.[a-z0-9_]+)*$`) so the Prometheus
+                 mangling (dots -> underscores, `gekko_` prefix) stays
+                 collision-free and predictable. Additionally, the
+                 `_bucket` histogram-series suffix may not appear in
+                 string literals outside src/common/prometheus.* —
+                 cumulative bucket series must come from prom::render(),
+                 never be hand-rolled. Tag deliberate exceptions
+                 `// metric-name-ok: <why>`.
+
 span-name        span names handed to the tracer must be string
                  literals: TraceSpan::name stores the pointer, never a
                  copy, so a dynamically built name dangles once the
@@ -70,6 +82,20 @@ SPAN_RECORD = re.compile(
     r"record\s*\(")
 # A ScopedSpan/OpTrace RAII span being constructed (named variable).
 SPAN_SCOPED = re.compile(r"\b(?:ScopedSpan|OpTrace)\s+\w+\s*\(")
+# A Registry intern call whose family name is one complete string
+# literal (closed by `)` or `,`). Dynamically composed names
+# (`"rpc.caller." + op + ".sent"`) are skipped: the literal is only a
+# prefix. counter_or()/gauge_or() lookups don't match.
+METRIC_INTERN = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"\s*[),]")
+METRIC_NAME_OK = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+BUCKET_LITERAL = re.compile(r'"[^"]*_bucket[^"]*"')
+# prom::render()/parse() are the one implementation allowed to spell
+# the histogram exposition suffixes.
+BUCKET_EXEMPT = {
+    "src/common/prometheus.h",
+    "src/common/prometheus.cpp",
+}
 
 # The instrumentation layer itself is the only place bare primitives
 # may live.
@@ -110,6 +136,25 @@ def code_of(line: str) -> str:
     s = strip_strings(line)
     cut = s.find("//")
     return s[:cut] if cut >= 0 else s
+
+
+def comment_pos(line: str) -> int:
+    """Index of the `//` starting a comment (quote-aware), or -1."""
+    i, n, quote = 0, len(line), None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+        elif c in "\"'":
+            quote = c
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            return i
+        i += 1
+    return -1
 
 
 def lint_file(root: str, rel: str, errors: list[str]) -> None:
@@ -182,6 +227,28 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
                 errors.append(
                     f"{rel}:{lineno}: span-name: ScopedSpan/OpTrace must "
                     f"be constructed with a string-literal span name — "
+                    f"{raw.strip()}")
+
+        if "metric-name-ok:" not in raw:
+            # Comments stripped, literals kept: the name rules inspect
+            # the literals themselves.
+            cpos = comment_pos(raw)
+            literal_code = raw[:cpos] if cpos >= 0 else raw
+            for m in METRIC_INTERN.finditer(literal_code):
+                name = m.group(1)
+                if not METRIC_NAME_OK.match(name):
+                    errors.append(
+                        f"{rel}:{lineno}: metric-name: family '{name}' must "
+                        f"be lowercase dot-separated "
+                        f"([a-z0-9_]+(.[a-z0-9_]+)*); tag deliberate "
+                        f"exceptions `// metric-name-ok: <why>`")
+            if rel not in BUCKET_EXEMPT and \
+                    BUCKET_LITERAL.search(literal_code):
+                errors.append(
+                    f"{rel}:{lineno}: metric-name: `_bucket` series must "
+                    f"be produced by prom::render(), never hand-rolled "
+                    f"(only src/common/prometheus.* may spell it); tag "
+                    f"deliberate exceptions `// metric-name-ok: <why>` — "
                     f"{raw.strip()}")
 
         if in_net_layer and BLOCKING.search(code) and \

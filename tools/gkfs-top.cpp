@@ -1,11 +1,15 @@
 // gkfs-top — live per-node telemetry for a running GekkoFS deployment.
 //
 // Polls every daemon in the hostfile over the daemon_stat RPC and
-// renders one table row per node: total ops served, ops/s since the
-// previous poll, p50/p99 service latency of the busiest op, in-flight
-// requests, retry/timeout counters, and data/metadata volume.
-// Unreachable daemons render as "down" instead of aborting the tool —
-// exactly the situation an operator runs gkfs-top to diagnose.
+// renders one table row per node: total ops served, per-interval RATES
+// since the previous poll (ops/s, retries/s, timeouts/s, MB/s written
+// and read), p50/p99 service latency of the busiest op, in-flight
+// requests, and metadata volume. Rates are computed with the
+// metrics_history helpers against the DAEMON's snapshot clock
+// (captured_ns), so a daemon restart renders as rate 0, never as a
+// negative spike. Unreachable daemons render as "down" instead of
+// aborting the tool — exactly the situation an operator runs gkfs-top
+// to diagnose.
 //
 //   gkfs-top <hostfile> [interval-seconds] [iterations]
 //   gkfs-top <hostfile> --traces [K] [--chrome-trace out.json]
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/metrics_history.h"
 #include "common/trace.h"
 #include "net/transport.h"
 #include "proto/messages.h"
@@ -189,7 +194,13 @@ int main(int argc, char** argv) {
   if (traces_mode || chrome_out != nullptr) {
     return run_traces(engine, daemons, top_k, chrome_out);
   }
-  std::map<gekko::net::EndpointId, std::uint64_t> prev_ops;
+  // Previous poll per daemon, on that daemon's own snapshot clock —
+  // rate_per_sec() then yields 0 (not a negative spike) across a
+  // daemon restart, because both the counter and the clock reset.
+  struct PrevSamples {
+    gekko::metrics::SamplePoint ops, retries, timeouts, bytes_w, bytes_r;
+  };
+  std::map<gekko::net::EndpointId, PrevSamples> prev;
 
   for (std::uint32_t iter = 0; iterations == 0 || iter < iterations;
        ++iter) {
@@ -197,9 +208,9 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::seconds(interval));
     }
     std::printf(
-        "%-5s %10s %9s %-14s %9s %9s %8s %8s %8s %10s %10s %9s\n", "node",
+        "%-5s %10s %9s %-14s %9s %9s %8s %8s %8s %9s %9s %9s\n", "node",
         "ops", "ops/s", "busiest-op", "p50(us)", "p99(us)", "inflight",
-        "retries", "timeouts", "MB-written", "MB-read", "meta");
+        "retry/s", "tmo/s", "MBw/s", "MBr/s", "meta");
     for (const auto id : daemons) {
       auto r = engine.forward(
           id, gekko::proto::to_wire(gekko::proto::RpcId::daemon_stat), {});
@@ -219,14 +230,33 @@ int main(int argc, char** argv) {
         std::printf("%-5u %s\n", id, "bad-metrics");
         continue;
       }
-      const std::uint64_t ops = snap->counter_or("rpc.requests_handled");
+      const std::uint64_t t = snap->captured_ns;
+      auto point = [t](std::uint64_t v) {
+        return gekko::metrics::SamplePoint{t, static_cast<std::int64_t>(v)};
+      };
+      PrevSamples cur;
+      cur.ops = point(snap->counter_or("rpc.requests_handled"));
+      cur.retries = point(snap->counter_or("rpc.retries"));
+      cur.timeouts = point(snap->counter_or("rpc.timeouts"));
+      cur.bytes_w = point(resp->bytes_written);
+      cur.bytes_r = point(resp->bytes_read);
+
       double ops_s = 0.0;
-      if (auto it = prev_ops.find(id);
-          it != prev_ops.end() && interval > 0 && ops >= it->second) {
-        ops_s = static_cast<double>(ops - it->second) /
-                static_cast<double>(interval);
+      double retries_s = 0.0;
+      double timeouts_s = 0.0;
+      double mbw_s = 0.0;
+      double mbr_s = 0.0;
+      if (auto it = prev.find(id); it != prev.end()) {
+        using gekko::metrics::rate_per_sec;
+        ops_s = rate_per_sec(it->second.ops, cur.ops);
+        retries_s = rate_per_sec(it->second.retries, cur.retries);
+        timeouts_s = rate_per_sec(it->second.timeouts, cur.timeouts);
+        mbw_s = rate_per_sec(it->second.bytes_w, cur.bytes_w) /
+                (1024.0 * 1024.0);
+        mbr_s = rate_per_sec(it->second.bytes_r, cur.bytes_r) /
+                (1024.0 * 1024.0);
       }
-      prev_ops[id] = ops;
+      prev[id] = cur;
 
       std::string op = "-";
       const auto* h = busiest_handler(*snap, &op);
@@ -234,12 +264,10 @@ int main(int argc, char** argv) {
       const double p99_us = h ? static_cast<double>(h->p99) / 1000.0 : 0.0;
 
       std::printf("%-5u %10" PRIu64 " %9.1f %-14s %9.1f %9.1f %8" PRId64
-                  " %8" PRIu64 " %8" PRIu64 " %10.1f %10.1f %9" PRIu64 "\n",
-                  id, ops, ops_s, op.c_str(), p50_us, p99_us,
-                  total_inflight(*snap), snap->counter_or("rpc.retries"),
-                  snap->counter_or("rpc.timeouts"),
-                  static_cast<double>(resp->bytes_written) / (1024.0 * 1024.0),
-                  static_cast<double>(resp->bytes_read) / (1024.0 * 1024.0),
+                  " %8.1f %8.1f %9.1f %9.1f %9" PRIu64 "\n",
+                  id, static_cast<std::uint64_t>(cur.ops.value), ops_s,
+                  op.c_str(), p50_us, p99_us, total_inflight(*snap),
+                  retries_s, timeouts_s, mbw_s, mbr_s,
                   resp->metadata_entries);
     }
     std::fflush(stdout);

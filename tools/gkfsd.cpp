@@ -8,6 +8,7 @@
 //
 //   gkfsd <hostfile> <self-id> <data-root> [chunk-size-bytes]
 //         [--io-threads <n>] [--transport auto|uds|tcp]
+//         [--metrics-port <p>]
 //
 // --io-threads sizes the daemon's chunk-I/O pool (0 = serial in-handler
 // I/O); the default matches DaemonOptions::io_threads.
@@ -15,6 +16,11 @@
 // --transport picks the fabric: "uds" for Unix-domain sockets, "tcp"
 // for TCP with the epoll event loop, "auto" (the default) sniffs the
 // hostfile — "host:port" addresses mean TCP, socket paths mean UDS.
+//
+// --metrics-port enables the Prometheus /metrics HTTP endpoint on that
+// TCP port (0 = pick an ephemeral port). The bound port is printed to
+// stderr as "gkfsd: metrics-port <id> <port>". Sampler cadence comes
+// from GEKKO_SAMPLE_MS (default 1000, 0 disables).
 //
 // Runs until SIGINT/SIGTERM. All state (metadata KV, chunk files)
 // lives under <data-root> and survives restarts.
@@ -58,6 +64,8 @@ int main(int argc, char** argv) {
   std::vector<const char*> positional;
   bool have_io_threads = false;
   std::uint32_t io_threads = 0;
+  bool have_metrics_port = false;
+  std::uint32_t metrics_port = 0;
   gekko::net::Transport transport = gekko::net::Transport::autodetect;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--io-threads") == 0) {
@@ -66,6 +74,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       have_io_threads = true;
+      ++i;
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      if (i + 1 >= argc || !parse_u32(argv[i + 1], &metrics_port) ||
+          metrics_port > 65535) {
+        std::fprintf(stderr, "gkfsd: bad --metrics-port value\n");
+        return 2;
+      }
+      have_metrics_port = true;
       ++i;
     } else if (std::strcmp(argv[i], "--transport") == 0) {
       auto parsed = i + 1 < argc
@@ -87,7 +103,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: gkfsd <hostfile> <self-id> <data-root> "
                  "[chunk-size-bytes] [--io-threads <n>] "
-                 "[--transport auto|uds|tcp]\n");
+                 "[--transport auto|uds|tcp] [--metrics-port <p>]\n");
     return 2;
   }
   const char* hostfile = positional[0];
@@ -117,6 +133,9 @@ int main(int argc, char** argv) {
     }
   }
   if (have_io_threads) dopts.io_threads = io_threads;
+  if (have_metrics_port) {
+    dopts.metrics_http_port = static_cast<int>(metrics_port);
+  }
   auto daemon = gekko::daemon::GekkoDaemon::start(**fabric, root, dopts);
   if (!daemon) {
     std::fprintf(stderr, "gkfsd: start: %s\n",
@@ -126,6 +145,11 @@ int main(int argc, char** argv) {
   if ((*daemon)->endpoint() != self_id) {
     std::fprintf(stderr, "gkfsd: endpoint registration failed\n");
     return 1;
+  }
+  if ((*daemon)->metrics_http_port() >= 0) {
+    // Parsed by scrape configs and tests (resolves --metrics-port 0).
+    std::fprintf(stderr, "gkfsd: metrics-port %u %d\n", self_id,
+                 (*daemon)->metrics_http_port());
   }
 
   std::signal(SIGINT, handle_signal);
