@@ -57,16 +57,18 @@ int main() {
     }
     std::printf("\n-- mdtest, %u daemon(s), 4 procs x %u files, single dir --\n",
                 nodes, md.files_per_proc);
-    std::printf("%10s  %12s  %12s  %12s\n", "", "create/s", "stat/s",
-                "remove/s");
-    std::printf("%10s  %12s  %12s  %12s\n", "gekkofs",
+    std::printf("%10s  %12s  %12s  %12s  %18s\n", "", "create/s", "stat/s",
+                "remove/s", "create p50/p99 us");
+    std::printf("%10s  %12s  %12s  %12s  %8.1f /%8.1f\n", "gekkofs",
                 human_rate(g->create.ops_per_sec).c_str(),
                 human_rate(g->stat.ops_per_sec).c_str(),
-                human_rate(g->remove.ops_per_sec).c_str());
-    std::printf("%10s  %12s  %12s  %12s\n", "baseline",
+                human_rate(g->remove.ops_per_sec).c_str(), g->create.p50_us,
+                g->create.p99_us);
+    std::printf("%10s  %12s  %12s  %12s  %8.1f /%8.1f\n", "baseline",
                 human_rate(b->create.ops_per_sec).c_str(),
                 human_rate(b->stat.ops_per_sec).c_str(),
-                human_rate(b->remove.ops_per_sec).c_str());
+                human_rate(b->remove.ops_per_sec).c_str(), b->create.p50_us,
+                b->create.p99_us);
 
     workload::IorConfig ior;
     ior.procs = 4;

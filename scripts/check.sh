@@ -43,6 +43,9 @@ echo "== check.sh: sanitize-labeled suites"
 echo "== check.sh: telemetry suite (ctest -L telemetry)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L telemetry --output-on-failure)
 
+echo "== check.sh: batched-metadata suite (ctest -L metadata_scale)"
+(cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L metadata_scale --output-on-failure)
+
 echo "== check.sh: full test suite (lockdep on)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest --output-on-failure)
 

@@ -1,0 +1,280 @@
+#include "client/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace gekko::client {
+
+using proto::RpcId;
+
+namespace {
+
+std::string_view as_view(const std::vector<std::uint8_t>& bytes) {
+  return std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size());
+}
+
+/// Encoded-size estimate for the byte threshold (length prefix + path +
+/// fixed fields); exactness doesn't matter, only that it grows with the
+/// payload.
+std::size_t entry_cost(std::string_view path) { return path.size() + 16; }
+
+}  // namespace
+
+Batcher::Batcher(rpc::Engine& engine, std::vector<net::EndpointId> daemons,
+                 BatchOptions options, metrics::Registry& registry)
+    : engine_(engine),
+      daemons_(std::move(daemons)),
+      options_(options),
+      creates_(daemons_.size()),
+      stats_(daemons_.size()),
+      removes_(daemons_.size()) {
+  enqueued_ = &registry.counter("client.batch.enqueued");
+  flushes_full_ = &registry.counter("client.batch.flushes.full");
+  flushes_deadline_ = &registry.counter("client.batch.flushes.deadline");
+  rpcs_ = &registry.counter("client.batch.rpcs");
+  flush_entries_ = &registry.histogram("client.batch.flush_entries");
+  timer_ = std::thread([this] { timer_loop_(); });
+}
+
+Batcher::~Batcher() {
+  {
+    LockGuard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  sweep_(/*force=*/true);  // fail no one: drain stragglers synchronously
+}
+
+task::Eventual<Errc> Batcher::enqueue_create(
+    std::uint32_t daemon_id, proto::BatchCreateRequest::Entry entry) {
+  task::Eventual<Errc> ev;
+  CreateQueue ready;
+  bool full = false;
+  {
+    UniqueLock lock(mutex_);
+    CreateQueue& q = creates_[daemon_id];
+    if (q.completions.empty()) {
+      q.oldest = Clock::now();
+      cv_.notify_one();  // timer re-arms for this queue's deadline
+    }
+    q.bytes += entry_cost(entry.path);
+    q.entries.push_back(std::move(entry));
+    q.completions.push_back(ev);
+    enqueued_->inc();
+    if (q.entries.size() >= options_.max_entries ||
+        q.bytes >= options_.max_bytes) {
+      ready = std::exchange(q, CreateQueue{});
+      full = true;
+    }
+  }
+  if (full) {
+    flushes_full_->inc();
+    flush_create_(daemon_id, std::move(ready));
+  }
+  return ev;
+}
+
+task::Eventual<Batcher::StatOutcome> Batcher::enqueue_stat(
+    std::uint32_t daemon_id, std::string path) {
+  task::Eventual<StatOutcome> ev;
+  StatQueue ready;
+  bool full = false;
+  {
+    UniqueLock lock(mutex_);
+    StatQueue& q = stats_[daemon_id];
+    if (q.completions.empty()) {
+      q.oldest = Clock::now();
+      cv_.notify_one();
+    }
+    q.bytes += entry_cost(path);
+    q.paths.push_back(std::move(path));
+    q.completions.push_back(ev);
+    enqueued_->inc();
+    if (q.paths.size() >= options_.max_entries ||
+        q.bytes >= options_.max_bytes) {
+      ready = std::exchange(q, StatQueue{});
+      full = true;
+    }
+  }
+  if (full) {
+    flushes_full_->inc();
+    flush_stat_(daemon_id, std::move(ready));
+  }
+  return ev;
+}
+
+task::Eventual<Batcher::RemoveOutcome> Batcher::enqueue_remove(
+    std::uint32_t daemon_id, std::string path) {
+  task::Eventual<RemoveOutcome> ev;
+  RemoveQueue ready;
+  bool full = false;
+  {
+    UniqueLock lock(mutex_);
+    RemoveQueue& q = removes_[daemon_id];
+    if (q.completions.empty()) {
+      q.oldest = Clock::now();
+      cv_.notify_one();
+    }
+    q.bytes += entry_cost(path);
+    q.paths.push_back(std::move(path));
+    q.completions.push_back(ev);
+    enqueued_->inc();
+    if (q.paths.size() >= options_.max_entries ||
+        q.bytes >= options_.max_bytes) {
+      ready = std::exchange(q, RemoveQueue{});
+      full = true;
+    }
+  }
+  if (full) {
+    flushes_full_->inc();
+    flush_remove_(daemon_id, std::move(ready));
+  }
+  return ev;
+}
+
+void Batcher::flush_all() { sweep_(/*force=*/true); }
+
+void Batcher::timer_loop_() {
+  for (;;) {
+    {
+      UniqueLock lock(mutex_);
+      if (stopping_) return;
+      Clock::time_point earliest = Clock::time_point::max();
+      for (const auto& q : creates_) {
+        if (!q.completions.empty()) earliest = std::min(earliest, q.oldest);
+      }
+      for (const auto& q : stats_) {
+        if (!q.completions.empty()) earliest = std::min(earliest, q.oldest);
+      }
+      for (const auto& q : removes_) {
+        if (!q.completions.empty()) earliest = std::min(earliest, q.oldest);
+      }
+      if (earliest == Clock::time_point::max()) {
+        cv_.wait(lock);
+        continue;
+      }
+      const auto deadline = earliest + options_.max_delay;
+      const auto now = Clock::now();
+      if (deadline > now) {
+        cv_.wait_for(lock, deadline - now,
+                     [&]() GEKKO_REQUIRES(mutex_) { return stopping_; });
+        if (stopping_) return;
+        continue;  // re-derive: the queue may have flushed full meanwhile
+      }
+    }
+    sweep_(/*force=*/false);
+  }
+}
+
+void Batcher::sweep_(bool force) {
+  std::vector<std::pair<std::uint32_t, CreateQueue>> ripe_creates;
+  std::vector<std::pair<std::uint32_t, StatQueue>> ripe_stats;
+  std::vector<std::pair<std::uint32_t, RemoveQueue>> ripe_removes;
+  const Clock::time_point now = Clock::now();
+  {
+    UniqueLock lock(mutex_);
+    auto ripe = [&](const auto& q) {
+      return !q.completions.empty() &&
+             (force || q.oldest + options_.max_delay <= now);
+    };
+    for (std::uint32_t d = 0; d < creates_.size(); ++d) {
+      if (ripe(creates_[d])) {
+        ripe_creates.emplace_back(d, std::exchange(creates_[d],
+                                                   CreateQueue{}));
+      }
+      if (ripe(stats_[d])) {
+        ripe_stats.emplace_back(d, std::exchange(stats_[d], StatQueue{}));
+      }
+      if (ripe(removes_[d])) {
+        ripe_removes.emplace_back(d,
+                                  std::exchange(removes_[d], RemoveQueue{}));
+      }
+    }
+  }
+  if (!force) {
+    flushes_deadline_->inc(ripe_creates.size() + ripe_stats.size() +
+                           ripe_removes.size());
+  }
+  for (auto& [d, q] : ripe_creates) flush_create_(d, std::move(q));
+  for (auto& [d, q] : ripe_stats) flush_stat_(d, std::move(q));
+  for (auto& [d, q] : ripe_removes) flush_remove_(d, std::move(q));
+}
+
+void Batcher::flush_create_(std::uint32_t daemon_id, CreateQueue q) {
+  proto::BatchCreateRequest req;
+  req.entries = std::move(q.entries);
+  rpcs_->inc();
+  flush_entries_->record(req.entries.size());
+  auto r = engine_.forward(daemons_[daemon_id],
+                           proto::to_wire(RpcId::batch_create), req.encode());
+  if (!r) {
+    for (const auto& ev : q.completions) ev.set(r.code());
+    return;
+  }
+  auto resp = proto::BatchCreateResponse::decode(as_view(*r));
+  if (!resp || resp->statuses.size() != q.completions.size()) {
+    for (const auto& ev : q.completions) ev.set(Errc::corruption);
+    return;
+  }
+  for (std::size_t i = 0; i < q.completions.size(); ++i) {
+    q.completions[i].set(proto::batch_status_to_errc(resp->statuses[i]));
+  }
+}
+
+void Batcher::flush_stat_(std::uint32_t daemon_id, StatQueue q) {
+  proto::BatchPathRequest req;
+  req.paths = std::move(q.paths);
+  rpcs_->inc();
+  flush_entries_->record(req.paths.size());
+  auto r = engine_.forward(daemons_[daemon_id],
+                           proto::to_wire(RpcId::batch_stat), req.encode());
+  if (!r) {
+    for (const auto& ev : q.completions) ev.set(StatOutcome{r.code(), {}});
+    return;
+  }
+  auto resp = proto::BatchStatResponse::decode(as_view(*r));
+  if (!resp || resp->entries.size() != q.completions.size()) {
+    for (const auto& ev : q.completions) {
+      ev.set(StatOutcome{Errc::corruption, {}});
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < q.completions.size(); ++i) {
+    auto& e = resp->entries[i];
+    q.completions[i].set(StatOutcome{proto::batch_status_to_errc(e.status),
+                                     std::move(e.metadata)});
+  }
+}
+
+void Batcher::flush_remove_(std::uint32_t daemon_id, RemoveQueue q) {
+  proto::BatchPathRequest req;
+  req.paths = std::move(q.paths);
+  rpcs_->inc();
+  flush_entries_->record(req.paths.size());
+  auto r = engine_.forward(daemons_[daemon_id],
+                           proto::to_wire(RpcId::batch_remove), req.encode());
+  if (!r) {
+    for (const auto& ev : q.completions) {
+      ev.set(RemoveOutcome{r.code(), 0, false});
+    }
+    return;
+  }
+  auto resp = proto::BatchRemoveResponse::decode(as_view(*r));
+  if (!resp || resp->entries.size() != q.completions.size()) {
+    for (const auto& ev : q.completions) {
+      ev.set(RemoveOutcome{Errc::corruption, 0, false});
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < q.completions.size(); ++i) {
+    const auto& e = resp->entries[i];
+    q.completions[i].set(RemoveOutcome{proto::batch_status_to_errc(e.status),
+                                       e.old_size, e.was_directory != 0});
+  }
+}
+
+}  // namespace gekko::client

@@ -1,0 +1,135 @@
+// Client-side metadata-RPC coalescing (the batched-create hot path).
+//
+// Small metadata ops (create/stat/remove) targeting the same daemon are
+// queued per daemon and shipped as ONE batch RPC when the queue hits a
+// count or byte threshold, or when its oldest entry has waited
+// max_delay (a timer thread sweeps stragglers). Every enqueued op gets
+// an Eventual completion carrying its per-entry outcome, so callers
+// keep the synchronous one-status-per-op interface while the wire sees
+// amortized round-trips.
+//
+// Failure semantics: a transport-level failure of the batch RPC fails
+// every entry in that flush with the transport's Errc; per-entry
+// errors (exists, not_found, ...) arrive as BatchStatus values and
+// never poison batch-mates. Mutating batches are NOT retried (same
+// replay rule as single create/remove); batch_stat retries through the
+// engine's idempotent-rpc machinery.
+//
+// Locking: batcher queues rank BEFORE the rpc engine's locks
+// (lockdep::rank::kClientBatcher); flushes swap a queue out under the
+// lock and forward with it RELEASED, so enqueues on other daemons never
+// stall behind a round-trip.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "net/fabric.h"
+#include "proto/messages.h"
+#include "rpc/engine.h"
+#include "task/future.h"
+
+namespace gekko::client {
+
+struct BatchOptions {
+  /// Route single-op create/stat/remove through the coalescing queues.
+  bool enabled = false;
+  /// Flush a daemon's queue at this many entries...
+  std::size_t max_entries = 128;
+  /// ...or this many encoded payload bytes, whichever first.
+  std::size_t max_bytes = 128 * 1024;
+  /// Max time the OLDEST entry of a queue waits before the timer
+  /// thread flushes it (the latency an op can pay for batching).
+  std::chrono::milliseconds max_delay{2};
+};
+
+class Batcher {
+ public:
+  /// Per-entry stat outcome; md valid iff status == Errc::ok.
+  struct StatOutcome {
+    Errc status = Errc::io_error;
+    proto::Metadata md;
+  };
+  /// Per-entry remove outcome; sizes valid iff status == Errc::ok.
+  struct RemoveOutcome {
+    Errc status = Errc::io_error;
+    std::uint64_t old_size = 0;
+    bool was_directory = false;
+  };
+
+  Batcher(rpc::Engine& engine, std::vector<net::EndpointId> daemons,
+          BatchOptions options, metrics::Registry& registry);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  task::Eventual<Errc> enqueue_create(std::uint32_t daemon_id,
+                                      proto::BatchCreateRequest::Entry entry);
+  task::Eventual<StatOutcome> enqueue_stat(std::uint32_t daemon_id,
+                                           std::string path);
+  task::Eventual<RemoveOutcome> enqueue_remove(std::uint32_t daemon_id,
+                                               std::string path);
+
+  /// Drain every queue now (close/fsync barrier and shutdown path).
+  void flush_all();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct CreateQueue {
+    std::vector<proto::BatchCreateRequest::Entry> entries;
+    std::vector<task::Eventual<Errc>> completions;
+    std::size_t bytes = 0;
+    Clock::time_point oldest{};
+  };
+  struct StatQueue {
+    std::vector<std::string> paths;
+    std::vector<task::Eventual<StatOutcome>> completions;
+    std::size_t bytes = 0;
+    Clock::time_point oldest{};
+  };
+  struct RemoveQueue {
+    std::vector<std::string> paths;
+    std::vector<task::Eventual<RemoveOutcome>> completions;
+    std::size_t bytes = 0;
+    Clock::time_point oldest{};
+  };
+
+  void timer_loop_();
+  /// Sweep queues whose oldest entry aged past max_delay (or all of
+  /// them); swaps each out under the lock, sends with it released.
+  void sweep_(bool force);
+
+  void flush_create_(std::uint32_t daemon_id, CreateQueue q);
+  void flush_stat_(std::uint32_t daemon_id, StatQueue q);
+  void flush_remove_(std::uint32_t daemon_id, RemoveQueue q);
+
+  rpc::Engine& engine_;
+  std::vector<net::EndpointId> daemons_;
+  BatchOptions options_;
+
+  mutable Mutex mutex_{"client.batcher", lockdep::rank::kClientBatcher};
+  CondVar cv_;  // wakes the timer on first-entry arrivals and shutdown
+  std::vector<CreateQueue> creates_ GEKKO_GUARDED_BY(mutex_);
+  std::vector<StatQueue> stats_ GEKKO_GUARDED_BY(mutex_);
+  std::vector<RemoveQueue> removes_ GEKKO_GUARDED_BY(mutex_);
+  bool stopping_ GEKKO_GUARDED_BY(mutex_) = false;
+
+  metrics::Counter* enqueued_;
+  metrics::Counter* flushes_full_;
+  metrics::Counter* flushes_deadline_;
+  metrics::Counter* rpcs_;
+  metrics::Histogram* flush_entries_;
+
+  std::thread timer_;
+};
+
+}  // namespace gekko::client

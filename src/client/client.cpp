@@ -112,6 +112,7 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
     rpc_opts.retryable = [](std::uint16_t id) {
       switch (static_cast<RpcId>(id)) {
         case RpcId::stat:
+        case RpcId::batch_stat:
         case RpcId::read_chunks:
         case RpcId::get_dirents:
         case RpcId::daemon_stat:
@@ -124,6 +125,10 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
     if (rpc_opts.max_attempts <= 1) rpc_opts.max_attempts = 3;
   }
   engine_ = std::make_unique<rpc::Engine>(fabric_, rpc_opts);
+  if (options_.batch.enabled) {
+    batcher_ = std::make_unique<Batcher>(*engine_, daemons_, options_.batch,
+                                         *registry_);
+  }
 }
 
 Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
@@ -152,12 +157,22 @@ Result<std::vector<std::uint8_t>> Client::finish_or_retry_(
 Status Client::create(std::string_view path, proto::FileType type,
                       std::uint32_t mode) {
   OpTrace op(engine_->tracer(), "client.create", "create");
+  const std::uint32_t target = distributor_->metadata_target(path);
+  if (batcher_) {
+    proto::BatchCreateRequest::Entry entry;
+    entry.path = std::string(path);
+    entry.type = static_cast<std::uint8_t>(type);
+    entry.mode = mode;
+    entry.ctime_ns = now_ns();
+    const Errc e =
+        batcher_->enqueue_create(target, std::move(entry)).wait();
+    return e == Errc::ok ? Status::ok() : Status{e};
+  }
   proto::CreateRequest req;
   req.path = std::string(path);
   req.type = static_cast<std::uint8_t>(type);
   req.mode = mode;
   req.ctime_ns = now_ns();
-  const std::uint32_t target = distributor_->metadata_target(path);
   auto resp = engine_->forward(endpoint_of_(target),
                                proto::to_wire(RpcId::create), req.encode());
   m_.rpcs_sent->inc();
@@ -176,8 +191,14 @@ Result<proto::Metadata> Client::stat(std::string_view path) {
     return *cached;
   }
   m_.stat_cache_misses->inc();
-  proto::PathRequest req{std::string(path)};
   const std::uint32_t target = distributor_->metadata_target(path);
+  if (batcher_) {
+    auto outcome = batcher_->enqueue_stat(target, key).wait();
+    if (outcome.status != Errc::ok) return outcome.status;
+    stat_cache_.store(key, outcome.md);
+    return outcome.md;
+  }
+  proto::PathRequest req{std::string(path)};
   auto resp = engine_->forward(endpoint_of_(target),
                                proto::to_wire(RpcId::stat), req.encode());
   m_.rpcs_sent->inc();
@@ -198,8 +219,15 @@ Status Client::remove(std::string_view path) {
   OpTrace op(engine_->tracer(), "client.remove", "remove");
   size_cache_.forget(std::string(path));
   stat_cache_.invalidate(std::string(path));
-  proto::PathRequest req{std::string(path)};
   const std::uint32_t target = distributor_->metadata_target(path);
+  if (batcher_) {
+    auto outcome =
+        batcher_->enqueue_remove(target, std::string(path)).wait();
+    if (outcome.status != Errc::ok) return outcome.status;
+    if (outcome.old_size == 0 || outcome.was_directory) return Status::ok();
+    return remove_data_everywhere_(path);
+  }
+  proto::PathRequest req{std::string(path)};
   auto resp =
       engine_->forward(endpoint_of_(target),
                        proto::to_wire(RpcId::remove_metadata), req.encode());
@@ -242,6 +270,198 @@ Status Client::remove_data_everywhere_(std::string_view path) {
     if (!r && first_error.is_ok()) first_error = r.status();
   }
   return first_error;
+}
+
+// ---------- bulk metadata ----------
+
+namespace {
+std::string_view as_view(const std::vector<std::uint8_t>& bytes) {
+  return std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size());
+}
+}  // namespace
+
+Status Client::create_batch(const std::vector<std::string>& paths,
+                            proto::FileType type, std::vector<Errc>* out,
+                            std::uint32_t mode) {
+  OpTrace op(engine_->tracer(), "client.create_batch", "create_batch");
+  out->assign(paths.size(), Errc::ok);
+  if (paths.empty()) return Status::ok();
+
+  const std::int64_t ctime = now_ns();
+  std::map<std::uint32_t, proto::BatchCreateRequest> per_daemon;
+  std::map<std::uint32_t, std::vector<std::size_t>> origin;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint32_t target = distributor_->metadata_target(paths[i]);
+    proto::BatchCreateRequest::Entry e;
+    e.path = paths[i];
+    e.type = static_cast<std::uint8_t>(type);
+    e.mode = mode;
+    e.ctime_ns = ctime;
+    per_daemon[target].entries.push_back(std::move(e));
+    origin[target].push_back(i);
+  }
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  std::vector<std::uint32_t> call_daemon;
+  calls.reserve(per_daemon.size());
+  for (const auto& [daemon_id, req] : per_daemon) {
+    call_daemon.push_back(daemon_id);
+    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+                                           proto::to_wire(RpcId::batch_create),
+                                           req.encode()));
+  }
+  m_.rpcs_sent->inc(per_daemon.size());
+  {
+    LockGuard lock(stats_mutex_);
+    stats_.rpcs_sent += per_daemon.size();
+  }
+
+  for (std::size_t c = 0; c < calls.size(); ++c) {
+    const std::vector<std::size_t>& idx = origin[call_daemon[c]];
+    auto r = engine_->finish(calls[c]);
+    if (!r) {
+      // Transport failure: every entry routed to this daemon fails with
+      // the transport's code; other daemons' entries are unaffected.
+      for (const std::size_t i : idx) (*out)[i] = r.code();
+      continue;
+    }
+    auto resp = proto::BatchCreateResponse::decode(as_view(*r));
+    if (!resp || resp->statuses.size() != idx.size()) {
+      for (const std::size_t i : idx) (*out)[i] = Errc::corruption;
+      continue;
+    }
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      (*out)[idx[j]] = proto::batch_status_to_errc(resp->statuses[j]);
+    }
+  }
+  return Status::ok();
+}
+
+Status Client::stat_batch(const std::vector<std::string>& paths,
+                          std::vector<Errc>* out,
+                          std::vector<proto::Metadata>* mds) {
+  OpTrace op(engine_->tracer(), "client.stat_batch", "stat_batch");
+  out->assign(paths.size(), Errc::ok);
+  mds->assign(paths.size(), proto::Metadata{});
+  if (paths.empty()) return Status::ok();
+
+  std::map<std::uint32_t, proto::BatchPathRequest> per_daemon;
+  std::map<std::uint32_t, std::vector<std::size_t>> origin;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint32_t target = distributor_->metadata_target(paths[i]);
+    per_daemon[target].paths.push_back(paths[i]);
+    origin[target].push_back(i);
+  }
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  std::vector<std::uint32_t> call_daemon;
+  std::vector<std::vector<std::uint8_t>> call_reqs;
+  calls.reserve(per_daemon.size());
+  for (const auto& [daemon_id, req] : per_daemon) {
+    call_daemon.push_back(daemon_id);
+    call_reqs.push_back(req.encode());
+    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+                                           proto::to_wire(RpcId::batch_stat),
+                                           call_reqs.back()));
+  }
+  m_.rpcs_sent->inc(per_daemon.size());
+  {
+    LockGuard lock(stats_mutex_);
+    stats_.rpcs_sent += per_daemon.size();
+  }
+
+  for (std::size_t c = 0; c < calls.size(); ++c) {
+    const std::vector<std::size_t>& idx = origin[call_daemon[c]];
+    auto r = finish_or_retry_(calls[c], endpoint_of_(call_daemon[c]),
+                              proto::to_wire(RpcId::batch_stat),
+                              std::move(call_reqs[c]));
+    if (!r) {
+      for (const std::size_t i : idx) (*out)[i] = r.code();
+      continue;
+    }
+    auto resp = proto::BatchStatResponse::decode(as_view(*r));
+    if (!resp || resp->entries.size() != idx.size()) {
+      for (const std::size_t i : idx) (*out)[i] = Errc::corruption;
+      continue;
+    }
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      auto& e = resp->entries[j];
+      (*out)[idx[j]] = proto::batch_status_to_errc(e.status);
+      if (e.status == proto::BatchStatus::ok) {
+        (*mds)[idx[j]] = std::move(e.metadata);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Client::remove_batch(const std::vector<std::string>& paths,
+                            std::vector<Errc>* out) {
+  OpTrace op(engine_->tracer(), "client.remove_batch", "remove_batch");
+  out->assign(paths.size(), Errc::ok);
+  if (paths.empty()) return Status::ok();
+  for (const auto& p : paths) {
+    size_cache_.forget(p);
+    stat_cache_.invalidate(p);
+  }
+
+  std::map<std::uint32_t, proto::BatchPathRequest> per_daemon;
+  std::map<std::uint32_t, std::vector<std::size_t>> origin;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint32_t target = distributor_->metadata_target(paths[i]);
+    per_daemon[target].paths.push_back(paths[i]);
+    origin[target].push_back(i);
+  }
+
+  std::vector<rpc::Engine::PendingCall> calls;
+  std::vector<std::uint32_t> call_daemon;
+  calls.reserve(per_daemon.size());
+  for (const auto& [daemon_id, req] : per_daemon) {
+    call_daemon.push_back(daemon_id);
+    calls.push_back(engine_->begin_forward(endpoint_of_(daemon_id),
+                                           proto::to_wire(RpcId::batch_remove),
+                                           req.encode()));
+  }
+  m_.rpcs_sent->inc(per_daemon.size());
+  {
+    LockGuard lock(stats_mutex_);
+    stats_.rpcs_sent += per_daemon.size();
+  }
+
+  // Files that had data still need chunk cleanup (rare under mdtest:
+  // its files are empty, so removes stay one batch RPC per daemon).
+  std::vector<std::size_t> need_cleanup;
+  for (std::size_t c = 0; c < calls.size(); ++c) {
+    const std::vector<std::size_t>& idx = origin[call_daemon[c]];
+    auto r = engine_->finish(calls[c]);
+    if (!r) {
+      for (const std::size_t i : idx) (*out)[i] = r.code();
+      continue;
+    }
+    auto resp = proto::BatchRemoveResponse::decode(as_view(*r));
+    if (!resp || resp->entries.size() != idx.size()) {
+      for (const std::size_t i : idx) (*out)[i] = Errc::corruption;
+      continue;
+    }
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const auto& e = resp->entries[j];
+      (*out)[idx[j]] = proto::batch_status_to_errc(e.status);
+      if (e.status == proto::BatchStatus::ok && e.old_size > 0 &&
+          e.was_directory == 0) {
+        need_cleanup.push_back(idx[j]);
+      }
+    }
+  }
+  for (const std::size_t i : need_cleanup) {
+    Status st = remove_data_everywhere_(paths[i]);
+    if (!st.is_ok()) (*out)[i] = st.code();
+  }
+  return Status::ok();
+}
+
+void Client::flush_batches() {
+  if (batcher_) batcher_->flush_all();
 }
 
 Status Client::truncate(std::string_view path, std::uint64_t new_size) {

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "client/batcher.h"
 #include "client/size_cache.h"
 #include "client/stat_cache.h"
 #include "common/result.h"
@@ -37,6 +38,10 @@ struct ClientOptions {
   /// future-work item #2; see client/stat_cache.h for the trade.
   std::chrono::milliseconds stat_cache_ttl{0};
   rpc::EngineOptions rpc_options;
+  /// Metadata-RPC coalescing (batcher.h). Off by default: single ops go
+  /// out as single RPCs; enabled, create/stat/remove singles queue per
+  /// daemon and ship as batch RPCs (count/bytes/deadline flush).
+  BatchOptions batch;
   /// Metric sink (forwarding-layer counters, fan-out histograms).
   /// nullptr = metrics::Registry::global(). Also seeds the engine's
   /// registry unless rpc_options.registry is set explicitly.
@@ -71,6 +76,27 @@ class Client {
   Status truncate(std::string_view path, std::uint64_t new_size);
   /// Flush any cached size updates for `path` (close/fsync barrier).
   Status flush_size(std::string_view path);
+
+  // -- bulk metadata -------------------------------------------------------
+  // Explicit batch entry points (the mdtest batched phases): entries
+  // are grouped by owning daemon, one batch RPC per daemon in flight
+  // concurrently, outcomes scattered back IN REQUEST ORDER. The
+  // returned Status reflects request-building only; per-entry results
+  // (ok / exists / not_found / transport errors) land in `out`.
+
+  Status create_batch(const std::vector<std::string>& paths,
+                      proto::FileType type, std::vector<Errc>* out,
+                      std::uint32_t mode = 0644);
+  /// mds[i] valid iff (*out)[i] == Errc::ok.
+  Status stat_batch(const std::vector<std::string>& paths,
+                    std::vector<Errc>* out,
+                    std::vector<proto::Metadata>* mds);
+  Status remove_batch(const std::vector<std::string>& paths,
+                      std::vector<Errc>* out);
+  /// Drain the single-op coalescing queues (no-op when batching is
+  /// off). Barrier before reading cluster-wide state the batched ops
+  /// should be visible in.
+  void flush_batches();
 
   // -- data ----------------------------------------------------------------
   /// Returns bytes written (always all of `data` on success).
@@ -155,6 +181,9 @@ class Client {
     metrics::Histogram* read_fanout;   // daemons touched per read()
   };
   ClientMetrics m_;
+  /// Single-op coalescing queues (options_.batch.enabled). Declared
+  /// last: its destructor flushes through engine_, so it must die first.
+  std::unique_ptr<Batcher> batcher_;
 };
 
 /// Wall-clock nanoseconds (client-stamped ctimes/mtimes).

@@ -45,6 +45,9 @@ inline constexpr int kFileMap = 120;        // client file map
 inline constexpr int kStatCache = 130;      // client stat cache
 inline constexpr int kSizeCache = 135;      // client size-update cache
 inline constexpr int kClientStats = 140;    // client op counters
+inline constexpr int kClientBatcher = 150;  // metadata-RPC coalescing queues
+                                            // (flushes forward with it
+                                            // DROPPED — rpc ranks are higher)
 // -- rpc engine --
 inline constexpr int kEngineRpcTable = 200; // handler registration table
 inline constexpr int kEngineMetrics = 210;  // caller-metrics slot fill

@@ -169,6 +169,9 @@ void GekkoDaemon::register_handlers_() {
   bind(RpcId::write_chunks, "write_chunks", &GekkoDaemon::on_write_chunks_);
   bind(RpcId::read_chunks, "read_chunks", &GekkoDaemon::on_read_chunks_);
   bind(RpcId::get_dirents, "get_dirents", &GekkoDaemon::on_get_dirents_);
+  bind(RpcId::batch_create, "batch_create", &GekkoDaemon::on_batch_create_);
+  bind(RpcId::batch_stat, "batch_stat", &GekkoDaemon::on_batch_stat_);
+  bind(RpcId::batch_remove, "batch_remove", &GekkoDaemon::on_batch_remove_);
   bind(RpcId::daemon_stat, "daemon_stat", &GekkoDaemon::on_daemon_stat_);
   bind(RpcId::trace_dump, "trace_dump", &GekkoDaemon::on_trace_dump_);
   bind(RpcId::heartbeat, "heartbeat", &GekkoDaemon::on_heartbeat_);
@@ -422,6 +425,68 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_get_dirents_(
   return resp.encode();
 }
 
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_batch_create_(
+    const net::Message& msg) {
+  auto req = proto::BatchCreateRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  std::vector<std::pair<std::string, proto::Metadata>> entries;
+  entries.reserve(req->entries.size());
+  for (auto& e : req->entries) {
+    proto::Metadata md;
+    md.type = static_cast<proto::FileType>(e.type);
+    md.mode = e.mode;
+    md.ctime_ns = md.mtime_ns = e.ctime_ns;
+    entries.emplace_back(std::move(e.path), md);
+  }
+  std::vector<Errc> out;
+  GEKKO_RETURN_IF_ERROR(metadata_->create_batch(entries, &out));
+  proto::BatchCreateResponse resp;
+  resp.statuses.reserve(out.size());
+  for (const Errc e : out) {
+    resp.statuses.push_back(proto::batch_status_from_errc(e));
+  }
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_batch_stat_(
+    const net::Message& msg) {
+  auto req = proto::BatchPathRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  std::vector<Errc> out;
+  std::vector<proto::Metadata> mds;
+  GEKKO_RETURN_IF_ERROR(metadata_->stat_batch(req->paths, &out, &mds));
+  proto::BatchStatResponse resp;
+  resp.entries.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    proto::BatchStatResponse::Entry e;
+    e.status = proto::batch_status_from_errc(out[i]);
+    if (out[i] == Errc::ok) e.metadata = std::move(mds[i]);
+    resp.entries.push_back(std::move(e));
+  }
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_batch_remove_(
+    const net::Message& msg) {
+  auto req = proto::BatchPathRequest::decode(payload_view(msg));
+  if (!req) return req.status();
+  std::vector<Errc> out;
+  std::vector<proto::Metadata> old_mds;
+  GEKKO_RETURN_IF_ERROR(metadata_->remove_batch(req->paths, &out, &old_mds));
+  proto::BatchRemoveResponse resp;
+  resp.entries.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    proto::BatchRemoveResponse::Entry e;
+    e.status = proto::batch_status_from_errc(out[i]);
+    if (out[i] == Errc::ok) {
+      e.old_size = old_mds[i].size;
+      e.was_directory = old_mds[i].is_directory() ? 1 : 0;
+    }
+    resp.entries.push_back(e);
+  }
+  return resp.encode();
+}
+
 Result<std::vector<std::uint8_t>> GekkoDaemon::on_daemon_stat_(
     const net::Message& msg) {
   (void)msg;
@@ -526,6 +591,22 @@ void GekkoDaemon::publish_backend_metrics_() {
       static_cast<std::int64_t>(ks.wal_syncs));
   registry_->gauge("kv.memtable_bytes").set(
       static_cast<std::int64_t>(ks.memtable_bytes));
+  registry_->gauge("kv.imm.memtables").set(
+      static_cast<std::int64_t>(ks.immutable_memtables));
+  registry_->gauge("kv.compact.running").set(
+      static_cast<std::int64_t>(ks.compactions_running));
+  registry_->gauge("kv.compact.bytes_in").set(
+      static_cast<std::int64_t>(ks.compact_bytes_in));
+  registry_->gauge("kv.compact.bytes_out").set(
+      static_cast<std::int64_t>(ks.compact_bytes_out));
+  registry_->gauge("kv.stall.stops").set(
+      static_cast<std::int64_t>(ks.stall_stops));
+  registry_->gauge("kv.stall.foreground_ms").set(
+      static_cast<std::int64_t>(ks.stall_foreground_ms));
+  registry_->gauge("kv.stall.slowdowns").set(
+      static_cast<std::int64_t>(ks.stall_slowdowns));
+  registry_->gauge("kv.stall.slowdown_ms").set(
+      static_cast<std::int64_t>(ks.stall_slowdown_ms));
 
   if (const auto& cache = metadata_->db().options().block_cache) {
     registry_->gauge("kv.cache.hits").set(

@@ -142,6 +142,10 @@ class GekkoDaemon {
                    const proto::ChunkSlice& slice, const net::Message& msg,
                    bool is_write, IoStageNs& stages);
   Result<std::vector<std::uint8_t>> on_get_dirents_(const net::Message& msg);
+  /// Batched metadata ops: one message, many entries, per-entry status.
+  Result<std::vector<std::uint8_t>> on_batch_create_(const net::Message& msg);
+  Result<std::vector<std::uint8_t>> on_batch_stat_(const net::Message& msg);
+  Result<std::vector<std::uint8_t>> on_batch_remove_(const net::Message& msg);
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
   /// Drain the span ring for the cross-node trace collector.
   Result<std::vector<std::uint8_t>> on_trace_dump_(const net::Message& msg);

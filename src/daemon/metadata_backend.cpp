@@ -36,6 +36,51 @@ Result<proto::Metadata> MetadataBackend::remove(std::string_view path) {
   return md;
 }
 
+Status MetadataBackend::create_batch(
+    const std::vector<std::pair<std::string, proto::Metadata>>& entries,
+    std::vector<Errc>* out) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(entries.size());
+  for (const auto& [path, md] : entries) {
+    kvs.emplace_back(path, md.encode());
+  }
+  return db_->insert_many(kvs, out);
+}
+
+Status MetadataBackend::stat_batch(const std::vector<std::string>& paths,
+                                   std::vector<Errc>* out,
+                                   std::vector<proto::Metadata>* mds) {
+  out->assign(paths.size(), Errc::ok);
+  mds->assign(paths.size(), proto::Metadata{});
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto md = get(paths[i]);
+    if (md) {
+      (*mds)[i] = std::move(*md);
+    } else {
+      (*out)[i] = md.code();
+    }
+  }
+  return Status::ok();
+}
+
+Status MetadataBackend::remove_batch(const std::vector<std::string>& paths,
+                                     std::vector<Errc>* out,
+                                     std::vector<proto::Metadata>* old_mds) {
+  std::vector<std::string> old_values;
+  GEKKO_RETURN_IF_ERROR(db_->remove_many(paths, out, &old_values));
+  old_mds->assign(paths.size(), proto::Metadata{});
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if ((*out)[i] != Errc::ok) continue;
+    auto md = proto::Metadata::decode(old_values[i]);
+    if (!md) {
+      (*out)[i] = md.code();
+      continue;
+    }
+    (*old_mds)[i] = std::move(*md);
+  }
+  return Status::ok();
+}
+
 Status MetadataBackend::update_size(std::string_view path,
                                     std::uint64_t observed_size,
                                     std::int64_t mtime_ns) {

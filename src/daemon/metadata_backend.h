@@ -8,7 +8,9 @@
 
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +33,27 @@ class MetadataBackend {
   /// decide whether chunk cleanup RPCs are needed). Errc::not_found if
   /// absent.
   Result<proto::Metadata> remove(std::string_view path);
+
+  /// Batched create: ONE KV lock acquisition and WAL commit for the
+  /// whole batch. Per-entry outcome (ok / exists) lands in `out` in
+  /// request order; a non-ok return means the shared commit failed and
+  /// nothing was applied.
+  Status create_batch(
+      const std::vector<std::pair<std::string, proto::Metadata>>& entries,
+      std::vector<Errc>* out);
+
+  /// Batched stat. Reads are already lock-free against the KV store, so
+  /// this is a loop — the win is the single RPC, not the KV access.
+  /// mds[i] is valid iff (*out)[i] == Errc::ok.
+  Status stat_batch(const std::vector<std::string>& paths,
+                    std::vector<Errc>* out,
+                    std::vector<proto::Metadata>* mds);
+
+  /// Batched remove-if-present; old records (for chunk cleanup
+  /// decisions) land in `old_mds`, valid iff the entry's Errc is ok.
+  Status remove_batch(const std::vector<std::string>& paths,
+                      std::vector<Errc>* out,
+                      std::vector<proto::Metadata>* old_mds);
 
   /// Contention-free size fold (merge operand, see metadata_merge.h).
   Status update_size(std::string_view path, std::uint64_t observed_size,

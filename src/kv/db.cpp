@@ -1,8 +1,10 @@
-// relaxed-ok: see db.h — per-op counters bumped outside the DB lock.
+// relaxed-ok: see db.h — per-op counters and the slowdown flag/tallies
+// are read and bumped outside the DB lock.
 #include "kv/db.h"
 #include "common/thread_annotations.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <charconv>
 
@@ -34,6 +36,19 @@ std::optional<std::uint64_t> parse_wal_number(std::string_view name) {
   return n;
 }
 
+std::uint64_t max_bytes_for_level(const Options& opts, int level) {
+  std::uint64_t bytes = opts.l1_max_bytes;
+  for (int i = 1; i < level; ++i) bytes *= 10;
+  return bytes;
+}
+
+std::uint64_t elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 // ---------- Snapshot ----------
@@ -54,7 +69,11 @@ Result<std::unique_ptr<DB>> DB::open(const std::filesystem::path& dir,
   std::unique_ptr<DB> db(new DB(dir, std::move(options)));
   GEKKO_RETURN_IF_ERROR(db->recover_());
   if (db->options_.background_compaction) {
-    db->background_ = std::thread([raw = db.get()] { raw->background_loop_(); });
+    const int n = std::max(1, db->options_.compaction_threads);
+    db->workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      db->workers_.emplace_back([raw = db.get()] { raw->worker_loop_(); });
+    }
   }
   return db;
 }
@@ -65,31 +84,25 @@ DB::~DB() {
     shutting_down_ = true;
   }
   work_cv_.notify_all();
-  if (background_.joinable()) background_.join();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
   // Final flush so close/reopen round-trips losslessly even without WAL
   // sync. Errors here are logged, not thrown.
   UniqueLock lock(mutex_);
-  if (imm_) {
-    if (Status st = flush_imm_locked_(lock); !st.is_ok()) {
-      GEKKO_ERROR("kv.db") << "final imm flush failed: " << st.to_string();
-      if (wal_) (void)wal_->close();
-      return;  // keep all WALs for replay on the next open
-    }
-  }
+  if (wal_) (void)wal_->close();
   if (!mem_->empty()) {
-    imm_ = std::move(mem_);
+    // The current WAL covers exactly mem_; the flush deletes it.
+    imms_.push_back(ImmTable{std::move(mem_), versions_.wal_number()});
     mem_ = std::make_shared<MemTable>();
-    if (Status st = flush_imm_locked_(lock); !st.is_ok()) {
-      GEKKO_ERROR("kv.db") << "final mem flush failed: " << st.to_string();
-      if (wal_) (void)wal_->close();
-      return;  // keep the WAL: its ops did not make it into an SST
-    }
-  }
-  // Everything is in SSTs now; a leftover WAL would replay (and, for
-  // merge operands, double-apply) on reopen.
-  if (wal_) {
-    (void)wal_->close();
+  } else {
     (void)io::remove_file(dir_ / wal_file_name(versions_.wal_number()));
+  }
+  while (!imms_.empty()) {
+    if (Status st = flush_front_(lock, /*unlocked_io=*/false); !st.is_ok()) {
+      GEKKO_ERROR("kv.db") << "final flush failed: " << st.to_string();
+      return;  // keep the remaining WALs for replay on the next open
+    }
   }
 }
 
@@ -127,11 +140,13 @@ Status DB::recover_() {
   }
   versions_.set_last_sequence(max_seq);
 
-  // Persist replayed data as an L0 table, then discard the old WALs.
+  // Persist replayed data as an L0 table, then discard the old WALs
+  // (wal_no 0 = the flush itself deletes nothing; the whole replay set
+  // goes below).
   if (!mem_->empty()) {
-    imm_ = std::move(mem_);
+    imms_.push_back(ImmTable{std::move(mem_), 0});
     mem_ = std::make_shared<MemTable>();
-    GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+    GEKKO_RETURN_IF_ERROR(flush_front_(lock, /*unlocked_io=*/false));
   }
   for (const std::uint64_t n : wal_numbers) {
     (void)io::remove_file(dir_ / wal_file_name(n));
@@ -178,34 +193,45 @@ Status DB::merge(std::string_view key, std::string_view operand,
 
 Status DB::write(const WriteBatch& batch, const WriteOptions& wo) {
   if (batch.empty()) return Status::ok();
+  throttle_();
   UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   return write_locked_(batch, wo.sync || options_.wal_sync, lock);
 }
 
+Status DB::lookup_locked_(std::string_view key, std::uint64_t snap,
+                          LookupResult* lr) {
+  mem_->get(key, snap, lr);
+  if (lr->state != LookupState::not_present) return Status::ok();
+  for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+    it->mem->get(key, snap, lr);
+    if (lr->state != LookupState::not_present) return Status::ok();
+  }
+  auto version = versions_.current();
+  for (const FileEntry* f : version->files_for_key(key)) {
+    GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, lr));
+    if (lr->state != LookupState::not_present) break;
+  }
+  return Status::ok();
+}
+
+namespace {
+bool lookup_exists(const LookupResult& lr) {
+  return lr.state == LookupState::found ||
+         (lr.state == LookupState::not_present && !lr.pending_merges.empty());
+}
+}  // namespace
+
 Status DB::insert(std::string_view key, std::string_view value,
                   const WriteOptions& wo) {
+  throttle_();
   UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   // Existence check under the write lock makes this linearizable; the
   // read path below never blocks on I/O beyond table reads.
   LookupResult lr;
-  const std::uint64_t snap = versions_.last_sequence();
-  mem_->get(key, snap, &lr);
-  if (lr.state == LookupState::not_present && imm_) {
-    imm_->get(key, snap, &lr);
-  }
-  if (lr.state == LookupState::not_present) {
-    auto version = versions_.current();
-    for (const FileEntry* f : version->files_for_key(key)) {
-      GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, &lr));
-      if (lr.state != LookupState::not_present) break;
-    }
-  }
-  const bool exists = lr.state == LookupState::found ||
-                      (lr.state == LookupState::not_present &&
-                       !lr.pending_merges.empty());
-  if (exists) return Errc::exists;
+  GEKKO_RETURN_IF_ERROR(lookup_locked_(key, versions_.last_sequence(), &lr));
+  if (lookup_exists(lr)) return Errc::exists;
 
   WriteBatch batch;
   batch.put(key, value);
@@ -215,30 +241,95 @@ Status DB::insert(std::string_view key, std::string_view value,
 }
 
 Status DB::remove_existing(std::string_view key, const WriteOptions& wo) {
+  throttle_();
   UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
   LookupResult lr;
-  const std::uint64_t snap = versions_.last_sequence();
-  mem_->get(key, snap, &lr);
-  if (lr.state == LookupState::not_present && imm_) {
-    imm_->get(key, snap, &lr);
-  }
-  if (lr.state == LookupState::not_present) {
-    auto version = versions_.current();
-    for (const FileEntry* f : version->files_for_key(key)) {
-      GEKKO_RETURN_IF_ERROR(f->table->get(key, snap, &lr));
-      if (lr.state != LookupState::not_present) break;
-    }
-  }
-  const bool exists = lr.state == LookupState::found ||
-                      (lr.state == LookupState::not_present &&
-                       !lr.pending_merges.empty());
-  if (!exists) return Errc::not_found;
+  GEKKO_RETURN_IF_ERROR(lookup_locked_(key, versions_.last_sequence(), &lr));
+  if (!lookup_exists(lr)) return Errc::not_found;
 
   WriteBatch batch;
   batch.erase(key);
   Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
   if (st.is_ok()) ops_.deletes.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status DB::insert_many(
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    std::vector<Errc>* out, const WriteOptions& wo) {
+  out->assign(kvs.size(), Errc::ok);
+  if (kvs.empty()) return Status::ok();
+  throttle_();
+  UniqueLock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  const std::uint64_t snap = versions_.last_sequence();
+  WriteBatch batch;
+  std::set<std::string_view> in_batch;  // duplicates within one request
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < kvs.size(); ++i) {
+    const auto& [key, value] = kvs[i];
+    if (in_batch.count(key) != 0) {
+      (*out)[i] = Errc::exists;
+      continue;
+    }
+    LookupResult lr;
+    GEKKO_RETURN_IF_ERROR(lookup_locked_(key, snap, &lr));
+    if (lookup_exists(lr)) {
+      (*out)[i] = Errc::exists;
+      continue;
+    }
+    batch.put(key, value);
+    in_batch.insert(key);
+    ++accepted;
+  }
+  if (accepted == 0) return Status::ok();
+  // One WAL append commits every accepted entry atomically.
+  Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
+  if (st.is_ok()) ops_.puts.fetch_add(accepted, std::memory_order_relaxed);
+  return st;
+}
+
+Status DB::remove_many(const std::vector<std::string>& keys,
+                       std::vector<Errc>* out,
+                       std::vector<std::string>* old_values,
+                       const WriteOptions& wo) {
+  out->assign(keys.size(), Errc::ok);
+  old_values->assign(keys.size(), std::string());
+  if (keys.empty()) return Status::ok();
+  throttle_();
+  UniqueLock lock(mutex_);
+  if (background_error_set_) return background_error_;
+  const std::uint64_t snap = versions_.last_sequence();
+  WriteBatch batch;
+  std::set<std::string_view> in_batch;
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string& key = keys[i];
+    if (in_batch.count(key) != 0) {
+      (*out)[i] = Errc::not_found;
+      continue;
+    }
+    LookupResult lr;
+    GEKKO_RETURN_IF_ERROR(lookup_locked_(key, snap, &lr));
+    if (!lookup_exists(lr)) {
+      (*out)[i] = Errc::not_found;
+      continue;
+    }
+    if (!lr.pending_merges.empty()) {
+      auto folded = fold_merges_(key, lr);
+      if (!folded) return folded.status();
+      (*old_values)[i] = std::move(*folded);
+    } else {
+      (*old_values)[i] = std::move(lr.value);
+    }
+    batch.erase(key);
+    in_batch.insert(key);
+    ++accepted;
+  }
+  if (accepted == 0) return Status::ok();
+  Status st = write_locked_(batch, wo.sync || options_.wal_sync, lock);
+  if (st.is_ok()) ops_.deletes.fetch_add(accepted, std::memory_order_relaxed);
   return st;
 }
 
@@ -262,119 +353,145 @@ Status DB::write_locked_(const WriteBatch& batch, bool sync,
   return maybe_switch_memtable_(lock);
 }
 
-Status DB::maybe_switch_memtable_(UniqueLock& lock) {
-  if (mem_->approximate_bytes() < options_.memtable_budget) {
-    return Status::ok();
-  }
-  // Backpressure: one immutable memtable at a time.
-  while (imm_ != nullptr) {
-    if (!options_.background_compaction) {
-      GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
-      break;
-    }
-    done_cv_.wait(lock);
-    if (background_error_set_) return background_error_;
-  }
-
+Status DB::switch_memtable_locked_() {
+  const std::uint64_t imm_wal = versions_.wal_number();
   const std::uint64_t wal_no = versions_.next_file_number();
   auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
   if (!wal) return wal.status();
   (void)wal_->close();
   wal_ = std::move(*wal);
   versions_.set_wal_number(wal_no);
-
-  imm_ = std::move(mem_);
+  imms_.push_back(ImmTable{std::move(mem_), imm_wal});
   mem_ = std::make_shared<MemTable>();
-
-  if (options_.background_compaction) {
-    work_cv_.notify_one();
-    return Status::ok();
-  }
-  GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
-  return maybe_compact_locked_(lock);
+  update_slowdown_locked_();
+  return Status::ok();
 }
 
-Status DB::flush_imm_locked_(UniqueLock& lock) {
-  (void)lock;  // held for the duration (documented simplification)
-  if (!imm_) return Status::ok();
-
-  // The WAL files older than the current one cover exactly imm_ (and
-  // earlier, already-flushed data); they can go after a durable flush.
-  auto names = io::list_dir(dir_);
-  std::vector<std::uint64_t> old_wals;
-  if (names) {
-    for (const auto& name : *names) {
-      if (auto n = parse_wal_number(name)) {
-        if (*n != versions_.wal_number()) old_wals.push_back(*n);
-      }
-    }
+Status DB::maybe_switch_memtable_(UniqueLock& lock) {
+  if (mem_->approximate_bytes() < options_.memtable_budget) {
+    return Status::ok();
   }
 
-  const std::uint64_t file_no = versions_.next_file_number();
+  if (!options_.background_compaction) {
+    // Inline mode: the switch flushes (and settles compaction debt) on
+    // the foreground thread — deterministically one hard stop per
+    // memtable switch, timed end to end.
+    const auto t0 = std::chrono::steady_clock::now();
+    GEKKO_RETURN_IF_ERROR(switch_memtable_locked_());
+    while (!imms_.empty()) {
+      GEKKO_RETURN_IF_ERROR(flush_front_(lock, /*unlocked_io=*/false));
+    }
+    for (;;) {
+      const int level = pick_compaction_level_locked_();
+      if (level < 0) break;
+      GEKKO_RETURN_IF_ERROR(compact_level_(level, lock, false));
+    }
+    ++stats_.stall_stops;
+    stats_.stall_foreground_ms += elapsed_ms(t0);
+    return Status::ok();
+  }
+
+  // Hard stop only when the pipeline is truly saturated: the immutable
+  // queue is full or L0 hit the stop trigger. Below that, the switch is
+  // free and the flush happens behind the writer's back.
+  bool stalled = false;
+  std::chrono::steady_clock::time_point t0;
+  for (;;) {
+    if (background_error_set_) return background_error_;
+    const bool imms_full = imms_.size() >= options_.max_immutable_memtables;
+    const bool l0_full =
+        versions_.current()->levels[0].size() >=
+        static_cast<std::size_t>(options_.l0_stop_trigger);
+    if (!imms_full && !l0_full) break;
+    if (!stalled) {
+      stalled = true;
+      t0 = std::chrono::steady_clock::now();
+      ++stats_.stall_stops;
+    }
+    work_cv_.notify_all();
+    done_cv_.wait(lock);
+  }
+  if (stalled) stats_.stall_foreground_ms += elapsed_ms(t0);
+
+  GEKKO_RETURN_IF_ERROR(switch_memtable_locked_());
+  work_cv_.notify_one();
+  return Status::ok();
+}
+
+Result<FileEntry> DB::build_l0_(const MemTable& mem, std::uint64_t file_no) {
   auto file = io::WritableFile::create(dir_ / table_file_name(file_no));
   if (!file) return file.status();
   TableBuilder builder(options_, std::move(*file));
-
-  SkipList::Iterator it = imm_->iterator();
+  SkipList::Iterator it = mem.iterator();
   for (it.seek_to_first(); it.valid(); it.next()) {
     GEKKO_RETURN_IF_ERROR(builder.add(it.key(), it.value()));
   }
   auto meta = builder.finish();
   if (!meta) return meta.status();
   meta->file_number = file_no;
-
   auto table = Table::open(dir_ / table_file_name(file_no), options_,
                            file_no);
   if (!table) return table.status();
-
   FileEntry entry;
   entry.meta = std::move(*meta);
   entry.table = std::move(*table);
-  GEKKO_RETURN_IF_ERROR(versions_.apply(0, {std::move(entry)}, {}));
+  return entry;
+}
 
-  imm_.reset();
-  ++stats_.flushes;
-  for (const std::uint64_t n : old_wals) {
-    (void)io::remove_file(dir_ / wal_file_name(n));
+Status DB::flush_front_(UniqueLock& lock, bool unlocked_io) {
+  if (imms_.empty()) return Status::ok();
+  // Copy the front entry; it STAYS in the queue while the SST builds so
+  // readers keep finding its data. A sealed memtable is immutable, so
+  // iterating it with the lock released is safe.
+  ImmTable imm = imms_.front();
+  if (imm.mem->empty()) {
+    imms_.pop_front();
+    if (imm.wal_no != 0) {
+      (void)io::remove_file(dir_ / wal_file_name(imm.wal_no));
+    }
+    update_slowdown_locked_();
+    done_cv_.notify_all();
+    return Status::ok();
   }
+  const std::uint64_t file_no = versions_.next_file_number();
+  if (unlocked_io) lock.unlock();
+  auto entry = build_l0_(*imm.mem, file_no);
+  if (unlocked_io) lock.lock();
+  if (!entry) return entry.status();
+  // Version install and queue pop in ONE lock hold: a reader must never
+  // see an imm and its flushed L0 table at once (pending merge operands
+  // would double-apply).
+  GEKKO_RETURN_IF_ERROR(versions_.apply(0, {std::move(*entry)}, {}));
+  imms_.pop_front();
+  ++stats_.flushes;
+  if (imm.wal_no != 0) {
+    (void)io::remove_file(dir_ / wal_file_name(imm.wal_no));
+  }
+  update_slowdown_locked_();
   done_cv_.notify_all();
+  work_cv_.notify_all();
   return Status::ok();
 }
 
 // ---------- compaction ----------
 
-namespace {
-std::uint64_t max_bytes_for_level(const Options& opts, int level) {
-  std::uint64_t bytes = opts.l1_max_bytes;
-  for (int i = 1; i < level; ++i) bytes *= 10;
-  return bytes;
-}
-}  // namespace
-
-Status DB::maybe_compact_locked_(UniqueLock& lock) {
-  for (;;) {
-    auto version = versions_.current();
-    int target = -1;
-    if (version->levels[0].size() >=
-        static_cast<std::size_t>(options_.l0_compaction_trigger)) {
-      target = 0;
-    } else {
-      for (int level = 1; level < kNumLevels - 1; ++level) {
-        if (version->level_bytes(level) >
-            max_bytes_for_level(options_, level)) {
-          target = level;
-          break;
-        }
-      }
-    }
-    if (target < 0) return Status::ok();
-    GEKKO_RETURN_IF_ERROR(compact_level_locked_(target, lock));
+int DB::pick_compaction_level_locked_() const {
+  auto version = versions_.current();
+  if (version->levels[0].size() >=
+          static_cast<std::size_t>(options_.l0_compaction_trigger) &&
+      !level_busy_[0] && !level_busy_[1]) {
+    return 0;
   }
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    if (version->level_bytes(level) > max_bytes_for_level(options_, level) &&
+        !level_busy_[level] && !level_busy_[level + 1]) {
+      return level;
+    }
+  }
+  return -1;
 }
 
-Status DB::compact_level_locked_(int level,
-                                 UniqueLock& lock) {
-  (void)lock;
+Status DB::compact_level_(int level, UniqueLock& lock, bool unlocked_io) {
   auto version = versions_.current();
   const int out_level = level + 1;
 
@@ -412,25 +529,36 @@ Status DB::compact_level_locked_(int level,
     }
   }
 
+  // Snapshots taken AFTER this point sit at/above the current last
+  // sequence, which is >= every sequence in the inputs — folding a run
+  // to its newest version stays correct for them.
   const std::uint64_t oldest_snap = oldest_snapshot_locked_();
   const bool can_fold = active_snapshots_.empty();
 
-  std::vector<std::unique_ptr<InternalIterator>> children;
-  children.reserve(inputs.size());
   std::vector<std::uint64_t> removed;
+  std::uint64_t bytes_in = 0;
+  removed.reserve(inputs.size());
   for (const FileEntry* f : inputs) {
-    children.push_back(std::make_unique<TableIterator>(f->table));
     removed.push_back(f->meta.file_number);
+    bytes_in += f->meta.file_size;
   }
-  MergingIterator merged(std::move(children));
-  merged.seek_to_first();
 
+  // Claim both levels: no other compaction may consume these inputs or
+  // install into out_level until we finish. Flushes only ADD L0 files,
+  // which is safe — they are strictly newer than every input here.
+  level_busy_[level] = true;
+  level_busy_[out_level] = true;
+  ++compactions_running_;
+
+  if (unlocked_io) lock.unlock();
+  // `version` keeps every input table alive across the unlocked
+  // section; table reads are already lock-free on the read path.
   std::vector<FileEntry> added;
   std::optional<TableBuilder> builder;
   std::uint64_t out_file_no = 0;
 
   auto open_builder = [&]() -> Status {
-    out_file_no = versions_.next_file_number();
+    out_file_no = versions_.next_file_number();  // atomic, lock-free
     auto file = io::WritableFile::create(dir_ / table_file_name(out_file_no));
     if (!file) return file.status();
     builder.emplace(options_, std::move(*file));
@@ -465,145 +593,197 @@ Status DB::compact_level_locked_(int level,
     return Status::ok();
   };
 
-  // Walk runs of identical user keys (newest version first).
-  while (merged.valid()) {
-    const std::string user_key{extract_user_key(merged.key())};
-
-    // Collect the whole version run for this user key.
-    struct Ver {
-      std::uint64_t trailer;
-      std::string value;
-    };
-    std::vector<Ver> run;
-    while (merged.valid() && extract_user_key(merged.key()) == user_key) {
-      run.push_back(Ver{extract_trailer(merged.key()),
-                        std::string(merged.value())});
-      merged.next();
+  Status st = [&]() -> Status {
+    std::vector<std::unique_ptr<InternalIterator>> children;
+    children.reserve(inputs.size());
+    for (const FileEntry* f : inputs) {
+      children.push_back(std::make_unique<TableIterator>(f->table));
     }
+    MergingIterator merged(std::move(children));
+    merged.seek_to_first();
 
-    if (!can_fold) {
-      // Conservative: keep all versions that any snapshot might need,
-      // i.e. the newest version at/below each snapshot boundary plus
-      // everything newer than the oldest snapshot. Simplest safe rule:
-      // keep everything.
+    // Walk runs of identical user keys (newest version first).
+    while (merged.valid()) {
+      const std::string user_key{extract_user_key(merged.key())};
+
+      // Collect the whole version run for this user key.
+      struct Ver {
+        std::uint64_t trailer;
+        std::string value;
+      };
+      std::vector<Ver> run;
+      while (merged.valid() && extract_user_key(merged.key()) == user_key) {
+        run.push_back(Ver{extract_trailer(merged.key()),
+                          std::string(merged.value())});
+        merged.next();
+      }
+
+      if (!can_fold) {
+        // Conservative: keep all versions that any snapshot might need,
+        // i.e. the newest version at/below each snapshot boundary plus
+        // everything newer than the oldest snapshot. Simplest safe rule:
+        // keep everything.
+        for (const auto& v : run) {
+          const ValueType t = trailer_type(v.trailer);
+          if (bottommost && t == ValueType::deletion && &v == &run.front() &&
+              run.size() == 1 &&
+              trailer_sequence(v.trailer) <= oldest_snap) {
+            continue;  // lone tombstone at the bottom, invisible history
+          }
+          GEKKO_RETURN_IF_ERROR(
+              emit(make_internal_key(user_key, trailer_sequence(v.trailer),
+                                     t),
+                   v.value));
+        }
+        continue;
+      }
+
+      // Fold the run to the single visible version. Newest-first order:
+      // merges pile up until a base value/deletion.
+      std::vector<const Ver*> merges;  // newest first
+      const Ver* base = nullptr;
       for (const auto& v : run) {
         const ValueType t = trailer_type(v.trailer);
-        if (bottommost && t == ValueType::deletion && &v == &run.front() &&
-            run.size() == 1 &&
-            trailer_sequence(v.trailer) <= oldest_snap) {
-          continue;  // lone tombstone at the bottom, invisible history
+        if (t == ValueType::merge) {
+          merges.push_back(&v);
+          continue;
         }
-        GEKKO_RETURN_IF_ERROR(
-            emit(make_internal_key(user_key, trailer_sequence(v.trailer),
-                                   t),
-                 v.value));
+        base = &v;
+        break;
       }
-      continue;
-    }
 
-    // Fold the run to the single visible version. Newest-first order:
-    // merges pile up until a base value/deletion.
-    std::vector<const Ver*> merges;  // newest first
-    const Ver* base = nullptr;
-    for (const auto& v : run) {
-      const ValueType t = trailer_type(v.trailer);
-      if (t == ValueType::merge) {
-        merges.push_back(&v);
+      const std::uint64_t newest_seq = trailer_sequence(run.front().trailer);
+      if (merges.empty()) {
+        if (base == nullptr) continue;  // empty run (can't happen)
+        const ValueType t = trailer_type(base->trailer);
+        if (t == ValueType::deletion) {
+          if (!bottommost) {
+            GEKKO_RETURN_IF_ERROR(emit(
+                make_internal_key(user_key, newest_seq, ValueType::deletion),
+                ""));
+          }
+          continue;
+        }
+        GEKKO_RETURN_IF_ERROR(emit(
+            make_internal_key(user_key, newest_seq, ValueType::value),
+            base->value));
         continue;
       }
-      base = &v;
-      break;
-    }
 
-    const std::uint64_t newest_seq = trailer_sequence(run.front().trailer);
-    if (merges.empty()) {
-      if (base == nullptr) continue;  // empty run (can't happen)
-      const ValueType t = trailer_type(base->trailer);
-      if (t == ValueType::deletion) {
-        if (!bottommost) {
-          GEKKO_RETURN_IF_ERROR(emit(
-              make_internal_key(user_key, newest_seq, ValueType::deletion),
-              ""));
+      // Merge folding. If this range isn't bottommost and we found no
+      // base here, an older base may live deeper: keep operands
+      // unfolded.
+      const bool has_base =
+          base != nullptr && trailer_type(base->trailer) == ValueType::value;
+      const bool base_is_tombstone =
+          base != nullptr &&
+          trailer_type(base->trailer) == ValueType::deletion;
+      if (!has_base && !base_is_tombstone && !bottommost) {
+        for (const Ver* m : merges) {
+          GEKKO_RETURN_IF_ERROR(
+              emit(make_internal_key(user_key, trailer_sequence(m->trailer),
+                                     ValueType::merge),
+                   m->value));
         }
         continue;
+      }
+      if (!options_.merge_operator) {
+        return Status{Errc::internal, "merge records without merge operator"};
+      }
+      std::string acc;
+      const std::string* existing = has_base ? &base->value : nullptr;
+      if (existing) acc = *existing;
+      bool have_acc = existing != nullptr;
+      for (auto it = merges.rbegin(); it != merges.rend(); ++it) {
+        acc = options_.merge_operator->merge(
+            user_key, have_acc ? &acc : nullptr, (*it)->value);
+        have_acc = true;
       }
       GEKKO_RETURN_IF_ERROR(emit(
-          make_internal_key(user_key, newest_seq, ValueType::value),
-          base->value));
-      continue;
+          make_internal_key(user_key, newest_seq, ValueType::value), acc));
     }
+    return close_builder();
+  }();
+  if (unlocked_io) lock.lock();
 
-    // Merge folding. If this range isn't bottommost and we found no base
-    // here, an older base may live deeper: keep operands unfolded.
-    const bool has_base =
-        base != nullptr && trailer_type(base->trailer) == ValueType::value;
-    const bool base_is_tombstone =
-        base != nullptr && trailer_type(base->trailer) == ValueType::deletion;
-    if (!has_base && !base_is_tombstone && !bottommost) {
-      for (const Ver* m : merges) {
-        GEKKO_RETURN_IF_ERROR(
-            emit(make_internal_key(user_key, trailer_sequence(m->trailer),
-                                   ValueType::merge),
-                 m->value));
-      }
-      continue;
-    }
-    if (!options_.merge_operator) {
-      return Status{Errc::internal, "merge records without merge operator"};
-    }
-    std::string folded;
-    const std::string* existing = has_base ? &base->value : nullptr;
-    std::string acc;
-    if (existing) acc = *existing;
-    bool have_acc = existing != nullptr;
-    for (auto it = merges.rbegin(); it != merges.rend(); ++it) {
-      acc = options_.merge_operator->merge(
-          user_key, have_acc ? &acc : nullptr, (*it)->value);
-      have_acc = true;
-    }
-    folded = std::move(acc);
-    GEKKO_RETURN_IF_ERROR(emit(
-        make_internal_key(user_key, newest_seq, ValueType::value), folded));
+  std::uint64_t bytes_out = 0;
+  for (const auto& e : added) bytes_out += e.meta.file_size;
+  if (st.is_ok()) {
+    st = versions_.apply(out_level, std::move(added), removed);
   }
-  GEKKO_RETURN_IF_ERROR(close_builder());
-
-  GEKKO_RETURN_IF_ERROR(versions_.apply(out_level, std::move(added), removed));
+  level_busy_[level] = false;
+  level_busy_[out_level] = false;
+  --compactions_running_;
+  if (!st.is_ok()) {
+    done_cv_.notify_all();
+    return st;
+  }
   for (const std::uint64_t n : removed) {
     (void)io::remove_file(dir_ / table_file_name(n));
     if (options_.block_cache) options_.block_cache->erase_table(n);
   }
   ++stats_.compactions;
+  stats_.compact_bytes_in += bytes_in;
+  stats_.compact_bytes_out += bytes_out;
+  update_slowdown_locked_();
+  done_cv_.notify_all();
+  work_cv_.notify_all();
   return Status::ok();
 }
 
-void DB::background_loop_() {
+void DB::update_slowdown_locked_() {
+  const bool slow =
+      imms_.size() >= options_.max_immutable_memtables ||
+      versions_.current()->levels[0].size() >=
+          static_cast<std::size_t>(options_.l0_slowdown_trigger);
+  slowdown_active_.store(slow, std::memory_order_relaxed);
+}
+
+void DB::throttle_() {
+  if (!options_.background_compaction) return;  // no workers to catch up
+  if (!slowdown_active_.load(std::memory_order_relaxed)) return;
+  ops_.stall_slowdowns.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(options_.slowdown_sleep_us));
+  ops_.stall_slowdown_us.fetch_add(options_.slowdown_sleep_us,
+                                   std::memory_order_relaxed);
+}
+
+void DB::fail_background_locked_(const Status& st) {
+  background_error_set_ = true;
+  background_error_ = st;
+  GEKKO_ERROR("kv.db") << "background work failed: " << st.to_string();
+  done_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+void DB::worker_loop_() {
   UniqueLock lock(mutex_);
-  while (!shutting_down_) {
-    if (imm_ == nullptr) {
-      // Also check compaction debt before sleeping.
-      auto version = versions_.current();
-      bool debt = version->levels[0].size() >=
-                  static_cast<std::size_t>(options_.l0_compaction_trigger);
-      for (int level = 1; !debt && level < kNumLevels - 1; ++level) {
-        debt = version->level_bytes(level) >
-               max_bytes_for_level(options_, level);
+  for (;;) {
+    if (shutting_down_ || background_error_set_) return;
+    // Flushes drain strictly oldest-first, one at a time, so L0 file
+    // numbers preserve recency order; compactions of disjoint level
+    // pairs run concurrently with the flush and with each other.
+    if (!imms_.empty() && !flush_in_progress_) {
+      flush_in_progress_ = true;
+      Status st = flush_front_(lock, /*unlocked_io=*/true);
+      flush_in_progress_ = false;
+      if (!st.is_ok()) {
+        fail_background_locked_(st);
+        return;
       }
-      if (!debt) {
-        work_cv_.wait(lock);
-        continue;
+      continue;
+    }
+    const int level = pick_compaction_level_locked_();
+    if (level >= 0) {
+      Status st = compact_level_(level, lock, /*unlocked_io=*/true);
+      if (!st.is_ok()) {
+        fail_background_locked_(st);
+        return;
       }
+      continue;
     }
-    Status st = Status::ok();
-    if (imm_ != nullptr) st = flush_imm_locked_(lock);
-    if (st.is_ok()) st = maybe_compact_locked_(lock);
-    if (!st.is_ok()) {
-      background_error_set_ = true;
-      background_error_ = st;
-      GEKKO_ERROR("kv.db") << "background work failed: " << st.to_string();
-      done_cv_.notify_all();
-      return;
-    }
-    done_cv_.notify_all();
+    work_cv_.wait(lock);
   }
 }
 
@@ -611,18 +791,22 @@ void DB::background_loop_() {
 
 Status DB::get_internal_(std::string_view key, std::uint64_t snap,
                          LookupResult* lr) {
-  std::shared_ptr<MemTable> mem, imm;
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<MemTable>> imms;  // newest first
   std::shared_ptr<const Version> version;
   {
     UniqueLock lock(mutex_);
     mem = mem_;
-    imm = imm_;
+    imms.reserve(imms_.size());
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      imms.push_back(it->mem);
+    }
     version = versions_.current();
   }
   mem->get(key, snap, lr);
   if (lr->state != LookupState::not_present) return Status::ok();
-  if (imm) {
-    imm->get(key, snap, lr);
+  for (const auto& m : imms) {
+    m->get(key, snap, lr);
     if (lr->state != LookupState::not_present) return Status::ok();
   }
   for (const FileEntry* f : version->files_for_key(key)) {
@@ -687,20 +871,24 @@ Status DB::scan(std::string_view start, std::string_view end,
                 const std::function<bool(std::string_view,
                                          std::string_view)>& fn,
                 const ReadOptions& ro) {
-  std::shared_ptr<MemTable> mem, imm;
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<MemTable>> imms;
   std::shared_ptr<const Version> version;
   std::uint64_t snap = ro.snapshot_seq;
   {
     UniqueLock lock(mutex_);
     mem = mem_;
-    imm = imm_;
+    imms.reserve(imms_.size());
+    for (const auto& imm : imms_) imms.push_back(imm.mem);
     version = versions_.current();
     if (snap == 0) snap = versions_.last_sequence();
   }
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   children.push_back(std::make_unique<MemTableIterator>(mem));
-  if (imm) children.push_back(std::make_unique<MemTableIterator>(imm));
+  for (const auto& m : imms) {
+    children.push_back(std::make_unique<MemTableIterator>(m));
+  }
   for (const auto& level : version->levels) {
     for (const auto& f : level) {
       children.push_back(std::make_unique<TableIterator>(f.table));
@@ -808,41 +996,55 @@ std::uint64_t DB::oldest_snapshot_locked_() const {
 Status DB::flush() {
   UniqueLock lock(mutex_);
   if (background_error_set_) return background_error_;
-  if (mem_->empty() && imm_ == nullptr) return Status::ok();
+  if (mem_->empty() && imms_.empty()) return Status::ok();
   if (!mem_->empty()) {
-    while (imm_ != nullptr) {
-      if (!options_.background_compaction) {
-        GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
-        break;
-      }
-      done_cv_.wait(lock);
-      if (background_error_set_) return background_error_;
-    }
-    const std::uint64_t wal_no = versions_.next_file_number();
-    auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
-    if (!wal) return wal.status();
-    (void)wal_->close();
-    wal_ = std::move(*wal);
-    versions_.set_wal_number(wal_no);
-    imm_ = std::move(mem_);
-    mem_ = std::make_shared<MemTable>();
+    GEKKO_RETURN_IF_ERROR(switch_memtable_locked_());
   }
-  GEKKO_RETURN_IF_ERROR(flush_imm_locked_(lock));
+  if (!options_.background_compaction) {
+    while (!imms_.empty()) {
+      GEKKO_RETURN_IF_ERROR(flush_front_(lock, /*unlocked_io=*/false));
+    }
+    return Status::ok();
+  }
+  work_cv_.notify_all();
+  while (!imms_.empty() || flush_in_progress_) {
+    if (background_error_set_) return background_error_;
+    done_cv_.wait(lock);
+  }
   return Status::ok();
 }
 
 Status DB::compact_all() {
   GEKKO_RETURN_IF_ERROR(flush());
   UniqueLock lock(mutex_);
-  // Compact every populated level downward once, then settle thresholds.
+  const bool unlocked_io = options_.background_compaction;
+  // Compact every populated level downward once (tests use this to
+  // squash the whole tree), yielding to in-flight background
+  // compactions via the level-busy flags, then settle thresholds.
   for (int level = 0; level < kNumLevels - 1; ++level) {
-    if (!versions_.current()->levels[level].empty()) {
-      while (!versions_.current()->levels[level].empty()) {
-        GEKKO_RETURN_IF_ERROR(compact_level_locked_(level, lock));
+    for (;;) {
+      if (background_error_set_) return background_error_;
+      if (level_busy_[level] || level_busy_[level + 1]) {
+        done_cv_.wait(lock);
+        continue;
       }
+      if (versions_.current()->levels[level].empty()) break;
+      GEKKO_RETURN_IF_ERROR(compact_level_(level, lock, unlocked_io));
     }
   }
-  return maybe_compact_locked_(lock);
+  for (;;) {
+    if (background_error_set_) return background_error_;
+    const int level = pick_compaction_level_locked_();
+    if (level >= 0) {
+      GEKKO_RETURN_IF_ERROR(compact_level_(level, lock, unlocked_io));
+      continue;
+    }
+    if (compactions_running_ > 0) {
+      done_cv_.wait(lock);
+      continue;
+    }
+    return Status::ok();
+  }
 }
 
 DbStats DB::stats() const {
@@ -852,6 +1054,11 @@ DbStats DB::stats() const {
   s.gets = ops_.gets.load(std::memory_order_relaxed);
   s.deletes = ops_.deletes.load(std::memory_order_relaxed);
   s.merges = ops_.merges.load(std::memory_order_relaxed);
+  s.stall_slowdowns = ops_.stall_slowdowns.load(std::memory_order_relaxed);
+  s.stall_slowdown_ms =
+      ops_.stall_slowdown_us.load(std::memory_order_relaxed) / 1000;
+  s.compactions_running = static_cast<std::uint64_t>(compactions_running_);
+  s.immutable_memtables = imms_.size();
   auto version = versions_.current();
   for (int level = 0; level < kNumLevels; ++level) {
     s.level_files[level] = version->levels[level].size();

@@ -45,9 +45,24 @@ struct Options {
   /// fsync the WAL on every commit (GekkoFS trades this off; the paper's
   /// deployments run on node-local scratch, so default is buffered).
   bool wal_sync = false;
-  /// Run compactions on a background thread (off = compact inline, used
-  /// by deterministic tests).
+  /// Run flushes/compactions on background threads (off = inline, used
+  /// by deterministic tests; every memtable switch then counts as one
+  /// hard stall).
   bool background_compaction = true;
+  /// Background workers sharing flush + compaction duty. Flushes stay
+  /// strictly ordered (one at a time); extra workers run compactions of
+  /// disjoint level pairs concurrently with the flush.
+  int compaction_threads = 2;
+  /// Sealed memtables allowed to queue before writers hard-stop. The
+  /// old engine's behaviour is max_immutable_memtables = 1.
+  std::size_t max_immutable_memtables = 2;
+  /// L0 file count at which writers start soft-slowing (sleep
+  /// slowdown_sleep_us per write) to let compaction catch up.
+  int l0_slowdown_trigger = 8;
+  /// L0 file count at which writers hard-stop until compaction drains.
+  int l0_stop_trigger = 16;
+  /// Soft-slowdown sleep per write, microseconds.
+  std::uint32_t slowdown_sleep_us = 200;
   /// Merge operator; may be null if merge() is never called.
   std::shared_ptr<const MergeOperator> merge_operator;
   /// Shared LRU cache for SST data blocks; null disables caching.

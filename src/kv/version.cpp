@@ -94,7 +94,7 @@ Status VersionSet::recover() {
   if (!next_file || !last_seq || !wal_no) {
     return Status{Errc::corruption, "truncated MANIFEST header"};
   }
-  next_file_number_ = *next_file;
+  next_file_number_.store(*next_file);
   last_sequence_ = *last_seq;
   wal_number_ = *wal_no;
 
@@ -163,7 +163,7 @@ Status VersionSet::save_manifest() {
   std::vector<std::uint8_t> buf;
   Encoder enc(&buf);
   enc.u32(kManifestMagic);
-  enc.u64(next_file_number_);
+  enc.u64(next_file_number_.load());
   enc.u64(last_sequence_);
   enc.u64(wal_number_);
   for (int level = 0; level < kNumLevels; ++level) {

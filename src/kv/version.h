@@ -7,6 +7,7 @@
 // and binary-searched.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -63,7 +64,9 @@ class VersionSet {
     return current_;
   }
 
-  std::uint64_t next_file_number() { return next_file_number_++; }
+  /// Atomic: background flush/compaction builders allocate output file
+  /// numbers with the DB lock released.
+  std::uint64_t next_file_number() { return next_file_number_.fetch_add(1); }
   [[nodiscard]] std::uint64_t last_sequence() const { return last_sequence_; }
   void set_last_sequence(std::uint64_t seq) { last_sequence_ = seq; }
   [[nodiscard]] std::uint64_t wal_number() const { return wal_number_; }
@@ -79,7 +82,7 @@ class VersionSet {
   std::filesystem::path dir_;
   const Options& options_;
   std::shared_ptr<const Version> current_;
-  std::uint64_t next_file_number_ = 1;
+  std::atomic<std::uint64_t> next_file_number_{1};
   std::uint64_t last_sequence_ = 0;
   std::uint64_t wal_number_ = 0;
 };

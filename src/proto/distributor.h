@@ -6,8 +6,16 @@
 //  where metadata or data is located."
 //
 // Every client computes placement independently and deterministically:
-//   metadata owner = H(path) mod N
+//   metadata owner = H(name, seed=H(parent_dir)) mod N
 //   chunk owner    = H(path, seed=chunk_id) mod N
+//
+// The metadata key is a CFS-style two-part dirent key (parent dir,
+// entry name) rather than a flat full-path hash: the seeded second hash
+// decorrelates siblings, so one hot shared directory (mdtest
+// single-shared-dir) spreads its entries across every daemon instead of
+// landing wherever the common prefix biases them. The keying is a
+// PLACEMENT EPOCH: every client and tool in a cluster must agree on it,
+// and changing it orphans records written under the old epoch.
 //
 // Alternative policies (round-robin, node-local) exist for the paper's
 // future-work ablation on "different data distribution patterns".
@@ -18,16 +26,36 @@
 #include <string_view>
 
 #include "common/hash.h"
+#include "common/path.h"
 
 namespace gekko::proto {
+
+/// The shared dirent-shard key: all distributors route metadata through
+/// this one function so client, daemon tools, and tests can never
+/// disagree about who owns a record.
+inline std::uint64_t dirent_shard_hash(std::string_view parent,
+                                       std::string_view name) {
+  return gekko::xxhash64(name, /*seed=*/gekko::xxhash64(parent));
+}
 
 class Distributor {
  public:
   virtual ~Distributor() = default;
 
-  /// Daemon responsible for a path's metadata record.
-  [[nodiscard]] virtual std::uint32_t metadata_target(
-      std::string_view path) const = 0;
+  /// Daemon owning the dirent (parent_dir, entry_name). This is THE
+  /// placement function for metadata — every policy shares it so a
+  /// cluster has exactly one dirent-shard epoch.
+  [[nodiscard]] std::uint32_t dirent_target(std::string_view parent,
+                                            std::string_view name) const {
+    return static_cast<std::uint32_t>(dirent_shard_hash(parent, name) %
+                                      node_count());
+  }
+
+  /// Daemon responsible for a path's metadata record: the dirent shard
+  /// of (parent(path), basename(path)).
+  [[nodiscard]] std::uint32_t metadata_target(std::string_view path) const {
+    return dirent_target(path::parent(path), path::basename(path));
+  }
 
   /// Daemon responsible for one data chunk of a path.
   [[nodiscard]] virtual std::uint32_t chunk_target(
@@ -41,11 +69,6 @@ class Distributor {
 class HashDistributor final : public Distributor {
  public:
   explicit HashDistributor(std::uint32_t nodes) : nodes_(nodes) {}
-
-  [[nodiscard]] std::uint32_t metadata_target(
-      std::string_view path) const override {
-    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
-  }
 
   [[nodiscard]] std::uint32_t chunk_target(
       std::string_view path, std::uint64_t chunk_id) const override {
@@ -65,11 +88,6 @@ class HashDistributor final : public Distributor {
 class RoundRobinDistributor final : public Distributor {
  public:
   explicit RoundRobinDistributor(std::uint32_t nodes) : nodes_(nodes) {}
-
-  [[nodiscard]] std::uint32_t metadata_target(
-      std::string_view path) const override {
-    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
-  }
 
   [[nodiscard]] std::uint32_t chunk_target(
       std::string_view path, std::uint64_t chunk_id) const override {
@@ -91,11 +109,6 @@ class RoundRobinDistributor final : public Distributor {
 class LocalDistributor final : public Distributor {
  public:
   explicit LocalDistributor(std::uint32_t nodes) : nodes_(nodes) {}
-
-  [[nodiscard]] std::uint32_t metadata_target(
-      std::string_view path) const override {
-    return static_cast<std::uint32_t>(gekko::xxhash64(path) % nodes_);
-  }
 
   [[nodiscard]] std::uint32_t chunk_target(
       std::string_view path, std::uint64_t /*chunk_id*/) const override {

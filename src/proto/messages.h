@@ -33,6 +33,9 @@ enum class RpcId : std::uint16_t {
   trace_dump = 12,
   heartbeat = 13,
   metric_history = 14,
+  batch_create = 15,
+  batch_stat = 16,
+  batch_remove = 17,
 };
 
 inline constexpr std::uint16_t to_wire(RpcId id) {
@@ -57,8 +60,21 @@ inline std::string rpc_name(std::uint16_t id) {
     case RpcId::trace_dump: return "trace_dump";
     case RpcId::heartbeat: return "heartbeat";
     case RpcId::metric_history: return "metric_history";
+    case RpcId::batch_create: return "batch_create";
+    case RpcId::batch_stat: return "batch_stat";
+    case RpcId::batch_remove: return "batch_remove";
   }
   return "";
+}
+
+/// Preallocation guard for wire-decoded repeated fields. `count` comes
+/// off the wire and is attacker-controlled; every entry consumes at
+/// least `min_entry_bytes` of what is left in the buffer, so any count
+/// beyond remaining/min can never decode successfully — reject it
+/// before reserve() turns it into a multi-gigabyte allocation.
+inline bool count_fits(std::uint64_t count, const Decoder& dec,
+                       std::size_t min_entry_bytes) {
+  return count <= dec.remaining() / min_entry_bytes;
 }
 
 // ---------- metadata ops ----------
@@ -216,6 +232,9 @@ struct ChunkIoRequest {  // write_chunks / read_chunks
     auto path = dec.str();
     auto count = dec.varint();
     if (!path || !count) return Errc::corruption;
+    // Each slice is 24 fixed bytes; a count that cannot fit in the
+    // remaining buffer is a malformed frame, not a big request.
+    if (!count_fits(*count, dec, 24)) return Errc::corruption;
     r.path = std::string(*path);
     r.slices.reserve(static_cast<std::size_t>(*count));
     for (std::uint64_t i = 0; i < *count; ++i) {
@@ -289,6 +308,8 @@ struct DirentsResponse {
     DirentsResponse r;
     auto count = dec.varint();
     if (!count) return Errc::corruption;
+    // >= 2 bytes per entry (1-byte length prefix + 1-byte type).
+    if (!count_fits(*count, dec, 2)) return Errc::corruption;
     r.entries.reserve(static_cast<std::size_t>(*count));
     for (std::uint64_t i = 0; i < *count; ++i) {
       auto name = dec.str();
@@ -397,6 +418,8 @@ struct TraceDumpResponse {
     r.capture_ns = *capture;
     r.recorded = *recorded;
     r.capacity = *capacity;
+    // Fixed span fields are 54 bytes + a 1-byte name length prefix.
+    if (!count_fits(*count, dec, 55)) return Errc::corruption;
     r.spans.reserve(static_cast<std::size_t>(*count));
     for (std::uint64_t i = 0; i < *count; ++i) {
       trace::Span s;
@@ -535,6 +558,9 @@ struct MetricHistoryResponse {
     r.node_id = *node;
     r.captured_ns = *captured;
     r.interval_ms = *interval;
+    // >= 18 bytes per family (1-byte name prefix + two u64 + 1-byte
+    // sample-count varint).
+    if (!count_fits(*count, dec, 18)) return Errc::corruption;
     r.families.reserve(static_cast<std::size_t>(*count));
     for (std::uint64_t i = 0; i < *count; ++i) {
       MetricFamilyHistory f;
@@ -546,6 +572,7 @@ struct MetricHistoryResponse {
       f.name = std::string(*name);
       f.recorded = *recorded;
       f.capacity = *capacity;
+      if (!count_fits(*samples, dec, 16)) return Errc::corruption;
       f.samples.reserve(static_cast<std::size_t>(*samples));
       for (std::uint64_t j = 0; j < *samples; ++j) {
         auto ns = dec.u64();
@@ -554,6 +581,245 @@ struct MetricHistoryResponse {
         f.samples.emplace_back(*ns, *value);
       }
       r.families.push_back(std::move(f));
+    }
+    return r;
+  }
+};
+
+// ---------- batched metadata ops ----------
+//
+// One RPC carries many create/stat/remove entries; the response carries
+// one status per entry IN REQUEST ORDER, so a transport-level failure is
+// the only all-or-nothing outcome — per-entry errors (exists, not_found,
+// ...) never poison their batch-mates.
+
+/// Per-entry outcome on the wire. Values are stable (serialized as one
+/// byte). The gekko-lint `batch-status` rule checks every enumerator
+/// appears in BOTH conversion functions below, so the encode (daemon)
+/// and decode (client) sides cannot drift apart silently.
+enum class BatchStatus : std::uint8_t {
+  ok = 0,
+  exists = 1,
+  not_found = 2,
+  is_directory = 3,
+  invalid_argument = 4,
+  io_error = 5,  // also the catch-all; must stay the max value
+};
+
+inline bool batch_status_valid(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(BatchStatus::io_error);
+}
+
+/// Encode site: daemon folds a per-entry Errc into the wire status.
+inline BatchStatus batch_status_from_errc(Errc e) {
+  switch (e) {
+    case Errc::ok: return BatchStatus::ok;
+    case Errc::exists: return BatchStatus::exists;
+    case Errc::not_found: return BatchStatus::not_found;
+    case Errc::is_directory: return BatchStatus::is_directory;
+    case Errc::invalid_argument: return BatchStatus::invalid_argument;
+    default: return BatchStatus::io_error;
+  }
+}
+
+/// Decode site: client maps the wire status back onto the Errc domain.
+inline Errc batch_status_to_errc(BatchStatus s) {
+  switch (s) {
+    case BatchStatus::ok: return Errc::ok;
+    case BatchStatus::exists: return Errc::exists;
+    case BatchStatus::not_found: return Errc::not_found;
+    case BatchStatus::is_directory: return Errc::is_directory;
+    case BatchStatus::invalid_argument: return Errc::invalid_argument;
+    case BatchStatus::io_error: return Errc::io_error;
+  }
+  return Errc::io_error;
+}
+
+struct BatchCreateRequest {
+  struct Entry {
+    std::string path;
+    std::uint8_t type = 0;  // FileType
+    std::uint32_t mode = 0644;
+    std::int64_t ctime_ns = 0;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(entries.size());
+    for (const auto& e : entries) {
+      enc.str(e.path);
+      enc.u8(e.type);
+      enc.u32(e.mode);
+      enc.i64(e.ctime_ns);
+    }
+    return buf;
+  }
+  static Result<BatchCreateRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    BatchCreateRequest r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    // >= 14 bytes per entry (1-byte path prefix + u8 + u32 + i64).
+    if (!count_fits(*count, dec, 14)) return Errc::corruption;
+    r.entries.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      Entry e;
+      auto path = dec.str();
+      auto type = dec.u8();
+      auto mode = dec.u32();
+      auto ctime = dec.i64();
+      if (!path || !type || !mode || !ctime) return Errc::corruption;
+      e.path = std::string(*path);
+      e.type = *type;
+      e.mode = *mode;
+      e.ctime_ns = *ctime;
+      r.entries.push_back(std::move(e));
+    }
+    return r;
+  }
+};
+
+/// batch_create response: one status per request entry, request order.
+struct BatchCreateResponse {
+  std::vector<BatchStatus> statuses;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(statuses.size());
+    for (const BatchStatus s : statuses) {
+      enc.u8(static_cast<std::uint8_t>(s));
+    }
+    return buf;
+  }
+  static Result<BatchCreateResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    BatchCreateResponse r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    if (!count_fits(*count, dec, 1)) return Errc::corruption;
+    r.statuses.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto s = dec.u8();
+      if (!s || !batch_status_valid(*s)) return Errc::corruption;
+      r.statuses.push_back(static_cast<BatchStatus>(*s));
+    }
+    return r;
+  }
+};
+
+/// batch_stat / batch_remove request: just the paths.
+struct BatchPathRequest {
+  std::vector<std::string> paths;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(paths.size());
+    for (const auto& p : paths) enc.str(p);
+    return buf;
+  }
+  static Result<BatchPathRequest> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    BatchPathRequest r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    if (!count_fits(*count, dec, 1)) return Errc::corruption;
+    r.paths.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto p = dec.str();
+      if (!p) return Errc::corruption;
+      r.paths.emplace_back(*p);
+    }
+    return r;
+  }
+};
+
+/// batch_stat response: metadata is present iff status == ok.
+struct BatchStatResponse {
+  struct Entry {
+    BatchStatus status = BatchStatus::io_error;
+    Metadata metadata;  // valid iff status == ok
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(entries.size());
+    for (const auto& e : entries) {
+      enc.u8(static_cast<std::uint8_t>(e.status));
+      if (e.status == BatchStatus::ok) enc.str(e.metadata.encode());
+    }
+    return buf;
+  }
+  static Result<BatchStatResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    BatchStatResponse r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    if (!count_fits(*count, dec, 1)) return Errc::corruption;
+    r.entries.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      Entry e;
+      auto s = dec.u8();
+      if (!s || !batch_status_valid(*s)) return Errc::corruption;
+      e.status = static_cast<BatchStatus>(*s);
+      if (e.status == BatchStatus::ok) {
+        auto md_bytes = dec.str();
+        if (!md_bytes) return Errc::corruption;
+        auto md = Metadata::decode(*md_bytes);
+        if (!md) return md.status();
+        e.metadata = *md;
+      }
+      r.entries.push_back(std::move(e));
+    }
+    return r;
+  }
+};
+
+/// batch_remove response: old_size/was_directory drive the client's
+/// chunk cleanup fan-out (only files that had data need remove_data).
+struct BatchRemoveResponse {
+  struct Entry {
+    BatchStatus status = BatchStatus::io_error;
+    std::uint64_t old_size = 0;
+    std::uint8_t was_directory = 0;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.varint(entries.size());
+    for (const auto& e : entries) {
+      enc.u8(static_cast<std::uint8_t>(e.status));
+      enc.u64(e.old_size);
+      enc.u8(e.was_directory);
+    }
+    return buf;
+  }
+  static Result<BatchRemoveResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    BatchRemoveResponse r;
+    auto count = dec.varint();
+    if (!count) return Errc::corruption;
+    if (!count_fits(*count, dec, 10)) return Errc::corruption;
+    r.entries.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      Entry e;
+      auto s = dec.u8();
+      auto size = dec.u64();
+      auto dir = dec.u8();
+      if (!s || !batch_status_valid(*s) || !size || !dir || *dir > 1) {
+        return Errc::corruption;
+      }
+      e.status = static_cast<BatchStatus>(*s);
+      e.old_size = *size;
+      e.was_directory = *dir;
+      r.entries.push_back(e);
     }
     return r;
   }

@@ -9,6 +9,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "baseline/pfs.h"
 #include "common/result.h"
@@ -24,6 +25,35 @@ class FsAdapter {
   virtual Status stat(std::string_view path) = 0;
   virtual Status remove(std::string_view path) = 0;
   virtual Status mkdir(std::string_view path) = 0;
+  // Bulk metadata ops (the mdtest batched phases). Per-entry outcome
+  // lands in `out` in request order; the default implementations loop
+  // over the single-op calls, so every adapter supports batch-mode
+  // drivers — GekkoFS overrides with real batch RPCs.
+  virtual Status create_many(const std::vector<std::string>& paths,
+                             std::vector<Errc>* out) {
+    out->assign(paths.size(), Errc::ok);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (Status st = create(paths[i]); !st.is_ok()) (*out)[i] = st.code();
+    }
+    return Status::ok();
+  }
+  virtual Status stat_many(const std::vector<std::string>& paths,
+                           std::vector<Errc>* out) {
+    out->assign(paths.size(), Errc::ok);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (Status st = stat(paths[i]); !st.is_ok()) (*out)[i] = st.code();
+    }
+    return Status::ok();
+  }
+  virtual Status remove_many(const std::vector<std::string>& paths,
+                             std::vector<Errc>* out) {
+    out->assign(paths.size(), Errc::ok);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (Status st = remove(paths[i]); !st.is_ok()) (*out)[i] = st.code();
+    }
+    return Status::ok();
+  }
+
   virtual Result<std::size_t> pwrite(std::string_view path,
                                      std::uint64_t offset,
                                      std::span<const std::uint8_t> data) = 0;
@@ -59,6 +89,20 @@ class GekkoAdapter final : public FsAdapter {
     return mount_.unlink(path);
   }
   Status mkdir(std::string_view path) override { return mount_.mkdir(path); }
+  Status create_many(const std::vector<std::string>& paths,
+                     std::vector<Errc>* out) override {
+    return mount_.client().create_batch(paths, proto::FileType::regular,
+                                        out);
+  }
+  Status stat_many(const std::vector<std::string>& paths,
+                   std::vector<Errc>* out) override {
+    std::vector<proto::Metadata> mds;
+    return mount_.client().stat_batch(paths, out, &mds);
+  }
+  Status remove_many(const std::vector<std::string>& paths,
+                     std::vector<Errc>* out) override {
+    return mount_.client().remove_batch(paths, out);
+  }
   Result<std::size_t> pwrite(std::string_view path, std::uint64_t offset,
                              std::span<const std::uint8_t> data) override {
     auto fd = mount_.open(path, fs::create | fs::wr_only);

@@ -2,6 +2,7 @@
 // the synchronization point.
 #include "workload/mdtest.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -22,19 +23,46 @@ std::string file_path(const MdtestConfig& cfg, std::uint32_t proc,
   return dir + "/file." + std::to_string(proc) + "." + std::to_string(index);
 }
 
+/// Merge per-rank latency samples and fold percentiles into `r`.
+void finish_latency(PhaseResult& r,
+                    std::vector<std::vector<std::uint64_t>>& lat_ns) {
+  std::vector<std::uint64_t> all;
+  std::size_t total = 0;
+  for (const auto& v : lat_ns) total += v.size();
+  all.reserve(total);
+  for (auto& v : lat_ns) all.insert(all.end(), v.begin(), v.end());
+  if (all.empty()) return;
+  const auto pct = [&](double p) {
+    const auto k = static_cast<std::size_t>(
+        p * static_cast<double>(all.size() - 1));
+    std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                     all.end());
+    return static_cast<double>(all[k]) / 1000.0;  // ns -> us
+  };
+  r.p50_us = pct(0.50);
+  r.p99_us = pct(0.99);
+}
+
 PhaseResult run_phase(
     FsAdapter& fs, const MdtestConfig& cfg,
     const std::function<Status(std::uint32_t, std::uint32_t)>& op) {
   std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<std::uint64_t>> lat_ns(cfg.procs);
   const auto t0 = Clock::now();
   std::vector<std::thread> workers;
   workers.reserve(cfg.procs);
   for (std::uint32_t p = 0; p < cfg.procs; ++p) {
     workers.emplace_back([&, p] {
+      auto& lat = lat_ns[p];
+      lat.reserve(cfg.files_per_proc);
       for (std::uint32_t i = 0; i < cfg.files_per_proc; ++i) {
-        if (Status st = op(p, i); !st.is_ok()) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-        }
+        const auto op_t0 = Clock::now();
+        Status st = op(p, i);
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - op_t0)
+                .count()));
+        if (!st.is_ok()) errors.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -48,6 +76,63 @@ PhaseResult run_phase(
   r.seconds = seconds;
   r.ops_per_sec = seconds > 0 ? static_cast<double>(r.ops) / seconds : 0;
   r.errors = errors.load();
+  finish_latency(r, lat_ns);
+  return r;
+}
+
+/// Batched phase: each rank submits its files in chunks of batch_size
+/// through the adapter's bulk entry point. One latency sample per bulk
+/// call; per-entry failures count individually.
+PhaseResult run_batched_phase(
+    FsAdapter& fs, const MdtestConfig& cfg,
+    const std::function<Status(const std::vector<std::string>&,
+                               std::vector<Errc>*)>& bulk_op) {
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<std::uint64_t>> lat_ns(cfg.procs);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.procs);
+  for (std::uint32_t p = 0; p < cfg.procs; ++p) {
+    workers.emplace_back([&, p] {
+      auto& lat = lat_ns[p];
+      std::vector<std::string> chunk;
+      std::vector<Errc> codes;
+      chunk.reserve(cfg.batch_size);
+      for (std::uint32_t i = 0; i < cfg.files_per_proc;) {
+        chunk.clear();
+        for (std::uint32_t j = 0;
+             j < cfg.batch_size && i < cfg.files_per_proc; ++j, ++i) {
+          chunk.push_back(file_path(cfg, p, i));
+        }
+        const auto call_t0 = Clock::now();
+        Status st = bulk_op(chunk, &codes);
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - call_t0)
+                .count()));
+        if (!st.is_ok()) {
+          errors.fetch_add(chunk.size(), std::memory_order_relaxed);
+          continue;
+        }
+        std::uint64_t bad = 0;
+        for (const Errc e : codes) {
+          if (e != Errc::ok) ++bad;
+        }
+        if (bad > 0) errors.fetch_add(bad, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  (void)fs;
+  PhaseResult r;
+  r.ops = static_cast<std::uint64_t>(cfg.procs) * cfg.files_per_proc;
+  r.seconds = seconds;
+  r.ops_per_sec = seconds > 0 ? static_cast<double>(r.ops) / seconds : 0;
+  r.errors = errors.load();
+  finish_latency(r, lat_ns);
   return r;
 }
 
@@ -69,15 +154,33 @@ Result<MdtestResult> run_mdtest(FsAdapter& fs, const MdtestConfig& cfg) {
   }
 
   MdtestResult result;
-  result.create = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
-    return fs.create(file_path(cfg, p, i));
-  });
-  result.stat = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
-    return fs.stat(file_path(cfg, p, i));
-  });
-  result.remove = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
-    return fs.remove(file_path(cfg, p, i));
-  });
+  if (cfg.batch_size > 1) {
+    result.create = run_batched_phase(
+        fs, cfg, [&](const std::vector<std::string>& paths,
+                     std::vector<Errc>* out) {
+          return fs.create_many(paths, out);
+        });
+    result.stat = run_batched_phase(
+        fs, cfg, [&](const std::vector<std::string>& paths,
+                     std::vector<Errc>* out) {
+          return fs.stat_many(paths, out);
+        });
+    result.remove = run_batched_phase(
+        fs, cfg, [&](const std::vector<std::string>& paths,
+                     std::vector<Errc>* out) {
+          return fs.remove_many(paths, out);
+        });
+  } else {
+    result.create = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+      return fs.create(file_path(cfg, p, i));
+    });
+    result.stat = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+      return fs.stat(file_path(cfg, p, i));
+    });
+    result.remove = run_phase(fs, cfg, [&](std::uint32_t p, std::uint32_t i) {
+      return fs.remove(file_path(cfg, p, i));
+    });
+  }
 
   if (result.create.errors + result.stat.errors + result.remove.errors > 0) {
     GEKKO_WARN("mdtest") << "errors: create=" << result.create.errors

@@ -25,6 +25,10 @@ struct MdtestConfig {
   bool unique_dir = false;  // one working dir per rank instead of shared
   std::string base_dir = "/mdtest";
   std::uint32_t iterations = 1;
+  /// Ops per bulk call: <= 1 runs the classic one-op-at-a-time phases;
+  /// > 1 drives the adapter's create_many/stat_many/remove_many in
+  /// chunks of this size (batched metadata RPCs on GekkoFS).
+  std::uint32_t batch_size = 0;
 };
 
 struct PhaseResult {
@@ -32,6 +36,11 @@ struct PhaseResult {
   double seconds = 0;
   std::uint64_t ops = 0;
   std::uint64_t errors = 0;
+  /// Latency percentiles in microseconds. Single-op mode: per-op
+  /// round-trip. Batch mode: per bulk CALL (the latency an application
+  /// thread actually observes per submission).
+  double p50_us = 0;
+  double p99_us = 0;
 };
 
 struct MdtestResult {

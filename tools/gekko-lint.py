@@ -45,6 +45,14 @@ metric-name      metric family names handed to Registry
                  never be hand-rolled. Tag deliberate exceptions
                  `// metric-name-ok: <why>`.
 
+batch-status     the BatchStatus wire enum (src/proto/messages.h) has
+                 TWO conversion sites — batch_status_from_errc (daemon
+                 encode) and batch_status_to_errc (client decode).
+                 Every enumerator must appear in BOTH switch bodies:
+                 an enumerator added to the enum but missing from one
+                 side silently collapses that outcome to the io_error
+                 catch-all on the wire.
+
 span-name        span names handed to the tracer must be string
                  literals: TraceSpan::name stores the pointer, never a
                  copy, so a dynamically built name dangles once the
@@ -272,6 +280,65 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
             f"common/thread_annotations.h directly")
 
 
+BATCH_STATUS_FILE = "src/proto/messages.h"
+
+
+def brace_body(text: str, start: int) -> str:
+    """The text between the brace at `start` and its matching close."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i]
+    return text[start + 1:]
+
+
+def lint_batch_status(root: str, errors: list[str]) -> None:
+    """Every BatchStatus enumerator appears in both conversion sites."""
+    rel = BATCH_STATUS_FILE
+    try:
+        with open(os.path.join(root, rel), encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        errors.append(f"{rel}: batch-status: unreadable: {e}")
+        return
+    enum_m = re.search(r"enum\s+class\s+BatchStatus[^{]*\{", text)
+    if not enum_m:
+        errors.append(f"{rel}: batch-status: enum class BatchStatus not "
+                      f"found (rule needs updating if it moved)")
+        return
+    enum_body = brace_body(text, enum_m.end() - 1)
+    decommented = " ".join(code_of(l) for l in enum_body.splitlines())
+    enumerators = []
+    for entry in decommented.split(","):
+        name = entry.split("=")[0].strip()
+        if name:
+            enumerators.append(name)
+    if not enumerators:
+        errors.append(f"{rel}: batch-status: no enumerators parsed from "
+                      f"BatchStatus")
+        return
+    for fn in ("batch_status_from_errc", "batch_status_to_errc"):
+        fn_m = re.search(re.escape(fn) + r"\s*\([^)]*\)\s*\{", text)
+        if not fn_m:
+            errors.append(f"{rel}: batch-status: conversion function "
+                          f"{fn}() not found")
+            continue
+        body = brace_body(text, fn_m.end() - 1)
+        lineno = text[:fn_m.start()].count("\n") + 1
+        for name in enumerators:
+            if not re.search(r"\bBatchStatus::" + name + r"\b", body):
+                errors.append(
+                    f"{rel}:{lineno}: batch-status: enumerator "
+                    f"BatchStatus::{name} is not handled in {fn}() — "
+                    f"encode and decode sites must map every status "
+                    f"explicitly or the outcome collapses to io_error")
+
+
 def main(argv: list[str]) -> int:
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
     src = os.path.join(root, "src")
@@ -289,6 +356,7 @@ def main(argv: list[str]) -> int:
             rel = rel.replace(os.sep, "/")
             lint_file(root, rel, errors)
             checked += 1
+    lint_batch_status(root, errors)
 
     for e in errors:
         print(e)

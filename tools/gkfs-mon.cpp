@@ -247,7 +247,10 @@ int main(int argc, char** argv) {
       prev_polls;
   static const std::string kFamilies[] = {
       "rpc.requests_handled", "rpc.retries", "trace.slow_ops",
-      "storage.fd_cache.misses"};
+      "storage.fd_cache.misses", "kv.compact.bytes_in",
+      "kv.stall.foreground_ms"};
+  constexpr std::size_t kNumFamilies =
+      sizeof(kFamilies) / sizeof(kFamilies[0]);
 
   int exit_code = 0;
   for (std::uint32_t iter = 0; iterations == 0 || iter < iterations;
@@ -264,7 +267,7 @@ int main(int argc, char** argv) {
       std::map<std::string, double> rates;
     };
     std::vector<Row> rows;
-    double cluster_rate[4] = {0.0, 0.0, 0.0, 0.0};
+    double cluster_rate[kNumFamilies] = {};
     gekko::proto::MetricHistoryRequest hist_req{""};
     for (const auto id : daemons) {
       Row row;
@@ -281,7 +284,7 @@ int main(int argc, char** argv) {
                                r->size()));
           if (hist.is_ok()) {
             auto& prev = prev_polls[id];
-            for (std::size_t f = 0; f < 4; ++f) {
+            for (std::size_t f = 0; f < kNumFamilies; ++f) {
               const double rate = family_rate(*hist, kFamilies[f], prev);
               row.rates[kFamilies[f]] = rate;
               cluster_rate[f] += rate;
@@ -307,6 +310,8 @@ int main(int argc, char** argv) {
     cluster["retries_per_sec"] = cluster_rate[1];
     cluster["slow_ops_per_sec"] = cluster_rate[2];
     cluster["fd_cache_miss_per_sec"] = cluster_rate[3];
+    cluster["compact_bytes_per_sec"] = cluster_rate[4];
+    cluster["stall_ms_per_sec"] = cluster_rate[5];
 
     if (json) {
       std::string out = "{\"iteration\":" + std::to_string(iter) +
@@ -341,26 +346,32 @@ int main(int argc, char** argv) {
       out += "}}";
       std::printf("%s\n", out.c_str());
     } else {
-      std::printf("%-5s %-8s %7s %7s %10s %9s %8s %9s\n", "node", "state",
-                  "misses", "probes", "ops/s", "retry/s", "slow/s",
-                  "fdmiss/s");
+      std::printf("%-5s %-8s %7s %7s %10s %9s %8s %9s %11s %9s\n", "node",
+                  "state", "misses", "probes", "ops/s", "retry/s", "slow/s",
+                  "fdmiss/s", "compactB/s", "stallms/s");
       for (const Row& row : rows) {
         auto rate_of = [&row](const char* family) {
           auto it = row.rates.find(family);
           return it == row.rates.end() ? 0.0 : it->second;
         };
-        std::printf("%-5u %-8s %7u %7" PRIu64 " %10.1f %9.1f %8.1f %9.1f\n",
+        std::printf("%-5u %-8s %7u %7" PRIu64
+                    " %10.1f %9.1f %8.1f %9.1f %11.1f %9.1f\n",
                     row.node, gekko::health::state_name(row.health.state),
                     row.health.consecutive_misses, row.health.probes,
                     rate_of("rpc.requests_handled"), rate_of("rpc.retries"),
                     rate_of("trace.slow_ops"),
-                    rate_of("storage.fd_cache.misses"));
+                    rate_of("storage.fd_cache.misses"),
+                    rate_of("kv.compact.bytes_in"),
+                    rate_of("kv.stall.foreground_ms"));
       }
       std::printf("cluster: alive=%zu suspect=%zu dead=%zu ops/s=%.1f "
-                  "retry/s=%.1f slow/s=%.1f fdmiss/s=%.1f\n",
+                  "retry/s=%.1f slow/s=%.1f fdmiss/s=%.1f "
+                  "compactB/s=%.1f stallms/s=%.1f\n",
                   n_alive, n_suspect, n_dead, cluster["ops_per_sec"],
                   cluster["retries_per_sec"], cluster["slow_ops_per_sec"],
-                  cluster["fd_cache_miss_per_sec"]);
+                  cluster["fd_cache_miss_per_sec"],
+                  cluster["compact_bytes_per_sec"],
+                  cluster["stall_ms_per_sec"]);
     }
     std::fflush(stdout);
 

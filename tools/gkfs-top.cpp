@@ -199,6 +199,7 @@ int main(int argc, char** argv) {
   // daemon restart, because both the counter and the clock reset.
   struct PrevSamples {
     gekko::metrics::SamplePoint ops, retries, timeouts, bytes_w, bytes_r;
+    gekko::metrics::SamplePoint compact_in, stall_ms;
   };
   std::map<gekko::net::EndpointId, PrevSamples> prev;
 
@@ -208,9 +209,10 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::seconds(interval));
     }
     std::printf(
-        "%-5s %10s %9s %-14s %9s %9s %8s %8s %8s %9s %9s %9s\n", "node",
-        "ops", "ops/s", "busiest-op", "p50(us)", "p99(us)", "inflight",
-        "retry/s", "tmo/s", "MBw/s", "MBr/s", "meta");
+        "%-5s %10s %9s %-14s %9s %9s %8s %8s %8s %9s %9s %9s %10s %9s\n",
+        "node", "ops", "ops/s", "busiest-op", "p50(us)", "p99(us)",
+        "inflight", "retry/s", "tmo/s", "MBw/s", "MBr/s", "meta",
+        "compactM/s", "stallms/s");
     for (const auto id : daemons) {
       auto r = engine.forward(
           id, gekko::proto::to_wire(gekko::proto::RpcId::daemon_stat), {});
@@ -240,12 +242,18 @@ int main(int argc, char** argv) {
       cur.timeouts = point(snap->counter_or("rpc.timeouts"));
       cur.bytes_w = point(resp->bytes_written);
       cur.bytes_r = point(resp->bytes_read);
+      cur.compact_in = point(
+          static_cast<std::uint64_t>(snap->gauge_or("kv.compact.bytes_in")));
+      cur.stall_ms = point(static_cast<std::uint64_t>(
+          snap->gauge_or("kv.stall.foreground_ms")));
 
       double ops_s = 0.0;
       double retries_s = 0.0;
       double timeouts_s = 0.0;
       double mbw_s = 0.0;
       double mbr_s = 0.0;
+      double compact_mbs = 0.0;
+      double stall_ms_s = 0.0;
       if (auto it = prev.find(id); it != prev.end()) {
         using gekko::metrics::rate_per_sec;
         ops_s = rate_per_sec(it->second.ops, cur.ops);
@@ -255,6 +263,9 @@ int main(int argc, char** argv) {
                 (1024.0 * 1024.0);
         mbr_s = rate_per_sec(it->second.bytes_r, cur.bytes_r) /
                 (1024.0 * 1024.0);
+        compact_mbs = rate_per_sec(it->second.compact_in, cur.compact_in) /
+                      (1024.0 * 1024.0);
+        stall_ms_s = rate_per_sec(it->second.stall_ms, cur.stall_ms);
       }
       prev[id] = cur;
 
@@ -264,11 +275,11 @@ int main(int argc, char** argv) {
       const double p99_us = h ? static_cast<double>(h->p99) / 1000.0 : 0.0;
 
       std::printf("%-5u %10" PRIu64 " %9.1f %-14s %9.1f %9.1f %8" PRId64
-                  " %8.1f %8.1f %9.1f %9.1f %9" PRIu64 "\n",
+                  " %8.1f %8.1f %9.1f %9.1f %9" PRIu64 " %10.1f %9.1f\n",
                   id, static_cast<std::uint64_t>(cur.ops.value), ops_s,
                   op.c_str(), p50_us, p99_us, total_inflight(*snap),
                   retries_s, timeouts_s, mbw_s, mbr_s,
-                  resp->metadata_entries);
+                  resp->metadata_entries, compact_mbs, stall_ms_s);
     }
     std::fflush(stdout);
   }
