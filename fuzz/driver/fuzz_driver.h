@@ -1,0 +1,50 @@
+// Shared contract between the fuzz harnesses and whichever engine
+// drives them.
+//
+// Every harness defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+//
+// so a clang toolchain can link the real libFuzzer (-fsanitize=fuzzer)
+// for coverage-guided runs. The repo's baked-in toolchain is gcc, which
+// has no libFuzzer — there the harness links driver/standalone_main.cpp
+// instead: a deterministic corpus-replay + structural-mutation engine
+// that accepts the same flag spelling (-runs=N -seed=S -max_len=L plus
+// positional corpus dirs/files), so scripts/fuzz.sh and the ctest fuzz
+// smoke run identically under either engine.
+//
+// Harnesses signal a property violation (round-trip breakage, not a
+// mere decode rejection) by calling gekko::fuzz::fail(), which prints
+// the reason plus a hex dump of the offending input and aborts — both
+// engines, and ASan/UBSan, report that as a crash on a reproducible
+// input.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstddef>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace gekko::fuzz {
+
+/// Abort with a reason and a reproducer dump. Never returns.
+[[noreturn]] inline void fail(const char* harness, const char* why,
+                              const std::uint8_t* data, std::size_t size) {
+  std::fprintf(stderr, "\n[%s] property violation: %s\n", harness, why);
+  std::fprintf(stderr, "input (%zu bytes):", size);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::fprintf(stderr, "%s%02x", (i % 32 == 0) ? "\n  " : " ", data[i]);
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+inline std::string_view as_view(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+}  // namespace gekko::fuzz

@@ -1,0 +1,212 @@
+// Deterministic fuzzing engine for toolchains without libFuzzer (the
+// repo's baked-in gcc). Replays every corpus input verbatim, then runs
+// a fixed number of structural mutations of corpus picks — bit flips,
+// interesting-value writes, truncate/extend, block duplication and
+// cross-seed splices — through LLVMFuzzerTestOneInput.
+//
+// Everything is seeded from -seed (default 1) through one xorshift64
+// stream, and corpus files are loaded in sorted order, so a given
+// (corpus, seed, runs) triple is exactly reproducible: a CI crash
+// replays locally with the same flags. No coverage feedback — this is
+// a smoke/regression engine; hand the same harness to clang+libFuzzer
+// for discovery runs.
+//
+// Flags (libFuzzer spelling; unknown -flags are ignored so shared
+// scripts can pass libFuzzer-isms harmlessly):
+//   -runs=N      mutation iterations after corpus replay (default 5000)
+//   -seed=S      PRNG seed (default 1)
+//   -max_len=L   cap on mutated input size (default 4096)
+//   <path>...    corpus files or directories (recursed, sorted)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/fuzz_driver.h"
+
+namespace {
+
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+void load_corpus_path(const std::filesystem::path& p,
+                      std::vector<Bytes>* corpus) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(p, ec)) {
+    std::vector<std::filesystem::path> entries;
+    for (const auto& e :
+         std::filesystem::recursive_directory_iterator(p, ec)) {
+      if (e.is_regular_file()) entries.push_back(e.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& e : entries) load_corpus_path(e, corpus);
+    return;
+  }
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "warning: cannot read corpus file %s\n",
+                 p.string().c_str());
+    return;
+  }
+  Bytes b((std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+  corpus->push_back(std::move(b));
+}
+
+const std::uint64_t kInteresting[] = {
+    0,       1,         0x7f,       0x80,       0xff,       0x100,
+    0x7fff,  0x8000,    0xffff,     0x7fffffff, 0x80000000, 0xffffffff,
+    1u << 20, 64u << 20, 0x7fffffffffffffffull, 0xffffffffffffffffull};
+
+void mutate(Bytes* b, Rng* rng, const std::vector<Bytes>& corpus,
+            std::size_t max_len) {
+  const int n_mut = 1 + static_cast<int>(rng->below(8));
+  for (int m = 0; m < n_mut; ++m) {
+    switch (rng->below(8)) {
+      case 0:  // bit flip
+        if (!b->empty()) {
+          (*b)[rng->below(b->size())] ^=
+              static_cast<std::uint8_t>(1u << rng->below(8));
+        }
+        break;
+      case 1:  // random byte
+        if (!b->empty()) {
+          (*b)[rng->below(b->size())] =
+              static_cast<std::uint8_t>(rng->next());
+        }
+        break;
+      case 2: {  // interesting value, random width, random offset
+        const std::uint64_t v = kInteresting[rng->below(std::size(
+            kInteresting))];
+        const std::size_t width = std::size_t{1} << rng->below(4);  // 1/2/4/8
+        if (b->size() >= width) {
+          std::memcpy(b->data() + rng->below(b->size() - width + 1), &v,
+                      width);
+        }
+        break;
+      }
+      case 3:  // truncate
+        if (!b->empty()) b->resize(rng->below(b->size()));
+        break;
+      case 4: {  // extend with random bytes
+        const std::size_t add = 1 + rng->below(32);
+        for (std::size_t i = 0; i < add && b->size() < max_len; ++i) {
+          b->push_back(static_cast<std::uint8_t>(rng->next()));
+        }
+        break;
+      }
+      case 5: {  // duplicate a block in place
+        if (!b->empty() && b->size() < max_len) {
+          const std::size_t start = rng->below(b->size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng->below(16), b->size() - start);
+          b->insert(b->begin() + static_cast<std::ptrdiff_t>(start),
+                    b->begin() + static_cast<std::ptrdiff_t>(start),
+                    b->begin() + static_cast<std::ptrdiff_t>(start + len));
+        }
+        break;
+      }
+      case 6: {  // erase a block
+        if (!b->empty()) {
+          const std::size_t start = rng->below(b->size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng->below(16), b->size() - start);
+          b->erase(b->begin() + static_cast<std::ptrdiff_t>(start),
+                   b->begin() + static_cast<std::ptrdiff_t>(start + len));
+        }
+        break;
+      }
+      case 7: {  // splice a slice of another corpus input
+        if (!corpus.empty()) {
+          const Bytes& other = corpus[rng->below(corpus.size())];
+          if (!other.empty()) {
+            const std::size_t start = rng->below(other.size());
+            const std::size_t len = std::min<std::size_t>(
+                1 + rng->below(64), other.size() - start);
+            const std::size_t at = rng->below(b->size() + 1);
+            b->insert(b->begin() + static_cast<std::ptrdiff_t>(at),
+                      other.begin() + static_cast<std::ptrdiff_t>(start),
+                      other.begin() +
+                          static_cast<std::ptrdiff_t>(start + len));
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (b->size() > max_len) b->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 5000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<Bytes> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer-style flags: shared scripts may pass
+      // them and they have no standalone equivalent.
+    } else {
+      load_corpus_path(std::filesystem::path(arg), &corpus);
+    }
+  }
+
+  std::fprintf(stderr, "standalone fuzz: %zu corpus inputs, %llu runs, "
+                       "seed %llu, max_len %zu\n",
+               corpus.size(), static_cast<unsigned long long>(runs),
+               static_cast<unsigned long long>(seed), max_len);
+
+  // Phase 1: corpus replay — every committed reproducer re-executes.
+  for (const Bytes& b : corpus) {
+    LLVMFuzzerTestOneInput(b.data(), b.size());
+  }
+
+  // Phase 2: deterministic mutation loop.
+  Rng rng(seed);
+  Bytes scratch;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    if (!corpus.empty() && rng.below(8) != 0) {
+      scratch = corpus[rng.below(corpus.size())];
+    } else {
+      scratch.clear();
+      const std::size_t len = rng.below(128);
+      for (std::size_t j = 0; j < len; ++j) {
+        scratch.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+    }
+    mutate(&scratch, &rng, corpus, max_len);
+    LLVMFuzzerTestOneInput(scratch.data(), scratch.size());
+    if ((i + 1) % 250000 == 0) {
+      std::fprintf(stderr, "  #%llu\n",
+                   static_cast<unsigned long long>(i + 1));
+    }
+  }
+  std::fprintf(stderr, "#%llu DONE\n",
+               static_cast<unsigned long long>(runs));
+  return 0;
+}

@@ -1,0 +1,435 @@
+// Seed-corpus generator. Writes one file per seed under
+// <out>/<family>/, where <out> is argv[1] (default: ./corpus).
+//
+// Two kinds of seed:
+//   - valid encodings of every message/record/file format, built with
+//     the real encoders, so mutation starts from deep in each decoder's
+//     accept-space instead of bouncing off the first length check;
+//   - regression reproducers for every wire/storage bug fixed to date
+//     (overflowing bulk ranges, preallocation-bomb counts, sub-8-byte
+//     internal keys, out-of-bounds block handles, forged WAL lengths),
+//     so `ctest -L fuzz` and tests/corpus_replay_test.cpp re-execute
+//     each of them forever.
+//
+// The committed fuzz/corpus/** is this program's output; re-run it
+// after protocol changes and commit the diff.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "kv/block.h"
+#include "kv/internal_key.h"
+#include "kv/sstable.h"
+#include "kv/wal.h"
+#include "kv/write_batch.h"
+#include "net/frame_codec.h"
+#include "proto/codec_table.h"
+
+using namespace gekko;
+
+namespace {
+
+std::filesystem::path g_out;
+
+void write_seed(const std::string& family, const std::string& name,
+                const void* data, std::size_t size) {
+  const auto dir = g_out / family;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s/%s\n", family.c_str(),
+                 name.c_str());
+    std::exit(1);
+  }
+}
+
+void write_seed(const std::string& family, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  write_seed(family, name, bytes.data(), bytes.size());
+}
+
+void write_seed(const std::string& family, const std::string& name,
+                const std::string& bytes) {
+  write_seed(family, name, bytes.data(), bytes.size());
+}
+
+// Selector-prefixed seed for the proto harness: first byte picks the
+// (row, side) target the same way fuzz_proto.cpp does.
+void proto_seed(std::uint8_t selector, const std::string& name,
+                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(selector);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  write_seed("proto", name, bytes);
+}
+
+std::vector<std::uint8_t> flatten_frame(const net::Message& msg,
+                                        const net::BulkRegion* bulk_out) {
+  auto f = net::wire::encode_frame(msg, bulk_out, msg.source, 1u << 20);
+  if (!f.is_ok()) {
+    std::fprintf(stderr, "encode_frame failed: %s\n",
+                 f.status().to_string().c_str());
+    std::exit(1);
+  }
+  std::vector<std::uint8_t> wire;
+  f->flatten_into(&wire);
+  // Harness input is the frame body (after the u32 length prefix).
+  wire.erase(wire.begin(),
+             wire.begin() + static_cast<std::ptrdiff_t>(
+                                net::wire::kLenPrefixBytes));
+  return wire;
+}
+
+void gen_frame_codec() {
+  net::Message req;
+  req.kind = net::MessageKind::request;
+  req.rpc_id = proto::to_wire(proto::RpcId::stat);
+  req.seq = 42;
+  req.source = 7;
+  req.trace_id = 0xabcdef;
+  req.parent_span = 0x123;
+  req.payload = proto::PathRequest{"/data/file0"}.encode();
+  write_seed("frame_codec", "request_stat.bin", flatten_frame(req, nullptr));
+
+  net::Message bulk_read = req;
+  bulk_read.rpc_id = proto::to_wire(proto::RpcId::write_chunks);
+  std::vector<std::uint8_t> blob(512, 0x5a);
+  bulk_read.bulk = net::BulkRegion::adopt(blob, /*writable=*/false);
+  write_seed("frame_codec", "request_bulk_read.bin",
+             flatten_frame(bulk_read, nullptr));
+
+  net::Message bulk_write = req;
+  bulk_write.rpc_id = proto::to_wire(proto::RpcId::read_chunks);
+  bulk_write.bulk =
+      net::BulkRegion::adopt(std::vector<std::uint8_t>(1024), true);
+  write_seed("frame_codec", "request_bulk_writable.bin",
+             flatten_frame(bulk_write, nullptr));
+
+  net::Message resp;
+  resp.kind = net::MessageKind::response;
+  resp.seq = 42;
+  resp.source = 1;
+  resp.payload = proto::ChunkIoResponse{4096}.encode();
+  const auto region =
+      net::BulkRegion::adopt(std::vector<std::uint8_t>(256, 0x11), true);
+  region.record_push(0, 64);
+  region.record_push(128, 32);
+  write_seed("frame_codec", "response_ranges.bin",
+             flatten_frame(resp, &region));
+
+  // Regression reproducer: a response-data range whose u64 offset sits
+  // near 2^64 so offset+len wraps. range_in_bounds() must reject it in
+  // apply_response_ranges without writing a byte (overflow fix).
+  std::vector<std::uint8_t> hostile;
+  {
+    Encoder enc(&hostile);
+    enc.u8(1);                   // kind = response
+    enc.u16(0);                  // rpc_id
+    enc.u64(42);                 // seq
+    enc.u32(1);                  // source
+    enc.u64(0);                  // trace_id
+    enc.u64(0);                  // parent_span
+    enc.str("");                 // payload
+    enc.u8(net::wire::kBulkResponseData);
+    enc.varint(1);               // one range
+    enc.u64(~0ull - 7);          // offset near 2^64
+    enc.str("overflow");         // 8 bytes: offset+len wraps past 0
+  }
+  write_seed("frame_codec", "regression_range_overflow.bin", hostile);
+}
+
+void gen_proto() {
+  // Mirror of fuzz_proto.cpp's flattened target order: request/response
+  // checks per kCodecTable row (skipping empty sides), then extras.
+  std::uint8_t selector = 0;
+  auto next = [&selector]() { return selector++; };
+
+  const proto::Metadata md{proto::FileType::regular, 4096, 111, 222, 0644};
+
+  // create
+  proto_seed(next(), "create_request.bin",
+             proto::CreateRequest{"/a/b", 0, 0644, 1234}.encode());
+  // stat
+  proto_seed(next(), "stat_request.bin",
+             proto::PathRequest{"/a/b"}.encode());
+  proto_seed(next(), "stat_response.bin", proto::StatResponse{md}.encode());
+  // remove_metadata
+  proto_seed(next(), "remove_metadata_request.bin",
+             proto::PathRequest{"/a/b"}.encode());
+  proto_seed(next(), "remove_metadata_response.bin",
+             proto::StatResponse{md}.encode());
+  // remove_data
+  proto_seed(next(), "remove_data_request.bin",
+             proto::PathRequest{"/a/b"}.encode());
+  // update_size
+  proto_seed(next(), "update_size_request.bin",
+             proto::UpdateSizeRequest{"/a/b", 1 << 20, 999}.encode());
+  // truncate_metadata / truncate_data
+  proto_seed(next(), "truncate_metadata_request.bin",
+             proto::TruncateRequest{"/a/b", 512}.encode());
+  proto_seed(next(), "truncate_data_request.bin",
+             proto::TruncateRequest{"/a/b", 512}.encode());
+  // write_chunks / read_chunks
+  proto::ChunkIoRequest io;
+  io.path = "/a/b";
+  io.slices = {{0, 0, 4096, 0}, {1, 128, 256, 4096}};
+  const std::uint8_t write_chunks_req = next();
+  proto_seed(write_chunks_req, "write_chunks_request.bin", io.encode());
+  proto_seed(next(), "write_chunks_response.bin",
+             proto::ChunkIoResponse{4352}.encode());
+  proto_seed(next(), "read_chunks_request.bin", io.encode());
+  proto_seed(next(), "read_chunks_response.bin",
+             proto::ChunkIoResponse{4352}.encode());
+  // get_dirents
+  proto_seed(next(), "dirents_request.bin",
+             proto::DirentsRequest{"/a"}.encode());
+  proto::DirentsResponse dirents;
+  dirents.entries = {{"b", proto::FileType::regular},
+                     {"c", proto::FileType::directory}};
+  proto_seed(next(), "dirents_response.bin", dirents.encode());
+  // daemon_stat
+  proto::DaemonStatResponse ds;
+  ds.metadata_entries = 10;
+  ds.bytes_written = 1 << 20;
+  ds.metrics_json = "{}";
+  proto_seed(next(), "daemon_stat_response.bin", ds.encode());
+  // trace_dump
+  proto::TraceDumpResponse td;
+  td.node_id = 1;
+  td.capture_ns = 123456789;
+  td.recorded = 1;
+  td.capacity = 1024;
+  trace::Span span;
+  span.trace_id = 7;
+  span.span_id = 8;
+  span.name = "rpc.stat";
+  span.start_ns = 100;
+  span.duration_ns = 50;
+  td.spans.push_back(span);
+  proto_seed(next(), "trace_dump_response.bin", td.encode());
+  // heartbeat
+  proto_seed(next(), "heartbeat_response.bin",
+             proto::HeartbeatResponse{3, 999, 12345}.encode());
+  // metric_history
+  proto_seed(next(), "metric_history_request.bin",
+             proto::MetricHistoryRequest{"rpc."}.encode());
+  proto::MetricHistoryResponse mh;
+  mh.node_id = 3;
+  mh.captured_ns = 42;
+  mh.interval_ms = 500;
+  proto::MetricFamilyHistory fam;
+  fam.name = "rpc.calls";
+  fam.recorded = 2;
+  fam.capacity = 64;
+  fam.samples = {{100, 1}, {200, 2}};
+  mh.families.push_back(fam);
+  proto_seed(next(), "metric_history_response.bin", mh.encode());
+  // batch_create
+  proto::BatchCreateRequest bc;
+  bc.entries = {{"/a/1", 0, 0644, 1}, {"/a/2", 0, 0644, 2}};
+  const std::uint8_t batch_create_req = next();
+  proto_seed(batch_create_req, "batch_create_request.bin", bc.encode());
+  proto::BatchCreateResponse bcr;
+  bcr.statuses = {proto::BatchStatus::ok, proto::BatchStatus::exists};
+  proto_seed(next(), "batch_create_response.bin", bcr.encode());
+  // batch_stat
+  proto_seed(next(), "batch_stat_request.bin",
+             proto::BatchPathRequest{{"/a/1", "/a/2"}}.encode());
+  proto::BatchStatResponse bsr;
+  bsr.entries.push_back({proto::BatchStatus::ok, md});
+  bsr.entries.push_back({proto::BatchStatus::not_found, {}});
+  proto_seed(next(), "batch_stat_response.bin", bsr.encode());
+  // batch_remove
+  proto_seed(next(), "batch_remove_request.bin",
+             proto::BatchPathRequest{{"/a/1"}}.encode());
+  proto::BatchRemoveResponse brr;
+  brr.entries.push_back({proto::BatchStatus::ok, 4096, 0});
+  proto_seed(next(), "batch_remove_response.bin", brr.encode());
+  // extras: Metadata
+  {
+    const std::string enc = md.encode();
+    std::vector<std::uint8_t> payload(enc.begin(), enc.end());
+    proto_seed(next(), "metadata.bin", payload);
+  }
+
+  // Regression reproducer: preallocation-bomb counts. A varint count
+  // of ~2^62 slices/entries with a near-empty remainder must be thrown
+  // out by count_fits() before reserve() allocates (batched-RPC fix).
+  {
+    std::vector<std::uint8_t> payload;
+    Encoder enc(&payload);
+    enc.str("/a/b");
+    enc.varint(0x3fffffffffffffffull);
+    proto_seed(write_chunks_req, "regression_slice_count_bomb.bin", payload);
+  }
+  {
+    std::vector<std::uint8_t> payload;
+    Encoder enc(&payload);
+    enc.varint(0x3fffffffffffffffull);
+    proto_seed(batch_create_req, "regression_batch_count_bomb.bin", payload);
+  }
+}
+
+void gen_wal() {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   "gekko_gen_corpus_wal.log";
+  auto read_back = [&tmp]() {
+    std::ifstream in(tmp, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+
+  kv::WriteBatch batch;
+  batch.put("/k/1", "value-1");
+  batch.erase("/k/2");
+  const auto& bytes = batch.data();
+  const std::string_view batch_view(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  {
+    auto w = kv::WalWriter::create(tmp);
+    if (!w.is_ok()) std::exit(1);
+    (void)w->append(1, batch_view, false);       // status-ignored-ok: seed gen
+    (void)w->append(3, "not-a-batch", false);    // status-ignored-ok: seed gen
+    (void)w->close();                            // status-ignored-ok: seed gen
+  }
+  const std::string valid = read_back();
+  write_seed("wal", "two_records.bin", valid);
+  write_seed("wal", "torn_tail.bin", valid.substr(0, valid.size() - 5));
+
+  // Regression reproducer: forged header claiming a ~4 GiB payload.
+  // Recovery must treat it as tail corruption at the length cap, not
+  // attempt the allocation (wal_recover hardening).
+  std::string forged = valid;
+  forged.resize(forged.size() + 16, '\0');
+  const std::uint32_t fake_len = 0xfffffff0u;
+  std::memcpy(forged.data() + valid.size() + 4, &fake_len, 4);
+  write_seed("wal", "regression_len_bomb.bin", forged);
+  std::filesystem::remove(tmp);
+}
+
+void gen_sstable() {
+  // Block mode (selector 0): a real prefix-compressed block.
+  kv::BlockBuilder builder(4);
+  for (int i = 0; i < 16; ++i) {
+    const std::string user_key = "/key/" + std::to_string(i);
+    const std::string ikey = kv::make_internal_key(
+        user_key, static_cast<kv::SequenceNumber>(i + 1),
+        kv::ValueType::value);
+    builder.add(ikey, "value-" + std::to_string(i));
+  }
+  const std::string block = builder.finish();
+  std::string seed;
+  seed.push_back('\0');  // selector 0 = block mode
+  seed.append(block);
+  write_seed("sstable", "block_valid.bin", seed);
+
+  // Regression reproducer: an entry whose key is SHORTER than the
+  // 8-byte internal trailer. The iterator must reject it as corruption
+  // instead of letting compare_internal read out of bounds.
+  std::string bad;
+  bad.push_back('\0');           // selector 0
+  bad.push_back('\0');           // shared = 0
+  bad.push_back('\x03');         // non_shared = 3 (< 8!)
+  bad.push_back('\x01');         // value_len = 1
+  bad.append("abcV");            // 3 key bytes + 1 value byte
+  const std::uint32_t restart0 = 0;
+  const std::uint32_t nrestarts = 1;
+  bad.append(reinterpret_cast<const char*>(&restart0), 4);
+  bad.append(reinterpret_cast<const char*>(&nrestarts), 4);
+  write_seed("sstable", "regression_short_internal_key.bin", bad);
+
+  // Table mode (selector 1): a forged footer whose index handle points
+  // 2^60 bytes past EOF. Table::open must fail with corruption before
+  // the block read allocates (read_block_raw_ bounds fix).
+  std::string forged;
+  forged.push_back('\x01');      // selector 1 = table mode
+  forged.append(64, 'x');        // some file body
+  std::string footer(40, '\0');
+  const std::uint64_t off = 1ull << 60, sz = 1ull << 30;
+  std::memcpy(footer.data(), &off, 8);
+  std::memcpy(footer.data() + 8, &sz, 8);
+  const std::uint64_t magic = kv::kTableMagic;
+  std::memcpy(footer.data() + 32, &magic, 8);
+  forged.append(footer);
+  write_seed("sstable", "regression_handle_oob.bin", forged);
+}
+
+void gen_text_families() {
+  write_seed("prometheus", "exposition.txt",
+             std::string("# TYPE gekko_rpc_calls counter\n"
+                         "gekko_rpc_calls{rpc=\"stat\"} 42\n"
+                         "# TYPE gekko_rpc_latency_us histogram\n"
+                         "gekko_rpc_latency_us_bucket{le=\"100\"} 1\n"
+                         "gekko_rpc_latency_us_bucket{le=\"+Inf\"} 2\n"
+                         "gekko_rpc_latency_us_sum 123.5\n"
+                         "gekko_rpc_latency_us_count 2\n"));
+  write_seed("trace", "chrome.json",
+             std::string("{\"traceEvents\":[{\"name\":\"rpc.stat\","
+                         "\"ph\":\"X\",\"ts\":1,\"dur\":5,\"pid\":1,"
+                         "\"tid\":2}]}"));
+
+  const std::string cfg =
+      "# gekkofs config\n"
+      "daemon.chunk_size=512KiB\n"
+      "net.latency_us=1.5\n"
+      "kv.sync_wal=true\n";
+  write_seed("config", "config.txt", std::string(1, '\0') + cfg);
+  write_seed("config", "parse_size.txt", std::string(1, '\x01') + "512KiB");
+  // Hardened: a size whose scaled value leaves uint64 used to wrap mod
+  // 2^64 to a tiny limit; parse_size rejects it now.
+  write_seed("config", "regression_size_wrap.txt",
+             std::string(1, '\x01') + "17179869184g");
+  write_seed("config", "transport.txt", std::string(1, '\x02') + "tcp");
+  write_seed("config", "hostfile.txt",
+             std::string(1, '\x03') +
+                 "# hosts\n0 127.0.0.1:9000\n1 127.0.0.1:9001\n");
+  write_seed("config", "snapshot.json",
+             std::string(1, '\x04') +
+                 "{\"node_id\":1,\"captured_ns\":42,"
+                 "\"counters\":{\"rpc.calls\":42},"
+                 "\"gauges\":{\"kv.puts\":7},\"histograms\":{}}");
+  // Fuzz-found: a 20-digit counter value overflowed the signed digit
+  // accumulator in Snapshot's JSON parser (UB under UBSan). Counters
+  // are uint64 on the wire, so this value must now parse and
+  // round-trip, while anything past UINT64_MAX parse-fails cleanly.
+  write_seed("config", "regression_int64_overflow.json",
+             std::string(1, '\x04') +
+                 "{\"node_id\":1,\"captured_ns\":42,"
+                 "\"counters\":{\"x\":18446744073709551610},"
+                 "\"gauges\":{},\"histograms\":{}}");
+  // Fuzz-found: a negative counter used to wrap through the signed
+  // parse path to 2^64-2, which to_json re-emitted as a number the
+  // parser then rejected — breaking decode→encode→decode. Counters
+  // reject '-' outright now.
+  write_seed("config", "regression_negative_counter.json",
+             std::string(1, '\x04') +
+                 "{\"node_id\":1,\"captured_ns\":42,"
+                 "\"counters\":{\"rpc.calls\":-2},"
+                 "\"gauges\":{\"kv.puts\":7},\"histograms\":{}}");
+  write_seed("config", "snapshot_int64_min.json",
+             std::string(1, '\x04') +
+                 "{\"node_id\":1,\"captured_ns\":42,\"counters\":{},"
+                 "\"gauges\":{\"depth\":-9223372036854775808},"
+                 "\"histograms\":{}}");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_out = argc > 1 ? std::filesystem::path(argv[1])
+                   : std::filesystem::path("corpus");
+  gen_frame_codec();
+  gen_proto();
+  gen_wal();
+  gen_sstable();
+  gen_text_families();
+  std::printf("corpus written to %s\n", g_out.string().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Harness: the text parsers an operator (or a compromised node) feeds
+// the daemon and tools at startup and over RPC:
+//   - Config::parse + typed getters and parse_size (config files)
+//   - net::parse_transport / looks_like_tcp_address (CLI flags)
+//   - net::parse_hostfile (the shared hostfile)
+//   - metrics::Snapshot::from_json (daemon_stat's metrics_json field —
+//     network data; checked for to_json/from_json round-trip fixpoint)
+//
+// Input shape: [selector u8][text...].
+#include <string>
+
+#include "driver/fuzz_driver.h"
+#include "common/config.h"
+#include "common/metrics.h"
+#include "net/transport.h"
+
+using namespace gekko;
+using gekko::fuzz::as_view;
+using gekko::fuzz::fail;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string_view text = as_view(data + 1, size - 1);
+  switch (data[0] % 5) {
+    case 0: {
+      auto cfg = Config::parse(text);
+      if (!cfg.is_ok()) break;
+      // Typed getters re-parse stored values; drive every one of them
+      // over every parsed key.
+      for (const auto& [key, value] : cfg->entries()) {
+        (void)cfg->get_string(key);
+        (void)cfg->get_int(key);
+        (void)cfg->get_double(key);
+        (void)cfg->get_bool(key);
+        (void)cfg->get_size(key);
+      }
+      break;
+    }
+    case 1:
+      (void)Config::parse_size(text);
+      break;
+    case 2:
+      (void)net::parse_transport(text);
+      (void)net::looks_like_tcp_address(text);
+      break;
+    case 3:
+      (void)net::parse_hostfile(std::string(text));
+      break;
+    case 4: {
+      auto snap = metrics::Snapshot::from_json(text);
+      if (!snap.is_ok()) break;
+      const std::string json1 = snap->to_json();
+      auto again = metrics::Snapshot::from_json(json1);
+      if (!again.is_ok()) {
+        fail("config", "Snapshot::to_json output rejected by from_json",
+             data, size);
+      }
+      if (again->to_json() != json1) {
+        fail("config", "Snapshot json round trip is not a fixed point",
+             data, size);
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Harness: prom::parse — the strict Prometheus text-exposition parser
+// gkfs-mon runs over bytes fetched from a daemon's /metrics endpoint
+// (i.e., over the network). Arbitrary text must either parse or fail
+// with corruption; parsing must be deterministic (same input, same
+// outcome) since gkfs-mon diffs consecutive scrapes.
+#include <string>
+
+#include "driver/fuzz_driver.h"
+#include "common/prometheus.h"
+
+using namespace gekko;
+using gekko::fuzz::as_view;
+using gekko::fuzz::fail;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text = as_view(data, size);
+  auto first = prom::parse(text);
+  auto second = prom::parse(text);
+  if (first.is_ok() != second.is_ok()) {
+    fail("prometheus", "parse is non-deterministic", data, size);
+  }
+  if (first.is_ok() &&
+      first->families.size() != second->families.size()) {
+    fail("prometheus", "parse yields differing family counts", data, size);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Harness: trace::parse_chrome_json — the Chrome-trace reader used by
+// tooling and tests over exporter output that may come from another
+// (possibly skewed or truncated) node's dump. Arbitrary JSON-ish text
+// must parse or fail cleanly, never crash or hang.
+#include "driver/fuzz_driver.h"
+#include "common/trace.h"
+
+using namespace gekko;
+using gekko::fuzz::as_view;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)trace::parse_chrome_json(as_view(data, size));
+  return 0;
+}

@@ -49,4 +49,22 @@ echo "== check.sh: batched-metadata suite (ctest -L metadata_scale)"
 echo "== check.sh: full test suite (lockdep on)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest --output-on-failure)
 
+# Deterministic fuzz smoke: corpus replay + a fixed mutation budget per
+# decoder family, in a dedicated ASan+UBSan build (the fuzz harnesses
+# only exist under -DGEKKO_FUZZ=ON). Skipped when a sanitizer build was
+# requested above — TSan does not compose with ASan, and the fuzz build
+# pins its own sanitizers. scripts/fuzz.sh runs the long version.
+if [ -z "${SAN}" ]; then
+  FUZZ_BUILD_DIR="${REPO_ROOT}/build-fuzz"
+  echo "== check.sh: fuzz smoke (configure ${FUZZ_BUILD_DIR})"
+  cmake -S "${REPO_ROOT}" -B "${FUZZ_BUILD_DIR}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGEKKO_FUZZ=ON \
+        -DGEKKO_SANITIZE=address+undefined \
+        -DGEKKO_BUILD_BENCH=OFF \
+        -DGEKKO_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${FUZZ_BUILD_DIR}" -j"${JOBS}" >/dev/null
+  (cd "${FUZZ_BUILD_DIR}" && ctest -L fuzz --output-on-failure)
+fi
+
 echo "== check.sh: all gates passed"

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Build the fuzz harnesses and run every decoder family for a sustained
+# budget under ASan+UBSan. scripts/check.sh runs the short deterministic
+# smoke (`ctest -L fuzz`); this script is the long-haul version to run
+# after protocol or decoder changes.
+#
+# Usage: scripts/fuzz.sh [runs] [family...]
+#   runs      iterations per family (default: 1000000)
+#   family    subset of families to run (default: all harnesses built)
+#
+# Environment:
+#   BUILD_DIR   fuzz build dir (default: <repo>/build-fuzz)
+#   SEED        PRNG seed for the standalone engine (default: 1)
+#   MAX_LEN     max mutated input length in bytes (default: 4096)
+#   JOBS        parallel build jobs (default: nproc)
+#
+# With clang the harnesses link real libFuzzer and this script's flags
+# pass straight through; with gcc the deterministic standalone engine
+# accepts the same spelling. A failure hex-dumps the reproducer — save
+# it under fuzz/corpus/<family>/regression_<what>.bin, fix the bug, and
+# the corpus replay test (plain builds) pins it forever.
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-fuzz}"
+RUNS="${1:-1000000}"
+[ "$#" -gt 0 ] && shift
+SEED="${SEED:-1}"
+MAX_LEN="${MAX_LEN:-4096}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== fuzz.sh: configure (${BUILD_DIR}, ASan+UBSan)"
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGEKKO_FUZZ=ON \
+      -DGEKKO_SANITIZE=address+undefined \
+      -DGEKKO_BUILD_BENCH=OFF \
+      -DGEKKO_BUILD_EXAMPLES=OFF >/dev/null
+
+echo "== fuzz.sh: build (-j${JOBS})"
+cmake --build "${BUILD_DIR}" -j"${JOBS}" >/dev/null
+
+if [ "$#" -gt 0 ]; then
+  FAMILIES="$*"
+else
+  FAMILIES="$(cd "${BUILD_DIR}/fuzz" && ls gekko_fuzz_* |
+              sed 's/^gekko_fuzz_//')"
+fi
+
+for family in ${FAMILIES}; do
+  echo "== fuzz.sh: ${family} (${RUNS} runs, seed ${SEED})"
+  "${BUILD_DIR}/fuzz/gekko_fuzz_${family}" \
+      -runs="${RUNS}" -seed="${SEED}" -max_len="${MAX_LEN}" \
+      "${REPO_ROOT}/fuzz/corpus/${family}"
+done
+
+echo "== fuzz.sh: all families clean"

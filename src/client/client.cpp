@@ -105,22 +105,15 @@ Client::Client(net::Fabric& fabric, std::vector<net::EndpointId> daemons,
   // Failure semantics at the forwarding layer: idempotent reads retry
   // through the engine after transient outcomes (a daemon hiccup or
   // restart); mutating rpcs never do — a replayed create/remove could
-  // double-apply. Non-retryable failures surface as the POSIX error
-  // errc_to_errno maps them to (disconnected → ECONNRESET, internal →
-  // EIO, ...). Callers can override both knobs via rpc_options.
+  // double-apply. The per-id classification lives in ONE place,
+  // proto::rpc_retry_class() (messages.h), where gekko-protocheck
+  // enforces that every RpcId is classified explicitly. Non-retryable
+  // failures surface as the POSIX error errc_to_errno maps them to
+  // (disconnected → ECONNRESET, internal → EIO, ...). Callers can
+  // override both knobs via rpc_options.
   if (!rpc_opts.retryable) {
     rpc_opts.retryable = [](std::uint16_t id) {
-      switch (static_cast<RpcId>(id)) {
-        case RpcId::stat:
-        case RpcId::batch_stat:
-        case RpcId::read_chunks:
-        case RpcId::get_dirents:
-        case RpcId::daemon_stat:
-        case RpcId::trace_dump:
-          return true;
-        default:
-          return false;
-      }
+      return proto::rpc_retryable(id);
     };
     if (rpc_opts.max_attempts <= 1) rpc_opts.max_attempts = 3;
   }

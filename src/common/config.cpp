@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <limits>
 
 namespace gekko {
 namespace {
@@ -114,10 +115,19 @@ Result<std::uint64_t> Config::parse_size(std::string_view text) {
   std::string s{suffix};
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
-  if (s == "k" || s == "kb" || s == "kib") return v << 10;
-  if (s == "m" || s == "mb" || s == "mib") return v << 20;
-  if (s == "g" || s == "gb" || s == "gib") return v << 30;
-  if (s == "t" || s == "tb" || s == "tib") return v << 40;
+  // The shift wraps mod 2^64 (defined but wrong): "17179869184g" would
+  // silently become 64 bytes. Reject anything whose scaled value does
+  // not fit instead of handing back a wrapped size.
+  const auto scaled = [v](unsigned shift) -> Result<std::uint64_t> {
+    if (v > (std::numeric_limits<std::uint64_t>::max() >> shift)) {
+      return Errc::invalid_argument;
+    }
+    return v << shift;
+  };
+  if (s == "k" || s == "kb" || s == "kib") return scaled(10);
+  if (s == "m" || s == "mb" || s == "mib") return scaled(20);
+  if (s == "g" || s == "gb" || s == "gib") return scaled(30);
+  if (s == "t" || s == "tb" || s == "tib") return scaled(40);
   if (s == "b") return v;
   return Errc::invalid_argument;
 }

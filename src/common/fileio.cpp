@@ -30,7 +30,9 @@ Status errno_status(const char* what, const std::filesystem::path& p) {
 
 // ---------- WritableFile ----------
 
-WritableFile::~WritableFile() { (void)close(); }
+WritableFile::~WritableFile() {
+  (void)close();  // status-ignored-ok: destructors cannot report; call close() to observe errors
+}
 
 WritableFile::WritableFile(WritableFile&& other) noexcept
     : fd_(other.fd_), offset_(other.offset_),
@@ -41,6 +43,7 @@ WritableFile::WritableFile(WritableFile&& other) noexcept
 
 WritableFile& WritableFile::operator=(WritableFile&& other) noexcept {
   if (this != &other) {
+    // status-ignored-ok: move-assign overwrites this file; explicit close() observes errors
     (void)close();
     fd_ = other.fd_;
     offset_ = other.offset_;

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/thread_annotations.h"
@@ -127,6 +129,11 @@ class JsonParser {
     return true;
   }
 
+  // Digit accumulation is bounds-checked: a hostile snapshot can spell
+  // any digit string, and v * 10 + d is UB (signed) or a silent wrap
+  // (unsigned) once the value leaves the target type's range. Both
+  // overloads reject out-of-range numbers instead.
+
   bool integer(std::int64_t* out) {
     skip_ws_();
     const std::size_t start = pos_;
@@ -138,12 +145,42 @@ class JsonParser {
     if (pos_ == start || (in_[start] == '-' && pos_ == start + 1)) {
       return false;
     }
-    std::int64_t v = 0;
-    bool neg = in_[start] == '-';
+    // Negative range runs one past positive (2^63), so the bound
+    // depends on the sign.
+    const bool neg = in_[start] == '-';
+    const std::uint64_t limit =
+        neg ? (std::uint64_t{1} << 63)
+            : static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max());
+    std::uint64_t v = 0;
     for (std::size_t i = start + (neg ? 1 : 0); i < pos_; ++i) {
-      v = v * 10 + (in_[i] - '0');
+      const std::uint64_t digit = static_cast<std::uint64_t>(in_[i] - '0');
+      if (v > (limit - digit) / 10) return false;  // out of int64 range
+      v = v * 10 + digit;
     }
-    *out = neg ? -v : v;
+    // 0 - v in uint64 then cast: well-defined two's-complement wrap,
+    // covers INT64_MIN (v == 2^63) where -int64(v) would be UB.
+    *out = neg ? static_cast<std::int64_t>(std::uint64_t{0} - v)
+               : static_cast<std::int64_t>(v);
+    return true;
+  }
+
+  bool unsigned_integer(std::uint64_t* out) {
+    skip_ws_();
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t v = 0;
+    for (std::size_t i = start; i < pos_; ++i) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(in_[i] - '0');
+      if (v > (kMax - digit) / 10) return false;  // out of uint64 range
+      v = v * 10 + digit;
+    }
+    *out = v;
     return true;
   }
 
@@ -174,6 +211,26 @@ bool parse_int_object(JsonParser& p,
     std::string key;
     std::int64_t value = 0;
     if (!p.string(&key) || !p.consume(':') || !p.integer(&value)) {
+      return false;
+    }
+    fn(std::move(key), value);
+    if (p.consume('}')) return true;
+    if (!p.consume(',')) return false;
+  }
+}
+
+/// Unsigned variant for counter/histogram maps: their values are
+/// uint64 on the wire (to_json emits the full range), so parsing them
+/// through int64 would reject the top half and let "-2" wrap to 2^64-2.
+bool parse_uint_object(JsonParser& p,
+                       const std::function<void(std::string, std::uint64_t)>&
+                           fn) {
+  if (!p.consume('{')) return false;
+  if (p.consume('}')) return true;
+  for (;;) {
+    std::string key;
+    std::uint64_t value = 0;
+    if (!p.string(&key) || !p.consume(':') || !p.unsigned_integer(&value)) {
       return false;
     }
     fn(std::move(key), value);
@@ -236,28 +293,29 @@ Result<Snapshot> Snapshot::from_json(std::string_view json) {
   // Optional provenance stamp ("node_id","captured_ns") before
   // "counters"; absent in pre-stamp JSON, so tolerate either shape.
   if (key == "node_id") {
-    std::int64_t v = 0;
-    if (!p.consume(':') || !p.integer(&v) || !p.consume(',') ||
-        !p.string(&key)) {
+    std::uint64_t v = 0;
+    if (!p.consume(':') || !p.unsigned_integer(&v) || !p.consume(',') ||
+        !p.string(&key) ||
+        v > std::numeric_limits<std::uint32_t>::max()) {
       return Errc::corruption;
     }
     s.node_id = static_cast<std::uint32_t>(v);
   }
   if (key == "captured_ns") {
-    std::int64_t v = 0;
-    if (!p.consume(':') || !p.integer(&v) || !p.consume(',') ||
+    std::uint64_t v = 0;
+    if (!p.consume(':') || !p.unsigned_integer(&v) || !p.consume(',') ||
         !p.string(&key)) {
       return Errc::corruption;
     }
-    s.captured_ns = static_cast<std::uint64_t>(v);
+    s.captured_ns = v;
   }
 
   // "counters"
   if (key != "counters" || !p.consume(':')) {
     return Errc::corruption;
   }
-  if (!parse_int_object(p, [&](std::string name, std::int64_t v) {
-        s.counters[std::move(name)] = static_cast<std::uint64_t>(v);
+  if (!parse_uint_object(p, [&](std::string name, std::uint64_t v) {
+        s.counters[std::move(name)] = v;
       })) {
     return Errc::corruption;
   }
@@ -283,8 +341,8 @@ Result<Snapshot> Snapshot::from_json(std::string_view json) {
       std::string name;
       if (!p.string(&name) || !p.consume(':')) return Errc::corruption;
       HistogramStats hs;
-      bool ok = parse_int_object(p, [&](std::string field, std::int64_t v) {
-        const auto u = static_cast<std::uint64_t>(v);
+      bool ok = parse_uint_object(p, [&](std::string field, std::uint64_t v) {
+        const auto u = v;
         if (field == "count") hs.count = u;
         else if (field == "sum") hs.sum = u;
         else if (field == "p50") hs.p50 = u;

@@ -589,6 +589,13 @@ void GekkoDaemon::publish_backend_metrics_() {
       static_cast<std::int64_t>(ks.wal_appends));
   registry_->gauge("kv.wal_syncs").set(
       static_cast<std::int64_t>(ks.wal_syncs));
+  // Non-zero recovered_records = this daemon came up from a dirty
+  // shutdown; tail_corruptions = WALs whose torn tail was discarded.
+  // Surfaced so gkfs-mon/Prometheus can flag dirty restarts per node.
+  registry_->gauge("kv.wal.recovered_records").set(
+      static_cast<std::int64_t>(ks.wal_recovered_records));
+  registry_->gauge("kv.wal.tail_corruptions").set(
+      static_cast<std::int64_t>(ks.wal_tail_corruptions));
   registry_->gauge("kv.memtable_bytes").set(
       static_cast<std::int64_t>(ks.memtable_bytes));
   registry_->gauge("kv.imm.memtables").set(

@@ -119,6 +119,12 @@ std::uint32_t BlockIterator::parse_entry_(std::uint32_t offset) {
   const std::size_t header = n1 + n2 + n3;
   if (in.size() < header + non_shared + value_len) return 0;
   if (shared > key_.size()) return 0;
+  // Every key in a block is an internal key carrying the 8-byte
+  // seq|type trailer. A corrupt or hostile block can encode a shorter
+  // one; admitting it would send compare_internal()/extract_trailer()
+  // reading 8 bytes off the END of a sub-8-byte string — out of
+  // bounds. Reject it as corruption here, before any comparison.
+  if (shared + non_shared < 8) return 0;
 
   key_.resize(shared);
   key_.append(in.data() + header, non_shared);

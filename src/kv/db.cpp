@@ -90,12 +90,13 @@ DB::~DB() {
   // Final flush so close/reopen round-trips losslessly even without WAL
   // sync. Errors here are logged, not thrown.
   UniqueLock lock(mutex_);
-  if (wal_) (void)wal_->close();
+  if (wal_) (void)wal_->close();  // status-ignored-ok: shutdown flush; WAL already synced per policy
   if (!mem_->empty()) {
     // The current WAL covers exactly mem_; the flush deletes it.
     imms_.push_back(ImmTable{std::move(mem_), versions_.wal_number()});
     mem_ = std::make_shared<MemTable>();
   } else {
+    // status-ignored-ok: best-effort cleanup; a stale WAL replays as a no-op
     (void)io::remove_file(dir_ / wal_file_name(versions_.wal_number()));
   }
   while (!imms_.empty()) {
@@ -137,6 +138,13 @@ Status DB::recover_() {
           return Status::ok();
         });
     if (!stats) return stats.status();
+    stats_.wal_recovered_records += stats->records_applied;
+    if (stats->tail_corruption) {
+      ++stats_.wal_tail_corruptions;
+      GEKKO_WARN("kv.db") << "wal " << wal_file_name(n)
+                          << ": corrupt tail discarded after "
+                          << stats->records_applied << " records";
+    }
   }
   versions_.set_last_sequence(max_seq);
 
@@ -149,6 +157,7 @@ Status DB::recover_() {
     GEKKO_RETURN_IF_ERROR(flush_front_(lock, /*unlocked_io=*/false));
   }
   for (const std::uint64_t n : wal_numbers) {
+    // status-ignored-ok: best-effort cleanup; recovery re-deletes leftovers
     (void)io::remove_file(dir_ / wal_file_name(n));
   }
 
@@ -358,7 +367,7 @@ Status DB::switch_memtable_locked_() {
   const std::uint64_t wal_no = versions_.next_file_number();
   auto wal = WalWriter::create(dir_ / wal_file_name(wal_no));
   if (!wal) return wal.status();
-  (void)wal_->close();
+  (void)wal_->close();  // status-ignored-ok: rotated-out WAL; its batches are in the imm memtable
   wal_ = std::move(*wal);
   versions_.set_wal_number(wal_no);
   imms_.push_back(ImmTable{std::move(mem_), imm_wal});
@@ -447,6 +456,7 @@ Status DB::flush_front_(UniqueLock& lock, bool unlocked_io) {
   if (imm.mem->empty()) {
     imms_.pop_front();
     if (imm.wal_no != 0) {
+      // status-ignored-ok: best-effort; recovery re-deletes leftover WALs
       (void)io::remove_file(dir_ / wal_file_name(imm.wal_no));
     }
     update_slowdown_locked_();
@@ -465,6 +475,7 @@ Status DB::flush_front_(UniqueLock& lock, bool unlocked_io) {
   imms_.pop_front();
   ++stats_.flushes;
   if (imm.wal_no != 0) {
+    // status-ignored-ok: best-effort; recovery re-deletes leftover WALs
     (void)io::remove_file(dir_ / wal_file_name(imm.wal_no));
   }
   update_slowdown_locked_();
@@ -568,6 +579,7 @@ Status DB::compact_level_(int level, UniqueLock& lock, bool unlocked_io) {
     if (!builder) return Status::ok();
     if (builder->entry_count() == 0) {
       builder.reset();
+      // status-ignored-ok: best-effort cleanup of a half-written table
       (void)io::remove_file(dir_ / table_file_name(out_file_no));
       return Status::ok();
     }
@@ -719,6 +731,7 @@ Status DB::compact_level_(int level, UniqueLock& lock, bool unlocked_io) {
     return st;
   }
   for (const std::uint64_t n : removed) {
+    // status-ignored-ok: best-effort cleanup of an orphaned table file
     (void)io::remove_file(dir_ / table_file_name(n));
     if (options_.block_cache) options_.block_cache->erase_table(n);
   }

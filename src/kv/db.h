@@ -62,6 +62,13 @@ struct DbStats {
   /// immutable queue full). Kept separate from the hard-stop time.
   std::uint64_t stall_slowdowns = 0;
   std::uint64_t stall_slowdown_ms = 0;
+  /// WAL replay outcome from the last open. recovered_records > 0 means
+  /// the previous process died with unflushed writes (dirty restart);
+  /// tail_corruptions counts WAL files whose tail was torn or corrupt
+  /// and got discarded at the first bad record. Exported to gkfs-mon as
+  /// kv.wal.recovered_records / kv.wal.tail_corruptions.
+  std::uint64_t wal_recovered_records = 0;
+  std::uint64_t wal_tail_corruptions = 0;
   std::uint64_t compact_bytes_in = 0;
   std::uint64_t compact_bytes_out = 0;
   std::uint64_t compactions_running = 0;

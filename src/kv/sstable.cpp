@@ -187,6 +187,16 @@ Result<std::shared_ptr<const std::string>> Table::read_block_(
 }
 
 Result<std::string> Table::read_block_raw_(const BlockHandle& handle) const {
+  // handle.offset/size come off disk (footer or index block) and may
+  // be corrupt or hostile. Validate the whole [offset, offset+size+4)
+  // range against the file overflow-safely BEFORE the allocation: a
+  // forged 2^60-byte handle must fail as corruption, not as an
+  // out-of-memory crash in the resize below.
+  const std::uint64_t file_size = file_.size();
+  if (handle.offset > file_size || handle.size > file_size - handle.offset ||
+      file_size - handle.offset - handle.size < 4) {
+    return Status{Errc::corruption, "block handle out of file bounds"};
+  }
   std::string contents(handle.size, '\0');
   GEKKO_RETURN_IF_ERROR(file_.read_exact(
       handle.offset,

@@ -61,20 +61,48 @@ Result<WalRecoveryStats> wal_recover(
   std::vector<std::uint8_t> payload;
 
   while (offset + kHeaderSize <= file->size()) {
-    GEKKO_RETURN_IF_ERROR(file->read_exact(offset, header));
+    // Short reads (the file shrank under us, or size() overstated a
+    // torn tail) are tail corruption like any other truncated record:
+    // everything already applied is durable, the rest is discarded.
+    // Only a clean read of a record that then fails the callback is a
+    // hard recovery error.
+    if (Status st = file->read_exact(offset, header); !st.is_ok()) {
+      stats.tail_corruption = true;
+      GEKKO_WARN("kv.wal") << "short header read at offset " << offset
+                           << ": " << st.to_string() << "; discarding tail";
+      break;
+    }
     std::uint32_t masked, len;
     SequenceNumber seq;
     std::memcpy(&masked, header.data(), 4);
     std::memcpy(&len, header.data() + 4, 4);
     std::memcpy(&seq, header.data() + 8, 8);
 
+    // The length is untrusted until the CRC passes — and the CRC needs
+    // the payload, which is sized by the length. Bound the allocation
+    // FIRST: a record claiming more than kMaxWalRecordBytes (or more
+    // than the file holds) is corruption, never a reason to allocate.
+    if (len > kMaxWalRecordBytes) {
+      stats.tail_corruption = true;
+      GEKKO_WARN("kv.wal") << "record at offset " << offset << " claims "
+                           << len << " payload bytes (cap "
+                           << kMaxWalRecordBytes << "); discarding tail";
+      break;
+    }
     if (offset + kHeaderSize + len > file->size()) {
       stats.tail_corruption = true;  // torn write at the tail
       break;
     }
     payload.resize(len);
     if (len > 0) {
-      GEKKO_RETURN_IF_ERROR(file->read_exact(offset + kHeaderSize, payload));
+      if (Status st = file->read_exact(offset + kHeaderSize, payload);
+          !st.is_ok()) {
+        stats.tail_corruption = true;
+        GEKKO_WARN("kv.wal") << "short payload read at offset " << offset
+                             << ": " << st.to_string()
+                             << "; discarding tail";
+        break;
+      }
     }
 
     std::uint32_t crc = crc32c(&len, sizeof(len));

@@ -33,6 +33,13 @@ class WalWriter {
   io::WritableFile file_;
 };
 
+/// Sanity bound on one record's payload. The length field is a u32
+/// read from a possibly-corrupt header; without a cap a flipped high
+/// bit turns recovery into a 4 GiB allocation. Batches are bounded by
+/// the memtable switch threshold (MiBs), so anything near this limit
+/// is corruption, not data.
+inline constexpr std::uint32_t kMaxWalRecordBytes = 64u << 20;
+
 struct WalRecoveryStats {
   std::uint64_t records_applied = 0;
   std::uint64_t bytes_applied = 0;

@@ -125,6 +125,12 @@ Status decode_frame(std::span<const std::uint8_t> frame,
       !payload || !bulk_mode) {
     return Status{Errc::corruption, "truncated frame header"};
   }
+  // The kind byte feeds switch/if dispatch all over the engine and the
+  // transports; an out-of-range value would silently fall through
+  // whichever branch happens to be the default. Reject it at the wire.
+  if (*kind > static_cast<std::uint8_t>(MessageKind::response)) {
+    return Status{Errc::corruption, "unknown message kind"};
+  }
 
   Message& msg = out->msg;
   msg.kind = static_cast<MessageKind>(*kind);
@@ -184,6 +190,12 @@ Status decode_frame(std::span<const std::uint8_t> frame,
     }
     default:
       return Status{Errc::corruption, "unknown bulk mode"};
+  }
+  // A frame must account for every one of its bytes. Trailing garbage
+  // means the peer's framing disagrees with ours — the stream position
+  // can no longer be trusted, so treat it like any other corruption.
+  if (!dec.done()) {
+    return Status{Errc::corruption, "trailing bytes after frame body"};
   }
   return Status::ok();
 }

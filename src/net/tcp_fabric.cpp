@@ -738,6 +738,7 @@ Status TcpFabric::send(EndpointId dest, Message msg) {
     if (!frame) return frame.status();
     Status st = send_frame_(*reply.conn, *frame);
     if (st.is_ok() && fault.duplicate) {
+      // status-ignored-ok: best-effort reply; a dead peer is caught by its reader
       (void)send_frame_(*reply.conn, *frame);
     }
     return st;
@@ -756,6 +757,7 @@ Status TcpFabric::send(EndpointId dest, Message msg) {
     }
     last = send_frame_(**conn, *frame);
     if (last.is_ok()) {
+      // status-ignored-ok: injected duplicate send
       if (fault.duplicate) (void)send_frame_(**conn, *frame);
       return last;
     }

@@ -327,9 +327,9 @@ int close(int fd) {
       gekko::Status st = g_state->mount->close(fd);
       if (!st.is_ok()) return fail_errno(st.code());
     } else {
-      (void)g_state->mount->close(gfd);  // the alias owns its dup
+      (void)g_state->mount->close(gfd);  // status-ignored-ok: the alias owns its dup
       drop_alias(fd);
-      (void)next(fd);  // release the /dev/null kernel placeholder
+      (void)next(fd);  // status-ignored-ok: release the /dev/null kernel placeholder
     }
     return 0;
   }
@@ -562,6 +562,7 @@ struct dirent* readdir(DIR* dir) {
 int closedir(DIR* dir) {
   if (is_gkfs_dir(dir)) {
     auto* handle = reinterpret_cast<GkfsDir*>(dir);
+    // status-ignored-ok: teardown of a handle being freed
     (void)g_state->mount->closedir(handle->dirfd);
     delete handle;
     return 0;
@@ -589,7 +590,7 @@ int dup2(int oldfd, int newfd) {
   if (const int gfd = resolve_fd(oldfd); gfd >= 0) {
     if (newfd == oldfd) return newfd;
     // Shell redirection: stdout/stderr now point at a GekkoFS file.
-    (void)close(newfd);  // whatever was there (real or alias)
+    (void)close(newfd);  // status-ignored-ok: evicting whatever was there (real or alias)
     // Pin `newfd` at the KERNEL level with a /dev/null placeholder so
     // the kernel never reissues this number while our alias lives —
     // otherwise a later real open() could collide with it.

@@ -1,0 +1,111 @@
+// One row per RpcId mapping the wire id to its request/response payload
+// codecs, exactly as the daemon handlers and client call sites use
+// them. This is the single source of truth for "every protocol decoder
+// has a structured fuzz target and a round-trip check":
+//
+//   - fuzz/harness/fuzz_proto.cpp dispatches mutated payloads through
+//     every row (and every extra codec) each iteration,
+//   - tests/corpus_replay_test.cpp replays the committed corpus through
+//     the same rows in plain, fuzzer-less builds,
+//   - tools/gekko-protocheck.py parses the kCodecTable rows against the
+//     RpcId enum, so an RPC added without a row fails `ctest -L lint`.
+//
+// The property checked is decode→encode→decode canonicalization: for
+// any input the codec accepts, re-encoding must produce bytes the codec
+// accepts again AND that re-encode must be a fixed point. Inputs the
+// codec rejects are fine (that is the decoder doing its job); the two
+// violation states are protocol bugs by definition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/messages.h"
+#include "proto/metadata.h"
+
+namespace gekko::proto {
+
+enum class RoundTrip : std::uint8_t {
+  not_decodable,    // input rejected — not a property violation
+  ok,               // decode → encode reached a fixed point
+  redecode_failed,  // encode produced bytes its own decoder rejects
+  not_canonical,    // second encode differs from the first
+};
+
+inline const char* round_trip_name(RoundTrip r) {
+  switch (r) {
+    case RoundTrip::not_decodable: return "not_decodable";
+    case RoundTrip::ok: return "ok";
+    case RoundTrip::redecode_failed: return "redecode_failed";
+    case RoundTrip::not_canonical: return "not_canonical";
+  }
+  return "?";
+}
+
+namespace detail {
+inline std::string_view as_view(const std::vector<std::uint8_t>& v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+inline std::string_view as_view(const std::string& s) { return s; }
+}  // namespace detail
+
+template <typename T>
+RoundTrip codec_round_trip(std::string_view in) {
+  auto first = T::decode(in);
+  if (!first.is_ok()) return RoundTrip::not_decodable;
+  const auto enc1 = first->encode();
+  auto second = T::decode(detail::as_view(enc1));
+  if (!second.is_ok()) return RoundTrip::redecode_failed;
+  const auto enc2 = second->encode();
+  if (enc2 != enc1) return RoundTrip::not_canonical;
+  return RoundTrip::ok;
+}
+
+using RoundTripFn = RoundTrip (*)(std::string_view);
+
+struct CodecRow {
+  RpcId id;
+  const char* rpc;       // literal RpcId enumerator name
+  const char* request;   // request codec struct, "" = empty payload
+  const char* response;  // response codec struct, "" = empty payload
+  RoundTripFn request_check;   // nullptr iff request is ""
+  RoundTripFn response_check;  // nullptr iff response is ""
+};
+
+// clang-format off
+inline constexpr CodecRow kCodecTable[] = {
+    {RpcId::create,            "create",            "CreateRequest",        "",                      &codec_round_trip<CreateRequest>,        nullptr},
+    {RpcId::stat,              "stat",              "PathRequest",          "StatResponse",          &codec_round_trip<PathRequest>,          &codec_round_trip<StatResponse>},
+    {RpcId::remove_metadata,   "remove_metadata",   "PathRequest",          "StatResponse",          &codec_round_trip<PathRequest>,          &codec_round_trip<StatResponse>},
+    {RpcId::remove_data,       "remove_data",       "PathRequest",          "",                      &codec_round_trip<PathRequest>,          nullptr},
+    {RpcId::update_size,       "update_size",       "UpdateSizeRequest",    "",                      &codec_round_trip<UpdateSizeRequest>,    nullptr},
+    {RpcId::truncate_metadata, "truncate_metadata", "TruncateRequest",      "",                      &codec_round_trip<TruncateRequest>,      nullptr},
+    {RpcId::truncate_data,     "truncate_data",     "TruncateRequest",      "",                      &codec_round_trip<TruncateRequest>,      nullptr},
+    {RpcId::write_chunks,      "write_chunks",      "ChunkIoRequest",       "ChunkIoResponse",       &codec_round_trip<ChunkIoRequest>,       &codec_round_trip<ChunkIoResponse>},
+    {RpcId::read_chunks,       "read_chunks",       "ChunkIoRequest",       "ChunkIoResponse",       &codec_round_trip<ChunkIoRequest>,       &codec_round_trip<ChunkIoResponse>},
+    {RpcId::get_dirents,       "get_dirents",       "DirentsRequest",       "DirentsResponse",       &codec_round_trip<DirentsRequest>,       &codec_round_trip<DirentsResponse>},
+    {RpcId::daemon_stat,       "daemon_stat",       "",                     "DaemonStatResponse",    nullptr,                                 &codec_round_trip<DaemonStatResponse>},
+    {RpcId::trace_dump,        "trace_dump",        "",                     "TraceDumpResponse",     nullptr,                                 &codec_round_trip<TraceDumpResponse>},
+    {RpcId::heartbeat,         "heartbeat",         "",                     "HeartbeatResponse",     nullptr,                                 &codec_round_trip<HeartbeatResponse>},
+    {RpcId::metric_history,    "metric_history",    "MetricHistoryRequest", "MetricHistoryResponse", &codec_round_trip<MetricHistoryRequest>, &codec_round_trip<MetricHistoryResponse>},
+    {RpcId::batch_create,      "batch_create",      "BatchCreateRequest",   "BatchCreateResponse",   &codec_round_trip<BatchCreateRequest>,   &codec_round_trip<BatchCreateResponse>},
+    {RpcId::batch_stat,        "batch_stat",        "BatchPathRequest",     "BatchStatResponse",     &codec_round_trip<BatchPathRequest>,     &codec_round_trip<BatchStatResponse>},
+    {RpcId::batch_remove,      "batch_remove",      "BatchPathRequest",     "BatchRemoveResponse",   &codec_round_trip<BatchPathRequest>,     &codec_round_trip<BatchRemoveResponse>},
+};
+// clang-format on
+
+/// Codecs embedded inside messages (or stored in the KV) rather than
+/// owning a wire id of their own — fuzzed and replayed as their own
+/// family so a failure pinpoints the inner codec, not its wrapper.
+struct ExtraCodec {
+  const char* name;
+  RoundTripFn check;
+};
+
+inline constexpr ExtraCodec kExtraCodecs[] = {
+    {"Metadata", &codec_round_trip<Metadata>},
+};
+
+}  // namespace gekko::proto

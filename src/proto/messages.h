@@ -67,6 +67,59 @@ inline std::string rpc_name(std::uint16_t id) {
   return "";
 }
 
+/// Retry classification for the RPC engine's idempotency policy.
+/// Every RpcId MUST be classified explicitly in rpc_retry_class() —
+/// gekko-protocheck fails the lint gate for any enumerator missing
+/// from the switch, so a new RPC cannot ship with an implicit
+/// (accidental) retry policy.
+///  - idempotent:     replaying the request cannot change the outcome;
+///    the client engine may re-send it after a transient failure
+///    (timeout / disconnect / again).
+///  - non_idempotent: a replay could double-apply (create, remove,
+///    write, truncate) or clobber a concurrent update; never re-sent.
+///  - probe:          idempotent on the wire but deliberately never
+///    retried — heartbeat/metric_history probes exist to MEASURE
+///    liveness, and a transport-level retry would mask exactly the
+///    miss they are probing for.
+enum class RpcRetryClass : std::uint8_t {
+  idempotent,
+  non_idempotent,
+  probe,
+};
+
+inline constexpr RpcRetryClass rpc_retry_class(RpcId id) {
+  switch (id) {
+    case RpcId::create: return RpcRetryClass::non_idempotent;
+    case RpcId::stat: return RpcRetryClass::idempotent;
+    case RpcId::remove_metadata: return RpcRetryClass::non_idempotent;
+    case RpcId::remove_data: return RpcRetryClass::non_idempotent;
+    // update_size folds max(size, observed) — semantically replayable,
+    // but a late replay can resurrect a size a concurrent truncate
+    // already cut, so the policy treats it as non-idempotent.
+    case RpcId::update_size: return RpcRetryClass::non_idempotent;
+    case RpcId::truncate_metadata: return RpcRetryClass::non_idempotent;
+    case RpcId::truncate_data: return RpcRetryClass::non_idempotent;
+    case RpcId::write_chunks: return RpcRetryClass::non_idempotent;
+    case RpcId::read_chunks: return RpcRetryClass::idempotent;
+    case RpcId::get_dirents: return RpcRetryClass::idempotent;
+    case RpcId::daemon_stat: return RpcRetryClass::idempotent;
+    case RpcId::trace_dump: return RpcRetryClass::idempotent;
+    case RpcId::heartbeat: return RpcRetryClass::probe;
+    case RpcId::metric_history: return RpcRetryClass::probe;
+    case RpcId::batch_create: return RpcRetryClass::non_idempotent;
+    case RpcId::batch_stat: return RpcRetryClass::idempotent;
+    case RpcId::batch_remove: return RpcRetryClass::non_idempotent;
+  }
+  // Unknown wire ids (a newer peer) must never be blind-retried.
+  return RpcRetryClass::non_idempotent;
+}
+
+/// Default client retry predicate: only idempotent rpcs re-send.
+inline constexpr bool rpc_retryable(std::uint16_t id) {
+  return rpc_retry_class(static_cast<RpcId>(id)) ==
+         RpcRetryClass::idempotent;
+}
+
 /// Preallocation guard for wire-decoded repeated fields. `count` comes
 /// off the wire and is attacker-controlled; every entry consumes at
 /// least `min_entry_bytes` of what is left in the buffer, so any count

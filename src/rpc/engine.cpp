@@ -311,6 +311,7 @@ void Engine::dispatch_request_(net::Message msg) {
     resp.trace_id = msg.trace_id;
     resp.source = self_;
     resp.payload = frame_error(Errc::not_supported);
+    // status-ignored-ok: best-effort error reply; the caller times out regardless
     (void)fabric_.send(msg.source, std::move(resp));
     return;
   }
@@ -370,6 +371,7 @@ void Engine::dispatch_request_(net::Message msg) {
                                   : frame_error(result.code());
     handled_.fetch_add(1, std::memory_order_relaxed);
     agg_handled_->inc();
+    // status-ignored-ok: best-effort error reply; the caller times out regardless
     (void)fabric_.send(shared_msg->source, std::move(resp));
   });
   if (!posted) {
@@ -379,6 +381,7 @@ void Engine::dispatch_request_(net::Message msg) {
     resp.trace_id = shared_msg->trace_id;
     resp.source = self_;
     resp.payload = frame_error(Errc::disconnected);
+    // status-ignored-ok: best-effort error reply; the caller times out regardless
     (void)fabric_.send(shared_msg->source, std::move(resp));
   }
 }

@@ -115,6 +115,7 @@ Result<IorResult> run_ior(FsAdapter& fs, const IorConfig& cfg) {
                   .count(),
               std::memory_order_relaxed);
         }
+        // status-ignored-ok: benchmark teardown; errors do not affect measurements
         (void)fs.close_stream(*fd);
       });
     }

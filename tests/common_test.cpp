@@ -1,6 +1,8 @@
 // Unit tests: result, units, hash, path, rng, stats, codec, crc, config.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -540,6 +542,23 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{"64 MiB", 64ULL << 20},
                       std::pair{"2GB", 2ULL << 30},
                       std::pair{"512 b", 512ULL}));
+
+// Fuzz-surface hardening: a value whose scaled size leaves uint64
+// used to wrap mod 2^64 ("17179869184g" -> 64 bytes) and configure a
+// nonsense limit; it must be an error. The largest representable
+// value per suffix still parses.
+TEST(ConfigTest, ParseSizeOverflowRejected) {
+  EXPECT_FALSE(Config::parse_size("17179869184g").is_ok());
+  EXPECT_FALSE(Config::parse_size("18446744073709551615k").is_ok());
+  EXPECT_FALSE(Config::parse_size("16777217t").is_ok());
+
+  auto max_t = Config::parse_size("16777215t");
+  ASSERT_TRUE(max_t.is_ok());
+  EXPECT_EQ(*max_t, 16777215ULL << 40);
+  auto max_plain = Config::parse_size("18446744073709551615");
+  ASSERT_TRUE(max_plain.is_ok());
+  EXPECT_EQ(*max_plain, std::numeric_limits<std::uint64_t>::max());
+}
 
 }  // namespace
 }  // namespace gekko

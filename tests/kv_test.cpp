@@ -4,6 +4,7 @@
 // model-based randomized test against std::map).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <optional>
@@ -194,6 +195,52 @@ TEST(WalTest, BitFlipDetectedByCrc) {
   });
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(applied, 0u);
+  EXPECT_TRUE(stats->tail_corruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, OversizedLengthFieldIsTailCorruptionNotAllocation) {
+  const auto dir = fresh_dir("walhuge");
+  const auto path = dir / "huge.log";
+  {
+    auto w = WalWriter::create(path);
+    ASSERT_TRUE(w->append(1, "good record", false).is_ok());
+    ASSERT_TRUE(w->close().is_ok());
+  }
+  // Append a forged header whose length field claims ~4 GiB and pad the
+  // file so `offset + len > size` alone wouldn't catch a wrapped sum.
+  // Recovery must stop at the cap, not attempt the allocation.
+  auto content = io::read_file(path);
+  ASSERT_TRUE(content.is_ok());
+  std::string forged(16, '\0');
+  const std::uint32_t fake_len = 0xfffffff0u;
+  std::memcpy(forged.data() + 4, &fake_len, 4);
+  content->append(forged);
+  ASSERT_TRUE(io::write_file_atomic(path, *content).is_ok());
+
+  std::uint64_t applied = 0;
+  auto stats = wal_recover(path, [&](auto, auto) {
+    ++applied;
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(applied, 1u);  // the intact prefix survives
+  EXPECT_TRUE(stats->tail_corruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, LengthAtCapBoundaryIsCorruptionBeyondCap) {
+  const auto dir = fresh_dir("walcap");
+  const auto path = dir / "cap.log";
+  // A bare header claiming exactly cap+1 bytes, no payload behind it.
+  std::string forged(16, '\0');
+  const std::uint32_t fake_len = kMaxWalRecordBytes + 1;
+  std::memcpy(forged.data() + 4, &fake_len, 4);
+  ASSERT_TRUE(io::write_file_atomic(path, forged).is_ok());
+
+  auto stats = wal_recover(path, [](auto, auto) { return Status::ok(); });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records_applied, 0u);
   EXPECT_TRUE(stats->tail_corruption);
   std::filesystem::remove_all(dir);
 }
@@ -582,6 +629,43 @@ TEST_F(DbTest, ReopenRecoversFromWal) {
   open_db();  // destructor flushes; reopen reads back
   EXPECT_EQ(*db_->get("persist"), "me");
   EXPECT_EQ(*db_->get("m"), "x");
+}
+
+TEST_F(DbTest, DirtyRestartSurfacesWalRecoveryStats) {
+  // Clean reopen first: no WAL replay, both counters must stay zero.
+  open_db();
+  EXPECT_EQ(db_->stats().wal_recovered_records, 0u);
+  EXPECT_EQ(db_->stats().wal_tail_corruptions, 0u);
+
+  // Simulate a crash: plant a WAL the daemon never got to flush — one
+  // intact batch followed by a torn partial header — then reopen.
+  db_.reset();
+  const auto wal_path = dir_ / "db" / "wal-99999999.log";
+  {
+    auto w = WalWriter::create(wal_path);
+    ASSERT_TRUE(w.is_ok());
+    WriteBatch batch;
+    batch.put("crashed-key", "survived");
+    const auto& bytes = batch.data();
+    ASSERT_TRUE(w->append(1000000,
+                          std::string_view(
+                              reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()),
+                          true)
+                    .is_ok());
+    ASSERT_TRUE(w->close().is_ok());
+  }
+  {
+    auto f = io::read_file(wal_path);
+    ASSERT_TRUE(f.is_ok());
+    f->append("\x07torn");  // partial next header
+    ASSERT_TRUE(io::write_file_atomic(wal_path, *f).is_ok());
+  }
+  open_db();
+  const auto stats = db_->stats();
+  EXPECT_EQ(stats.wal_recovered_records, 1u);
+  EXPECT_EQ(stats.wal_tail_corruptions, 1u);
+  EXPECT_EQ(*db_->get("crashed-key"), "survived");
 }
 
 TEST_F(DbTest, ReopenAfterManyWritesAndCompactions) {

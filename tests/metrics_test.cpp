@@ -10,8 +10,10 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -140,6 +142,45 @@ TEST(MetricsTest, SnapshotJsonRoundTrip) {
   EXPECT_FALSE(metrics::Snapshot::from_json("{").is_ok());
   EXPECT_FALSE(metrics::Snapshot::from_json("{\"counters\":{").is_ok());
   EXPECT_FALSE(metrics::Snapshot::from_json("not json at all").is_ok());
+}
+
+// Fuzz-found (fuzz/corpus/config/regression_int64_overflow.json and
+// regression_negative_counter.json): a digit string past INT64_MAX
+// overflowed the parser's signed accumulator — undefined behaviour,
+// aborted under UBSan — and a negative counter wrapped to 2^64-2,
+// which to_json re-emitted as a value the parser then rejected.
+// Counters and histogram fields are uint64 on the wire: the full
+// unsigned range must parse, '-' must not; gauges are int64 with both
+// extremes representable; anything out of range is a clean failure.
+TEST(MetricsTest, SnapshotJsonIntegerRangeEdges) {
+  auto counter_max = metrics::Snapshot::from_json(
+      "{\"counters\":{\"x\":18446744073709551615},"
+      "\"gauges\":{},\"histograms\":{}}");
+  ASSERT_TRUE(counter_max.is_ok()) << counter_max.status().to_string();
+  EXPECT_EQ(counter_max->counter_or("x"),
+            std::numeric_limits<std::uint64_t>::max());
+  auto counter_over = metrics::Snapshot::from_json(
+      "{\"counters\":{\"x\":18446744073709551616},"
+      "\"gauges\":{},\"histograms\":{}}");
+  EXPECT_FALSE(counter_over.is_ok());
+  auto counter_negative = metrics::Snapshot::from_json(
+      "{\"counters\":{\"x\":-2},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_FALSE(counter_negative.is_ok());
+
+  auto gauge_min = metrics::Snapshot::from_json(
+      "{\"counters\":{},\"gauges\":{\"g\":-9223372036854775808},"
+      "\"histograms\":{}}");
+  ASSERT_TRUE(gauge_min.is_ok()) << gauge_min.status().to_string();
+  EXPECT_EQ(gauge_min->gauges.at("g"),
+            std::numeric_limits<std::int64_t>::min());
+  auto gauge_under = metrics::Snapshot::from_json(
+      "{\"counters\":{},\"gauges\":{\"g\":-9223372036854775809},"
+      "\"histograms\":{}}");
+  EXPECT_FALSE(gauge_under.is_ok());
+  auto gauge_over = metrics::Snapshot::from_json(
+      "{\"counters\":{},\"gauges\":{\"g\":9223372036854775808},"
+      "\"histograms\":{}}");
+  EXPECT_FALSE(gauge_over.is_ok());
 }
 
 TEST(MetricsTest, TracerRingBufferWraparound) {

@@ -53,6 +53,14 @@ batch-status     the BatchStatus wire enum (src/proto/messages.h) has
                  side silently collapses that outcome to the io_error
                  catch-all on the wire.
 
+status-discard   `(void)call(...)` in src/ silences the [[nodiscard]]
+                 on Status/Result and must say why:
+                 `// status-ignored-ok: <why>` on the same line or the
+                 line directly above. Global-namespace calls
+                 (`(void)::close(fd)`) are exempt — libc returns
+                 errno-style ints, not Status, and the cast only mutes
+                 -Wunused-result.
+
 span-name        span names handed to the tracer must be string
                  literals: TraceSpan::name stores the pointer, never a
                  copy, so a dynamically built name dangles once the
@@ -81,6 +89,10 @@ ANNOTATION_USE = re.compile(
     r"\b(gekko::)?(Mutex|SharedMutex|LockGuard|WriteLockGuard"
     r"|SharedLockGuard|UniqueLock|CondVar)\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+# A discarded call result: `(void)` followed by a call expression.
+# `::`-qualified callees (raw libc/syscalls) are exempt; a bare
+# identifier, member access, or namespaced gekko call is not.
+STATUS_DISCARD = re.compile(r"\(void\)\s*(?!::)[A-Za-z_](?:[\w.:]|->|\(\))*\(")
 # A record() call on a tracer-ish receiver: `tracer.record(`,
 # `tracer_->record(`, `engine_->tracer().record(`,
 # `Tracer::global().record(`. Histogram/counter record() calls have
@@ -216,6 +228,16 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
                     f"wrappers from common/thread_annotations.h "
                     f"(gekko::Mutex/LockGuard/UniqueLock/CondVar) — "
                     f"{raw.strip()}")
+
+        if STATUS_DISCARD.search(code) and \
+                "status-ignored-ok:" not in raw and \
+                "status-ignored-ok:" not in (lines[lineno - 2]
+                                             if lineno >= 2 else ""):
+            errors.append(
+                f"{rel}:{lineno}: status-discard: (void)-casting a call "
+                f"silences [[nodiscard]] on Status/Result; say why with "
+                f"`// status-ignored-ok: <why>` on this line or the one "
+                f"above — {raw.strip()}")
 
         if RELAXED.search(code) and not has_relaxed_ok:
             errors.append(
