@@ -252,6 +252,15 @@ void gen_proto() {
   proto::BatchRemoveResponse brr;
   brr.entries.push_back({proto::BatchStatus::ok, 4096, 0});
   proto_seed(next(), "batch_remove_response.bin", brr.encode());
+  // flight_dump
+  proto::FlightDumpResponse fd;
+  fd.node_id = 2;
+  fd.capture_ns = 987654321;
+  fd.recorded = 3;
+  fd.capacity = 256;
+  fd.events.push_back({1000, 0xfeed, 42, 7, 3, 1, 1});
+  fd.events.push_back({2000, 0, flight::tag("creat"), 0, 1, 5, 1});
+  proto_seed(next(), "flight_dump_response.bin", fd.encode());
   // extras: Metadata
   {
     const std::string enc = md.encode();
@@ -420,6 +429,50 @@ void gen_text_families() {
                  "\"histograms\":{}}");
 }
 
+void gen_flight() {
+  // A full postmortem built with the real renderer, so mutation starts
+  // from a document that exercises every section parser.
+  flight::Postmortem pm;
+  pm.signal = 11;
+  pm.signal_name = "SIGSEGV";
+  pm.node_id = 3;
+  pm.pid = 4242;
+  pm.capture_ns = 123456789;
+  pm.build = "gkfsd pid=4242";
+  pm.backtrace = {"./gkfsd(+0x1234) [0x55aa]", "libc.so.6(+0x5678)"};
+  pm.locks.push_back({1, "engine.pending", 220});
+  pm.locks.push_back({2, "<anon>", 0});
+  pm.inflight.push_back({9, 0xfeed, 1000, 2, 7});
+  pm.events.push_back({1000, 0xfeed, 9, 7, 1, 1, 1});
+  pm.events.push_back({2000, 0, flight::tag("creat"), 0, 2, 5, 1});
+  pm.metrics_json = "{\"counters\":{\"rpc.calls\":42}}";
+  pm.log_tail = {"E engine: peer 2 dead", "I daemon: serving"};
+  pm.complete = true;
+  write_seed("flight", "postmortem_full.txt",
+             flight::render_postmortem(pm));
+
+  // Truncated mid-section: the parser must accept it (crashes tear
+  // reports all the time) and report complete=false.
+  const std::string full = flight::render_postmortem(pm);
+  write_seed("flight", "postmortem_torn.txt",
+             full.substr(0, full.size() * 2 / 3));
+
+  // Live report shape: no signal line, no backtrace.
+  flight::Postmortem live;
+  live.node_id = 1;
+  live.pid = 77;
+  live.capture_ns = 55;
+  live.build = "gkfsd";
+  live.events.push_back({10, 0, 1, 0, 1, 4, 2});
+  live.complete = true;
+  write_seed("flight", "postmortem_live.txt",
+             flight::render_postmortem(live));
+
+  // Header only — magic is the one mandatory token.
+  write_seed("flight", "postmortem_magic_only.txt",
+             std::string("GEKKO-POSTMORTEM v1\n"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,6 +483,7 @@ int main(int argc, char** argv) {
   gen_wal();
   gen_sstable();
   gen_text_families();
+  gen_flight();
   std::printf("corpus written to %s\n", g_out.string().c_str());
   return 0;
 }

@@ -1,0 +1,36 @@
+// Harness: flight::parse_postmortem — the crash-forensics reader.
+// Postmortems are written by a dying process's signal handler, so the
+// parser's whole job is surviving hostile input: torn mid-line, torn
+// mid-section, binary garbage where text should be. Arbitrary bytes
+// must parse or fail cleanly, and anything that DOES parse must be
+// renderable to a stable text fixed point:
+//
+//   render(parse(render(parse(x)))) == render(parse(x))
+//
+// — the same decode → encode → decode canonicalization contract the
+// binary codecs obey, so gkfs-debug can re-save what it read without
+// silently changing it.
+#include <string>
+
+#include "driver/fuzz_driver.h"
+#include "common/flight_recorder.h"
+
+using namespace gekko;
+using gekko::fuzz::as_view;
+using gekko::fuzz::fail;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  auto first = flight::parse_postmortem(as_view(data, size));
+  if (!first.is_ok()) return 0;
+
+  const std::string canonical = flight::render_postmortem(*first);
+  auto second = flight::parse_postmortem(canonical);
+  if (!second.is_ok()) {
+    fail("flight", "rendered postmortem failed to re-parse", data, size);
+  }
+  if (flight::render_postmortem(*second) != canonical) {
+    fail("flight", "postmortem text not a render fixed point", data, size);
+  }
+  return 0;
+}

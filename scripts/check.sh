@@ -46,6 +46,9 @@ echo "== check.sh: telemetry suite (ctest -L telemetry)"
 echo "== check.sh: batched-metadata suite (ctest -L metadata_scale)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L metadata_scale --output-on-failure)
 
+echo "== check.sh: forensics suite (ctest -L forensics)"
+(cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest -L forensics --output-on-failure)
+
 echo "== check.sh: full test suite (lockdep on)"
 (cd "${BUILD_DIR}" && GEKKO_LOCKDEP=1 ctest --output-on-failure)
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "proto/chunking.h"
@@ -37,6 +38,10 @@ class OpTrace {
       span_id_ = trace::new_span_id();
       trace::set_current({trace_id, span_id_});
     }
+    // Flight-recorder entry marker: works with tracing sampled off
+    // (trace_id 0) so a postmortem always names the op in progress.
+    flight::record_traced(flight::Subsys::client, flight::ev::client_op,
+                          trace_id, flight::tag(op));
   }
   ~OpTrace() {
     const std::uint64_t dur = metrics::now_ns() - t0_;
@@ -756,6 +761,26 @@ Result<std::vector<proto::TraceDumpResponse>> Client::trace_dumps() {
     auto r = engine_->finish(call);
     if (!r) return r.status();
     auto decoded = proto::TraceDumpResponse::decode(
+        std::string_view(reinterpret_cast<const char*>(r->data()),
+                         r->size()));
+    if (!decoded) return decoded.status();
+    out.push_back(std::move(*decoded));
+  }
+  return out;
+}
+
+Result<std::vector<proto::FlightDumpResponse>> Client::flight_dumps() {
+  std::vector<rpc::Engine::PendingCall> calls;
+  calls.reserve(daemons_.size());
+  for (const net::EndpointId ep : daemons_) {
+    calls.push_back(engine_->begin_forward(
+        ep, proto::to_wire(RpcId::flight_dump), {}));
+  }
+  std::vector<proto::FlightDumpResponse> out;
+  for (auto& call : calls) {
+    auto r = engine_->finish(call);
+    if (!r) return r.status();
+    auto decoded = proto::FlightDumpResponse::decode(
         std::string_view(reinterpret_cast<const char*>(r->data()),
                          r->size()));
     if (!decoded) return decoded.status();

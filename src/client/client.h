@@ -119,6 +119,10 @@ class Client {
   /// responses plus this process's own Tracer dump to a
   /// trace::Assembler to get cross-node causal trees.
   Result<std::vector<proto::TraceDumpResponse>> trace_dumps();
+  /// Drain every daemon's flight-recorder rings (flight_dump
+  /// broadcast) — the live half of the crash-forensics black box;
+  /// gkfs-debug --live renders the result as a timeline.
+  Result<std::vector<proto::FlightDumpResponse>> flight_dumps();
   /// One concurrent heartbeat round, one slot per daemon (daemon-id
   /// order). nullopt = that daemon missed (timeout/disconnect/garbage)
   /// — unlike daemon_stats(), one dead daemon does NOT fail the round;

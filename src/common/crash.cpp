@@ -1,0 +1,246 @@
+// Fatal-signal postmortem writer. This translation unit is held to the
+// async-signal-safety rule by gekko-lint: outside the marked setup
+// section at the bottom, only signal-safe calls are allowed (write,
+// fsync, clock_gettime, raise, _exit, the flight::sfmt helpers, and
+// the install-time-warmed backtrace pair). See DESIGN.md §17.
+// relaxed-ok: the handler guard, fd, and double-buffer index are
+// independent scalars; the metrics buffers publish via release/acquire
+// on the active index.
+#include "common/crash.h"
+
+#include <execinfo.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/flight_recorder.h"
+#include "common/lockdep.h"
+#include "common/logging.h"
+
+namespace gekko::crash {
+namespace {
+
+namespace sfmt = flight::sfmt;
+
+constexpr std::size_t kPathCap = 512;
+constexpr std::size_t kBuildCap = 256;
+constexpr std::size_t kMetricsCap = 64 * 1024;
+constexpr std::size_t kBacktraceFrames = 64;
+constexpr std::size_t kFlightTail = 64;  // last-N events per ring
+
+std::atomic<int> g_fd{-1};  // -1 = not installed; reports go nowhere
+std::atomic<bool> g_to_stderr{false};
+std::atomic<std::uint32_t> g_node_id{0};
+char g_path[kPathCap];   // written only at install time
+char g_build[kBuildCap]; // written only at install time
+std::atomic<int> g_in_handler{0};
+
+/// Metrics double buffer: the publisher fills the inactive side, then
+/// release-stores its index; the handler acquire-loads and reads a
+/// complete snapshot.
+char g_metrics[2][kMetricsCap];
+std::atomic<std::size_t> g_metrics_len[2];
+std::atomic<int> g_metrics_active{-1};
+
+const int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    default: return "SIG?";
+  }
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void fatal_handler(int sig, siginfo_t* /*info*/, void* /*uctx*/) {
+  // A second fatal signal (crash while reporting) skips straight to
+  // death; the half-written report stays parseable (truncation is an
+  // expected input of flight::parse_postmortem).
+  if (g_in_handler.exchange(1, std::memory_order_relaxed) != 0) {
+    ::_exit(128 + sig);
+  }
+  const int fd = g_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    write_report(fd, sig);
+    ::fsync(fd);
+    if (!g_to_stderr.load(std::memory_order_relaxed)) {
+      // A breadcrumb on stderr pointing at the report file.
+      sfmt::write_str(2, "gkfsd: fatal ");
+      sfmt::write_str(2, signal_name(sig));
+      sfmt::write_str(2, ", postmortem at ");
+      sfmt::write_str(2, g_path);
+      sfmt::write_str(2, "\n");
+    }
+  }
+  // Bound log loss: the active sink fd was registered at setup.
+  ::fsync(log::sink_fd());
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // process dies with the original signal's wait status / core dump.
+  // The signal is blocked during its own handler, so it must be
+  // unblocked first or raise() only marks it pending and the _exit
+  // below would turn the death into a normal exit.
+  sigset_t unblock;
+  sigemptyset(&unblock);
+  sigaddset(&unblock, sig);
+  ::sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+  ::raise(sig);
+  ::_exit(128 + sig);
+}
+
+}  // namespace
+
+void write_report(int fd, int sig) noexcept {
+  sfmt::write_str(fd, "GEKKO-POSTMORTEM v1\n");
+  if (sig != 0) {
+    sfmt::write_str(fd, "signal ");
+    sfmt::write_dec(fd, static_cast<std::uint64_t>(sig));
+    sfmt::write_str(fd, " ");
+    sfmt::write_str(fd, signal_name(sig));
+    sfmt::write_str(fd, "\n");
+  }
+  sfmt::write_str(fd, "node ");
+  sfmt::write_dec(fd, g_node_id.load(std::memory_order_relaxed));
+  sfmt::write_str(fd, "\npid ");
+  sfmt::write_dec(fd, static_cast<std::uint64_t>(::getpid()));
+  sfmt::write_str(fd, "\ntime_ns ");
+  sfmt::write_dec(fd, monotonic_ns());
+  sfmt::write_str(fd, "\nbuild ");
+  sfmt::write_str(fd, g_build);
+  sfmt::write_str(fd, "\n[backtrace]\n");
+  if (sig != 0) {
+    // backtrace() was warmed at install (its first call may allocate);
+    // backtrace_symbols_fd formats straight to the fd, no malloc.
+    void* frames[kBacktraceFrames];
+    const int n = ::backtrace(frames, kBacktraceFrames);
+    if (n > 0) ::backtrace_symbols_fd(frames, n, fd);
+  }
+  sfmt::write_str(fd, "[locks]\n");
+  lockdep::crash_dump(fd);
+  sfmt::write_str(fd, "[inflight]\n");
+  flight::crash_dump_inflight(fd);
+  sfmt::write_str(fd, "[flight]\n");
+  flight::crash_dump_events(fd, kFlightTail);
+  sfmt::write_str(fd, "[metrics]\n");
+  const int active = g_metrics_active.load(std::memory_order_acquire);
+  if (active >= 0) {
+    const auto len = g_metrics_len[active].load(std::memory_order_relaxed);
+    if (len > 0) {
+      sfmt::write_all(fd, g_metrics[active], len);
+      sfmt::write_str(fd, "\n");
+    }
+  }
+  sfmt::write_str(fd, "[log]\n");
+  log::crash_dump_tail(fd);
+  sfmt::write_str(fd, "END\n");
+}
+
+void write_live_report(int fd) noexcept { write_report(fd, 0); }
+
+// crash-setup-begin — everything below runs in normal (non-signal)
+// context: install-time preparation, the metrics publisher, and clean
+// shutdown. Unsafe calls are fine here; the handler never enters.
+
+Status install(const InstallOptions& opts) {
+  g_node_id.store(opts.node_id, std::memory_order_relaxed);
+  std::snprintf(g_build, sizeof(g_build), "%s",
+                opts.build_info != nullptr ? opts.build_info : "");
+
+  // Resolve the report destination and pre-open it: the handler must
+  // not call open() on a path that may no longer be creatable.
+  const char* dir = opts.dir;
+  if (dir == nullptr) dir = std::getenv("GEKKO_CRASH_DIR");
+  int fd = -1;
+  if (dir != nullptr && dir[0] != '\0') {
+    std::snprintf(g_path, sizeof(g_path), "%s/gkfsd.%u.%d.crash", dir,
+                  opts.node_id, static_cast<int>(::getpid()));
+    fd = ::open(g_path, O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status{Errc::io_error,
+                    std::string("crash: cannot open ") + g_path};
+    }
+    g_to_stderr.store(false, std::memory_order_relaxed);
+  } else {
+    g_path[0] = '\0';
+    fd = 2;
+    g_to_stderr.store(true, std::memory_order_relaxed);
+  }
+  const int old = g_fd.exchange(fd, std::memory_order_relaxed);
+  if (old >= 0 && old != 2 && old != fd) ::close(old);
+
+  // Warm the backtrace machinery: the first backtrace() call may
+  // dlopen/allocate, which must not happen inside the handler.
+  void* warm[4];
+  ::backtrace(warm, 4);
+
+  // Alternate stack so a stack-overflow SIGSEGV can still report.
+  static char* alt_stack = nullptr;
+  if (alt_stack == nullptr) {
+    const std::size_t alt_size =
+        SIGSTKSZ > 64 * 1024 ? static_cast<std::size_t>(SIGSTKSZ)
+                             : std::size_t{64 * 1024};
+    alt_stack = static_cast<char*>(std::malloc(alt_size));
+    if (alt_stack != nullptr) {
+      stack_t ss{};
+      ss.ss_sp = alt_stack;
+      ss.ss_size = alt_size;
+      ::sigaltstack(&ss, nullptr);
+    }
+  }
+
+  struct sigaction sa{};
+  sa.sa_sigaction = &fatal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: the disposition reverts to default on entry, so the
+  // handler's re-raise kills the process with the real signal.
+  sa.sa_flags = SA_SIGINFO | SA_RESETHAND | SA_ONSTACK;
+  for (const int sig : kFatalSignals) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+  g_in_handler.store(0, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void disarm() noexcept {
+  for (const int sig : kFatalSignals) {
+    ::signal(sig, SIG_DFL);
+  }
+  const int fd = g_fd.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0 && fd != 2) {
+    // An orderly shutdown leaves no empty .crash file behind.
+    struct stat st{};
+    const bool empty = ::fstat(fd, &st) == 0 && st.st_size == 0;
+    ::close(fd);
+    if (empty && g_path[0] != '\0') ::unlink(g_path);
+  }
+}
+
+std::string postmortem_path() { return std::string(g_path); }
+
+void publish_metrics_json(std::string_view json) {
+  const int active = g_metrics_active.load(std::memory_order_relaxed);
+  const int next = active == 0 ? 1 : 0;
+  const auto len = json.size() < kMetricsCap ? json.size() : kMetricsCap;
+  std::memcpy(g_metrics[next], json.data(), len);
+  g_metrics_len[next].store(len, std::memory_order_relaxed);
+  g_metrics_active.store(next, std::memory_order_release);
+}
+
+// crash-setup-end
+
+}  // namespace gekko::crash

@@ -1,0 +1,76 @@
+// gekko::crash — fatal-signal postmortem reports (the black box dump).
+//
+// install() arms sigaction handlers for SIGSEGV/SIGABRT/SIGBUS/SIGFPE/
+// SIGILL. When one fires, the handler writes a postmortem report —
+// build info, backtrace, every thread's lockdep held-lock stack, the
+// engine's in-flight RPC table, the last-N flight-recorder events, the
+// most recent pre-serialized metrics snapshot, and the log tail ring —
+// to a file pre-opened under GEKKO_CRASH_DIR (stderr when unset), then
+// fsyncs and re-raises so the process still dies with the original
+// signal's disposition (core dumps, wait status, etc. are preserved).
+//
+// Everything the handler touches is prepared at install time or kept
+// in crash-visible lock-free structures by the rest of the system:
+// the output fd is pre-opened, build info pre-formatted, the metrics
+// snapshot double-buffered by publish_metrics_json(), and the flight/
+// lockdep/log modules expose async-signal-safe dump entry points. The
+// handler itself performs only write()/fsync()/clock_gettime() and the
+// warmed backtrace pair — gekko-lint enforces the discipline on this
+// translation unit (see tools/gekko-lint.py, signal-safety rule, and
+// DESIGN.md §17 for exactly what is and is not captured in-handler).
+//
+// The same report writer doubles as the SIGUSR1/SIGUSR2 "live report"
+// path (signal 0): identical format minus the signal header, so one
+// parser (flight::parse_postmortem) and one decoder (gkfs-debug)
+// serve both crash forensics and live debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gekko::crash {
+
+struct InstallOptions {
+  /// Directory for the postmortem file; nullptr consults the
+  /// GEKKO_CRASH_DIR environment variable, and when that is unset too
+  /// the report goes to stderr at crash time (no file is created).
+  const char* dir = nullptr;
+  /// Stamped into the report header ("node N").
+  std::uint32_t node_id = 0;
+  /// Pre-formatted build/version string for the header ("build ...").
+  const char* build_info = "";
+};
+
+/// Arm the fatal-signal handlers. Pre-opens the postmortem file (named
+/// gkfsd.<node>.<pid>.crash), installs an alternate signal stack so
+/// stack-overflow SIGSEGVs still report, and warms backtrace() (whose
+/// first call may allocate). Idempotent; later calls re-point the
+/// report file. Returns io_error if the crash dir is not writable.
+Status install(const InstallOptions& opts);
+
+/// Restore default dispositions and remove the (empty) postmortem
+/// file. Call at clean daemon shutdown so an orderly exit leaves no
+/// stray .crash files behind.
+void disarm() noexcept;
+
+/// Path of the pre-opened postmortem file; empty in stderr mode or
+/// before install().
+[[nodiscard]] std::string postmortem_path();
+
+/// Publish a pre-serialized metrics snapshot for the handler to embed
+/// in the [metrics] section. Double-buffered: the handler always sees
+/// a complete, older-or-current snapshot, never a torn one. Call from
+/// ONE thread (the metrics sampler tick); last write wins.
+void publish_metrics_json(std::string_view json);
+
+/// Async-signal-safe report writer. `sig` != 0 writes the full crash
+/// report (signal header + backtrace); 0 writes a live report (node,
+/// locks, in-flight RPCs, flight events, metrics, log tail). Usable
+/// directly for SIGUSR2-style live dumps to any fd.
+void write_report(int fd, int sig) noexcept;
+void write_live_report(int fd) noexcept;
+
+}  // namespace gekko::crash

@@ -1,0 +1,678 @@
+// relaxed-ok: every atomic here is either a single-writer ring scalar
+// (slots, cursors — readers tolerate torn records by the documented
+// contract), a resolve-once flag, or a registry slot published with
+// release and read with acquire.
+#include "common/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace gekko::flight {
+namespace {
+
+constexpr std::size_t kRingCapacity = 256;  // per thread, power of two
+constexpr std::size_t kMaxRings = 256;      // threads that can record
+constexpr std::size_t kInflightSlots = 512;
+
+/// One 32-byte record, stored as four atomics so the crash handler and
+/// snapshot() can read concurrently with the owning writer. w3 packs
+/// a1 | subsys<<32 | code<<40 (header comment has the full layout).
+struct Slot {
+  std::atomic<std::uint64_t> w0{0};
+  std::atomic<std::uint64_t> w1{0};
+  std::atomic<std::uint64_t> w2{0};
+  std::atomic<std::uint64_t> w3{0};
+};
+
+struct Ring {
+  Slot slots[kRingCapacity];
+  std::atomic<std::uint64_t> cursor{0};  // total ever written
+  std::uint16_t thread = 0;              // log::thread_number() of owner
+};
+
+/// Registry of all rings ever created, appended with release stores so
+/// any reader (including the signal handler) sees fully-constructed
+/// rings. Rings are leaked by design: thread exit must not invalidate
+/// what the crash handler may be walking.
+std::atomic<Ring*> g_rings[kMaxRings]{};
+std::atomic<std::size_t> g_ring_count{0};
+
+thread_local Ring* t_ring = nullptr;
+
+Ring* ring_for_thread() {
+  if (t_ring != nullptr) return t_ring;
+  auto idx = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxRings) {
+    // Out of registry slots: soak the overflow into the last ring
+    // (shared, torn-prone) rather than dropping events entirely.
+    t_ring = g_rings[kMaxRings - 1].load(std::memory_order_acquire);
+    if (t_ring == nullptr) t_ring = new Ring();  // racing first-users; leak
+    return t_ring;
+  }
+  auto* ring = new Ring();  // leaked: see registry comment
+#if defined(__SANITIZE_ADDRESS__)
+  __lsan_ignore_object(ring);
+#endif
+  ring->thread = static_cast<std::uint16_t>(log::thread_number());
+  g_rings[idx].store(ring, std::memory_order_release);
+  t_ring = ring;
+  return ring;
+}
+
+std::atomic<int> g_enabled{-1};  // -1 unresolved, 0 off, 1 on
+
+bool resolve_env_enabled() {
+  const char* v = std::getenv("GEKKO_FLIGHT");
+  if (v == nullptr) return true;  // always-on black box by default
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0);
+}
+
+void record_impl(Subsys subsys, std::uint8_t code, std::uint64_t trace_id,
+                 std::uint64_t a0, std::uint32_t a1) noexcept {
+  Ring* ring = ring_for_thread();
+  const auto cur = ring->cursor.load(std::memory_order_relaxed);
+  Slot& s = ring->slots[cur & (kRingCapacity - 1)];
+  s.w0.store(metrics::now_ns(), std::memory_order_relaxed);
+  s.w1.store(trace_id, std::memory_order_relaxed);
+  s.w2.store(a0, std::memory_order_relaxed);
+  s.w3.store(static_cast<std::uint64_t>(a1) |
+                 (static_cast<std::uint64_t>(subsys) << 32) |
+                 (static_cast<std::uint64_t>(code) << 40),
+             std::memory_order_relaxed);
+  ring->cursor.store(cur + 1, std::memory_order_release);
+}
+
+Event unpack(const Slot& s, std::uint16_t thread) noexcept {
+  Event e;
+  e.ts_ns = s.w0.load(std::memory_order_relaxed);
+  e.trace_id = s.w1.load(std::memory_order_relaxed);
+  e.a0 = s.w2.load(std::memory_order_relaxed);
+  const auto w3 = s.w3.load(std::memory_order_relaxed);
+  e.a1 = static_cast<std::uint32_t>(w3 & 0xffffffffu);
+  e.subsys = static_cast<std::uint8_t>((w3 >> 32) & 0xff);
+  e.code = static_cast<std::uint8_t>((w3 >> 40) & 0xff);
+  e.thread = thread;
+  return e;
+}
+
+/// In-flight RPC table: seq-indexed open-addressing-without-probing.
+/// A slot is claimed by storing its seq with release AFTER the payload
+/// words, so a reader that trusts `seq` sees matching payload.
+struct InflightSlot {
+  std::atomic<std::uint64_t> seq{0};  // 0 = free
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> meta{0};  // dest | rpc_id<<32
+};
+InflightSlot g_inflight[kInflightSlots];
+
+}  // namespace
+
+const char* subsys_name(std::uint8_t subsys) noexcept {
+  switch (static_cast<Subsys>(subsys)) {
+    case Subsys::none: return "none";
+    case Subsys::engine: return "engine";
+    case Subsys::fabric: return "fabric";
+    case Subsys::daemon: return "daemon";
+    case Subsys::kv: return "kv";
+    case Subsys::client: return "client";
+  }
+  return "?";
+}
+
+const char* event_name(std::uint8_t subsys, std::uint8_t code) noexcept {
+  switch (static_cast<Subsys>(subsys)) {
+    case Subsys::engine:
+      if (code == ev::engine_dispatch) return "dispatch";
+      if (code == ev::engine_retry) return "retry";
+      if (code == ev::engine_timeout) return "timeout";
+      break;
+    case Subsys::fabric:
+      if (code == ev::fabric_connect) return "connect";
+      if (code == ev::fabric_evict) return "evict";
+      if (code == ev::fabric_redial) return "redial";
+      if (code == ev::fabric_kill) return "kill";
+      break;
+    case Subsys::daemon:
+      if (code == ev::daemon_io_begin) return "io_begin";
+      if (code == ev::daemon_io_end) return "io_end";
+      break;
+    case Subsys::kv:
+      if (code == ev::kv_flush) return "flush";
+      if (code == ev::kv_compaction) return "compaction";
+      if (code == ev::kv_wal_append) return "wal_append";
+      if (code == ev::kv_wal_recover) return "wal_recover";
+      break;
+    case Subsys::client:
+      if (code == ev::client_op) return "op";
+      break;
+    case Subsys::none:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t tag(const char* s) noexcept {
+  std::uint64_t packed = 0;
+  for (int i = 0; i < 8 && s[i] != '\0'; ++i) {
+    packed |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[i]))
+              << (8 * i);
+  }
+  return packed;
+}
+
+void untag(std::uint64_t packed, char out[9]) noexcept {
+  int n = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto c = static_cast<unsigned char>((packed >> (8 * i)) & 0xff);
+    if (c == 0) break;
+    out[n++] = (c >= 0x20 && c < 0x7f) ? static_cast<char>(c) : '.';
+  }
+  out[n] = '\0';
+}
+
+bool enabled() noexcept {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = resolve_env_enabled() ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void record(Subsys subsys, std::uint8_t code, std::uint64_t a0,
+            std::uint32_t a1) noexcept {
+  if (!enabled()) return;
+  record_impl(subsys, code, trace::current().trace_id, a0, a1);
+}
+
+void record_traced(Subsys subsys, std::uint8_t code, std::uint64_t trace_id,
+                   std::uint64_t a0, std::uint32_t a1) noexcept {
+  if (!enabled()) return;
+  record_impl(subsys, code, trace_id, a0, a1);
+}
+
+std::vector<Event> snapshot(RingStats* stats) {
+  std::vector<Event> out;
+  std::uint64_t recorded = 0;
+  std::uint64_t capacity = 0;
+  const auto count =
+      std::min(g_ring_count.load(std::memory_order_relaxed), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r) {
+    Ring* ring = g_rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;  // mid-registration
+    const auto cur = ring->cursor.load(std::memory_order_acquire);
+    recorded += cur;
+    capacity += kRingCapacity;
+    const auto resident = std::min<std::uint64_t>(cur, kRingCapacity);
+    for (std::uint64_t i = cur - resident; i < cur; ++i) {
+      out.push_back(unpack(ring->slots[i & (kRingCapacity - 1)],
+                           ring->thread));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.ts_ns < b.ts_ns;
+  });
+  if (stats != nullptr) {
+    stats->recorded = recorded;
+    stats->capacity = capacity;
+  }
+  return out;
+}
+
+void inflight_begin(std::uint64_t seq, std::uint16_t rpc_id,
+                    std::uint32_t dest, std::uint64_t trace_id) noexcept {
+  if (seq == 0) return;  // 0 marks a free slot
+  InflightSlot& s = g_inflight[seq % kInflightSlots];
+  if (s.seq.load(std::memory_order_relaxed) != 0) return;  // collision: skip
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
+  s.start_ns.store(metrics::now_ns(), std::memory_order_relaxed);
+  s.meta.store(static_cast<std::uint64_t>(dest) |
+                   (static_cast<std::uint64_t>(rpc_id) << 32),
+               std::memory_order_relaxed);
+  s.seq.store(seq, std::memory_order_release);
+}
+
+void inflight_end(std::uint64_t seq) noexcept {
+  if (seq == 0) return;
+  InflightSlot& s = g_inflight[seq % kInflightSlots];
+  // Only the owner clears; a collided registration never stored seq.
+  std::uint64_t expect = seq;
+  s.seq.compare_exchange_strong(expect, 0, std::memory_order_relaxed);
+}
+
+std::vector<InflightEntry> inflight_snapshot() {
+  std::vector<InflightEntry> out;
+  for (auto& s : g_inflight) {
+    const auto seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0) continue;
+    InflightEntry e;
+    e.seq = seq;
+    e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    const auto meta = s.meta.load(std::memory_order_relaxed);
+    e.dest = static_cast<std::uint32_t>(meta & 0xffffffffu);
+    e.rpc_id = static_cast<std::uint16_t>((meta >> 32) & 0xffff);
+    out.push_back(e);
+  }
+  return out;
+}
+
+// ---------- async-signal-safe formatting ----------
+
+namespace sfmt {
+
+std::size_t dec(char* buf, std::uint64_t v) noexcept {
+  char tmp[21];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t hex(char* buf, std::uint64_t v) noexcept {
+  static const char digits[] = "0123456789abcdef";
+  char tmp[17];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = digits[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void write_all(int fd, const char* data, std::size_t n) noexcept {
+  while (n > 0) {
+    const auto w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing useful to do from a signal handler
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void write_str(int fd, const char* s) noexcept {
+  write_all(fd, s, std::strlen(s));
+}
+
+void write_dec(int fd, std::uint64_t v) noexcept {
+  char buf[21];
+  write_all(fd, buf, dec(buf, v));
+}
+
+void write_hex(int fd, std::uint64_t v) noexcept {
+  char buf[17];
+  write_all(fd, buf, hex(buf, v));
+}
+
+}  // namespace sfmt
+
+void crash_dump_events(int fd, std::size_t last_n) noexcept {
+  const auto count =
+      std::min(g_ring_count.load(std::memory_order_relaxed), kMaxRings);
+  for (std::size_t r = 0; r < count; ++r) {
+    Ring* ring = g_rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const auto cur = ring->cursor.load(std::memory_order_acquire);
+    auto resident = std::min<std::uint64_t>(cur, kRingCapacity);
+    resident = std::min<std::uint64_t>(resident, last_n);
+    for (std::uint64_t i = cur - resident; i < cur; ++i) {
+      const Event e =
+          unpack(ring->slots[i & (kRingCapacity - 1)], ring->thread);
+      sfmt::write_str(fd, "ev ");
+      sfmt::write_dec(fd, e.ts_ns);
+      sfmt::write_str(fd, " t");
+      sfmt::write_dec(fd, e.thread);
+      sfmt::write_str(fd, " ");
+      sfmt::write_str(fd, subsys_name(e.subsys));
+      sfmt::write_str(fd, ".");
+      sfmt::write_str(fd, event_name(e.subsys, e.code));
+      sfmt::write_str(fd, " trace=");
+      sfmt::write_hex(fd, e.trace_id);
+      sfmt::write_str(fd, " a0=");
+      sfmt::write_hex(fd, e.a0);
+      sfmt::write_str(fd, " a1=");
+      sfmt::write_dec(fd, e.a1);
+      sfmt::write_str(fd, "\n");
+    }
+  }
+}
+
+void crash_dump_inflight(int fd) noexcept {
+  for (auto& s : g_inflight) {
+    const auto seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0) continue;
+    const auto meta = s.meta.load(std::memory_order_relaxed);
+    sfmt::write_str(fd, "rpc seq=");
+    sfmt::write_dec(fd, seq);
+    sfmt::write_str(fd, " id=");
+    sfmt::write_dec(fd, (meta >> 32) & 0xffff);
+    sfmt::write_str(fd, " dest=");
+    sfmt::write_dec(fd, meta & 0xffffffffu);
+    sfmt::write_str(fd, " trace=");
+    sfmt::write_hex(fd, s.trace_id.load(std::memory_order_relaxed));
+    sfmt::write_str(fd, " start_ns=");
+    sfmt::write_dec(fd, s.start_ns.load(std::memory_order_relaxed));
+    sfmt::write_str(fd, "\n");
+  }
+}
+
+// ---------- postmortem text codec ----------
+
+namespace {
+
+constexpr std::string_view kMagic = "GEKKO-POSTMORTEM v1";
+
+/// Split off the next line (without its '\n'); empty optional at end.
+bool next_line(std::string_view& rest, std::string_view& line) {
+  if (rest.empty()) return false;
+  const auto nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, nl);
+    rest = rest.substr(nl + 1);
+  }
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out, int base = 10) {
+  if (s.empty()) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out, base);
+  return ec == std::errc() && ptr == last;
+}
+
+/// "key=value" fields on a section line; returns value or empty.
+std::string_view field(std::string_view line, std::string_view key) {
+  std::string_view rest = line;
+  while (!rest.empty()) {
+    const auto sp = rest.find(' ');
+    const auto tok = rest.substr(0, sp);
+    if (tok.size() > key.size() + 1 &&
+        tok.substr(0, key.size()) == key && tok[key.size()] == '=') {
+      return tok.substr(key.size() + 1);
+    }
+    if (sp == std::string_view::npos) break;
+    rest = rest.substr(sp + 1);
+  }
+  return {};
+}
+
+/// "ev <ts> t<thread> <subsys>.<event> trace=<hex> a0=<hex> a1=<dec>".
+bool parse_event_line(std::string_view line, Event& e) {
+  if (line.substr(0, 3) != "ev ") return false;
+  std::string_view rest = line.substr(3);
+  const auto sp1 = rest.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  if (!parse_u64(rest.substr(0, sp1), e.ts_ns)) return false;
+  rest = rest.substr(sp1 + 1);
+  if (rest.empty() || rest[0] != 't') return false;
+  const auto sp2 = rest.find(' ');
+  if (sp2 == std::string_view::npos) return false;
+  std::uint64_t thread = 0;
+  if (!parse_u64(rest.substr(1, sp2 - 1), thread) || thread > 0xffff) {
+    return false;
+  }
+  e.thread = static_cast<std::uint16_t>(thread);
+  rest = rest.substr(sp2 + 1);
+  const auto sp3 = rest.find(' ');
+  if (sp3 == std::string_view::npos) return false;
+  const auto name = rest.substr(0, sp3);
+  const auto dot = name.find('.');
+  if (dot == std::string_view::npos) return false;
+  // Resolve names back to numeric (subsys, code); unknown names decode
+  // as 0 ("none"/"?") rather than failing — forward compatibility.
+  e.subsys = 0;
+  e.code = 0;
+  for (std::uint8_t s = 0; s <= 5; ++s) {
+    if (name.substr(0, dot) == subsys_name(s)) {
+      e.subsys = s;
+      for (std::uint8_t c = 1; c < 8; ++c) {
+        if (name.substr(dot + 1) == event_name(s, c)) {
+          e.code = c;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  std::uint64_t a1 = 0;
+  if (!parse_u64(field(line, "trace"), e.trace_id, 16)) return false;
+  if (!parse_u64(field(line, "a0"), e.a0, 16)) return false;
+  if (!parse_u64(field(line, "a1"), a1) || a1 > 0xffffffffu) return false;
+  e.a1 = static_cast<std::uint32_t>(a1);
+  return true;
+}
+
+bool parse_lock_line(std::string_view line, Postmortem::HeldLock& l) {
+  if (line.substr(0, 6) != "lock t") return false;
+  std::string_view rest = line.substr(6);
+  const auto sp1 = rest.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  std::uint64_t thread = 0;
+  if (!parse_u64(rest.substr(0, sp1), thread)) return false;
+  l.thread = static_cast<std::uint32_t>(thread);
+  rest = rest.substr(sp1 + 1);
+  const auto sp2 = rest.rfind(" rank=");
+  if (sp2 == std::string_view::npos || sp2 == 0) return false;
+  l.name = std::string(rest.substr(0, sp2));
+  std::uint64_t rank = 0;
+  if (!parse_u64(rest.substr(sp2 + 6), rank)) return false;
+  l.rank = static_cast<int>(rank);
+  return true;
+}
+
+bool parse_inflight_line(std::string_view line, InflightEntry& e) {
+  if (line.substr(0, 4) != "rpc ") return false;
+  std::uint64_t id = 0;
+  std::uint64_t dest = 0;
+  if (!parse_u64(field(line, "seq"), e.seq)) return false;
+  if (!parse_u64(field(line, "id"), id) || id > 0xffff) return false;
+  if (!parse_u64(field(line, "dest"), dest) || dest > 0xffffffffu) {
+    return false;
+  }
+  if (!parse_u64(field(line, "trace"), e.trace_id, 16)) return false;
+  if (!parse_u64(field(line, "start_ns"), e.start_ns)) return false;
+  e.rpc_id = static_cast<std::uint16_t>(id);
+  e.dest = static_cast<std::uint32_t>(dest);
+  return true;
+}
+
+void append_event_line(std::string& out, const Event& e) {
+  char num[21];
+  out += "ev ";
+  out.append(num, sfmt::dec(num, e.ts_ns));
+  out += " t";
+  out.append(num, sfmt::dec(num, e.thread));
+  out += ' ';
+  out += subsys_name(e.subsys);
+  out += '.';
+  out += event_name(e.subsys, e.code);
+  out += " trace=";
+  out.append(num, sfmt::hex(num, e.trace_id));
+  out += " a0=";
+  out.append(num, sfmt::hex(num, e.a0));
+  out += " a1=";
+  out.append(num, sfmt::dec(num, e.a1));
+  out += '\n';
+}
+
+}  // namespace
+
+Result<Postmortem> parse_postmortem(std::string_view text) {
+  std::string_view rest = text;
+  std::string_view line;
+  if (!next_line(rest, line) || line != kMagic) {
+    return Status{Errc::corruption, "missing postmortem magic"};
+  }
+  Postmortem pm;
+  enum class Section {
+    header, backtrace, locks, inflight, flight, metrics, log
+  };
+  Section section = Section::header;
+  while (next_line(rest, line)) {
+    if (line == "END") {
+      pm.complete = true;
+      break;
+    }
+    if (!line.empty() && line.front() == '[' && line.back() == ']') {
+      const auto name = line.substr(1, line.size() - 2);
+      if (name == "backtrace") section = Section::backtrace;
+      else if (name == "locks") section = Section::locks;
+      else if (name == "inflight") section = Section::inflight;
+      else if (name == "flight") section = Section::flight;
+      else if (name == "metrics") section = Section::metrics;
+      else if (name == "log") section = Section::log;
+      else section = Section::header;  // unknown section: skip lines
+      continue;
+    }
+    switch (section) {
+      case Section::header: {
+        const auto sp = line.find(' ');
+        if (sp == std::string_view::npos) break;
+        const auto key = line.substr(0, sp);
+        const auto val = line.substr(sp + 1);
+        std::uint64_t n = 0;
+        if (key == "signal") {
+          const auto sp2 = val.find(' ');
+          if (parse_u64(val.substr(0, sp2), n)) {
+            pm.signal = static_cast<int>(n);
+          }
+          if (sp2 != std::string_view::npos) {
+            pm.signal_name = std::string(val.substr(sp2 + 1));
+          }
+        } else if (key == "node" && parse_u64(val, n)) {
+          pm.node_id = static_cast<std::uint32_t>(n);
+        } else if (key == "pid" && parse_u64(val, n)) {
+          pm.pid = n;
+        } else if (key == "time_ns" && parse_u64(val, n)) {
+          pm.capture_ns = n;
+        } else if (key == "build") {
+          pm.build = std::string(val);
+        }
+        break;
+      }
+      case Section::backtrace:
+        if (!line.empty()) pm.backtrace.emplace_back(line);
+        break;
+      case Section::locks: {
+        Postmortem::HeldLock l;
+        if (parse_lock_line(line, l)) pm.locks.push_back(std::move(l));
+        break;
+      }
+      case Section::inflight: {
+        InflightEntry e;
+        if (parse_inflight_line(line, e)) pm.inflight.push_back(e);
+        break;
+      }
+      case Section::flight: {
+        Event e;
+        if (parse_event_line(line, e)) pm.events.push_back(e);
+        break;
+      }
+      case Section::metrics:
+        if (!pm.metrics_json.empty()) pm.metrics_json += '\n';
+        pm.metrics_json += std::string(line);
+        break;
+      case Section::log:
+        if (!line.empty()) pm.log_tail.emplace_back(line);
+        break;
+    }
+  }
+  return pm;
+}
+
+std::string render_postmortem(const Postmortem& pm) {
+  char num[21];
+  std::string out{kMagic};
+  out += '\n';
+  if (pm.signal != 0) {
+    out += "signal ";
+    out.append(num, sfmt::dec(num, static_cast<std::uint64_t>(pm.signal)));
+    out += ' ';
+    out += pm.signal_name;
+    out += '\n';
+  }
+  out += "node ";
+  out.append(num, sfmt::dec(num, pm.node_id));
+  out += "\npid ";
+  out.append(num, sfmt::dec(num, pm.pid));
+  out += "\ntime_ns ";
+  out.append(num, sfmt::dec(num, pm.capture_ns));
+  out += "\nbuild ";
+  out += pm.build;
+  out += '\n';
+  out += "[backtrace]\n";
+  for (const auto& l : pm.backtrace) {
+    out += l;
+    out += '\n';
+  }
+  out += "[locks]\n";
+  for (const auto& l : pm.locks) {
+    out += "lock t";
+    out.append(num, sfmt::dec(num, l.thread));
+    out += ' ';
+    out += l.name;
+    out += " rank=";
+    out.append(num, sfmt::dec(num, static_cast<std::uint64_t>(
+                                       l.rank < 0 ? 0 : l.rank)));
+    out += '\n';
+  }
+  out += "[inflight]\n";
+  for (const auto& e : pm.inflight) {
+    out += "rpc seq=";
+    out.append(num, sfmt::dec(num, e.seq));
+    out += " id=";
+    out.append(num, sfmt::dec(num, e.rpc_id));
+    out += " dest=";
+    out.append(num, sfmt::dec(num, e.dest));
+    out += " trace=";
+    out.append(num, sfmt::hex(num, e.trace_id));
+    out += " start_ns=";
+    out.append(num, sfmt::dec(num, e.start_ns));
+    out += '\n';
+  }
+  out += "[flight]\n";
+  for (const auto& e : pm.events) append_event_line(out, e);
+  out += "[metrics]\n";
+  if (!pm.metrics_json.empty()) {
+    out += pm.metrics_json;
+    out += '\n';
+  }
+  out += "[log]\n";
+  for (const auto& l : pm.log_tail) {
+    out += l;
+    out += '\n';
+  }
+  if (pm.complete) out += "END\n";
+  return out;
+}
+
+}  // namespace gekko::flight

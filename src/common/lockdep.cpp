@@ -2,6 +2,7 @@
 // is guarded by g_mutex or thread-local.
 #include "common/lockdep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,9 @@
 #include <map>
 #include <mutex>  // lint-ok: bare-mutex — lockdep is the instrumentation layer and must not instrument itself
 #include <utility>
+
+#include "common/flight_recorder.h"
+#include "common/logging.h"
 
 #if defined(__SANITIZE_ADDRESS__)
 #include <sanitizer/lsan_interface.h>
@@ -27,6 +31,17 @@ struct Held {
 /// Per-thread acquisition stack, outermost first.
 thread_local std::vector<Held>* t_held = nullptr;
 
+/// Crash-visible registry of every thread's stack, release-published
+/// so the fatal-signal handler can walk all stacks without locks. The
+/// stacks are leaked (below), so a registered pointer never dangles.
+constexpr std::size_t kMaxStacks = 256;
+struct StackSlot {
+  unsigned thread = 0;  // written before the release store of `stack`
+  std::atomic<const std::vector<Held>*> stack{nullptr};
+};
+StackSlot g_stacks[kMaxStacks];
+std::atomic<std::size_t> g_stack_count{0};
+
 std::vector<Held>& held_stack() {
   if (t_held == nullptr) {
     t_held = new std::vector<Held>();  // leaked at exit by design: thread
@@ -36,6 +51,11 @@ std::vector<Held>& held_stack() {
     __lsan_ignore_object(t_held);  // treat as a live root so LeakSanitizer
                                    // does not fail every multi-threaded test
 #endif
+    const auto idx = g_stack_count.fetch_add(1, std::memory_order_relaxed);
+    if (idx < kMaxStacks) {
+      g_stacks[idx].thread = log::thread_number();
+      g_stacks[idx].stack.store(t_held, std::memory_order_release);
+    }
   }
   return *t_held;
 }
@@ -202,6 +222,35 @@ int rank_of(const std::string& name) {
 std::vector<std::string> held_names() {
   if (!enabled()) return {};
   return sequence_of(held_stack(), nullptr);
+}
+
+void crash_dump(int fd) noexcept {
+  namespace sfmt = flight::sfmt;
+  const auto count =
+      std::min(g_stack_count.load(std::memory_order_relaxed), kMaxStacks);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto* stack = g_stacks[i].stack.load(std::memory_order_acquire);
+    if (stack == nullptr) continue;  // mid-registration
+    // Racy read of another thread's vector: capture (data, size) once;
+    // a concurrent push_back may reallocate, but the old block is only
+    // freed by that same push_back, so in practice the window is one
+    // realloc — acceptable for forensics, never for accounting.
+    const Held* data = stack->data();
+    const std::size_t n = stack->size();
+    if (data == nullptr) continue;
+    for (std::size_t j = 0; j < n && j < 64; ++j) {
+      const Held& h = data[j];
+      sfmt::write_str(fd, "lock t");
+      sfmt::write_dec(fd, g_stacks[i].thread);
+      sfmt::write_str(fd, " ");
+      sfmt::write_str(fd, h.name != nullptr ? h.name : "<anon>");
+      sfmt::write_str(fd, " rank=");
+      sfmt::write_dec(fd, h.rank == kNoRank
+                              ? 0
+                              : static_cast<std::uint64_t>(h.rank));
+      sfmt::write_str(fd, "\n");
+    }
+  }
 }
 
 void reset_for_test() {

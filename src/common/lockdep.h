@@ -119,6 +119,14 @@ void on_release(const void* m) noexcept;
 /// Names currently held by the calling thread, outermost first (tests).
 [[nodiscard]] std::vector<std::string> held_names();
 
+/// Async-signal-safe: write EVERY thread's current held-lock stack to
+/// `fd` as "lock t<thread> <name> rank=<rank>" lines (the postmortem
+/// [locks] section). Reads other threads' stacks without their
+/// cooperation — a stack mutating concurrently may yield one torn or
+/// stale line, which crash forensics accepts. Only meaningful when
+/// lockdep is enabled (stacks are only maintained then).
+void crash_dump(int fd) noexcept;
+
 /// Drop recorded edges + name registry (tests only; not thread-safe
 /// against concurrent instrumented acquisitions).
 void reset_for_test();

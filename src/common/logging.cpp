@@ -3,14 +3,52 @@
 // them, so relaxed ordering is sufficient.
 #include "common/logging.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
 
+#include "common/flight_recorder.h"
 #include "common/thread_annotations.h"
 
 namespace gekko::log {
 namespace {
 Mutex g_mutex{"log", lockdep::rank::kLog};
 Sink g_sink GEKKO_GUARDED_BY(g_mutex);
+
+/// Crash-safe tail: every emitted line is memcpy'd into a fixed ring
+/// slot under g_mutex (single writer at a time), then the cursor is
+/// release-published. The fatal-signal handler reads the ring without
+/// the mutex — a slot being overwritten at that instant may come out
+/// torn, which the postmortem contract accepts.
+constexpr std::size_t kTailSlots = 64;
+constexpr std::size_t kTailLine = 192;  // longer lines are truncated
+struct TailSlot {
+  char text[kTailLine];
+};
+TailSlot g_tail[kTailSlots];
+std::atomic<std::uint64_t> g_tail_cursor{0};
+
+std::atomic<int> g_sink_fd{2};  // stderr until told otherwise
+
+void tail_append(const char* prefix, std::string_view component,
+                 std::string_view message) {
+  const auto cur = g_tail_cursor.load(std::memory_order_relaxed);
+  char* slot = g_tail[cur % kTailSlots].text;
+  std::size_t n = 0;
+  auto put = [&](const char* s, std::size_t len) {
+    const auto take = std::min(len, kTailLine - 1 - n);
+    std::memcpy(slot + n, s, take);
+    n += take;
+  };
+  put(prefix, std::strlen(prefix));
+  put(" ", 1);
+  put(component.data(), component.size());
+  put(": ", 2);
+  put(message.data(), message.size());
+  slot[n] = '\0';
+  g_tail_cursor.store(cur + 1, std::memory_order_release);
+}
 
 const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -60,6 +98,7 @@ void write(Level lvl, std::string_view component, std::string_view message) {
   std::snprintf(prefix, sizeof(prefix), "[%12.6f] [t%02u] [%s]",
                 seconds_since_start(), thread_number(), level_tag(lvl));
   LockGuard lock(g_mutex);
+  tail_append(prefix, component, message);
   if (g_sink) {
     std::string line;
     line.reserve(component.size() + message.size() + 56);
@@ -74,6 +113,28 @@ void write(Level lvl, std::string_view component, std::string_view message) {
   std::fprintf(stderr, "%s %.*s: %.*s\n", prefix,
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
+}
+
+void crash_dump_tail(int fd) noexcept {
+  namespace sfmt = flight::sfmt;
+  const auto cur = g_tail_cursor.load(std::memory_order_acquire);
+  const auto resident = std::min<std::uint64_t>(cur, kTailSlots);
+  for (std::uint64_t i = cur - resident; i < cur; ++i) {
+    const char* text = g_tail[i % kTailSlots].text;
+    // Defensive length cap: a torn slot may lack its terminator.
+    const auto n = ::strnlen(text, kTailLine - 1);
+    if (n == 0) continue;
+    sfmt::write_all(fd, text, n);
+    sfmt::write_str(fd, "\n");
+  }
+}
+
+void set_sink_fd(int fd) noexcept {
+  g_sink_fd.store(fd, std::memory_order_relaxed);
+}
+
+int sink_fd() noexcept {
+  return g_sink_fd.load(std::memory_order_relaxed);
 }
 
 }  // namespace gekko::log

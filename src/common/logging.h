@@ -42,6 +42,23 @@ unsigned thread_number() noexcept;
 /// Emit one line: "[ts] [tid] [lvl] component: message", atomically.
 void write(Level lvl, std::string_view component, std::string_view message);
 
+/// Every emitted line (any level at or above threshold) is also copied
+/// into a bounded in-memory tail ring, regardless of sink. The crash
+/// module writes that tail into postmortem reports so the last moments
+/// before a fatal signal survive even when the active sink's buffering
+/// would have eaten them.
+///
+/// Async-signal-safe: dumps the tail (oldest first) to `fd` with raw
+/// write(2); a line being written concurrently may appear torn.
+void crash_dump_tail(int fd) noexcept;
+
+/// File descriptor behind the active sink (stderr by default). The
+/// fatal-signal path fsync()s it — fflush() is not async-signal-safe,
+/// so a process that redirects logs to a file should register the fd
+/// here to bound loss on abort.
+void set_sink_fd(int fd) noexcept;
+[[nodiscard]] int sink_fd() noexcept;
+
 namespace detail {
 class LineBuilder {
  public:

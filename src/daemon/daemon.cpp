@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/crash.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/prometheus.h"
@@ -81,6 +83,10 @@ Result<std::unique_ptr<GekkoDaemon>> GekkoDaemon::start(
   sampler_opts.retention = d->options_.sample_retention;
   sampler_opts.pre_sample = [daemon = d.get()] {
     daemon->publish_backend_metrics_();
+    // Keep the crash module's double-buffered snapshot fresh: this is
+    // the [metrics] section a fatal-signal postmortem embeds (the
+    // handler itself can serialize nothing).
+    crash::publish_metrics_json(daemon->metrics_json());
   };
   d->sampler_ = std::make_unique<metrics::Sampler>(*d->registry_,
                                                    std::move(sampler_opts));
@@ -174,6 +180,7 @@ void GekkoDaemon::register_handlers_() {
   bind(RpcId::batch_remove, "batch_remove", &GekkoDaemon::on_batch_remove_);
   bind(RpcId::daemon_stat, "daemon_stat", &GekkoDaemon::on_daemon_stat_);
   bind(RpcId::trace_dump, "trace_dump", &GekkoDaemon::on_trace_dump_);
+  bind(RpcId::flight_dump, "flight_dump", &GekkoDaemon::on_flight_dump_);
   bind(RpcId::heartbeat, "heartbeat", &GekkoDaemon::on_heartbeat_);
   bind(RpcId::metric_history, "metric_history",
        &GekkoDaemon::on_metric_history_);
@@ -283,6 +290,11 @@ Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
   }
   const std::span<std::uint8_t> span(buf.get(), slice.length);
 
+  // Black-box markers around the slice: a daemon that dies mid-io
+  // shows an unmatched io_begin for the exact chunk in its postmortem.
+  flight::record(flight::Subsys::daemon, flight::ev::daemon_io_begin,
+                 slice.chunk_id, static_cast<std::uint32_t>(slice.length));
+
   std::uint64_t t = metrics::now_ns();
   // Stage accounting: `bulk` is time moving bytes across the fabric
   // (pull/push), `io` is time against the chunk store plus any modeled
@@ -325,6 +337,8 @@ Status GekkoDaemon::slice_io_(const proto::ChunkIoRequest& req,
         msg.bulk, slice.bulk_offset, std::span<const std::uint8_t>(span)));
     stages.bulk.fetch_add(metrics::now_ns() - t, std::memory_order_relaxed);
   }
+  flight::record(flight::Subsys::daemon, flight::ev::daemon_io_end,
+                 slice.chunk_id, static_cast<std::uint32_t>(slice.length));
   return Status::ok();
 }
 
@@ -517,6 +531,19 @@ Result<std::vector<std::uint8_t>> GekkoDaemon::on_trace_dump_(
   for (const metrics::TraceSpan& s : spans) {
     resp.spans.push_back(trace::to_span(s));
   }
+  return resp.encode();
+}
+
+Result<std::vector<std::uint8_t>> GekkoDaemon::on_flight_dump_(
+    const net::Message& msg) {
+  (void)msg;
+  proto::FlightDumpResponse resp;
+  resp.node_id = static_cast<std::uint32_t>(engine_->endpoint());
+  resp.capture_ns = metrics::now_ns();
+  flight::RingStats stats;
+  resp.events = flight::snapshot(&stats);
+  resp.recorded = stats.recorded;
+  resp.capacity = stats.capacity;
   return resp.encode();
 }
 

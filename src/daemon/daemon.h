@@ -149,6 +149,7 @@ class GekkoDaemon {
   Result<std::vector<std::uint8_t>> on_daemon_stat_(const net::Message& msg);
   /// Drain the span ring for the cross-node trace collector.
   Result<std::vector<std::uint8_t>> on_trace_dump_(const net::Message& msg);
+  Result<std::vector<std::uint8_t>> on_flight_dump_(const net::Message& msg);
   /// Liveness probe: fixed-size response, no KV/storage touched.
   Result<std::vector<std::uint8_t>> on_heartbeat_(const net::Message& msg);
   /// Drain the sampler's ring history (optionally prefix-filtered).

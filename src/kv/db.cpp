@@ -9,6 +9,7 @@
 #include <charconv>
 
 #include "common/fileio.h"
+#include "common/flight_recorder.h"
 #include "kv/cache.h"
 #include "common/logging.h"
 
@@ -139,6 +140,8 @@ Status DB::recover_() {
         });
     if (!stats) return stats.status();
     stats_.wal_recovered_records += stats->records_applied;
+    flight::record(flight::Subsys::kv, flight::ev::kv_wal_recover,
+                   stats->records_applied);
     if (stats->tail_corruption) {
       ++stats_.wal_tail_corruptions;
       GEKKO_WARN("kv.db") << "wal " << wal_file_name(n)
@@ -352,6 +355,8 @@ Status DB::write_locked_(const WriteBatch& batch, bool sync,
       sync));
   ++stats_.wal_appends;
   if (sync) ++stats_.wal_syncs;
+  flight::record(flight::Subsys::kv, flight::ev::kv_wal_append,
+                 batch.data().size());
 
   SequenceNumber seq = first_seq;
   GEKKO_RETURN_IF_ERROR(batch.for_each(
@@ -474,6 +479,8 @@ Status DB::flush_front_(UniqueLock& lock, bool unlocked_io) {
   GEKKO_RETURN_IF_ERROR(versions_.apply(0, {std::move(*entry)}, {}));
   imms_.pop_front();
   ++stats_.flushes;
+  flight::record(flight::Subsys::kv, flight::ev::kv_flush,
+                 imm.mem->approximate_bytes());
   if (imm.wal_no != 0) {
     // status-ignored-ok: best-effort; recovery re-deletes leftover WALs
     (void)io::remove_file(dir_ / wal_file_name(imm.wal_no));
@@ -736,6 +743,8 @@ Status DB::compact_level_(int level, UniqueLock& lock, bool unlocked_io) {
     if (options_.block_cache) options_.block_cache->erase_table(n);
   }
   ++stats_.compactions;
+  flight::record(flight::Subsys::kv, flight::ev::kv_compaction,
+                 static_cast<std::uint64_t>(level));
   stats_.compact_bytes_in += bytes_in;
   stats_.compact_bytes_out += bytes_out;
   update_slowdown_locked_();

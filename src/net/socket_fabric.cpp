@@ -1,4 +1,5 @@
 #include "net/socket_fabric.h"
+#include "common/flight_recorder.h"
 #include "common/thread_annotations.h"
 
 #include <limits.h>
@@ -290,6 +291,8 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
   // During teardown shutdown_() owns all cleanup (and joins us).
   if (stopping_.load(std::memory_order_acquire)) return;
   m_.evictions->inc();
+  flight::record(flight::Subsys::fabric, flight::ev::fabric_evict,
+                 conn->peer);
   {
     LockGuard lock(conn_mutex_);
     if (conn->peer != kInvalidEndpoint) {
@@ -318,6 +321,8 @@ void SocketFabric::evict_(const std::shared_ptr<Connection>& conn) {
 }
 
 void SocketFabric::kill_connection_(EndpointId dest, const Message& msg) {
+  flight::record(flight::Subsys::fabric, flight::ev::fabric_kill, dest,
+                 static_cast<std::uint32_t>(msg.seq));
   std::shared_ptr<Connection> victim;
   if (msg.kind == MessageKind::response) {
     LockGuard lock(reply_mutex_);
@@ -397,6 +402,7 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
                   "connect " + host->second + ": " + std::strerror(errno)};
   }
   m_.dials->inc();
+  flight::record(flight::Subsys::fabric, flight::ev::fabric_connect, dest);
 
   LockGuard lock(conn_mutex_);
   auto it = outgoing_.find(dest);
@@ -409,6 +415,7 @@ Result<std::shared_ptr<SocketFabric::Connection>> SocketFabric::connect_to_(
     // Replace a dead cached connection; its reader will evict itself,
     // park it here so shutdown_() can join the thread.
     m_.redials->inc();
+    flight::record(flight::Subsys::fabric, flight::ev::fabric_redial, dest);
     park_zombie_locked_(it->second);
     outgoing_.erase(it);
   }

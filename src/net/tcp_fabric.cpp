@@ -1,6 +1,7 @@
 // relaxed-ok: next_loop_ is a round-robin ticket counter; any
 // interleaving yields a valid loop assignment.
 #include "net/tcp_fabric.h"
+#include "common/flight_recorder.h"
 #include "common/thread_annotations.h"
 
 #include <arpa/inet.h>
@@ -631,6 +632,7 @@ Result<std::shared_ptr<TcpFabric::Conn>> TcpFabric::connect_to_(
   (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   set_nodelay(fd);
   m_.dials->inc();
+  flight::record(flight::Subsys::fabric, flight::ev::fabric_connect, dest);
 
   LockGuard lock(conn_mutex_);
   auto it = outgoing_.find(dest);
@@ -643,6 +645,7 @@ Result<std::shared_ptr<TcpFabric::Conn>> TcpFabric::connect_to_(
     // Replace a dead cached connection (kill_conn_ already pulled it
     // out of its event loop; the shared_ptr drop closes the fd).
     m_.redials->inc();
+    flight::record(flight::Subsys::fabric, flight::ev::fabric_redial, dest);
     outgoing_.erase(it);
   }
   auto conn = std::make_shared<Conn>();
@@ -658,7 +661,11 @@ void TcpFabric::kill_conn_(const std::shared_ptr<Conn>& conn) {
   const bool already = conn->dead.exchange(true, std::memory_order_acq_rel);
   ::shutdown(conn->fd, SHUT_RDWR);
   if (stopping_now_()) return;  // shutdown_() owns all cleanup
-  if (!already) m_.evictions->inc();
+  if (!already) {
+    m_.evictions->inc();
+    flight::record(flight::Subsys::fabric, flight::ev::fabric_evict,
+                   conn->peer);
+  }
   if (conn->loop != nullptr) conn->loop->remove_conn(conn->fd);
   evict_(conn);
 }
@@ -685,6 +692,8 @@ void TcpFabric::evict_(const std::shared_ptr<Conn>& conn) {
 }
 
 void TcpFabric::kill_connection_(EndpointId dest, const Message& msg) {
+  flight::record(flight::Subsys::fabric, flight::ev::fabric_kill, dest,
+                 static_cast<std::uint32_t>(msg.seq));
   std::shared_ptr<Conn> victim;
   if (msg.kind == MessageKind::response) {
     LockGuard lock(reply_mutex_);

@@ -93,6 +93,7 @@ inline constexpr CodecRow kCodecTable[] = {
     {RpcId::batch_create,      "batch_create",      "BatchCreateRequest",   "BatchCreateResponse",   &codec_round_trip<BatchCreateRequest>,   &codec_round_trip<BatchCreateResponse>},
     {RpcId::batch_stat,        "batch_stat",        "BatchPathRequest",     "BatchStatResponse",     &codec_round_trip<BatchPathRequest>,     &codec_round_trip<BatchStatResponse>},
     {RpcId::batch_remove,      "batch_remove",      "BatchPathRequest",     "BatchRemoveResponse",   &codec_round_trip<BatchPathRequest>,     &codec_round_trip<BatchRemoveResponse>},
+    {RpcId::flight_dump,       "flight_dump",       "",                     "FlightDumpResponse",    nullptr,                                 &codec_round_trip<FlightDumpResponse>},
 };
 // clang-format on
 

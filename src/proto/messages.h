@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/flight_recorder.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "proto/metadata.h"
@@ -36,6 +37,7 @@ enum class RpcId : std::uint16_t {
   batch_create = 15,
   batch_stat = 16,
   batch_remove = 17,
+  flight_dump = 18,
 };
 
 inline constexpr std::uint16_t to_wire(RpcId id) {
@@ -63,6 +65,7 @@ inline std::string rpc_name(std::uint16_t id) {
     case RpcId::batch_create: return "batch_create";
     case RpcId::batch_stat: return "batch_stat";
     case RpcId::batch_remove: return "batch_remove";
+    case RpcId::flight_dump: return "flight_dump";
   }
   return "";
 }
@@ -109,6 +112,9 @@ inline constexpr RpcRetryClass rpc_retry_class(RpcId id) {
     case RpcId::batch_create: return RpcRetryClass::non_idempotent;
     case RpcId::batch_stat: return RpcRetryClass::idempotent;
     case RpcId::batch_remove: return RpcRetryClass::non_idempotent;
+    // Draining a forensic event ring mutates nothing; a replayed dump
+    // just captures a slightly later window.
+    case RpcId::flight_dump: return RpcRetryClass::idempotent;
   }
   // Unknown wire ids (a newer peer) must never be blind-retried.
   return RpcRetryClass::non_idempotent;
@@ -501,6 +507,81 @@ struct TraceDumpResponse {
       s.start_ns = *start;
       s.duration_ns = *dur;
       r.spans.push_back(std::move(s));
+    }
+    return r;
+  }
+};
+
+/// One daemon's flight-recorder state, for Client::flight_dumps() and
+/// gkfs-debug. The request has no payload. Events are the merged
+/// per-thread ring contents (oldest first); recorded/capacity carry
+/// the same ring-wrap accounting contract as TraceDumpResponse, and
+/// capture_ns the same per-node clock-offset contract. Each event is
+/// the fixed 32-byte record of flight::Event, encoded field-by-field.
+struct FlightDumpResponse {
+  std::uint32_t node_id = 0;
+  std::uint64_t capture_ns = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t capacity = 0;
+  std::vector<flight::Event> events;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> buf;
+    Encoder enc(&buf);
+    enc.u32(node_id);
+    enc.u64(capture_ns);
+    enc.u64(recorded);
+    enc.u64(capacity);
+    enc.varint(events.size());
+    for (const flight::Event& e : events) {
+      enc.u64(e.ts_ns);
+      enc.u64(e.trace_id);
+      enc.u64(e.a0);
+      enc.u32(e.a1);
+      enc.u16(e.thread);
+      enc.u8(e.subsys);
+      enc.u8(e.code);
+    }
+    return buf;
+  }
+  static Result<FlightDumpResponse> decode(std::string_view bytes) {
+    Decoder dec(bytes);
+    FlightDumpResponse r;
+    auto node = dec.u32();
+    auto capture = dec.u64();
+    auto recorded = dec.u64();
+    auto capacity = dec.u64();
+    auto count = dec.varint();
+    if (!node || !capture || !recorded || !capacity || !count) {
+      return Errc::corruption;
+    }
+    r.node_id = *node;
+    r.capture_ns = *capture;
+    r.recorded = *recorded;
+    r.capacity = *capacity;
+    // An encoded event is exactly its 32-byte in-memory record.
+    if (!count_fits(*count, dec, 32)) return Errc::corruption;
+    r.events.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      flight::Event e;
+      auto ts = dec.u64();
+      auto trace_id = dec.u64();
+      auto a0 = dec.u64();
+      auto a1 = dec.u32();
+      auto thread = dec.u16();
+      auto subsys = dec.u8();
+      auto code = dec.u8();
+      if (!ts || !trace_id || !a0 || !a1 || !thread || !subsys || !code) {
+        return Errc::corruption;
+      }
+      e.ts_ns = *ts;
+      e.trace_id = *trace_id;
+      e.a0 = *a0;
+      e.a1 = *a1;
+      e.thread = *thread;
+      e.subsys = *subsys;
+      e.code = *code;
+      r.events.push_back(e);
     }
     return r;
   }

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/flight_recorder.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -148,6 +149,8 @@ Result<std::vector<std::uint8_t>> Engine::forward(
     retries_.fetch_add(1, std::memory_order_relaxed);
     agg_retries_->inc();
     caller_metrics_for_(rpc_id)->retries->inc();
+    flight::record_traced(flight::Subsys::engine, flight::ev::engine_retry,
+                          call.trace_id, attempt + 1, rpc_id);
     GEKKO_WARN("rpc") << options_.name << ": rpc " << rpc_id << " to "
                       << dest << " " << errc_name(result.code())
                       << ", retry " << (attempt + 1) << "/" << (attempts - 1)
@@ -213,6 +216,9 @@ Engine::PendingCall Engine::begin_forward_traced_(
     LockGuard lock(pending_mutex_);
     pending_.emplace(call.seq, call.eventual);
   }
+  // Crash-visible shadow of pending_: the fatal-signal handler walks
+  // this table where it cannot take pending_mutex_.
+  flight::inflight_begin(call.seq, rpc_id, dest, call.trace_id);
 
   net::Message msg;
   msg.kind = net::MessageKind::request;
@@ -227,6 +233,7 @@ Engine::PendingCall Engine::begin_forward_traced_(
   if (Status st = fabric_.send(dest, std::move(msg)); !st.is_ok()) {
     LockGuard lock(pending_mutex_);
     pending_.erase(call.seq);
+    flight::inflight_end(call.seq);
     call.send_status = st;
     call.metrics->inflight->sub(1);
     call.metrics->errors->inc();
@@ -247,6 +254,7 @@ Result<std::vector<std::uint8_t>> Engine::finish(
     LockGuard lock(pending_mutex_);
     pending_.erase(call.seq);
   }
+  flight::inflight_end(call.seq);
   // Settle caller-side accounting exactly once (metrics is nulled
   // below; a double finish() records nothing further).
   CallerMetrics* cm = call.metrics;
@@ -269,6 +277,8 @@ Result<std::vector<std::uint8_t>> Engine::finish(
     }
   }
   if (!result.has_value()) {
+    flight::record_traced(flight::Subsys::engine, flight::ev::engine_timeout,
+                          call.trace_id, call.seq, call.rpc_id);
     // Deadline passed: revoke the transport's claim on any writable
     // bulk region BEFORE returning, so a late response cannot scribble
     // into a buffer the caller is about to reuse.
@@ -290,6 +300,9 @@ void Engine::progress_loop_() {
 }
 
 void Engine::dispatch_request_(net::Message msg) {
+  // Progress thread: the message's trace, not this thread's context.
+  flight::record_traced(flight::Subsys::engine, flight::ev::engine_dispatch,
+                        msg.trace_id, msg.seq, msg.rpc_id);
   Handler handler;
   std::shared_ptr<HandlerMetrics> hm;
   std::string rpc_label;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/prometheus.h"
@@ -241,6 +242,24 @@ TEST_F(CorpusReplayTest, TraceParse) {
   for (const auto& path : files) {
     SCOPED_TRACE(path.filename().string());
     (void)trace::parse_chrome_json(read_file(path));
+  }
+}
+
+// Mirrors fuzz/harness/fuzz_flight.cpp: anything parse_postmortem
+// accepts must be renderable to a stable text fixed point.
+TEST_F(CorpusReplayTest, FlightPostmortem) {
+  const auto files = corpus_files("flight");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = read_file(path);
+    auto first = flight::parse_postmortem(text);
+    if (!first.is_ok()) continue;
+    const std::string canonical = flight::render_postmortem(*first);
+    auto second = flight::parse_postmortem(canonical);
+    ASSERT_TRUE(second.is_ok()) << "rendered postmortem failed to re-parse";
+    EXPECT_EQ(flight::render_postmortem(*second), canonical)
+        << "postmortem text not a render fixed point";
   }
 }
 

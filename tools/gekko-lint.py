@@ -61,6 +61,19 @@ status-discard   `(void)call(...)` in src/ silences the [[nodiscard]]
                  errno-style ints, not Status, and the cast only mutes
                  -Wunused-result.
 
+signal-safety    src/common/crash.cpp runs inside fatal-signal
+                 handlers. Outside the region bracketed by the
+                 `// crash-setup-begin` / `// crash-setup-end` marker
+                 comments (install-time code, where anything goes), a
+                 curated list of async-signal-UNSAFE constructs is
+                 banned: allocation (malloc/free/new), stdio
+                 formatting/streams (printf family, fopen, fflush),
+                 std::string/std::vector/std::to_string, container
+                 mutation (push_back/append/insert/resize), getenv,
+                 GEKKO_LOG/log::write, and lock guards. Deliberate
+                 exceptions tag the line `// signal-safe-ok: <why>`.
+                 Both markers must be present exactly once.
+
 span-name        span names handed to the tracer must be string
                  literals: TraceSpan::name stores the pointer, never a
                  copy, so a dynamically built name dangles once the
@@ -116,6 +129,24 @@ BUCKET_EXEMPT = {
     "src/common/prometheus.h",
     "src/common/prometheus.cpp",
 }
+
+# The crash translation unit: everything outside its setup region must
+# stay async-signal-safe (write/fsync/clock_gettime/sigaction-family
+# plus the sfmt helpers only).
+CRASH_FILE = "src/common/crash.cpp"
+CRASH_SETUP_BEGIN = "// crash-setup-begin"
+CRASH_SETUP_END = "// crash-setup-end"
+SIGNAL_UNSAFE = re.compile(
+    r"\b(malloc|calloc|realloc|free|printf|fprintf|sprintf|snprintf"
+    r"|vsnprintf|puts|fputs|putchar|fopen|fclose|fflush|fwrite|fread"
+    r"|getenv|setenv|exit|abort|syslog|backtrace_symbols"  # (not .._fd)
+    r"|std::to_string|push_back|emplace_back|insert|resize|reserve"
+    r")\s*\(|"
+    r"\bnew\b|\bdelete\b|"
+    r"\bstd::(string|vector|map|set|ostringstream|cout|cerr)\b|"
+    r"\bGEKKO_(LOG|TRACE|DEBUG|INFO|WARN|ERROR)\b|"
+    r"\b(LockGuard|UniqueLock|SharedLockGuard|WriteLockGuard)\b|"
+    r"\blog::write\b")
 
 # The instrumentation layer itself is the only place bare primitives
 # may live.
@@ -195,9 +226,30 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
     includes_thread_annotations = False
     saw_pragma_once = False
     saw_include_before_pragma = False
+    is_crash_file = rel == CRASH_FILE
+    in_crash_setup = False
+    crash_markers = {CRASH_SETUP_BEGIN: 0, CRASH_SETUP_END: 0}
 
     for lineno, raw in enumerate(lines, 1):
         code = code_of(raw)
+
+        if is_crash_file:
+            if CRASH_SETUP_BEGIN in raw:
+                crash_markers[CRASH_SETUP_BEGIN] += 1
+                in_crash_setup = True
+            elif CRASH_SETUP_END in raw:
+                crash_markers[CRASH_SETUP_END] += 1
+                in_crash_setup = False
+            elif not in_crash_setup and "signal-safe-ok:" not in raw:
+                m = SIGNAL_UNSAFE.search(code)
+                if m:
+                    errors.append(
+                        f"{rel}:{lineno}: signal-safety: "
+                        f"'{m.group(0).strip()}' is not async-signal-safe "
+                        f"and this line is outside the crash-setup "
+                        f"region (the fatal handler may run it); move it "
+                        f"inside the markers or tag the line "
+                        f"`// signal-safe-ok: <why>` — {raw.strip()}")
 
         m = INCLUDE.match(raw)
         if m:
@@ -288,6 +340,14 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
                 f"thread stalls every in-flight RPC; tag the line "
                 f"`// blocking-ok: <why>` if it is genuinely off the "
                 f"progress path — {raw.strip()}")
+
+    if is_crash_file:
+        for marker, count in crash_markers.items():
+            if count != 1:
+                errors.append(
+                    f"{rel}:1: signal-safety: expected exactly one "
+                    f"`{marker}` marker, found {count} — the rule cannot "
+                    f"tell handler code from setup code without it")
 
     if is_header and not saw_pragma_once:
         errors.append(f"{rel}:1: include-hygiene: header missing #pragma once")

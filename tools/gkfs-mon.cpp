@@ -9,7 +9,11 @@
 //  2) drains every reachable daemon's metric_history rings and derives
 //     per-second rates from the newest sample pairs (daemon-side
 //     clocks, so daemon restarts read as rate 0, not negative spikes),
-//  3) renders a table, or a JSON document with --json.
+//  3) remembers each reachable daemon's newest flight-recorder event,
+//     so a node that later goes dead still shows what it was last seen
+//     doing (the black box survives in the monitor's memory even when
+//     the daemon itself is gone),
+//  4) renders a table, or a JSON document with --json.
 //
 //   gkfs-mon <hostfile> [interval-seconds] [iterations] [--json]
 //            [--alert <rule>]... [--suspect-after N] [--dead-after N]
@@ -38,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/health.h"
 #include "common/metrics_history.h"
 #include "net/transport.h"
@@ -139,6 +144,33 @@ double family_rate(const gekko::proto::MetricHistoryResponse& hist,
     prev[family] = *latest;
   }
   return rate;
+}
+
+// ---------- last-seen flight events ----------
+
+/// One remembered flight event per daemon: what the node was doing the
+/// last time gkfs-mon could still talk to it. Kept across iterations so
+/// a dead node's row can answer "last seen doing X".
+struct LastSeen {
+  gekko::flight::Event event;
+  bool valid = false;
+};
+
+/// "kv.compaction" / "client.op(creat)" — same naming the flight
+/// recorder uses, compact enough for a table cell.
+std::string describe_event(const gekko::flight::Event& e) {
+  std::string out = gekko::flight::subsys_name(e.subsys);
+  out += '.';
+  out += gekko::flight::event_name(e.subsys, e.code);
+  if (e.subsys == static_cast<std::uint8_t>(gekko::flight::Subsys::client) &&
+      e.code == gekko::flight::ev::client_op) {
+    char tag[9];
+    gekko::flight::untag(e.a0, tag);
+    out += '(';
+    out += tag;
+    out += ')';
+  }
+  return out;
 }
 
 std::string json_escape(const std::string& s) {
@@ -245,6 +277,9 @@ int main(int argc, char** argv) {
   // Per-daemon previous poll for the sampler-off rate fallback.
   std::map<gekko::net::EndpointId, std::map<std::string, SamplePoint>>
       prev_polls;
+  // Per-daemon newest flight event, refreshed while the node is
+  // reachable and retained after it dies ("last seen doing X").
+  std::map<gekko::net::EndpointId, LastSeen> last_seen;
   static const std::string kFamilies[] = {
       "rpc.requests_handled", "rpc.retries", "trace.slow_ops",
       "storage.fd_cache.misses", "kv.compact.bytes_in",
@@ -291,6 +326,27 @@ int main(int argc, char** argv) {
             }
           }
         }
+        // Remember the node's newest flight event while we still can;
+        // this is the forensic breadcrumb shown once the node is dead.
+        auto fr = engine.forward(
+            id, gekko::proto::to_wire(gekko::proto::RpcId::flight_dump),
+            {}, {}, std::chrono::milliseconds{probe_timeout_ms * 4});
+        if (fr.is_ok()) {
+          auto dump = gekko::proto::FlightDumpResponse::decode(
+              std::string_view(reinterpret_cast<const char*>(fr->data()),
+                               fr->size()));
+          if (dump.is_ok()) {
+            const gekko::flight::Event* newest = nullptr;
+            for (const auto& e : dump->events) {
+              if (newest == nullptr || e.ts_ns >= newest->ts_ns) {
+                newest = &e;
+              }
+            }
+            if (newest != nullptr) {
+              last_seen[id] = LastSeen{*newest, true};
+            }
+          }
+        }
       }
       rows.push_back(std::move(row));
     }
@@ -326,6 +382,11 @@ int main(int argc, char** argv) {
                std::to_string(row.health.consecutive_misses) +
                ",\"probes\":" + std::to_string(row.health.probes) +
                ",\"transitions\":" + std::to_string(row.health.transitions);
+        if (auto ls = last_seen.find(row.node);
+            ls != last_seen.end() && ls->second.valid) {
+          out += ",\"last_seen\":\"" +
+                 json_escape(describe_event(ls->second.event)) + "\"";
+        }
         for (const auto& [family, rate] : row.rates) {
           out += ",\"" + json_escape(family) + "\":";
           char buf[32];
@@ -346,23 +407,33 @@ int main(int argc, char** argv) {
       out += "}}";
       std::printf("%s\n", out.c_str());
     } else {
-      std::printf("%-5s %-8s %7s %7s %10s %9s %8s %9s %11s %9s\n", "node",
-                  "state", "misses", "probes", "ops/s", "retry/s", "slow/s",
-                  "fdmiss/s", "compactB/s", "stallms/s");
+      std::printf("%-5s %-8s %7s %7s %10s %9s %8s %9s %11s %9s  %s\n",
+                  "node", "state", "misses", "probes", "ops/s", "retry/s",
+                  "slow/s", "fdmiss/s", "compactB/s", "stallms/s",
+                  "last-seen");
       for (const Row& row : rows) {
         auto rate_of = [&row](const char* family) {
           auto it = row.rates.find(family);
           return it == row.rates.end() ? 0.0 : it->second;
         };
+        // The black-box breadcrumb only earns table space on dead
+        // rows — for live nodes the rates already say what's going on.
+        std::string doing;
+        if (row.health.state == gekko::health::State::dead) {
+          auto ls = last_seen.find(row.node);
+          doing = (ls != last_seen.end() && ls->second.valid)
+                      ? "last seen doing " + describe_event(ls->second.event)
+                      : "last seen doing ?";
+        }
         std::printf("%-5u %-8s %7u %7" PRIu64
-                    " %10.1f %9.1f %8.1f %9.1f %11.1f %9.1f\n",
+                    " %10.1f %9.1f %8.1f %9.1f %11.1f %9.1f  %s\n",
                     row.node, gekko::health::state_name(row.health.state),
                     row.health.consecutive_misses, row.health.probes,
                     rate_of("rpc.requests_handled"), rate_of("rpc.retries"),
                     rate_of("trace.slow_ops"),
                     rate_of("storage.fd_cache.misses"),
                     rate_of("kv.compact.bytes_in"),
-                    rate_of("kv.stall.foreground_ms"));
+                    rate_of("kv.stall.foreground_ms"), doing.c_str());
       }
       std::printf("cluster: alive=%zu suspect=%zu dead=%zu ops/s=%.1f "
                   "retry/s=%.1f slow/s=%.1f fdmiss/s=%.1f "

@@ -26,16 +26,23 @@
 // lives under <data-root> and survives restarts.
 //
 // SIGUSR1 dumps a metrics snapshot (JSON) to stderr without stopping
-// the daemon; the same snapshot is dumped once at exit. For live
-// polling across nodes use gkfs-top, which reads the same data over
-// the daemon_stat RPC.
+// the daemon; the same snapshot is dumped once at exit (both routed
+// through the crash/report module, which also keeps the snapshot
+// staged for postmortems). SIGUSR2 dumps a live flight-recorder
+// report (locks, in-flight RPCs, recent events) to stderr — decode it
+// with gkfs-debug. Fatal signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/
+// SIGILL) write a postmortem to $GEKKO_CRASH_DIR (stderr when unset)
+// before the daemon dies. For live polling across nodes use gkfs-top,
+// which reads the same data over the daemon_stat RPC.
 #include <charconv>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "common/crash.h"
 #include "daemon/daemon.h"
 #include "net/transport.h"
 
@@ -43,10 +50,13 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_dump_metrics = 0;
+volatile std::sig_atomic_t g_dump_flight = 0;
 
 void handle_signal(int) { g_stop = 1; }
 
 void handle_dump(int) { g_dump_metrics = 1; }
+
+void handle_flight_dump(int) { g_dump_flight = 1; }
 
 /// Strict decimal parse; rejects garbage and trailing junk ("12abc")
 /// instead of silently running daemon 0 like strtoul would.
@@ -152,9 +162,29 @@ int main(int argc, char** argv) {
                  (*daemon)->metrics_http_port());
   }
 
+  // Arm the black box: fatal signals write a postmortem (build info,
+  // backtrace, held locks, in-flight RPCs, flight events, the staged
+  // metrics snapshot, log tail) to $GEKKO_CRASH_DIR before dying.
+  gekko::crash::InstallOptions crash_opts;
+  crash_opts.node_id = self_id;
+  crash_opts.build_info = "gkfsd";
+  if (gekko::Status st = gekko::crash::install(crash_opts); !st.is_ok()) {
+    std::fprintf(stderr, "gkfsd: crash reports disabled: %s\n",
+                 st.to_string().c_str());
+  }
+
+  // One path for every metrics dump (SIGUSR1, exit): stage the
+  // snapshot for crash postmortems, then emit the legacy stderr line.
+  auto dump_metrics = [&] {
+    const std::string json = (*daemon)->metrics_json();
+    gekko::crash::publish_metrics_json(json);
+    std::fprintf(stderr, "gkfsd: metrics %u %s\n", self_id, json.c_str());
+  };
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGUSR1, handle_dump);
+  std::signal(SIGUSR2, handle_flight_dump);
   std::fprintf(stderr, "gkfsd: daemon %u serving (root=%s)\n", self_id,
                root);
   while (g_stop == 0) {
@@ -163,13 +193,19 @@ int main(int argc, char** argv) {
       g_dump_metrics = 0;
       // Snapshot off the signal handler, on the main loop: the
       // handler only sets a flag (metrics_json allocates).
-      std::fprintf(stderr, "gkfsd: metrics %u %s\n", self_id,
-                   (*daemon)->metrics_json().c_str());
+      dump_metrics();
+    }
+    if (g_dump_flight != 0) {
+      g_dump_flight = 0;
+      // Live black-box dump without killing the daemon.
+      gekko::crash::publish_metrics_json((*daemon)->metrics_json());
+      gekko::crash::write_live_report(2);
     }
   }
   std::fprintf(stderr, "gkfsd: daemon %u shutting down\n", self_id);
-  std::fprintf(stderr, "gkfsd: metrics %u %s\n", self_id,
-               (*daemon)->metrics_json().c_str());
+  dump_metrics();
   (*daemon)->shutdown();
+  // Clean exit: drop the armed handlers and the (empty) crash file.
+  gekko::crash::disarm();
   return 0;
 }
